@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks: memory hierarchy structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tvp_mem::hierarchy::{Hierarchy, HierarchyConfig};
+use tvp_mem::prefetch::{AmpmPrefetcher, StridePrefetcher};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    c.bench_function("hierarchy_streaming_loads", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        let mut cycle = 0u64;
+        let mut addr = 0x1000_0000u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            cycle += 4;
+            h.data_access(0x4000, addr, false, cycle)
+        });
+    });
+
+    c.bench_function("hierarchy_random_loads", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            stride_prefetcher: false,
+            ampm_prefetcher: false,
+            ..HierarchyConfig::default()
+        });
+        let mut cycle = 0u64;
+        let mut state = 0x12345u64;
+        b.iter(|| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cycle += 10;
+            h.data_access(0x4000, 0x1000_0000 + (state & 0xFF_FFC0), false, cycle)
+        });
+    });
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    c.bench_function("stride_observe", |b| {
+        let mut p = StridePrefetcher::new(256, 4);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            p.observe(0x4000, addr).len()
+        });
+    });
+
+    c.bench_function("ampm_observe", |b| {
+        let mut p = AmpmPrefetcher::new(64, 8);
+        let mut addr = 0u64;
+        let mut clock = 0u64;
+        b.iter(|| {
+            addr += 64;
+            clock += 1;
+            p.observe(addr, clock).len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_hierarchy, bench_prefetchers);
+criterion_main!(benches);

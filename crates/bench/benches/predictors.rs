@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks: predictor structures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tvp_predictors::tage::{Tage, TageConfig};
+use tvp_predictors::vtage::{PredMode, Vtage, VtageConfig};
+
+fn bench_tage(c: &mut Criterion) {
+    c.bench_function("tage_predict_update", |b| {
+        let mut tage = Tage::new(TageConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            let pc = 0x1000 + (i % 64) * 4;
+            let taken = i.is_multiple_of(3);
+            let token = tage.predict(pc);
+            tage.push_history(taken);
+            tage.update(&token, taken);
+            i += 1;
+            token.taken
+        });
+    });
+
+    c.bench_function("tage_history_checkpoint", |b| {
+        let mut tage = Tage::new(TageConfig::default());
+        for i in 0..1000 {
+            let t = tage.predict(0x4000 + i * 4);
+            tage.push_history(i % 2 == 0);
+            tage.update(&t, i % 2 == 0);
+        }
+        b.iter_batched(
+            || (),
+            |()| tage.history_checkpoint(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_vtage(c: &mut Criterion) {
+    for (mode, name) in [
+        (PredMode::ZeroOne, "vtage_mvp_predict_update"),
+        (PredMode::Narrow9, "vtage_tvp_predict_update"),
+        (PredMode::Full64, "vtage_gvp_predict_update"),
+    ] {
+        c.bench_function(name, |b| {
+            let mut vp = Vtage::new(VtageConfig::paper(mode));
+            let mut i = 0u64;
+            b.iter(|| {
+                let pc = 0x2000 + (i % 128) * 4;
+                let pred = vp.predict(pc);
+                vp.update(&pred, i % 2);
+                i += 1;
+                pred.confident
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_tage, bench_vtage);
+criterion_main!(benches);

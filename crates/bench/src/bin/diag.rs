@@ -1,0 +1,21 @@
+use tvp_core::{simulate_vp, VpMode};
+
+fn main() {
+    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    println!("{:<16} {:>6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>6}",
+        "kernel", "ipc", "mvp%", "tvp%", "gvp%", "mvpS%", "tvpS%", "covM", "covT", "covG", "bmiss%");
+    for w in tvp_workloads::suite() {
+        let trace = w.trace(n);
+        let base = simulate_vp(VpMode::Off, false, &trace);
+        let mvp = simulate_vp(VpMode::Mvp, false, &trace);
+        let tvp = simulate_vp(VpMode::Tvp, false, &trace);
+        let gvp = simulate_vp(VpMode::Gvp, false, &trace);
+        let mvps = simulate_vp(VpMode::Mvp, true, &trace);
+        let tvps = simulate_vp(VpMode::Tvp, true, &trace);
+        let pct = |s: &tvp_core::SimStats| (s.speedup_over(&base) - 1.0) * 100.0;
+        println!("{:<16} {:>6.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>7.2} {:>7.3} {:>7.3} {:>6.3} {:>6.2}",
+            w.name, base.ipc(), pct(&mvp), pct(&tvp), pct(&gvp), pct(&mvps), pct(&tvps),
+            mvp.vp.coverage(), tvp.vp.coverage(), gvp.vp.coverage(),
+            100.0 * base.flush.branch_mispredicts as f64 / base.insts_retired as f64);
+    }
+}

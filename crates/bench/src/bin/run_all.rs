@@ -1,0 +1,36 @@
+//! Runs every experiment binary in sequence (Figs. 1–6, Table 3,
+//! ablations), producing the full paper reproduction in one command:
+//!
+//! ```text
+//! cargo run --release -p tvp-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "fig1_value_dist",
+        "fig2_uops_ipc",
+        "fig3_vp_speedup",
+        "table3_storage_sweep",
+        "fig4_rename_fractions",
+        "fig5_spsr_speedup",
+        "fig6_activity",
+        "ablation_silencing",
+        "ablation_prefetcher",
+        "ablation_recovery",
+        "ablation_dvtage",
+    ];
+    let exe = std::env::current_exe().expect("current executable path");
+    let dir = exe.parent().expect("executable directory");
+    for bin in binaries {
+        println!("\n================================================================");
+        println!("== {bin}");
+        println!("================================================================\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nAll experiments complete; JSON results are under results/.");
+}

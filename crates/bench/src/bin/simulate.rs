@@ -1,0 +1,120 @@
+//! Interactive simulator driver: run any workload under any
+//! configuration and print a gem5-style statistics report.
+//!
+//! ```text
+//! cargo run --release -p tvp-bench --bin simulate -- --list
+//! cargo run --release -p tvp-bench --bin simulate -- pointer_chase --vp gvp --insts 200000
+//! cargo run --release -p tvp-bench --bin simulate -- mc_playout --vp mvp --spsr --no-stride-prefetch
+//! ```
+
+use tvp_core::config::{CoreConfig, VpMode};
+use tvp_core::pipeline::simulate;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate <workload> [--vp off|mvp|tvp|gvp] [--spsr] \
+         [--insts N] [--silence N] [--adaptive-silencing] \
+         [--no-stride-prefetch] [--no-ampm] [--baseline-too]\n       \
+         simulate --list"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "--list" {
+        println!("{:<18} {:<20} {:>6}", "workload", "proxy", "insts");
+        for w in tvp_workloads::suite() {
+            println!("{:<18} {:<20} {:>6}", w.name, w.proxy, w.code_size());
+        }
+        return;
+    }
+
+    let name = args[0].clone();
+    let mut cfg = CoreConfig::table2();
+    let mut insts: u64 = 300_000;
+    let mut baseline_too = false;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--vp" => {
+                let mode = it.next().unwrap_or_else(|| usage());
+                cfg.vp = match mode.as_str() {
+                    "off" => VpMode::Off,
+                    "mvp" => VpMode::Mvp,
+                    "tvp" => VpMode::Tvp,
+                    "gvp" => VpMode::Gvp,
+                    _ => usage(),
+                };
+                cfg.nine_bit_idiom = cfg.vp.uses_inlining();
+            }
+            "--spsr" => cfg.spsr = true,
+            "--insts" => {
+                insts = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--silence" => {
+                cfg.silence_cycles =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--adaptive-silencing" => cfg.adaptive_silencing = true,
+            "--no-stride-prefetch" => cfg.mem.stride_prefetcher = false,
+            "--no-ampm" => cfg.mem.ampm_prefetcher = false,
+            "--baseline-too" => baseline_too = true,
+            _ => usage(),
+        }
+    }
+
+    let Some(workload) = tvp_workloads::suite::by_name(&name) else {
+        eprintln!("unknown workload `{name}` (try --list)");
+        std::process::exit(1);
+    };
+    eprintln!("generating trace: {name} ({} arch insts)...", insts);
+    let trace = workload.trace(insts);
+    eprintln!("simulating...");
+    let s = simulate(cfg.clone(), &trace);
+
+    println!("---------- {} ({}) ----------", workload.name, workload.proxy);
+    println!("config                 vp={:?} spsr={} silence={}{}", cfg.vp, cfg.spsr, cfg.silence_cycles, if cfg.adaptive_silencing { "+adaptive" } else { "" });
+    println!("cycles                 {:>12}", s.cycles);
+    println!("insts retired          {:>12}", s.insts_retired);
+    println!("uops retired           {:>12}", s.uops_retired);
+    println!("IPC                    {:>12.4}", s.ipc());
+    println!("uops per inst          {:>12.4}", s.expansion_ratio());
+    println!("-- front end");
+    println!("branch mispredicts     {:>12}", s.flush.branch_mispredicts);
+    println!("-- value prediction");
+    println!("vp eligible            {:>12}", s.vp.eligible);
+    println!("vp used                {:>12}", s.vp.used);
+    println!("vp coverage            {:>12.4}", s.vp.coverage());
+    println!("vp accuracy            {:>12.4}", s.vp.accuracy());
+    println!("vp flushes             {:>12}", s.flush.vp_flushes);
+    println!("mem-order flushes      {:>12}", s.flush.mem_order_flushes);
+    println!("squashed uops          {:>12}", s.flush.squashed_uops);
+    println!("-- rename eliminations");
+    println!("zero idiom             {:>12}", s.rename.zero_idiom);
+    println!("one idiom              {:>12}", s.rename.one_idiom);
+    println!("move elimination       {:>12}", s.rename.move_elim);
+    println!("9-bit idiom            {:>12}", s.rename.nine_bit_idiom);
+    println!("SpSR                   {:>12}", s.rename.spsr);
+    println!("non-ME moves           {:>12}", s.rename.non_me_move);
+    println!("-- activity");
+    println!("INT PRF reads          {:>12}", s.activity.int_prf_reads);
+    println!("INT PRF writes         {:>12}", s.activity.int_prf_writes);
+    println!("IQ dispatched          {:>12}", s.activity.iq_dispatched);
+    println!("IQ issued              {:>12}", s.activity.iq_issued);
+
+    if baseline_too {
+        let mut base_cfg = CoreConfig::table2();
+        base_cfg.mem = cfg.mem.clone();
+        let base = simulate(base_cfg, &trace);
+        println!("-- vs. baseline");
+        println!("baseline cycles        {:>12}", base.cycles);
+        println!(
+            "speedup                {:>11.2}%",
+            (s.speedup_over(&base) - 1.0) * 100.0
+        );
+    }
+}

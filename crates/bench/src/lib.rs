@@ -1,0 +1,228 @@
+//! # tvp-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index). This library holds the shared machinery: trace preparation,
+//! configuration shorthand, geometric means and machine-readable result
+//! dumps.
+//!
+//! All binaries accept the instruction budget through the `TVP_INSTS`
+//! environment variable (architectural instructions per workload;
+//! default 300,000 — a scaled-down SimPoint) and write JSON next to
+//! their stdout tables into `results/`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use serde::Serialize;
+use tvp_core::config::{CoreConfig, VpMode};
+use tvp_core::pipeline::simulate;
+use tvp_core::stats::SimStats;
+use tvp_workloads::suite::{suite, Workload};
+use tvp_workloads::trace::Trace;
+
+/// Default per-workload instruction budget.
+pub const DEFAULT_INSTS: u64 = 300_000;
+
+/// Reads the instruction budget from `TVP_INSTS` (falls back to
+/// [`DEFAULT_INSTS`]).
+#[must_use]
+pub fn inst_budget() -> u64 {
+    std::env::var("TVP_INSTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTS)
+}
+
+/// A workload with its pre-generated trace (traces are deterministic,
+/// so generating once per process keeps experiments comparable and
+/// fast).
+pub struct PreparedWorkload {
+    /// The workload definition.
+    pub workload: Workload,
+    /// Its dynamic trace at the configured budget.
+    pub trace: Trace,
+}
+
+/// Generates traces for the whole suite at the configured budget.
+#[must_use]
+pub fn prepare_suite(insts: u64) -> Vec<PreparedWorkload> {
+    suite()
+        .into_iter()
+        .map(|workload| {
+            let trace = workload.trace(insts);
+            PreparedWorkload { workload, trace }
+        })
+        .collect()
+}
+
+/// Simulates one prepared workload under a VP mode (paper machine).
+#[must_use]
+pub fn run_vp(p: &PreparedWorkload, vp: VpMode, spsr: bool) -> SimStats {
+    let mut cfg = CoreConfig::with_vp(vp);
+    cfg.spsr = spsr;
+    simulate(cfg, &p.trace)
+}
+
+/// Simulates one prepared workload under an explicit configuration.
+#[must_use]
+pub fn run_cfg(p: &PreparedWorkload, cfg: CoreConfig) -> SimStats {
+    simulate(cfg, &p.trace)
+}
+
+/// Geometric mean of `new/old` cycle-count speedups, as the paper
+/// reports (Figs. 3 and 5, Table 3).
+#[must_use]
+pub fn geomean_speedup(pairs: &[(SimStats, SimStats)]) -> f64 {
+    if pairs.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = pairs
+        .iter()
+        .map(|(new, base)| new.speedup_over(base).ln())
+        .sum();
+    (log_sum / pairs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn amean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Harmonic mean (Fig. 2's IPC average).
+#[must_use]
+pub fn hmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+    }
+}
+
+/// Speedup in percent over a baseline.
+#[must_use]
+pub fn speedup_pct(new: &SimStats, base: &SimStats) -> f64 {
+    (new.speedup_over(base) - 1.0) * 100.0
+}
+
+/// JSON-friendly snapshot of one simulation.
+#[derive(Serialize, Clone, Debug)]
+pub struct StatsRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Configuration label (e.g. `"tvp+spsr"`).
+    pub config: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Architectural instructions retired.
+    pub insts: u64,
+    /// µops retired.
+    pub uops: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// VP coverage (`correct_used / eligible`).
+    pub vp_coverage: f64,
+    /// VP accuracy.
+    pub vp_accuracy: f64,
+    /// VP-misprediction pipeline flushes.
+    pub vp_flushes: u64,
+    /// Branch mispredictions.
+    pub branch_mispredicts: u64,
+    /// Integer PRF reads.
+    pub prf_reads: u64,
+    /// Integer PRF writes.
+    pub prf_writes: u64,
+    /// µops dispatched into the IQ.
+    pub iq_dispatched: u64,
+    /// µops issued.
+    pub iq_issued: u64,
+    /// Rename eliminations: zero idiom.
+    pub zero_idiom: u64,
+    /// Rename eliminations: one idiom.
+    pub one_idiom: u64,
+    /// Rename eliminations: move elimination.
+    pub move_elim: u64,
+    /// Rename eliminations: 9-bit idiom.
+    pub nine_bit_idiom: u64,
+    /// Rename eliminations: SpSR.
+    pub spsr: u64,
+    /// Moves blocked by the width restriction.
+    pub non_me_move: u64,
+}
+
+impl StatsRow {
+    /// Builds a row from a simulation result.
+    #[must_use]
+    pub fn new(workload: &'static str, config: impl Into<String>, s: &SimStats) -> Self {
+        StatsRow {
+            workload,
+            config: config.into(),
+            cycles: s.cycles,
+            insts: s.insts_retired,
+            uops: s.uops_retired,
+            ipc: s.ipc(),
+            vp_coverage: s.vp.coverage(),
+            vp_accuracy: s.vp.accuracy(),
+            vp_flushes: s.flush.vp_flushes,
+            branch_mispredicts: s.flush.branch_mispredicts,
+            prf_reads: s.activity.int_prf_reads,
+            prf_writes: s.activity.int_prf_writes,
+            iq_dispatched: s.activity.iq_dispatched,
+            iq_issued: s.activity.iq_issued,
+            zero_idiom: s.rename.zero_idiom,
+            one_idiom: s.rename.one_idiom,
+            move_elim: s.rename.move_elim,
+            nine_bit_idiom: s.rename.nine_bit_idiom,
+            spsr: s.rename.spsr,
+            non_me_move: s.rename.non_me_move,
+        }
+    }
+}
+
+/// Writes experiment rows as JSON under `results/<name>.json`.
+///
+/// # Panics
+///
+/// Panics if the results directory or file cannot be written — the
+/// harness treats an unwritable workspace as a fatal setup error.
+pub fn write_results(name: &str, rows: &[StatsRow]) {
+    std::fs::create_dir_all("results").expect("create results directory");
+    let path = format!("results/{name}.json");
+    let json = serde_json::to_string_pretty(rows).expect("serialize results");
+    std::fs::write(&path, json).expect("write results file");
+    println!("\n[results written to {path}]");
+}
+
+/// The VP flavours of Fig. 3, with display labels.
+pub const VP_FLAVOURS: [(VpMode, &str); 3] = [
+    (VpMode::Mvp, "Min. VP"),
+    (VpMode::Tvp, "Tar. VP"),
+    (VpMode::Gvp, "Gen. VP"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_behave() {
+        assert!((hmean(&[1.0, 4.0]) - 1.6).abs() < 1e-12);
+        assert!((amean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        let base = SimStats { cycles: 100, ..Default::default() };
+        let fast = SimStats { cycles: 80, ..Default::default() };
+        let g = geomean_speedup(&[(fast, base), (base, base)]);
+        assert!((g - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_row_snapshot() {
+        let s = SimStats { cycles: 10, insts_retired: 20, uops_retired: 22, ..Default::default() };
+        let row = StatsRow::new("k", "base", &s);
+        assert_eq!(row.ipc, 2.0);
+        assert_eq!(row.uops, 22);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tvp-core — out-of-order core with MVP/TVP/GVP value prediction
+//! and Speculative Strength Reduction
+//!
+//! The paper's primary contribution, implemented on a from-scratch
+//! cycle-level superscalar pipeline (paper Table 2 geometry):
+//!
+//! * [`config`] — machine configuration and the VP/SpSR feature matrix;
+//! * [`physreg`] — widened physical register names (value inlining,
+//!   hardwired 0/1 and NZCV registers) and reference-counted register
+//!   files;
+//! * [`rename`] — RAT/CRAT renaming with move elimination, 0/1-idiom
+//!   and 9-bit-idiom elimination, MVP/TVP/GVP destination handling and
+//!   SpSR;
+//! * [`spsr`] — the Table 1 strength-reduction decision logic;
+//! * [`storesets`] — Store Sets memory dependence prediction;
+//! * [`pipeline`] — the fetch/rename/issue/execute/commit cycle model
+//!   (replays `tvp-workloads` traces);
+//! * [`stats`] — every counter the paper's figures report.
+//!
+//! # Examples
+//!
+//! ```
+//! use tvp_core::config::VpMode;
+//! use tvp_core::pipeline::simulate_vp;
+//!
+//! let workload = tvp_workloads::suite::by_name("mc_playout").unwrap();
+//! let trace = workload.trace(5_000);
+//! let base = simulate_vp(VpMode::Off, false, &trace);
+//! assert_eq!(base.insts_retired, 5_000);
+//! assert!(base.ipc() > 0.1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod physreg;
+pub mod pipeline;
+pub mod rename;
+pub mod spsr;
+pub mod stats;
+pub mod storesets;
+
+pub use config::{CoreConfig, VpMode};
+pub use pipeline::{simulate, simulate_vp, Core};
+pub use stats::SimStats;

@@ -1,0 +1,314 @@
+//! Physical register names, with the paper's value-inlining extension.
+//!
+//! §3.2: physical register names are widened by one bit so a "name" can
+//! be either a real physical register or a small (9-bit signed) value.
+//! [`PhysName`] models exactly that, plus the baseline's hardwired
+//! zero/one registers (used by 0/1-idiom elimination and MVP) and the
+//! hardwired condition-flags registers SpSR assumes (§4.2, footnote 4).
+//!
+//! [`RegFile`] tracks free physical registers with *unlimited reference
+//! counting* (the paper's move-elimination assumption, §5), readiness
+//! cycles for the scheduler, and per-register 32-bit-ness for the
+//! 64→32-bit move-elimination width restriction.
+
+use std::collections::VecDeque;
+
+use tvp_isa::flags::Nzcv;
+
+/// Physical register id of the hardwired zero register.
+pub const PHYS_ZERO: u16 = 0;
+/// Physical register id of the hardwired one register.
+pub const PHYS_ONE: u16 = 1;
+
+/// A (widened) physical register name.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PhysName {
+    /// A real physical register. In the integer class, ids 0 and 1 are
+    /// hardwired to `0x0` and `0x1`.
+    Reg(u16),
+    /// An inlined 9-bit signed value (TVP/GVP widened names and 9-bit
+    /// idiom elimination). Never references PRF storage.
+    Inline(i16),
+    /// A hardwired condition-flags value (SpSR frontend NZCV).
+    KnownFlags(u8),
+}
+
+impl PhysName {
+    /// The 64-bit value this *integer-class* name represents, if it is
+    /// known without reading the PRF: hardwired registers and inlined
+    /// values. Must not be called for FP-class names.
+    #[must_use]
+    pub fn known_value(self) -> Option<u64> {
+        match self {
+            PhysName::Reg(PHYS_ZERO) => Some(0),
+            PhysName::Reg(PHYS_ONE) => Some(1),
+            PhysName::Reg(_) => None,
+            PhysName::Inline(v) => Some(v as i64 as u64),
+            PhysName::KnownFlags(_) => None,
+        }
+    }
+
+    /// The flags value this name represents, if hardwired.
+    #[must_use]
+    pub fn known_flags(self) -> Option<Nzcv> {
+        match self {
+            PhysName::KnownFlags(bits) => Some(Nzcv::unpack(bits)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if reading this name requires a PRF port
+    /// (a real, non-hardwired register).
+    #[must_use]
+    pub fn needs_prf_read(self) -> bool {
+        matches!(self, PhysName::Reg(p) if p > PHYS_ONE)
+    }
+
+    /// Returns the real register id, if any.
+    #[must_use]
+    pub fn reg(self) -> Option<u16> {
+        match self {
+            PhysName::Reg(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Builds an inline name for a value, if it fits 9 bits signed.
+    #[must_use]
+    pub fn inline_for(value: u64) -> Option<PhysName> {
+        let v = value as i64;
+        if (-256..=255).contains(&v) {
+            Some(PhysName::Inline(v as i16))
+        } else {
+            None
+        }
+    }
+}
+
+/// One class (integer or FP) of the physical register file.
+#[derive(Debug)]
+pub struct RegFile {
+    free: VecDeque<u16>,
+    ref_count: Vec<u32>,
+    ready_at: Vec<u64>,
+    is32: Vec<bool>,
+    hardwired: u16,
+}
+
+impl RegFile {
+    /// Creates a register file with `total` registers, the lowest
+    /// `hardwired` of which are never allocated or freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hardwired` exceeds `total`.
+    #[must_use]
+    pub fn new(total: usize, hardwired: u16) -> Self {
+        assert!(usize::from(hardwired) <= total);
+        RegFile {
+            free: (hardwired..total as u16).collect(),
+            ref_count: vec![0; total],
+            ready_at: vec![0; total],
+            is32: vec![false; total],
+            hardwired,
+        }
+    }
+
+    /// Allocates a register with reference count 1, or `None` when the
+    /// free list is empty (rename must stall).
+    pub fn alloc(&mut self) -> Option<u16> {
+        let p = self.free.pop_front()?;
+        self.ref_count[usize::from(p)] = 1;
+        self.ready_at[usize::from(p)] = u64::MAX; // not yet produced
+        self.is32[usize::from(p)] = false;
+        Some(p)
+    }
+
+    /// Adds a reference (move elimination maps another architectural
+    /// register to `p`). Hardwired registers are unmanaged.
+    pub fn add_ref(&mut self, p: u16) {
+        if p >= self.hardwired {
+            self.ref_count[usize::from(p)] += 1;
+        }
+    }
+
+    /// Drops a reference; the register returns to the free list when
+    /// the count reaches zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double release (reference count underflow).
+    pub fn release(&mut self, p: u16) {
+        if p < self.hardwired {
+            return;
+        }
+        let rc = &mut self.ref_count[usize::from(p)];
+        assert!(*rc > 0, "release of free register p{p}");
+        *rc -= 1;
+        if *rc == 0 {
+            self.free.push_back(p);
+        }
+    }
+
+    /// Marks the cycle at which `p`'s value becomes available to
+    /// consumers (via bypass).
+    pub fn set_ready(&mut self, p: u16, cycle: u64) {
+        if p >= self.hardwired {
+            self.ready_at[usize::from(p)] = cycle;
+        }
+    }
+
+    /// The cycle `p` becomes readable; hardwired registers are always
+    /// ready.
+    #[must_use]
+    pub fn ready_at(&self, p: u16) -> u64 {
+        if p < self.hardwired {
+            0
+        } else {
+            self.ready_at[usize::from(p)]
+        }
+    }
+
+    /// Records whether `p` was produced by a 32-bit operation
+    /// (upper half known zero).
+    pub fn set_is32(&mut self, p: u16, is32: bool) {
+        if p >= self.hardwired {
+            self.is32[usize::from(p)] = is32;
+        }
+    }
+
+    /// Whether `p` holds a zero-extended 32-bit value. Hardwired 0/1
+    /// trivially qualify.
+    #[must_use]
+    pub fn is32(&self, p: u16) -> bool {
+        if p < self.hardwired {
+            true
+        } else {
+            self.is32[usize::from(p)]
+        }
+    }
+
+    /// Number of registers currently available for allocation.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Current reference count (diagnostics/tests).
+    #[must_use]
+    pub fn ref_count(&self, p: u16) -> u32 {
+        self.ref_count[usize::from(p)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(PhysName::Reg(PHYS_ZERO).known_value(), Some(0));
+        assert_eq!(PhysName::Reg(PHYS_ONE).known_value(), Some(1));
+        assert_eq!(PhysName::Reg(7).known_value(), None);
+        assert_eq!(PhysName::Inline(-3).known_value(), Some((-3i64) as u64));
+        assert_eq!(PhysName::Inline(255).known_value(), Some(255));
+    }
+
+    #[test]
+    fn inline_for_respects_9_bit_range() {
+        assert_eq!(PhysName::inline_for(0), Some(PhysName::Inline(0)));
+        assert_eq!(PhysName::inline_for(255), Some(PhysName::Inline(255)));
+        assert_eq!(PhysName::inline_for((-256i64) as u64), Some(PhysName::Inline(-256)));
+        assert_eq!(PhysName::inline_for(256), None);
+        assert_eq!(PhysName::inline_for(0xFFFF_FFFF), None, "w-negative is not inlinable");
+    }
+
+    #[test]
+    fn prf_read_accounting_skips_hardwired_and_inline() {
+        assert!(!PhysName::Reg(PHYS_ZERO).needs_prf_read());
+        assert!(!PhysName::Reg(PHYS_ONE).needs_prf_read());
+        assert!(PhysName::Reg(2).needs_prf_read());
+        assert!(!PhysName::Inline(42).needs_prf_read());
+        assert!(!PhysName::KnownFlags(0b0100).needs_prf_read());
+    }
+
+    #[test]
+    fn known_flags_roundtrip() {
+        let f = PhysName::KnownFlags(Nzcv::ZERO_RESULT.pack());
+        assert_eq!(f.known_flags(), Some(Nzcv::ZERO_RESULT));
+        assert_eq!(PhysName::Reg(3).known_flags(), None);
+    }
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut rf = RegFile::new(6, 2);
+        assert_eq!(rf.free_count(), 4);
+        let p = rf.alloc().unwrap();
+        assert_eq!(rf.ref_count(p), 1);
+        assert_eq!(rf.free_count(), 3);
+        rf.release(p);
+        assert_eq!(rf.free_count(), 4);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rf = RegFile::new(4, 2);
+        assert!(rf.alloc().is_some());
+        assert!(rf.alloc().is_some());
+        assert!(rf.alloc().is_none(), "free list exhausted");
+    }
+
+    #[test]
+    fn move_elimination_reference_counting() {
+        let mut rf = RegFile::new(8, 2);
+        let p = rf.alloc().unwrap();
+        rf.add_ref(p); // eliminated move shares p
+        rf.release(p); // first unmap
+        assert_eq!(rf.free_count(), 5, "still referenced");
+        rf.release(p); // second unmap
+        assert_eq!(rf.free_count(), 6, "now free");
+    }
+
+    #[test]
+    #[should_panic(expected = "release of free register")]
+    fn double_release_panics() {
+        let mut rf = RegFile::new(4, 2);
+        let p = rf.alloc().unwrap();
+        rf.release(p);
+        rf.release(p);
+    }
+
+    #[test]
+    fn hardwired_registers_are_unmanaged_and_ready() {
+        let mut rf = RegFile::new(4, 2);
+        rf.add_ref(PHYS_ZERO);
+        rf.release(PHYS_ZERO);
+        rf.release(PHYS_ZERO); // no panic, no effect
+        assert_eq!(rf.ready_at(PHYS_ZERO), 0);
+        assert!(rf.is32(PHYS_ONE));
+    }
+
+    #[test]
+    fn readiness_tracking() {
+        let mut rf = RegFile::new(8, 2);
+        let p = rf.alloc().unwrap();
+        assert_eq!(rf.ready_at(p), u64::MAX, "unproduced register is not ready");
+        rf.set_ready(p, 42);
+        assert_eq!(rf.ready_at(p), 42);
+    }
+
+    #[test]
+    fn width_bits() {
+        let mut rf = RegFile::new(8, 2);
+        let p = rf.alloc().unwrap();
+        assert!(!rf.is32(p));
+        rf.set_is32(p, true);
+        assert!(rf.is32(p));
+        // Reallocation clears the bit.
+        rf.release(p);
+        let q = rf.alloc().unwrap();
+        if q == p {
+            assert!(!rf.is32(q));
+        }
+    }
+}

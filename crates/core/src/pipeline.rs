@@ -1,0 +1,1669 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! Replays a [`Trace`] through the Table 2 machine: a line-buffer fetch
+//! front-end with TAGE/BTB/RAS/IBTC prediction, 8-wide rename with
+//! DSR / 9-bit idiom elimination / MVP-TVP-GVP / SpSR, dispatch into
+//! ROB + unified IQ + split LSQ, 15-wide issue across the Table 2
+//! functional-unit pools, in-place value-prediction validation at
+//! execute (with full pipeline flush *including the predicted µop* for
+//! MVP/TVP, §3.4), store-set-gated load speculation, and 8-wide commit
+//! that trains every predictor in retirement order.
+//!
+//! Being trace-driven, branch mispredictions stall fetch at the branch
+//! until it resolves (wrong-path µops are not simulated — see
+//! DESIGN.md §2), while value mispredictions and memory-ordering
+//! violations squash correct-path µops that are then re-fetched by
+//! rolling the trace cursor back.
+
+use std::collections::VecDeque;
+
+use tvp_isa::op::{BranchKind, ExecClass, Op};
+use tvp_mem::hierarchy::Hierarchy;
+use tvp_predictors::btb::Btb;
+use tvp_predictors::history::BranchHistory;
+use tvp_predictors::indirect::IndirectTargetCache;
+use tvp_predictors::ras::Ras;
+use tvp_predictors::tage::{Tage, TageToken};
+use tvp_predictors::vtage::{Vtage, VtagePred};
+use tvp_workloads::trace::{Trace, TraceUop};
+
+use crate::config::{CoreConfig, FuPool, RecoveryPolicy, VpMode};
+use crate::physreg::PhysName;
+use crate::rename::{ElimCategory, PredApply, RenamedUop, Renamer};
+use crate::stats::SimStats;
+use crate::storesets::StoreSets;
+
+/// A µop sitting in the fetch queue.
+#[derive(Clone, Debug)]
+struct Fetched {
+    idx: usize,
+    rename_ready: u64,
+    tage_token: Option<TageToken>,
+    fetch_wait: bool,
+    itc_path_at_predict: u64,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    idx: usize,
+    seq: u64,
+    renamed: RenamedUop,
+    new_names: Vec<(usize, PhysName)>,
+    in_iq: bool,
+    issued: bool,
+    done_cycle: u64,
+    dispatch_ready: u64,
+    tage_token: Option<TageToken>,
+    vp_token: Option<VtagePred>,
+    fetch_wait: bool,
+    first_uop: bool,
+    itc_path_at_predict: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LqEntry {
+    seq: u64,
+    addr: u64,
+    size: u8,
+    issued: bool,
+    wait_store: Option<u64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SqEntry {
+    seq: u64,
+    addr: u64,
+    size: u8,
+    issued: bool,
+    pc: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Checkpoint {
+    seq: u64,
+    tage: BranchHistory,
+    vtage: Option<BranchHistory>,
+    ras: Ras,
+    itc_path: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FlushKind {
+    ValueMispredict,
+    MemOrder,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingFlush {
+    at_cycle: u64,
+    first_squashed_seq: u64,
+    kind: FlushKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingReplay {
+    at_cycle: u64,
+    seq: u64,
+    reg: u16,
+}
+
+fn overlap(a_addr: u64, a_size: u8, b_addr: u64, b_size: u8) -> bool {
+    a_addr < b_addr + u64::from(b_size) && b_addr < a_addr + u64::from(a_size)
+}
+
+/// The simulator core. Construct with a configuration, then
+/// [`Core::run`] a trace.
+pub struct Core {
+    cfg: CoreConfig,
+    fu: FuPool,
+    tage: Tage,
+    btb: Btb,
+    ras: Ras,
+    itc: IndirectTargetCache,
+    vtage: Option<Vtage>,
+    mem: Hierarchy,
+    renamer: Renamer,
+    storesets: StoreSets,
+
+    cycle: u64,
+    cursor: usize,
+    fetch_queue: VecDeque<Fetched>,
+    fetch_resume: u64,
+    fetch_wait_branch: Option<u64>,
+    current_line: u64,
+    rob: VecDeque<RobEntry>,
+    iq_count: usize,
+    lq: VecDeque<LqEntry>,
+    sq: VecDeque<SqEntry>,
+    checkpoints: VecDeque<Checkpoint>,
+    floor: Checkpoint,
+    pending_flushes: Vec<PendingFlush>,
+    pending_replays: Vec<PendingReplay>,
+    silence_until: u64,
+    silence_len: u64,
+    last_vp_flush: u64,
+    int_div_busy: u64,
+    fp_div_busy: u64,
+    stats: SimStats,
+}
+
+impl Core {
+    /// Builds a core.
+    #[must_use]
+    pub fn new(cfg: CoreConfig) -> Self {
+        let tage = Tage::new(cfg.tage.clone());
+        let vtage = cfg.effective_vtage().map(Vtage::new);
+        let ras = Ras::new(32);
+        let itc = IndirectTargetCache::new(1024, 12);
+        let floor = Checkpoint {
+            seq: 0,
+            tage: tage.history_checkpoint(),
+            vtage: vtage.as_ref().map(Vtage::history_checkpoint),
+            ras: ras.clone(),
+            itc_path: itc.path_checkpoint(),
+        };
+        Core {
+            fu: FuPool::default(),
+            btb: Btb::new(8192, 4),
+            mem: Hierarchy::new(cfg.mem.clone()),
+            renamer: Renamer::new(&cfg),
+            storesets: StoreSets::new(2048, 2048),
+            tage,
+            ras,
+            itc,
+            vtage,
+            cycle: 0,
+            cursor: 0,
+            fetch_queue: VecDeque::new(),
+            fetch_resume: 0,
+            fetch_wait_branch: None,
+            current_line: u64::MAX,
+            rob: VecDeque::new(),
+            iq_count: 0,
+            lq: VecDeque::new(),
+            sq: VecDeque::new(),
+            checkpoints: VecDeque::new(),
+            floor,
+            pending_flushes: Vec::new(),
+            pending_replays: Vec::new(),
+            silence_until: 0,
+            silence_len: cfg.silence_cycles,
+            last_vp_flush: 0,
+            int_div_busy: 0,
+            fp_div_busy: 0,
+            stats: SimStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Runs the entire trace to completion and returns statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (no commit for a very long
+    /// time), which indicates a simulator bug.
+    pub fn run(&mut self, trace: &Trace) -> SimStats {
+        let mut last_retired = 0;
+        let mut last_progress_cycle = 0;
+        while self.cursor < trace.uops.len() || !self.rob.is_empty() || !self.fetch_queue.is_empty()
+        {
+            self.step(trace);
+            if self.stats.uops_retired != last_retired {
+                last_retired = self.stats.uops_retired;
+                last_progress_cycle = self.cycle;
+            }
+            assert!(
+                self.cycle - last_progress_cycle < 1_000_000,
+                "pipeline deadlock at cycle {} (retired {})",
+                self.cycle,
+                self.stats.uops_retired
+            );
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.rename = self.renamer.stats();
+        self.stats
+    }
+
+    /// Advances one cycle.
+    fn step(&mut self, trace: &Trace) {
+        #[cfg(feature = "trace-cycles")]
+        if std::env::var("TVP_TRACE_CYCLES").is_ok() && self.cycle > 400 && self.cycle < 480 {
+            eprintln!(
+                "c{} fq={} rob={} iq={} retired={} issued={} cursor={}",
+                self.cycle,
+                self.fetch_queue.len(),
+                self.rob.len(),
+                self.iq_count,
+                self.stats.uops_retired,
+                self.stats.activity.iq_issued,
+                self.cursor
+            );
+        }
+        self.apply_pending_replays(trace);
+        self.apply_pending_flush(trace);
+        self.commit(trace);
+        self.issue(trace);
+        self.drain_issued_iq();
+        self.rename(trace);
+        self.fetch(trace);
+        self.cycle += 1;
+    }
+
+    // ----------------------------------------------------------------
+    // commit
+    // ----------------------------------------------------------------
+
+    fn commit(&mut self, trace: &Trace) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !(head.renamed.eliminated.is_some() || head.issued) || head.done_cycle > self.cycle
+            {
+                break;
+            }
+            let entry = self.rob.pop_front().expect("head exists");
+            let u = &trace.uops[entry.idx];
+
+            if u.uop.op.is_store() {
+                let addr = u.mem_addr.expect("store has an address");
+                let _ = self.mem.data_access(u.pc, addr, true, self.cycle);
+                let popped = self.sq.pop_front();
+                debug_assert_eq!(popped.map(|s| s.seq), Some(entry.seq));
+                self.storesets.store_completed(u.pc, entry.seq);
+            }
+            if u.uop.op.is_load() {
+                let popped = self.lq.pop_front();
+                debug_assert_eq!(popped.map(|l| l.seq), Some(entry.seq));
+            }
+            self.renamer.commit_with_names(&entry.new_names);
+
+            // Train predictors in retirement order.
+            if let Some(token) = entry.tage_token.as_ref() {
+                let outcome = u.branch.expect("token implies branch");
+                self.tage.update(token, outcome.taken);
+            }
+            if let Some(b) = u.branch {
+                let kind = u.uop.op.branch_kind().expect("branch outcome implies branch");
+                if b.taken {
+                    self.btb.insert(u.pc, b.target, kind);
+                }
+                if matches!(kind, BranchKind::Indirect | BranchKind::IndirectCall | BranchKind::Return)
+                {
+                    self.itc.update_with_path(u.pc, b.target, entry.itc_path_at_predict);
+                }
+            }
+            if let (Some(vp), Some(token)) = (self.vtage.as_mut(), entry.vp_token.as_ref()) {
+                if let Some(actual) = u.result {
+                    vp.update(token, actual);
+                }
+            }
+
+            // Advance the history checkpoint floor past this µop.
+            while self
+                .checkpoints
+                .front()
+                .is_some_and(|c| c.seq <= entry.seq)
+            {
+                self.floor = self.checkpoints.pop_front().expect("front exists");
+            }
+
+            self.stats.uops_retired += 1;
+            if entry.first_uop {
+                self.stats.insts_retired += 1;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // issue / execute
+    // ----------------------------------------------------------------
+
+    fn deps_ready(&self, renamed: &RenamedUop) -> bool {
+        renamed
+            .deps
+            .iter()
+            .all(|d| self.renamer.file(d.class).ready_at(d.p) <= self.cycle)
+    }
+
+    fn issue(&mut self, trace: &Trace) {
+        let mut issued_total = 0usize;
+        let mut class_counts = [0usize; 12];
+        let class_slot = |c: ExecClass| -> usize {
+            match c {
+                ExecClass::IntAlu | ExecClass::Branch | ExecClass::Nop => 0,
+                ExecClass::IntMul => 1,
+                ExecClass::IntDiv => 2,
+                ExecClass::FpAlu => 3,
+                ExecClass::FpMul | ExecClass::FpMac => 4,
+                ExecClass::FpDiv => 5,
+                ExecClass::Load => 6,
+                ExecClass::Store => 7,
+            }
+        };
+        let fu_cap = |pool: &FuPool, slot: usize| -> usize {
+            match slot {
+                0 => pool.int_alu,
+                1 => pool.int_mul,
+                2 => pool.int_div,
+                3 => pool.fp_alu,
+                4 => pool.fp_mul,
+                5 => pool.fp_div,
+                6 => pool.load,
+                7 => pool.store,
+                _ => 0,
+            }
+        };
+
+        let rob_len = self.rob.len();
+        for i in 0..rob_len {
+            if issued_total >= self.cfg.issue_width {
+                break;
+            }
+            let entry = &self.rob[i];
+            if !entry.in_iq || entry.issued || entry.dispatch_ready > self.cycle {
+                continue;
+            }
+            let u = &trace.uops[entry.idx];
+            let class = u.uop.op.exec_class();
+            let slot = class_slot(class);
+            if class_counts[slot] >= fu_cap(&self.fu, slot) {
+                continue;
+            }
+            if !self.deps_ready(&entry.renamed) {
+                continue;
+            }
+            // Non-pipelined dividers.
+            match class {
+                ExecClass::IntDiv if self.int_div_busy > self.cycle => continue,
+                ExecClass::FpDiv if self.fp_div_busy > self.cycle => continue,
+                _ => {}
+            }
+            // Load/store queue constraints.
+            let seq = entry.seq;
+            let mut completion = self.cycle + self.cfg.latency(class);
+            match class {
+                ExecClass::Load => {
+                    let (lq_idx, lq_entry) = self
+                        .lq
+                        .iter()
+                        .enumerate()
+                        .find(|(_, l)| l.seq == seq)
+                        .map(|(i, l)| (i, *l))
+                        .expect("load has an LQ entry");
+                    // Store-set gate: wait for the predicted store.
+                    if let Some(dep) = lq_entry.wait_store {
+                        if self.sq.iter().any(|s| s.seq == dep && !s.issued) {
+                            continue;
+                        }
+                    }
+                    // Store-to-load forwarding from the youngest older
+                    // matching store that has executed.
+                    let forward = self
+                        .sq
+                        .iter()
+                        .rev()
+                        .find(|s| {
+                            s.seq < seq && s.issued && overlap(s.addr, s.size, lq_entry.addr, lq_entry.size)
+                        })
+                        .is_some();
+                    if forward {
+                        completion = self.cycle + 4;
+                    } else {
+                        completion = self.mem.data_access(u.pc, lq_entry.addr, false, self.cycle);
+                    }
+                    self.lq[lq_idx].issued = true;
+                }
+                ExecClass::Store => {
+                    let sq_entry = self
+                        .sq
+                        .iter_mut()
+                        .find(|s| s.seq == seq)
+                        .expect("store has an SQ entry");
+                    sq_entry.issued = true;
+                    let (s_addr, s_size, s_pc) = (sq_entry.addr, sq_entry.size, sq_entry.pc);
+                    // Memory-ordering violation: a younger load already
+                    // issued with an overlapping address.
+                    let violating = self
+                        .lq
+                        .iter()
+                        .filter(|l| l.seq > seq && l.issued && overlap(l.addr, l.size, s_addr, s_size))
+                        .map(|l| l.seq)
+                        .min();
+                    if let Some(load_seq) = violating {
+                        let load_idx = self
+                            .rob
+                            .iter()
+                            .find(|e| e.seq == load_seq)
+                            .map(|e| e.idx)
+                            .expect("violating load is in the ROB");
+                        let load_pc = trace.uops[load_idx].pc;
+                        self.storesets.violation(load_pc, s_pc);
+                        self.pending_flushes.push(PendingFlush {
+                            at_cycle: completion,
+                            first_squashed_seq: load_seq,
+                            kind: FlushKind::MemOrder,
+                        });
+                    }
+                }
+                ExecClass::IntDiv => self.int_div_busy = completion,
+                ExecClass::FpDiv => self.fp_div_busy = completion,
+                _ => {}
+            }
+
+            // Value prediction validation, in place at the FU (§3.3).
+            if let Some((predicted, apply)) = self.rob[i].renamed.predicted {
+                let actual = u.result.expect("VP-eligible µops produce a value");
+                if predicted != actual {
+                    // MVP/TVP must refetch the mispredicted µop itself
+                    // (§3.4); GVP has a register to repair in place but
+                    // still flushes younger consumers — unless the
+                    // Replay recovery policy repairs them selectively.
+                    let include_self = apply == PredApply::Named;
+                    let wide_reg = self.rob[i].renamed.dest_alloc.map(|(_, p)| p);
+                    if !include_self
+                        && self.cfg.recovery == RecoveryPolicy::Replay
+                        && wide_reg.is_some()
+                    {
+                        self.pending_replays.push(PendingReplay {
+                            at_cycle: completion,
+                            seq,
+                            reg: wide_reg.expect("checked above"),
+                        });
+                    } else {
+                        self.pending_flushes.push(PendingFlush {
+                            at_cycle: completion,
+                            first_squashed_seq: if include_self { seq } else { seq + 1 },
+                            kind: FlushKind::ValueMispredict,
+                        });
+                    }
+                    self.stats.vp.incorrect_used += 1;
+                } else {
+                    self.stats.vp.correct_used += 1;
+                }
+            }
+
+            // Branch resolution un-stalls fetch.
+            if self.rob[i].fetch_wait {
+                completion = completion.max(self.cycle + 1);
+                if self.fetch_wait_branch == Some(seq) {
+                    self.fetch_wait_branch = None;
+                    self.fetch_resume = completion + self.cfg.redirect_penalty;
+                }
+            }
+
+            // Register writeback scheduling.
+            let entry = &mut self.rob[i];
+            entry.issued = true;
+            entry.done_cycle = completion;
+            let renamed = &entry.renamed;
+            if let Some((class, p)) = renamed.dest_alloc {
+                // GVP wide predictions were made ready at rename; the
+                // µop still performs its datapath write at execute
+                // (validation is a compare at the FU, §3.3), so the
+                // write port is exercised either way.
+                if renamed.predicted.is_none() {
+                    self.renamer.file_mut(class).set_ready(p, completion);
+                }
+                if class == crate::rename::RegClass::Int {
+                    self.stats.activity.int_prf_writes += 1;
+                }
+            }
+            if let Some(p) = renamed.flags_alloc {
+                self.renamer
+                    .file_mut(crate::rename::RegClass::Int)
+                    .set_ready(p, completion);
+                self.stats.activity.int_prf_writes += 1;
+            }
+            // Predicted µops with named destinations write no register.
+            self.stats.activity.int_prf_reads += u64::from(renamed.prf_reads);
+            self.stats.activity.iq_issued += 1;
+            class_counts[slot] += 1;
+            issued_total += 1;
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // rename / dispatch
+    // ----------------------------------------------------------------
+
+    fn vp_key(u: &TraceUop) -> u64 {
+        u.pc | (u64::from(!u.first_uop) * 2)
+    }
+
+    fn rename(&mut self, trace: &Trace) {
+        for _ in 0..self.cfg.rename_width {
+            let Some(front) = self.fetch_queue.front() else { break };
+            if front.rename_ready > self.cycle {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_size {
+                break;
+            }
+            let idx = front.idx;
+            let u = &trace.uops[idx];
+            // LSQ capacity.
+            if u.uop.op.is_load() && self.lq.len() >= self.cfg.lq_size {
+                break;
+            }
+            if u.uop.op.is_store() && self.sq.len() >= self.cfg.sq_size {
+                break;
+            }
+
+            // Value prediction lookup (always, for training; used only
+            // when confident, admissible and not silenced).
+            let mut vp_token = None;
+            let mut prediction = None;
+            if let Some(vp) = self.vtage.as_mut() {
+                if u.vp_eligible() {
+                    let pred = vp.predict(Self::vp_key(u));
+                    self.stats.vp.eligible += 1;
+                    let mode = self.cfg.vp.pred_mode().expect("vtage implies a mode");
+                    if pred.confident && mode.admits(pred.value) {
+                        if self.cycle < self.silence_until {
+                            self.stats.vp.silenced_lookups += 1;
+                        } else {
+                            prediction = Some(pred.value);
+                        }
+                    }
+                    vp_token = Some(pred);
+                }
+            }
+
+            let Ok(renamed) = self.renamer.rename_uop(&u.uop, u.first_uop, prediction) else {
+                // Out of physical registers; retry next cycle (the
+                // retry will re-count eligibility, so back it out).
+                if vp_token.is_some() {
+                    self.stats.vp.eligible -= 1;
+                }
+                break;
+            };
+            if prediction.is_some() {
+                self.stats.vp.used += 1;
+            }
+
+            // IQ capacity — checked after rename so eliminated µops
+            // (which skip the IQ) are not throttled by a full
+            // scheduler. Roll the rename back if we cannot dispatch.
+            let needs_iq = renamed.eliminated.is_none();
+            if needs_iq && self.iq_count >= self.cfg.iq_size {
+                self.renamer.rollback(&renamed);
+                // Back out the optimistic rename statistics.
+                self.renamer.stats.uops -= 1;
+                if u.first_uop {
+                    self.renamer.stats.arch_insts -= 1;
+                }
+                if prediction.is_some() {
+                    self.stats.vp.used -= 1;
+                }
+                if vp_token.is_some() {
+                    self.stats.vp.eligible -= 1;
+                }
+                break;
+            }
+
+            let fetched = self.fetch_queue.pop_front().expect("front exists");
+            let new_names: Vec<(usize, PhysName)> = renamed
+                .undo
+                .iter()
+                .map(|&(dense, _)| (dense, self.renamer.rat_entry(dense)))
+                .collect();
+
+            if u.uop.op.is_load() {
+                self.lq.push_back(LqEntry {
+                    seq: u.seq,
+                    addr: u.mem_addr.expect("load has an address"),
+                    size: match u.uop.op {
+                        Op::Load { size, .. } => size,
+                        _ => unreachable!(),
+                    },
+                    issued: false,
+                    wait_store: self.storesets.load_dependency(u.pc),
+                });
+            }
+            if u.uop.op.is_store() {
+                let size = match u.uop.op {
+                    Op::Store { size } => size,
+                    _ => unreachable!(),
+                };
+                self.sq.push_back(SqEntry {
+                    seq: u.seq,
+                    addr: u.mem_addr.expect("store has an address"),
+                    size,
+                    issued: false,
+                    pc: u.pc,
+                });
+                let _ = self.storesets.store_dispatched(u.pc, u.seq);
+            }
+
+            // GVP wide predictions are written to the PRF at rename —
+            // the extra write ports the paper charges GVP for (§6.2).
+            if matches!(renamed.predicted, Some((_, PredApply::WidePrfWrite))) {
+                self.stats.activity.int_prf_writes += 1;
+            }
+
+            // SpSR-resolved branch: redirect/unstall the front-end at
+            // rename instead of execute.
+            if renamed.resolved_branch.is_some() && self.fetch_wait_branch == Some(u.seq) {
+                self.fetch_wait_branch = None;
+                self.fetch_resume = self.cycle + 1;
+            }
+
+            let eliminated = renamed.eliminated.is_some();
+            if needs_iq {
+                self.iq_count += 1;
+                self.stats.activity.iq_dispatched += 1;
+            }
+            self.rob.push_back(RobEntry {
+                idx,
+                seq: u.seq,
+                renamed,
+                new_names,
+                in_iq: needs_iq,
+                issued: false,
+                done_cycle: if eliminated { self.cycle + 1 } else { u64::MAX },
+                dispatch_ready: self.cycle + self.cfg.rename_to_dispatch,
+                tage_token: fetched.tage_token,
+                vp_token,
+                fetch_wait: fetched.fetch_wait,
+                first_uop: u.first_uop,
+                itc_path_at_predict: fetched.itc_path_at_predict,
+            });
+        }
+    }
+
+    /// Issued µops free their scheduler entry.
+    fn drain_issued_iq(&mut self) {
+        for e in &mut self.rob {
+            if e.in_iq && e.issued {
+                e.in_iq = false;
+                self.iq_count -= 1;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // fetch
+    // ----------------------------------------------------------------
+
+    fn fetch(&mut self, trace: &Trace) {
+        if self.cycle < self.fetch_resume || self.fetch_wait_branch.is_some() {
+            return;
+        }
+        let mut fetched = 0usize;
+        while fetched < self.cfg.fetch_width
+            && self.fetch_queue.len() < self.cfg.fetch_queue
+            && self.cursor < trace.uops.len()
+        {
+            let u = &trace.uops[self.cursor];
+            // Instruction cache.
+            let line = u.pc >> 6;
+            if line != self.current_line {
+                let done = self.mem.inst_access(u.pc, self.cycle);
+                // Sequential next-line instruction prefetch (degree 4),
+                // so a cold code sweep overlaps its line fills instead
+                // of serialising one DRAM round-trip per 64B.
+                for i in 1..=4u64 {
+                    self.mem.inst_prefetch(u.pc + i * 64, self.cycle);
+                }
+                if done > self.cycle + 1 {
+                    self.fetch_resume = done;
+                    return;
+                }
+                self.current_line = line;
+            }
+
+            let itc_path_at_predict = self.itc.path_checkpoint();
+            let mut tage_token = None;
+            let mut fetch_wait = false;
+            let mut taken_bubble = false;
+            if let Some(outcome) = u.branch {
+                let kind = u.uop.op.branch_kind().expect("branch outcome implies branch");
+                let mut mispredicted = false;
+                match kind {
+                    BranchKind::CondDirect => {
+                        let token = self.tage.predict(u.pc);
+                        mispredicted |= token.taken != outcome.taken;
+                        self.tage.push_history(outcome.taken);
+                        if let Some(vp) = self.vtage.as_mut() {
+                            vp.push_history(outcome.taken);
+                        }
+                        tage_token = Some(token);
+                        if outcome.taken && !mispredicted && self.btb.lookup(u.pc).is_none() {
+                            // Decode-stage mistarget bubble.
+                            self.fetch_resume = self.cycle + self.cfg.btb_miss_penalty;
+                            taken_bubble = true;
+                        }
+                    }
+                    BranchKind::UncondDirect | BranchKind::Call => {
+                        if self.btb.lookup(u.pc).is_none() {
+                            self.fetch_resume = self.cycle + self.cfg.btb_miss_penalty;
+                            taken_bubble = true;
+                        }
+                        if kind == BranchKind::Call {
+                            self.ras.push(u.pc + 4);
+                        }
+                    }
+                    BranchKind::Return => {
+                        let predicted = self.ras.pop();
+                        mispredicted |= predicted != Some(outcome.target);
+                    }
+                    BranchKind::Indirect | BranchKind::IndirectCall => {
+                        let predicted = self.itc.predict(u.pc);
+                        mispredicted |= predicted != Some(outcome.target);
+                        if kind == BranchKind::IndirectCall {
+                            self.ras.push(u.pc + 4);
+                        }
+                    }
+                }
+                if outcome.taken {
+                    self.itc.push_path(outcome.target);
+                    self.current_line = outcome.target >> 6;
+                }
+                // Checkpoint speculative front-end state after this
+                // branch, for later squash recovery.
+                self.checkpoints.push_back(Checkpoint {
+                    seq: u.seq,
+                    tage: self.tage.history_checkpoint(),
+                    vtage: self.vtage.as_ref().map(Vtage::history_checkpoint),
+                    ras: self.ras.clone(),
+                    itc_path: self.itc.path_checkpoint(),
+                });
+                if mispredicted {
+                    self.stats.flush.branch_mispredicts += 1;
+                    fetch_wait = true;
+                    self.fetch_wait_branch = Some(u.seq);
+                } else if outcome.taken && !taken_bubble {
+                    self.fetch_resume = self.cycle + 1 + self.cfg.taken_branch_penalty;
+                    taken_bubble = true;
+                }
+            }
+
+            self.fetch_queue.push_back(Fetched {
+                idx: self.cursor,
+                rename_ready: self.cycle + self.cfg.fetch_to_decode + self.cfg.decode_to_rename,
+                tage_token,
+                fetch_wait,
+                itc_path_at_predict,
+            });
+            self.cursor += 1;
+            fetched += 1;
+            if fetch_wait || taken_bubble {
+                return;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // replay (RecoveryPolicy::Replay, GVP wide predictions)
+    // ----------------------------------------------------------------
+
+    /// Selectively re-executes the direct and indirect consumers of a
+    /// mispredicted (wide, GVP) value: the register is repaired in
+    /// place, issued consumers are reset to re-issue with the correct
+    /// value, and their own destinations propagate the poison set
+    /// transitively (paper §2.2's "replay wavefront"). Falls back to a
+    /// flush when the scheduler cannot reabsorb the wavefront.
+    fn apply_pending_replays(&mut self, trace: &Trace) {
+        if self.pending_replays.is_empty() {
+            return;
+        }
+        let due: Vec<PendingReplay> = self
+            .pending_replays
+            .iter()
+            .copied()
+            .filter(|r| r.at_cycle <= self.cycle)
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        self.pending_replays.retain(|r| r.at_cycle > self.cycle);
+        for replay in due {
+            // The mispredicted µop may have been squashed by an older
+            // flush in the meantime; its repair is then moot.
+            let Some(start) = self.rob.iter().position(|e| e.seq == replay.seq) else {
+                continue;
+            };
+            // Guard against the replay tornado: silence the predictor
+            // exactly as a flush would (§3.4.1).
+            self.silence_until = self.cycle + self.silence_len;
+            self.stats.flush.vp_replays += 1;
+
+            // The repaired value becomes available now.
+            self.renamer
+                .file_mut(crate::rename::RegClass::Int)
+                .set_ready(replay.reg, self.cycle);
+
+            let mut poisoned: Vec<crate::rename::Dep> = vec![crate::rename::Dep {
+                class: crate::rename::RegClass::Int,
+                p: replay.reg,
+            }];
+            let mut fallback_flush = false;
+            for i in (start + 1)..self.rob.len() {
+                let entry = &self.rob[i];
+                if !entry.issued {
+                    continue; // unissued consumers wait naturally
+                }
+                let consumes =
+                    entry.renamed.deps.iter().any(|d| poisoned.contains(d));
+                if !consumes {
+                    continue;
+                }
+                // Needs a scheduler slot to re-issue from.
+                if !entry.in_iq && self.iq_count >= self.cfg.iq_size {
+                    fallback_flush = true;
+                    break;
+                }
+                let seq = entry.seq;
+                let entry = &mut self.rob[i];
+                entry.issued = false;
+                entry.done_cycle = u64::MAX;
+                if !entry.in_iq {
+                    entry.in_iq = true;
+                    self.iq_count += 1;
+                }
+                // Un-produce its outputs and extend the wavefront.
+                if let Some((class, p)) = entry.renamed.dest_alloc {
+                    self.renamer.file_mut(class).set_ready(p, u64::MAX);
+                    poisoned.push(crate::rename::Dep { class, p });
+                }
+                if let Some(p) = entry.renamed.flags_alloc {
+                    self.renamer
+                        .file_mut(crate::rename::RegClass::Int)
+                        .set_ready(p, u64::MAX);
+                    poisoned.push(crate::rename::Dep {
+                        class: crate::rename::RegClass::Int,
+                        p,
+                    });
+                }
+                let u = &trace.uops[self.rob[i].idx];
+                if u.uop.op.is_load() {
+                    if let Some(l) = self.lq.iter_mut().find(|l| l.seq == seq) {
+                        l.issued = false;
+                    }
+                }
+                if u.uop.op.is_store() {
+                    if let Some(s) = self.sq.iter_mut().find(|s| s.seq == seq) {
+                        s.issued = false;
+                    }
+                }
+                self.stats.flush.replayed_uops += 1;
+            }
+            if fallback_flush {
+                self.pending_flushes.push(PendingFlush {
+                    at_cycle: self.cycle,
+                    first_squashed_seq: replay.seq + 1,
+                    kind: FlushKind::ValueMispredict,
+                });
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // flush
+    // ----------------------------------------------------------------
+
+    fn apply_pending_flush(&mut self, trace: &Trace) {
+        let due: Vec<PendingFlush> = self
+            .pending_flushes
+            .iter()
+            .copied()
+            .filter(|f| f.at_cycle <= self.cycle)
+            .collect();
+        let Some(flush) = due.iter().min_by_key(|f| f.first_squashed_seq).copied() else {
+            return;
+        };
+        // The chosen flush supersedes any pending flush of a younger
+        // µop (they will be squashed and, if still relevant, re-arise
+        // after re-execution).
+        self.pending_flushes
+            .retain(|f| f.at_cycle > self.cycle && f.first_squashed_seq < flush.first_squashed_seq);
+        self.pending_replays
+            .retain(|r| r.seq < flush.first_squashed_seq);
+
+        let cut = flush.first_squashed_seq;
+        match flush.kind {
+            FlushKind::ValueMispredict => {
+                self.stats.flush.vp_flushes += 1;
+                if self.cfg.adaptive_silencing {
+                    // Dynamic scheme (§3.4.1 future work): clustered
+                    // mispredictions widen the window geometrically
+                    // (guaranteeing liveness even when the configured
+                    // base is shorter than the refetch path); quiet
+                    // spells shrink it back, never below the base.
+                    if self.cycle.saturating_sub(self.last_vp_flush) < 4 * self.silence_len.max(16)
+                    {
+                        self.silence_len =
+                            (self.silence_len.max(1) * 2).min(self.cfg.silence_cycles.max(16) * 16);
+                    } else {
+                        self.silence_len = (self.silence_len / 2).max(self.cfg.silence_cycles);
+                    }
+                    self.last_vp_flush = self.cycle;
+                }
+                self.silence_until = self.cycle + self.silence_len;
+            }
+            FlushKind::MemOrder => self.stats.flush.mem_order_flushes += 1,
+        }
+
+        // Squash younger ROB entries, youngest first.
+        let mut squash_cursor: Option<usize> = None;
+        while self.rob.back().is_some_and(|e| e.seq >= cut) {
+            let entry = self.rob.pop_back().expect("back exists");
+            let u = &trace.uops[entry.idx];
+            if entry.in_iq {
+                self.iq_count -= 1;
+            }
+            if entry.renamed.eliminated == Some(ElimCategory::Spsr) {
+                self.stats.rename.spsr_squashed += 1;
+            }
+            if u.uop.op.is_store() {
+                self.sq.pop_back();
+                self.storesets.store_completed(u.pc, entry.seq);
+            }
+            if u.uop.op.is_load() {
+                self.lq.pop_back();
+            }
+            self.renamer.rollback(&entry.renamed);
+            self.stats.flush.squashed_uops += 1;
+            squash_cursor = Some(entry.idx);
+        }
+        // Squashed fetch-queue µops are all younger than the ROB tail.
+        if let Some(front) = self.fetch_queue.front() {
+            squash_cursor.get_or_insert(front.idx);
+            self.stats.flush.squashed_uops += self.fetch_queue.len() as u64;
+        }
+        self.fetch_queue.clear();
+
+        // Roll the trace cursor back to refetch from the squash point.
+        if let Some(idx) = squash_cursor {
+            self.cursor = idx;
+        }
+
+        // Restore speculative front-end state to the youngest surviving
+        // checkpoint.
+        while self.checkpoints.back().is_some_and(|c| c.seq >= cut) {
+            self.checkpoints.pop_back();
+        }
+        let ckpt = self.checkpoints.back().unwrap_or(&self.floor).clone();
+        self.tage.restore_history(ckpt.tage.clone());
+        if let (Some(vp), Some(h)) = (self.vtage.as_mut(), ckpt.vtage.clone()) {
+            vp.restore_history(h);
+        }
+        self.ras = ckpt.ras;
+        self.itc.restore_path(ckpt.itc_path);
+
+        self.fetch_wait_branch = None;
+        self.fetch_resume = self.cycle + self.cfg.redirect_penalty;
+        self.current_line = u64::MAX;
+    }
+
+    /// Statistics snapshot (valid after [`Core::run`]).
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("cycle", &self.cycle)
+            .field("vp", &self.cfg.vp)
+            .field("spsr", &self.cfg.spsr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Convenience: simulate a trace under a configuration.
+#[must_use]
+pub fn simulate(cfg: CoreConfig, trace: &Trace) -> SimStats {
+    Core::new(cfg).run(trace)
+}
+
+/// Convenience: simulate a named VP mode (paper Table 2 machine).
+#[must_use]
+pub fn simulate_vp(vp: VpMode, spsr: bool, trace: &Trace) -> SimStats {
+    let mut cfg = CoreConfig::with_vp(vp);
+    cfg.spsr = spsr;
+    simulate(cfg, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_workloads::program::Asm;
+    use tvp_workloads::Machine;
+    use tvp_isa::flags::Cond;
+    use tvp_isa::inst::build::*;
+    use tvp_isa::inst::AddrMode;
+    use tvp_isa::reg::x;
+
+    fn counted_loop_trace(n: i64) -> Trace {
+        let mut a = Asm::new();
+        a.i(movz(x(0), n));
+        a.label("loop");
+        a.i(add(x(1), x(1), x(0)));
+        a.i(subs(x(0), x(0), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        Machine::new(a.assemble().unwrap()).run(100_000)
+    }
+
+    #[test]
+    fn baseline_retires_every_instruction() {
+        let trace = counted_loop_trace(500);
+        let stats = simulate(CoreConfig::table2(), &trace);
+        assert_eq!(stats.insts_retired, trace.arch_insts);
+        assert_eq!(stats.uops_retired, trace.uops.len() as u64);
+        assert!(stats.cycles > 0);
+        let ipc = stats.ipc();
+        assert!(ipc > 0.5 && ipc < 8.0, "loop IPC = {ipc}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let trace = counted_loop_trace(300);
+        let a = simulate(CoreConfig::table2(), &trace);
+        let b = simulate(CoreConfig::table2(), &trace);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.activity.int_prf_reads, b.activity.int_prf_reads);
+    }
+
+    #[test]
+    fn loop_branches_become_predictable() {
+        let trace = counted_loop_trace(2_000);
+        let stats = simulate(CoreConfig::table2(), &trace);
+        // One final not-taken mispredict plus warmup at most.
+        let rate = stats.flush.branch_mispredicts as f64 / trace.arch_insts as f64;
+        assert!(rate < 0.02, "mispredict rate = {rate}");
+    }
+
+    #[test]
+    fn dependent_alu_chain_limits_ipc() {
+        // A pure serial chain cannot exceed 1 result per cycle.
+        let mut a = Asm::new();
+        a.i(movz(x(0), 4_000));
+        a.label("loop");
+        a.i(add(x(1), x(1), 1i64));
+        a.i(add(x(1), x(1), 1i64));
+        a.i(add(x(1), x(1), 1i64));
+        a.i(add(x(1), x(1), 1i64));
+        a.i(subs(x(0), x(0), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let trace = Machine::new(a.assemble().unwrap()).run(50_000);
+        let stats = simulate(CoreConfig::table2(), &trace);
+        // 4 serial adds per iteration → at least ~4 cycles/iteration.
+        let cycles_per_iter = stats.cycles as f64 / 4_000.0;
+        assert!(cycles_per_iter >= 3.5, "cycles/iter = {cycles_per_iter}");
+        assert!(cycles_per_iter <= 8.0, "cycles/iter = {cycles_per_iter}");
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_high_ipc() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 4_000));
+        a.label("loop");
+        a.i(add(x(1), x(10), 1i64));
+        a.i(add(x(2), x(10), 2i64));
+        a.i(add(x(3), x(10), 3i64));
+        a.i(add(x(4), x(10), 4i64));
+        a.i(add(x(5), x(10), 5i64));
+        a.i(subs(x(0), x(0), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let trace = Machine::new(a.assemble().unwrap()).run(50_000);
+        let stats = simulate(CoreConfig::table2(), &trace);
+        assert!(stats.ipc() > 3.0, "independent IPC = {}", stats.ipc());
+    }
+
+    #[test]
+    fn gvp_accelerates_stable_load_chain() {
+        // A serial chain through loads of never-changing pointers: the
+        // pointer_chase mechanism in miniature.
+        let w = tvp_workloads::suite::by_name("pointer_chase").unwrap();
+        let trace = w.trace(60_000);
+        let base = simulate_vp(VpMode::Off, false, &trace);
+        let gvp = simulate_vp(VpMode::Gvp, false, &trace);
+        let speedup = gvp.speedup_over(&base);
+        assert!(speedup > 1.10, "GVP speedup on pointer_chase = {speedup}");
+        assert!(gvp.vp.coverage() > 0.05, "coverage = {}", gvp.vp.coverage());
+        assert!(gvp.vp.accuracy() > 0.99, "accuracy = {}", gvp.vp.accuracy());
+        // MVP cannot capture 64-bit pointers: its gain must be a
+        // small fraction of GVP's.
+        let mvp = simulate_vp(VpMode::Mvp, false, &trace);
+        let mvp_gain = mvp.speedup_over(&base) - 1.0;
+        let gvp_gain = speedup - 1.0;
+        assert!(
+            mvp_gain < gvp_gain * 0.3,
+            "MVP gain {mvp_gain:.3} vs GVP gain {gvp_gain:.3}"
+        );
+    }
+
+    #[test]
+    fn spsr_eliminates_instructions_without_breaking_retirement() {
+        let w = tvp_workloads::suite::by_name("mc_playout").unwrap();
+        let trace = w.trace(40_000);
+        let plain = simulate_vp(VpMode::Mvp, false, &trace);
+        let spsr = simulate_vp(VpMode::Mvp, true, &trace);
+        assert_eq!(spsr.insts_retired, trace.arch_insts);
+        assert!(spsr.rename.spsr > 0, "no SpSR reductions found");
+        assert!(
+            spsr.activity.iq_dispatched < plain.activity.iq_dispatched,
+            "SpSR must reduce IQ dispatches: {} vs {}",
+            spsr.activity.iq_dispatched,
+            plain.activity.iq_dispatched
+        );
+    }
+
+    #[test]
+    fn value_mispredictions_flush_and_stay_correct() {
+        // A load whose value changes periodically: the predictor gains
+        // confidence, then mispredicts, forcing flushes — retirement
+        // must stay exact and accuracy high thanks to FPC.
+        let mut a = Asm::new();
+        a.i(movz(x(0), 0x4000));
+        a.i(movz(x(9), 60_000));
+        a.label("loop");
+        a.i(ldr(x(1), AddrMode::BaseDisp { base: x(0), disp: 0 }));
+        a.i(add(x(2), x(2), x(1)));
+        a.i(and(x(3), x(9), 0xFFFi64));
+        a.i(str(x(3), AddrMode::BaseDisp { base: x(0), disp: 8 }));
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let mut m = Machine::new(a.assemble().unwrap());
+        m.write_mem(0x4000, 8, 7);
+        let trace = m.run(30_000);
+        let stats = simulate_vp(VpMode::Gvp, false, &trace);
+        assert_eq!(stats.insts_retired, trace.arch_insts);
+        assert!(stats.vp.used > 0);
+    }
+
+    #[test]
+    fn store_load_forwarding_and_ordering() {
+        // Store followed by a dependent load to the same address in a
+        // tight loop: must retire correctly (forwarding or violation
+        // recovery both acceptable timings).
+        let mut a = Asm::new();
+        a.i(movz(x(0), 0x8000));
+        a.i(movz(x(9), 3_000));
+        a.label("loop");
+        a.i(add(x(1), x(1), 1i64));
+        a.i(str(x(1), AddrMode::BaseDisp { base: x(0), disp: 0 }));
+        a.i(ldr(x(2), AddrMode::BaseDisp { base: x(0), disp: 0 }));
+        a.i(add(x(3), x(3), x(2)));
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let trace = Machine::new(a.assemble().unwrap()).run(30_000);
+        let stats = simulate(CoreConfig::table2(), &trace);
+        assert_eq!(stats.insts_retired, trace.arch_insts);
+    }
+
+    #[test]
+    fn idiom_elimination_reduces_dispatch() {
+        // A loop full of eliminable idioms barely touches the IQ.
+        let mut a = Asm::new();
+        a.i(movz(x(9), 4_000));
+        a.label("loop");
+        a.i(movz(x(1), 0)); // zero idiom
+        a.i(movz(x(2), 1)); // one idiom
+        a.i(mov(x(3), x(4))); // move elimination
+        a.i(eor(x(5), x(6), x(6))); // zero idiom
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let trace = Machine::new(a.assemble().unwrap()).run(30_000);
+        let stats = simulate(CoreConfig::table2(), &trace);
+        let r = stats.rename;
+        assert!(r.zero_idiom > 7_000, "zero idioms = {}", r.zero_idiom);
+        assert!(r.one_idiom > 3_000);
+        assert!(r.move_elim > 3_000);
+        // Eliminated µops never dispatch.
+        assert!(stats.activity.iq_dispatched < stats.uops_retired);
+    }
+
+    #[test]
+    fn all_suite_kernels_complete_under_every_config() {
+        for name in ["string_match", "sparse_graph", "stream_triad"] {
+            let w = tvp_workloads::suite::by_name(name).unwrap();
+            let trace = w.trace(8_000);
+            for vp in [VpMode::Off, VpMode::Mvp, VpMode::Tvp, VpMode::Gvp] {
+                for spsr in [false, true] {
+                    let stats = simulate_vp(vp, spsr, &trace);
+                    assert_eq!(
+                        stats.insts_retired, trace.arch_insts,
+                        "{name} under {vp:?}/spsr={spsr}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod adaptive_silencing_tests {
+    use super::*;
+    use tvp_isa::flags::Cond;
+    use tvp_isa::inst::build::*;
+    use tvp_isa::inst::AddrMode;
+    use tvp_isa::reg::x;
+    use tvp_workloads::program::Asm;
+    use tvp_workloads::Machine;
+
+    /// A load that flips value every `period` iterations: clustered
+    /// mispredictions once confidence builds.
+    fn flipping_trace() -> Trace {
+        let mut a = Asm::new();
+        a.i(movz(x(9), 30_000));
+        a.label("loop");
+        a.i(and(x(1), x(9), 0x1FFi64));
+        a.i(cmp(x(1), 256i64));
+        a.i(cset(x(2), Cond::Cc));
+        a.i(str_sized(x(2), AddrMode::BaseDisp { base: x(20), disp: 0 }, 1));
+        a.i(ldr_sized(x(3), AddrMode::BaseDisp { base: x(20), disp: 0 }, 1, false));
+        a.i(add(x(4), x(4), x(3)));
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let mut m = Machine::new(a.assemble().unwrap());
+        m.set_reg(x(20), 0x50_0000);
+        m.run(250_000)
+    }
+
+    #[test]
+    fn adaptive_silencing_matches_fixed_outside_storms() {
+        // Isolated mispredictions (one per value flip) gain nothing
+        // from backoff, but must not lose anything either.
+        let trace = flipping_trace();
+        let run = |adaptive: bool| {
+            let mut cfg = CoreConfig::with_vp(VpMode::Mvp);
+            cfg.silence_cycles = 50;
+            cfg.adaptive_silencing = adaptive;
+            simulate(cfg, &trace)
+        };
+        let fixed = run(false);
+        let adaptive = run(true);
+        assert_eq!(fixed.insts_retired, adaptive.insts_retired);
+        assert!(
+            adaptive.flush.vp_flushes <= fixed.flush.vp_flushes,
+            "backoff must never add flushes: {} vs {}",
+            adaptive.flush.vp_flushes,
+            fixed.flush.vp_flushes
+        );
+    }
+
+    #[test]
+    fn adaptive_silencing_escapes_a_livelock_prone_window() {
+        // A silencing window shorter than the flush-to-rename path
+        // would re-use the same stale confident prediction forever:
+        // the paper's livelock (§3.4.1). The geometric backoff
+        // escapes it.
+        let trace = flipping_trace();
+        let mut cfg = CoreConfig::with_vp(VpMode::Mvp);
+        cfg.silence_cycles = 2; // shorter than redirect + decode depth
+        cfg.adaptive_silencing = true;
+        let s = simulate(cfg, &trace);
+        assert_eq!(s.insts_retired, trace.arch_insts);
+        assert!(s.flush.vp_flushes > 0);
+    }
+
+    #[test]
+    fn adaptive_silencing_is_neutral_when_values_behave() {
+        let w = tvp_workloads::suite::by_name("mc_playout").unwrap();
+        let trace = w.trace(25_000);
+        let run = |adaptive: bool| {
+            let mut cfg = CoreConfig::with_vp(VpMode::Mvp);
+            cfg.adaptive_silencing = adaptive;
+            simulate(cfg, &trace)
+        };
+        let fixed = run(false);
+        let adaptive = run(true);
+        let delta = (adaptive.cycles as f64 / fixed.cycles as f64 - 1.0).abs();
+        assert!(delta < 0.02, "well-behaved workloads should be unaffected: {delta}");
+    }
+}
+
+#[cfg(test)]
+mod control_flow_tests {
+    use super::*;
+    use tvp_isa::flags::Cond;
+    use tvp_isa::inst::build::*;
+    use tvp_isa::inst::AddrMode;
+    use tvp_isa::reg::x;
+    use tvp_workloads::program::Asm;
+    use tvp_workloads::Machine;
+
+    #[test]
+    fn calls_and_returns_flow_through_the_ras() {
+        let mut a = Asm::new();
+        a.i(movz(x(9), 3_000));
+        a.label("loop");
+        a.bl("helper");
+        a.bl("helper");
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        a.b("end");
+        a.label("helper");
+        a.i(add(x(1), x(1), 1i64));
+        a.ret();
+        a.label("end");
+        a.i(nop());
+        let trace = Machine::new(a.assemble().unwrap()).run(50_000);
+        let s = simulate(CoreConfig::table2(), &trace);
+        assert_eq!(s.insts_retired, trace.arch_insts);
+        // Returns are RAS-predicted: misses should be a warmup handful.
+        let rate = s.flush.branch_mispredicts as f64 / trace.arch_insts as f64;
+        assert!(rate < 0.02, "call/ret mispredict rate {rate}");
+    }
+
+    #[test]
+    fn monomorphic_indirect_branches_are_learned() {
+        // A jump through a register that always targets the same
+        // label: the indirect target cache should capture it.
+        let mut a = Asm::new();
+        a.i(movz(x(9), 3_000));
+        a.label("loop");
+        a.i(movz(x(5), 0x1_0000 + 6 * 4)); // address of "body"
+        a.br(x(5));
+        a.i(nop()); // skipped
+        a.label("body");
+        a.i(add(x(1), x(1), 1i64));
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let trace = Machine::new(a.assemble().unwrap()).run(50_000);
+        let s = simulate(CoreConfig::table2(), &trace);
+        assert_eq!(s.insts_retired, trace.arch_insts);
+        let rate = s.flush.branch_mispredicts as f64 / trace.arch_insts as f64;
+        assert!(rate < 0.05, "indirect mispredict rate {rate}");
+    }
+
+    #[test]
+    fn store_sets_learn_to_avoid_repeat_violations() {
+        // A tight store→load same-address pattern: the first ordering
+        // violation trains the SSIT, after which the load waits.
+        let mut a = Asm::new();
+        a.i(movz(x(9), 4_000));
+        a.label("loop");
+        a.i(add(x(1), x(1), 3i64));
+        a.i(mul(x(2), x(1), x(1))); // delay the store's data
+        a.i(str(x(2), AddrMode::BaseDisp { base: x(20), disp: 0 }));
+        a.i(ldr(x(3), AddrMode::BaseDisp { base: x(20), disp: 0 }));
+        a.i(add(x(4), x(4), x(3)));
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let mut m = Machine::new(a.assemble().unwrap());
+        m.set_reg(x(20), 0x7000);
+        let trace = m.run(50_000);
+        let s = simulate(CoreConfig::table2(), &trace);
+        assert_eq!(s.insts_retired, trace.arch_insts);
+        // Far fewer violations than iterations → the predictor learned.
+        assert!(
+            s.flush.mem_order_flushes < 4_000 / 10,
+            "mem-order flushes = {} (no learning?)",
+            s.flush.mem_order_flushes
+        );
+    }
+
+    #[test]
+    fn gvp_flush_excludes_the_predicted_uop_itself() {
+        // GVP has a register to repair, so the mispredicted µop is not
+        // refetched — only younger µops squash. Check via squashed
+        // counts against MVP on the same value-hostile trace.
+        let mut a = Asm::new();
+        a.i(movz(x(9), 20_000));
+        a.label("loop");
+        a.i(and(x(1), x(9), 0x7FFi64));
+        a.i(cmp(x(1), 1024i64));
+        a.i(cset(x(2), Cond::Cc));
+        a.i(str_sized(x(2), AddrMode::BaseDisp { base: x(20), disp: 0 }, 1));
+        a.i(ldr_sized(x(3), AddrMode::BaseDisp { base: x(20), disp: 0 }, 1, false));
+        a.i(add(x(4), x(4), x(3)));
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let mut m = Machine::new(a.assemble().unwrap());
+        m.set_reg(x(20), 0x7100);
+        let trace = m.run(200_000);
+        let mvp = simulate_vp(VpMode::Mvp, false, &trace);
+        let gvp = simulate_vp(VpMode::Gvp, false, &trace);
+        assert_eq!(mvp.insts_retired, trace.arch_insts);
+        assert_eq!(gvp.insts_retired, trace.arch_insts);
+        if mvp.flush.vp_flushes > 0 && gvp.flush.vp_flushes > 0 {
+            let mvp_per = mvp.flush.squashed_uops as f64 / mvp.flush.vp_flushes as f64;
+            let gvp_per = gvp.flush.squashed_uops as f64 / gvp.flush.vp_flushes as f64;
+            assert!(
+                gvp_per <= mvp_per + 1.0,
+                "GVP flushes should not squash more per event: {gvp_per} vs {mvp_per}"
+            );
+        }
+    }
+
+    #[test]
+    fn fp_divides_serialize_on_the_unpipelined_unit() {
+        let mut a = Asm::new();
+        use tvp_isa::reg::v;
+        a.i(movz(x(9), 2_000));
+        a.label("loop");
+        // Two independent FP divides per iteration compete for the
+        // single non-pipelined divider (12 cycles each).
+        a.i(fdiv(v(1), v(2), v(3)));
+        a.i(fdiv(v(4), v(5), v(6)));
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let mut m = Machine::new(a.assemble().unwrap());
+        for r in 2..7 {
+            m.set_reg(v(r), f64::to_bits(1.5 + f64::from(r)));
+        }
+        let trace = m.run(20_000);
+        let s = simulate(CoreConfig::table2(), &trace);
+        // 2 divides × 12 cycles, non-pipelined → ≥ 24 cycles/iter.
+        let per_iter = s.cycles as f64 / 2_000.0;
+        assert!(per_iter >= 20.0, "cycles/iter = {per_iter} (divider pipelined?)");
+    }
+}
+
+#[cfg(test)]
+mod replay_tests {
+    use super::*;
+    use crate::config::RecoveryPolicy;
+    use tvp_isa::flags::Cond;
+    use tvp_isa::inst::build::*;
+    use tvp_isa::inst::AddrMode;
+    use tvp_isa::reg::x;
+    use tvp_workloads::program::Asm;
+    use tvp_workloads::Machine;
+
+    /// A wide (64-bit) loaded value that changes periodically, with a
+    /// chain of dependent work — GVP gains confidence, mispredicts on
+    /// each change, and under Replay only the consumers re-execute.
+    fn wide_flipping_trace() -> Trace {
+        let mut a = Asm::new();
+        a.i(movz(x(9), 25_000));
+        a.label("loop");
+        a.i(and(x(1), x(9), 0xFFFi64));
+        a.i(cmp(x(1), 2048i64));
+        a.i(cset(x(2), Cond::Cc));
+        a.i(lsl(x(2), x(2), 40i64)); // wide value: 0 or 1<<40
+        a.i(add(x(2), x(2), 0x1234i64));
+        a.i(str(x(2), AddrMode::BaseDisp { base: x(20), disp: 0 }));
+        a.i(ldr(x(3), AddrMode::BaseDisp { base: x(20), disp: 0 })); // wide, GVP-only
+        a.i(lsr(x(4), x(3), 8i64)); // consumers
+        a.i(add(x(5), x(5), x(4)));
+        a.i(eor(x(6), x(3), x(5)));
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let mut m = Machine::new(a.assemble().unwrap());
+        m.set_reg(x(20), 0x60_0000);
+        m.run(280_000)
+    }
+
+    #[test]
+    fn replay_retires_exactly_and_replays_instead_of_flushing() {
+        let trace = wide_flipping_trace();
+        let run = |policy: RecoveryPolicy| {
+            let mut cfg = CoreConfig::with_vp(VpMode::Gvp);
+            cfg.recovery = policy;
+            simulate(cfg, &trace)
+        };
+        let flush = run(RecoveryPolicy::Flush);
+        let replay = run(RecoveryPolicy::Replay);
+        assert_eq!(flush.insts_retired, trace.arch_insts);
+        assert_eq!(replay.insts_retired, trace.arch_insts);
+        if flush.flush.vp_flushes > 0 {
+            assert!(
+                replay.flush.vp_replays > 0,
+                "replay policy should convert flushes into replays"
+            );
+            assert!(
+                replay.flush.vp_flushes < flush.flush.vp_flushes,
+                "replays: {} flushes remain {} (was {})",
+                replay.flush.vp_replays,
+                replay.flush.vp_flushes,
+                flush.flush.vp_flushes
+            );
+            // Replay squashes nothing for the replayed events.
+            assert!(replay.flush.squashed_uops <= flush.flush.squashed_uops);
+            // And should not be slower.
+            assert!(
+                replay.cycles <= flush.cycles + flush.cycles / 50,
+                "replay {} vs flush {}",
+                replay.cycles,
+                flush.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn replay_policy_never_applies_to_named_predictions() {
+        // MVP predictions have no register to repair: even under
+        // Replay they must flush (and refetch the µop itself).
+        let trace = wide_flipping_trace();
+        let mut cfg = CoreConfig::with_vp(VpMode::Mvp);
+        cfg.recovery = RecoveryPolicy::Replay;
+        let s = simulate(cfg, &trace);
+        assert_eq!(s.insts_retired, trace.arch_insts);
+        assert_eq!(s.flush.vp_replays, 0, "MVP cannot replay");
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = wide_flipping_trace();
+        let run = || {
+            let mut cfg = CoreConfig::with_vp(VpMode::Gvp);
+            cfg.recovery = RecoveryPolicy::Replay;
+            simulate(cfg, &trace)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.flush.vp_replays, b.flush.vp_replays);
+        assert_eq!(a.flush.replayed_uops, b.flush.replayed_uops);
+    }
+
+    #[test]
+    fn replay_works_across_the_suite() {
+        for name in ["pointer_chase", "discrete_event", "mc_playout"] {
+            let w = tvp_workloads::suite::by_name(name).unwrap();
+            let trace = w.trace(15_000);
+            let mut cfg = CoreConfig::with_vp(VpMode::Gvp);
+            cfg.recovery = RecoveryPolicy::Replay;
+            let s = simulate(cfg, &trace);
+            assert_eq!(s.insts_retired, trace.arch_insts, "{name}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod frontend_tests {
+    use super::*;
+    use tvp_isa::flags::Cond;
+    use tvp_isa::inst::build::*;
+    use tvp_isa::reg::x;
+    use tvp_workloads::program::Asm;
+    use tvp_workloads::Machine;
+
+    fn tight_loop_trace(body_nops: usize, iters: i64) -> Trace {
+        let mut a = Asm::new();
+        a.i(movz(x(9), iters));
+        a.label("loop");
+        for _ in 0..body_nops {
+            a.i(add(x(1), x(2), x(3)));
+        }
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        Machine::new(a.assemble().unwrap()).run(200_000)
+    }
+
+    #[test]
+    fn taken_branch_penalty_costs_cycles() {
+        // A tiny loop is taken-branch-bound: raising the penalty must
+        // slow it by roughly one cycle per iteration.
+        let trace = tight_loop_trace(2, 4_000);
+        let run = |penalty: u64| {
+            let mut cfg = CoreConfig::table2();
+            cfg.taken_branch_penalty = penalty;
+            simulate(cfg, &trace)
+        };
+        let fast = run(0);
+        let slow = run(3);
+        let delta = slow.cycles as f64 - fast.cycles as f64;
+        assert!(
+            delta > 4_000.0 * 2.0,
+            "3 extra bubble cycles/iter should cost > 8k cycles, got {delta}"
+        );
+    }
+
+    #[test]
+    fn btb_warmup_is_visible_then_disappears() {
+        // First encounter of each taken branch pays the decode-redirect
+        // bubble; afterwards the BTB hits. Compare a huge-penalty
+        // configuration: total cost must be bounded by (static branch
+        // count × penalty), not scale with iterations.
+        let trace = tight_loop_trace(6, 3_000);
+        let run = |penalty: u64| {
+            let mut cfg = CoreConfig::table2();
+            cfg.btb_miss_penalty = penalty;
+            simulate(cfg, &trace)
+        };
+        let base = run(0);
+        let costly = run(40);
+        let delta = costly.cycles.saturating_sub(base.cycles);
+        assert!(delta < 40 * 16, "BTB misses must be warmup-only: delta {delta}");
+    }
+
+    #[test]
+    fn fetch_queue_capacity_limits_frontend_runahead() {
+        let trace = tight_loop_trace(10, 2_000);
+        let run = |fq: usize| {
+            let mut cfg = CoreConfig::table2();
+            cfg.fetch_queue = fq;
+            simulate(cfg, &trace)
+        };
+        let big = run(32);
+        let tiny = run(2);
+        assert!(tiny.cycles >= big.cycles, "a 2-entry fetch queue cannot be faster");
+    }
+
+    #[test]
+    fn icache_misses_stall_cold_fetch_only() {
+        // A program large enough to span many I-cache lines: the second
+        // outer iteration must run much faster than the first.
+        let mut a = Asm::new();
+        a.i(movz(x(9), 40));
+        a.label("outer");
+        for i in 0..400 {
+            a.i(add(x(1), x(2), i as i64 % 100));
+        }
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "outer");
+        let trace = Machine::new(a.assemble().unwrap()).run(50_000);
+        let s = simulate(CoreConfig::table2(), &trace);
+        // 40 iterations × 402 insts at 8-wide ≈ 2k cycles + one cold
+        // sweep; anything beyond ~3× ideal means repeated stalls.
+        let ideal = trace.uops.len() as f64 / 8.0;
+        assert!(
+            (s.cycles as f64) < ideal * 3.0,
+            "I-cache must warm up: {} vs ideal {}",
+            s.cycles,
+            ideal
+        );
+    }
+}

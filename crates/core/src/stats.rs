@@ -1,0 +1,187 @@
+//! Simulation statistics: everything the paper's figures report.
+
+/// Rename-time elimination categories (Fig. 4's stacked bars).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RenameStats {
+    /// Architectural instructions processed at rename (first µops).
+    pub arch_insts: u64,
+    /// µops processed at rename.
+    pub uops: u64,
+    /// Static zero-idiom eliminations (e.g. `eor x, x`, `movz #0`).
+    pub zero_idiom: u64,
+    /// Static one-idiom eliminations (`movz #1`).
+    pub one_idiom: u64,
+    /// Eliminated register moves (move elimination).
+    pub move_elim: u64,
+    /// Moves *not* eliminated due to the 64→32-bit width restriction.
+    pub non_me_move: u64,
+    /// 9-bit signed move-immediate idiom eliminations (TVP inlining).
+    pub nine_bit_idiom: u64,
+    /// Speculative strength reductions (Table 1, value-driven).
+    pub spsr: u64,
+    /// SpSR-reduced µops that were squashed by a later value
+    /// misprediction flush (informational).
+    pub spsr_squashed: u64,
+}
+
+impl RenameStats {
+    /// Fraction of architectural instructions eliminated at rename by
+    /// the given counter.
+    #[must_use]
+    pub fn fraction(&self, count: u64) -> f64 {
+        if self.arch_insts == 0 {
+            0.0
+        } else {
+            count as f64 / self.arch_insts as f64
+        }
+    }
+}
+
+/// Value prediction accounting (coverage/accuracy of §6.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VpStats {
+    /// VP-eligible µops seen at rename.
+    pub eligible: u64,
+    /// Predictions used (confident, admissible, not silenced).
+    pub used: u64,
+    /// Used predictions that validated correct.
+    pub correct_used: u64,
+    /// Used predictions that validated incorrect (each costs a flush).
+    pub incorrect_used: u64,
+    /// Cycles during which the predictor was silenced.
+    pub silenced_lookups: u64,
+}
+
+impl VpStats {
+    /// Coverage: `correct_used / eligible` (paper §6.1).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.eligible == 0 {
+            0.0
+        } else {
+            self.correct_used as f64 / self.eligible as f64
+        }
+    }
+
+    /// Accuracy: `correct_used / (correct_used + incorrect_used)`.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.correct_used + self.incorrect_used;
+        if total == 0 {
+            1.0
+        } else {
+            self.correct_used as f64 / total as f64
+        }
+    }
+}
+
+/// Activity proxies for the power discussion (Fig. 6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActivityStats {
+    /// Integer PRF read ports exercised at issue.
+    pub int_prf_reads: u64,
+    /// Integer PRF writes (writeback + GVP prediction writes).
+    pub int_prf_writes: u64,
+    /// µops dispatched into the instruction queue.
+    pub iq_dispatched: u64,
+    /// µops issued from the instruction queue.
+    pub iq_issued: u64,
+}
+
+/// Pipeline flush accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Branch mispredictions (front-end stalls in this trace-driven
+    /// model).
+    pub branch_mispredicts: u64,
+    /// Value misprediction flushes.
+    pub vp_flushes: u64,
+    /// Memory-ordering violation flushes.
+    pub mem_order_flushes: u64,
+    /// µops squashed by flushes.
+    pub squashed_uops: u64,
+    /// Value mispredictions repaired by selective replay instead of a
+    /// flush (GVP wide predictions under [`crate::config::RecoveryPolicy::Replay`]).
+    pub vp_replays: u64,
+    /// µops re-executed by replays.
+    pub replayed_uops: u64,
+}
+
+/// Top-level simulation result.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Architectural instructions retired.
+    pub insts_retired: u64,
+    /// µops retired.
+    pub uops_retired: u64,
+    /// Rename/elimination counters.
+    pub rename: RenameStats,
+    /// Value prediction counters.
+    pub vp: VpStats,
+    /// Activity counters.
+    pub activity: ActivityStats,
+    /// Flush counters.
+    pub flush: FlushStats,
+}
+
+impl SimStats {
+    /// Architectural instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts_retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// µops per architectural instruction (Fig. 2 bars).
+    #[must_use]
+    pub fn expansion_ratio(&self) -> f64 {
+        if self.insts_retired == 0 {
+            1.0
+        } else {
+            self.uops_retired as f64 / self.insts_retired as f64
+        }
+    }
+
+    /// Relative speedup over a baseline run of the same workload.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = SimStats { cycles: 1000, insts_retired: 2500, uops_retired: 2700, ..Default::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.expansion_ratio() - 1.08).abs() < 1e-12);
+        s.vp = VpStats { eligible: 1000, used: 300, correct_used: 299, incorrect_used: 1, ..Default::default() };
+        assert!((s.vp.coverage() - 0.299).abs() < 1e-12);
+        assert!(s.vp.accuracy() > 0.99);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let base = SimStats { cycles: 1100, insts_retired: 1000, ..Default::default() };
+        let fast = SimStats { cycles: 1000, insts_retired: 1000, ..Default::default() };
+        assert!((fast.speedup_over(&base) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.expansion_ratio(), 1.0);
+        assert_eq!(s.vp.coverage(), 0.0);
+        assert_eq!(s.vp.accuracy(), 1.0);
+        assert_eq!(s.rename.fraction(5), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Store Sets memory dependence prediction [Chrysos & Emer 1998].
+//!
+//! Table 2: 2k-entry SSIT (store set ID table, indexed by PC) and
+//! 2k-entry LFST (last fetched store table, indexed by store set ID).
+//! A load that has previously conflicted with a store is placed in the
+//! same *store set*; at dispatch it looks up the set's last in-flight
+//! store and waits for it instead of speculating past it.
+
+/// A store set identifier.
+pub type SetId = u16;
+
+/// The Store Sets predictor.
+#[derive(Debug)]
+pub struct StoreSets {
+    ssit: Vec<Option<SetId>>,
+    lfst: Vec<Option<u64>>, // last fetched store sequence number per set
+    next_set: SetId,
+    ssit_mask: usize,
+}
+
+impl StoreSets {
+    /// Creates a predictor with `ssit_entries` SSIT entries and
+    /// `lfst_entries` store sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sizes are powers of two.
+    #[must_use]
+    pub fn new(ssit_entries: usize, lfst_entries: usize) -> Self {
+        assert!(ssit_entries.is_power_of_two() && lfst_entries.is_power_of_two());
+        StoreSets {
+            ssit: vec![None; ssit_entries],
+            lfst: vec![None; lfst_entries],
+            next_set: 0,
+            ssit_mask: ssit_entries - 1,
+        }
+    }
+
+    fn ssit_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.ssit_mask
+    }
+
+    fn set_of(&self, pc: u64) -> Option<SetId> {
+        self.ssit[self.ssit_index(pc)]
+    }
+
+    /// Called when a store dispatches: registers it as its set's last
+    /// fetched store and returns the store it must itself wait for
+    /// (in-order store execution within a set).
+    pub fn store_dispatched(&mut self, pc: u64, seq: u64) -> Option<u64> {
+        let set = self.set_of(pc)?;
+        let idx = usize::from(set) % self.lfst.len();
+        self.lfst[idx].replace(seq)
+    }
+
+    /// Called when a load dispatches: returns the sequence number of
+    /// the store it is predicted to depend on, if any.
+    #[must_use]
+    pub fn load_dependency(&self, pc: u64) -> Option<u64> {
+        let set = self.set_of(pc)?;
+        self.lfst[usize::from(set) % self.lfst.len()]
+    }
+
+    /// Called when a store executes (or is squashed): clears its LFST
+    /// entry if it is still the set's youngest.
+    pub fn store_completed(&mut self, pc: u64, seq: u64) {
+        if let Some(set) = self.set_of(pc) {
+            let idx = usize::from(set) % self.lfst.len();
+            if self.lfst[idx] == Some(seq) {
+                self.lfst[idx] = None;
+            }
+        }
+    }
+
+    /// Trains the predictor after a memory-ordering violation between
+    /// `load_pc` and `store_pc`: both are assigned to a common set
+    /// (merging by the lower set ID, as in the original proposal).
+    pub fn violation(&mut self, load_pc: u64, store_pc: u64) {
+        let (li, si) = (self.ssit_index(load_pc), self.ssit_index(store_pc));
+        match (self.ssit[li], self.ssit[si]) {
+            (None, None) => {
+                let set = self.next_set;
+                self.next_set = (self.next_set + 1) % self.lfst.len() as SetId;
+                self.ssit[li] = Some(set);
+                self.ssit[si] = Some(set);
+            }
+            (Some(s), None) => self.ssit[si] = Some(s),
+            (None, Some(s)) => self.ssit[li] = Some(s),
+            (Some(a), Some(b)) => {
+                let winner = a.min(b);
+                self.ssit[li] = Some(winner);
+                self.ssit[si] = Some(winner);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_pcs_predict_independence() {
+        let mut ss = StoreSets::new(64, 64);
+        assert_eq!(ss.load_dependency(0x1000), None);
+        assert_eq!(ss.store_dispatched(0x2000, 5), None);
+    }
+
+    #[test]
+    fn violation_creates_dependency() {
+        let mut ss = StoreSets::new(64, 64);
+        ss.violation(0x1000, 0x2000);
+        // Store dispatches, then the load sees the dependency.
+        assert_eq!(ss.store_dispatched(0x2000, 7), None);
+        assert_eq!(ss.load_dependency(0x1000), Some(7));
+        // Store completes → dependency clears.
+        ss.store_completed(0x2000, 7);
+        assert_eq!(ss.load_dependency(0x1000), None);
+    }
+
+    #[test]
+    fn stores_in_one_set_serialize() {
+        let mut ss = StoreSets::new(64, 64);
+        ss.violation(0x1000, 0x2000);
+        ss.violation(0x1000, 0x3000); // second store joins the set
+        assert_eq!(ss.store_dispatched(0x2000, 10), None);
+        // The second store must wait for the first.
+        assert_eq!(ss.store_dispatched(0x3000, 11), Some(10));
+        assert_eq!(ss.load_dependency(0x1000), Some(11));
+    }
+
+    #[test]
+    fn set_merging_keeps_lower_id() {
+        let mut ss = StoreSets::new(64, 64);
+        ss.violation(0x1000, 0x2000); // set 0
+        ss.violation(0x3000, 0x4000); // set 1
+        ss.violation(0x1000, 0x4000); // merge → set 0
+        ss.store_dispatched(0x4000, 20);
+        assert_eq!(ss.load_dependency(0x1000), Some(20));
+    }
+
+    #[test]
+    fn completion_of_stale_store_is_ignored() {
+        let mut ss = StoreSets::new(64, 64);
+        ss.violation(0x1000, 0x2000);
+        ss.store_dispatched(0x2000, 1);
+        ss.store_dispatched(0x2000, 2); // newer instance
+        ss.store_completed(0x2000, 1); // stale completion
+        assert_eq!(ss.load_dependency(0x1000), Some(2), "newest store still tracked");
+    }
+}

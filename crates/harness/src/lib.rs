@@ -1,0 +1,29 @@
+//! # tvp-harness — examples and integration tests
+//!
+//! This crate carries no library code of its own: it anchors the
+//! workspace-level `examples/` binaries and `tests/` integration suites
+//! that span every crate (ISA → predictors/memory → workloads → core).
+//!
+//! Run the examples with:
+//!
+//! ```text
+//! cargo run --release -p tvp-harness --example quickstart
+//! cargo run --release -p tvp-harness --example pointer_chase
+//! cargo run --release -p tvp-harness --example strength_reduction
+//! cargo run --release -p tvp-harness --example custom_workload
+//! ```
+//!
+//! and the integration tests with `cargo test -p tvp-harness`.
+
+#![warn(missing_docs)]
+
+/// Workspace version, re-exported for examples that print banners.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! # tvp-isa — ARMv8-like micro-op ISA for the TVP/SpSR simulator
+//!
+//! This crate defines the architectural state and instruction set shared
+//! by every other crate in the workspace:
+//!
+//! * [`reg`] — register names (31 GPRs, `xzr`, 32 FP registers, `NZCV`);
+//! * [`flags`] — condition flags and condition codes;
+//! * [`op`] — micro-operation kinds and their static properties
+//!   (execution class, branch kind, flag behaviour);
+//! * [`inst`] — architectural instructions, builders and µop expansion;
+//! * [`exec`] — functional semantics (single source of truth used both
+//!   to generate traces and to validate the timing model).
+//!
+//! The subset mirrors what the paper's evaluation exercises: the
+//! integer/logic operations of SpSR Table 1 (`add`, `sub`, `and`, `orr`,
+//! `eor`, `bic`, shifts, `ubfm`→`ubfx`, `rbit`, flag-setting variants),
+//! conditional selects (`csel`/`csinc`/`csneg`), compare-and-branch
+//! (`cbz`/`tbz`), multiply/divide, loads/stores with pre/post-increment
+//! addressing (the µop "expansion ratio" of Fig. 2), and a small FP
+//! repertoire for the floating-point workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use tvp_isa::exec::{exec_alu, Operands};
+//! use tvp_isa::inst::build;
+//! use tvp_isa::op::{Op, Width};
+//! use tvp_isa::reg::x;
+//!
+//! // `add x0, x1, #5`, executed functionally with x1 == 37:
+//! let inst = build::add(x(0), x(1), 5i64);
+//! let r = exec_alu(inst.op, inst.width, inst.sets_flags,
+//!                  Operands { a: 37, b: 5, ..Default::default() });
+//! assert_eq!(r.value, 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod exec;
+pub mod flags;
+pub mod inst;
+pub mod op;
+pub mod reg;
+
+pub use exec::{exec_alu, AluResult, Operands};
+pub use flags::{Cond, Nzcv};
+pub use inst::{expand, AddrMode, Inst, Src2};
+pub use op::{BranchKind, ExecClass, Op, Width};
+pub use reg::{Reg, XZR};

@@ -1,0 +1,128 @@
+//! Property-based tests of the functional semantics — the single
+//! source of architectural truth for the whole simulator.
+
+use proptest::prelude::*;
+use tvp_isa::exec::{exec_alu, Operands};
+use tvp_isa::flags::{Cond, Nzcv};
+use tvp_isa::op::{Op, Width};
+
+fn ops(a: u64, b: u64) -> Operands {
+    Operands { a, b, ..Default::default() }
+}
+
+proptest! {
+    #[test]
+    fn w32_equals_w64_of_masked_inputs(a: u64, b: u64) {
+        // For bitwise/arithmetic ops, the W32 result equals the W64
+        // result computed on 32-bit-masked inputs, masked to 32 bits.
+        for op in [Op::Add, Op::Sub, Op::And, Op::Orr, Op::Eor, Op::Bic, Op::Mul] {
+            let w32 = exec_alu(op, Width::W32, false, ops(a, b)).value;
+            let w64 = exec_alu(op, Width::W64, false, ops(a & 0xFFFF_FFFF, b & 0xFFFF_FFFF)).value;
+            prop_assert_eq!(w32, w64 & 0xFFFF_FFFF, "{}", op);
+            prop_assert!(w32 <= u64::from(u32::MAX), "{} leaks above 32 bits", op);
+        }
+    }
+
+    #[test]
+    fn add_sub_are_inverses(a: u64, b: u64) {
+        let sum = exec_alu(Op::Add, Width::W64, false, ops(a, b)).value;
+        let back = exec_alu(Op::Sub, Width::W64, false, ops(sum, b)).value;
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn commutative_ops(a: u64, b: u64) {
+        for op in [Op::Add, Op::And, Op::Orr, Op::Eor, Op::Mul] {
+            let ab = exec_alu(op, Width::W64, false, ops(a, b)).value;
+            let ba = exec_alu(op, Width::W64, false, ops(b, a)).value;
+            prop_assert_eq!(ab, ba, "{}", op);
+        }
+    }
+
+    #[test]
+    fn zero_identities(a: u64) {
+        // The algebraic facts Table 1 (SpSR) relies on.
+        prop_assert_eq!(exec_alu(Op::Add, Width::W64, false, ops(a, 0)).value, a);
+        prop_assert_eq!(exec_alu(Op::Orr, Width::W64, false, ops(a, 0)).value, a);
+        prop_assert_eq!(exec_alu(Op::Eor, Width::W64, false, ops(a, 0)).value, a);
+        prop_assert_eq!(exec_alu(Op::And, Width::W64, false, ops(a, 0)).value, 0);
+        prop_assert_eq!(exec_alu(Op::And, Width::W64, false, ops(0, a)).value, 0);
+        prop_assert_eq!(exec_alu(Op::Sub, Width::W64, false, ops(a, 0)).value, a);
+        prop_assert_eq!(exec_alu(Op::Bic, Width::W64, false, ops(0, a)).value, 0);
+        prop_assert_eq!(exec_alu(Op::Bic, Width::W64, false, ops(a, 0)).value, a);
+        prop_assert_eq!(exec_alu(Op::Lsl, Width::W64, false, ops(0, a & 63)).value, 0);
+        prop_assert_eq!(exec_alu(Op::Eor, Width::W64, false, ops(a, a)).value, 0);
+    }
+
+    #[test]
+    fn subs_flags_encode_unsigned_and_signed_comparisons(a: u64, b: u64) {
+        let f = exec_alu(Op::Sub, Width::W64, true, ops(a, b)).flags.unwrap();
+        prop_assert_eq!(f.z, a == b);
+        prop_assert_eq!(f.c, a >= b, "carry = no borrow");
+        // Signed comparison through N ^ V.
+        prop_assert_eq!(Cond::Lt.eval(f), (a as i64) < (b as i64));
+        prop_assert_eq!(Cond::Ge.eval(f), (a as i64) >= (b as i64));
+        prop_assert_eq!(Cond::Hi.eval(f), a > b);
+        prop_assert_eq!(Cond::Ls.eval(f), a <= b);
+    }
+
+    #[test]
+    fn csel_family_consistency(a: u64, b: u64, bits in 0u8..16) {
+        let flags = Nzcv::unpack(bits);
+        let operands = Operands { a, b, flags, ..Default::default() };
+        for cond in [Cond::Eq, Cond::Lt, Cond::Hi, Cond::Mi] {
+            let sel = exec_alu(Op::Csel(cond), Width::W64, false, operands).value;
+            prop_assert_eq!(sel, if cond.eval(flags) { a } else { b });
+            let inc = exec_alu(Op::Csinc(cond), Width::W64, false, operands).value;
+            prop_assert_eq!(inc, if cond.eval(flags) { a } else { b.wrapping_add(1) });
+            let neg = exec_alu(Op::Csneg(cond), Width::W64, false, operands).value;
+            prop_assert_eq!(neg, if cond.eval(flags) { a } else { b.wrapping_neg() });
+        }
+    }
+
+    #[test]
+    fn shifts_match_reference(a: u64, sh in 0u64..64) {
+        prop_assert_eq!(exec_alu(Op::Lsl, Width::W64, false, ops(a, sh)).value, a << sh);
+        prop_assert_eq!(exec_alu(Op::Lsr, Width::W64, false, ops(a, sh)).value, a >> sh);
+        prop_assert_eq!(
+            exec_alu(Op::Asr, Width::W64, false, ops(a, sh)).value,
+            ((a as i64) >> sh) as u64
+        );
+        prop_assert_eq!(exec_alu(Op::Ror, Width::W64, false, ops(a, sh)).value, a.rotate_right(sh as u32));
+    }
+
+    #[test]
+    fn rbit_is_involutive(a: u64) {
+        let once = exec_alu(Op::Rbit, Width::W64, false, ops(a, 0)).value;
+        let twice = exec_alu(Op::Rbit, Width::W64, false, ops(once, 0)).value;
+        prop_assert_eq!(twice, a);
+    }
+
+    #[test]
+    fn ubfx_matches_shift_mask(a: u64, lsb in 0u8..56, width in 1u8..8) {
+        let got = exec_alu(Op::Ubfx { lsb, width }, Width::W64, false, ops(a, 0)).value;
+        prop_assert_eq!(got, (a >> lsb) & ((1 << width) - 1));
+    }
+
+    #[test]
+    fn division_never_traps(a: u64, b: u64) {
+        let q = exec_alu(Op::Udiv, Width::W64, false, ops(a, b)).value;
+        if b != 0 {
+            prop_assert_eq!(q, a / b);
+        } else {
+            prop_assert_eq!(q, 0);
+        }
+        // Signed with arbitrary values (covers MIN/-1).
+        let _ = exec_alu(Op::Sdiv, Width::W64, false, ops(a, b));
+    }
+
+    #[test]
+    fn cond_and_inverse_partition_flag_space(bits in 0u8..16) {
+        let f = Nzcv::unpack(bits);
+        for cond in Cond::ALL {
+            if cond != Cond::Al {
+                prop_assert_ne!(cond.eval(f), cond.invert().eval(f));
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Hardware prefetchers: per-PC stride at L1D, AMPM at L2 (Table 2).
+//!
+//! The stride prefetcher is intentionally *unthrottled* with a fixed
+//! degree of 4, matching the gem5 implementation the paper calls out in
+//! §3.4.1: it "does not currently throttle the Stride prefetcher if it
+//! does not perform well", which is the root cause of the `roms`/TVP
+//! performance anomaly the paper reports.
+
+/// A per-PC stride prefetcher [Fu, Patel & Janssens 1992].
+#[derive(Debug)]
+pub struct StridePrefetcher {
+    table: Vec<StrideEntry>,
+    degree: u32,
+    issued: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct StrideEntry {
+    valid: bool,
+    tag: u64,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8, // 2-bit
+}
+
+impl StridePrefetcher {
+    /// Creates a stride prefetcher with `entries` table entries and the
+    /// given prefetch degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `degree` is zero.
+    #[must_use]
+    pub fn new(entries: usize, degree: u32) -> Self {
+        assert!(entries.is_power_of_two(), "stride table must be a power of two");
+        assert!(degree > 0);
+        StridePrefetcher { table: vec![StrideEntry::default(); entries], degree, issued: 0 }
+    }
+
+    /// Observes a demand load and returns the addresses to prefetch
+    /// (possibly empty).
+    pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+        let idx = ((pc >> 2) as usize) & (self.table.len() - 1);
+        let tag = pc >> 2;
+        let e = &mut self.table[idx];
+        if !e.valid || e.tag != tag {
+            *e = StrideEntry { valid: true, tag, last_addr: addr, stride: 0, confidence: 0 };
+            return Vec::new();
+        }
+        let stride = addr.wrapping_sub(e.last_addr) as i64;
+        if stride == e.stride && stride != 0 {
+            e.confidence = (e.confidence + 1).min(3);
+        } else {
+            e.confidence = e.confidence.saturating_sub(1);
+            if e.confidence == 0 {
+                e.stride = stride;
+            }
+        }
+        e.last_addr = addr;
+        if e.confidence >= 2 && e.stride != 0 {
+            let stride = e.stride;
+            let out: Vec<u64> = (1..=i64::from(self.degree))
+                .map(|i| addr.wrapping_add((stride * i) as u64))
+                .collect();
+            self.issued += out.len() as u64;
+            out
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Number of prefetch requests issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+/// Access Map Pattern Matching prefetcher [Ishii, Inaba & Hiraki 2009],
+/// simplified: per-zone bitmaps of demand-accessed lines; for every
+/// candidate stride `k`, if lines `n−k` and `n−2k` were accessed, line
+/// `n+k` is prefetched.
+#[derive(Debug)]
+pub struct AmpmPrefetcher {
+    zones: Vec<AmpmZone>,
+    zone_shift: u32,
+    line_shift: u32,
+    max_strides: i64,
+    issued: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct AmpmZone {
+    valid: bool,
+    zone: u64,
+    map: u64, // one bit per line in the zone (64 lines × 64B = 4KB zone)
+    lru: u64,
+}
+
+impl AmpmPrefetcher {
+    /// Creates an AMPM prefetcher tracking `zones` 4KB zones and
+    /// considering strides up to `max_strides` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zones` is zero.
+    #[must_use]
+    pub fn new(zones: usize, max_strides: i64) -> Self {
+        assert!(zones > 0);
+        AmpmPrefetcher {
+            zones: vec![AmpmZone::default(); zones],
+            zone_shift: 12, // 4KB zones
+            line_shift: 6,  // 64B lines
+            max_strides,
+            issued: 0,
+        }
+    }
+
+    /// Observes a demand access at the L2 and returns prefetch
+    /// candidates.
+    pub fn observe(&mut self, addr: u64, clock: u64) -> Vec<u64> {
+        let zone = addr >> self.zone_shift;
+        let line_in_zone = ((addr >> self.line_shift) & ((1 << (self.zone_shift - self.line_shift)) - 1)) as i64;
+        // Find or allocate the zone's access map.
+        let idx = match self.zones.iter().position(|z| z.valid && z.zone == zone) {
+            Some(i) => i,
+            None => {
+                let i = self
+                    .zones
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, z)| if z.valid { z.lru } else { 0 })
+                    .map(|(i, _)| i)
+                    .expect("zones > 0");
+                self.zones[i] = AmpmZone { valid: true, zone, map: 0, lru: clock };
+                i
+            }
+        };
+        let z = &mut self.zones[idx];
+        z.lru = clock;
+        z.map |= 1 << line_in_zone;
+        let map = z.map;
+        let lines_per_zone = 1i64 << (self.zone_shift - self.line_shift);
+        let mut out = Vec::new();
+        for k in 1..=self.max_strides {
+            let (p1, p2, target) = (line_in_zone - k, line_in_zone - 2 * k, line_in_zone + k);
+            if p1 >= 0
+                && p2 >= 0
+                && target < lines_per_zone
+                && map & (1 << p1) != 0
+                && map & (1 << p2) != 0
+                && map & (1 << target) == 0
+            {
+                out.push((zone << self.zone_shift) + ((target as u64) << self.line_shift));
+            }
+            // Negative direction.
+            let (n1, n2, ntarget) = (line_in_zone + k, line_in_zone + 2 * k, line_in_zone - k);
+            if ntarget >= 0
+                && n2 < lines_per_zone
+                && map & (1 << n1) != 0
+                && map & (1 << n2) != 0
+                && map & (1 << ntarget) == 0
+            {
+                out.push((zone << self.zone_shift) + ((ntarget as u64) << self.line_shift));
+            }
+        }
+        self.issued += out.len() as u64;
+        out
+    }
+
+    /// Number of prefetch requests issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_detects_constant_stride() {
+        let mut p = StridePrefetcher::new(64, 4);
+        let pc = 0x4000;
+        assert!(p.observe(pc, 0x1000).is_empty());
+        assert!(p.observe(pc, 0x1040).is_empty()); // learns stride 0x40
+        assert!(p.observe(pc, 0x1080).is_empty()); // conf 1
+        let pf = p.observe(pc, 0x10C0); // conf 2 → fire
+        assert_eq!(pf, vec![0x1100, 0x1140, 0x1180, 0x11C0]);
+    }
+
+    #[test]
+    fn stride_degree_is_fixed_and_unthrottled() {
+        let mut p = StridePrefetcher::new(64, 4);
+        let pc = 0x4000;
+        for i in 0..100u64 {
+            let _ = p.observe(pc, 0x1000 + i * 8);
+        }
+        // Once confident it fires on *every* access — no throttling.
+        let pf = p.observe(pc, 0x1000 + 100 * 8);
+        assert_eq!(pf.len(), 4);
+        assert!(p.issued() > 300);
+    }
+
+    #[test]
+    fn stride_irregular_stream_stays_quiet() {
+        let mut p = StridePrefetcher::new(64, 4);
+        let pc = 0x4000;
+        let mut lcg = 99u64;
+        let mut fired = 0;
+        for _ in 0..200 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            fired += usize::from(!p.observe(pc, lcg & 0xFFFF_FFC0).is_empty());
+        }
+        assert!(fired < 10, "random stream fired {fired} times");
+    }
+
+    #[test]
+    fn stride_negative_direction() {
+        let mut p = StridePrefetcher::new(64, 2);
+        let pc = 0x8000;
+        let _ = p.observe(pc, 0x2000);
+        let _ = p.observe(pc, 0x1FC0);
+        let _ = p.observe(pc, 0x1F80);
+        let pf = p.observe(pc, 0x1F40);
+        assert_eq!(pf, vec![0x1F00, 0x1EC0]);
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_entries() {
+        let mut p = StridePrefetcher::new(64, 1);
+        for i in 0..4u64 {
+            let _ = p.observe(0x4000, 0x1000 + i * 64);
+            let _ = p.observe(0x4004, 0x9000 + i * 128);
+        }
+        let a = p.observe(0x4000, 0x1000 + 4 * 64);
+        let b = p.observe(0x4004, 0x9000 + 4 * 128);
+        assert_eq!(a, vec![0x1000 + 5 * 64]);
+        assert_eq!(b, vec![0x9000 + 5 * 128]);
+    }
+
+    #[test]
+    fn ampm_detects_pattern_within_zone() {
+        let mut p = AmpmPrefetcher::new(16, 4);
+        // Touch lines 0, 1, 2 → expect line 3 prefetched (stride 1).
+        assert!(p.observe(0x1000_0000, 1).is_empty());
+        let _ = p.observe(0x1000_0040, 2);
+        let pf = p.observe(0x1000_0080, 3);
+        assert!(pf.contains(&0x1000_00C0), "pf = {pf:#x?}");
+    }
+
+    #[test]
+    fn ampm_detects_strided_pattern() {
+        let mut p = AmpmPrefetcher::new(16, 4);
+        let _ = p.observe(0x2000_0000, 1); // line 0
+        let _ = p.observe(0x2000_0080, 2); // line 2
+        let pf = p.observe(0x2000_0100, 3); // line 4; stride 2 established
+        assert!(pf.contains(&0x2000_0180), "pf = {pf:#x?}");
+    }
+
+    #[test]
+    fn ampm_zone_isolation() {
+        let mut p = AmpmPrefetcher::new(16, 4);
+        let _ = p.observe(0x1000, 1);
+        let _ = p.observe(0x1040, 2);
+        // Access in a *different* zone must not inherit the map.
+        let pf = p.observe(0x9080, 3);
+        assert!(pf.is_empty());
+    }
+
+    #[test]
+    fn ampm_does_not_refetch_accessed_lines() {
+        let mut p = AmpmPrefetcher::new(16, 1);
+        let _ = p.observe(0x3000_0000, 1);
+        let _ = p.observe(0x3000_0040, 2);
+        let _ = p.observe(0x3000_0080, 3); // would prefetch line 3
+        let pf = p.observe(0x3000_00C0, 4); // line 3 now accessed; next is 4
+        assert!(!pf.contains(&0x3000_00C0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Forward Probabilistic Counters (FPC) for prediction confidence.
+//!
+//! Value predictions are only *used* by the pipeline once their
+//! confidence counter saturates. To make the cost of a misprediction
+//! (a full pipeline flush in MVP/TVP) worth the gain of a correct
+//! prediction, VTAGE uses probabilistic counters [Riley & Zilles 2006;
+//! Perais & Seznec 2014]: a 3-bit counter that increments only with
+//! probability `1/16` on a correct outcome, emulating a much deeper
+//! counter. A predicted value therefore needs on the order of
+//! `7 × 16 ≈ 112` consecutive correct outcomes before it is trusted,
+//! which yields the > 99.9% accuracy the paper reports.
+
+use crate::util::XorShift64;
+
+/// A forward probabilistic confidence counter.
+///
+/// # Examples
+///
+/// ```
+/// use tvp_predictors::fpc::Fpc;
+/// use tvp_predictors::util::XorShift64;
+///
+/// let mut rng = XorShift64::new(1);
+/// let mut c = Fpc::new(3, 16);
+/// assert!(!c.is_saturated());
+/// for _ in 0..2000 {
+///     c.on_correct(&mut rng);
+/// }
+/// assert!(c.is_saturated());
+/// c.reset();
+/// assert_eq!(c.level(), 0);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Fpc {
+    level: u8,
+    max: u8,
+    inv_prob: u32,
+}
+
+impl Fpc {
+    /// Creates a counter with `bits` bits (saturating at `2^bits - 1`)
+    /// that increments with probability `1/inv_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 7, or if `inv_prob` is 0.
+    #[must_use]
+    pub fn new(bits: u8, inv_prob: u32) -> Self {
+        assert!((1..=7).contains(&bits), "FPC width out of range");
+        assert!(inv_prob > 0, "FPC probability denominator must be non-zero");
+        Fpc { level: 0, max: (1 << bits) - 1, inv_prob }
+    }
+
+    /// Current confidence level.
+    #[must_use]
+    pub fn level(self) -> u8 {
+        self.level
+    }
+
+    /// Returns `true` once the counter has saturated — the "use this
+    /// prediction" threshold.
+    #[must_use]
+    pub fn is_saturated(self) -> bool {
+        self.level == self.max
+    }
+
+    /// Registers a correct outcome; increments with probability
+    /// `1/inv_prob`.
+    pub fn on_correct(&mut self, rng: &mut XorShift64) {
+        if self.level < self.max && rng.one_in(self.inv_prob) {
+            self.level += 1;
+        }
+    }
+
+    /// Registers an incorrect outcome; confidence collapses to zero.
+    pub fn reset(&mut self) {
+        self.level = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_takes_many_correct_outcomes() {
+        let mut rng = XorShift64::new(99);
+        let mut trials = Vec::new();
+        for _ in 0..50 {
+            let mut c = Fpc::new(3, 16);
+            let mut n = 0u32;
+            while !c.is_saturated() {
+                c.on_correct(&mut rng);
+                n += 1;
+            }
+            trials.push(n);
+        }
+        let mean = trials.iter().sum::<u32>() as f64 / trials.len() as f64;
+        // Expected ~ 7 * 16 = 112 increment events on average.
+        assert!((60.0..200.0).contains(&mean), "mean outcomes to saturate = {mean}");
+    }
+
+    #[test]
+    fn reset_collapses_confidence() {
+        let mut rng = XorShift64::new(5);
+        let mut c = Fpc::new(3, 1); // deterministic increments
+        for _ in 0..7 {
+            c.on_correct(&mut rng);
+        }
+        assert!(c.is_saturated());
+        c.reset();
+        assert_eq!(c.level(), 0);
+        assert!(!c.is_saturated());
+    }
+
+    #[test]
+    fn deterministic_probability_one() {
+        let mut rng = XorShift64::new(5);
+        let mut c = Fpc::new(2, 1);
+        c.on_correct(&mut rng);
+        assert_eq!(c.level(), 1);
+        for _ in 0..10 {
+            c.on_correct(&mut rng);
+        }
+        assert_eq!(c.level(), 3, "saturates at 2^2 - 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn zero_width_rejected() {
+        let _ = Fpc::new(0, 16);
+    }
+}

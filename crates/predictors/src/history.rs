@@ -1,0 +1,253 @@
+//! Global branch history with incrementally-folded views.
+//!
+//! TAGE-family predictors index their tables with a hash of the program
+//! counter and a *folded* global branch history: the most recent `L`
+//! history bits compressed into `W` bits by a circular-shift-register
+//! XOR fold. Folding incrementally (one XOR per inserted bit) instead of
+//! re-hashing the full history on every lookup is what makes geometric
+//! history lengths of several hundred bits practical — both in hardware
+//! and in this simulator.
+//!
+//! A [`BranchHistory`] owns the raw bit buffer *and* every folded
+//! register its predictor needs, so checkpointing speculative history
+//! across a pipeline flush is a plain [`Clone`].
+
+/// Maximum supported history length in bits.
+pub const MAX_HISTORY_BITS: usize = 1024;
+
+const WORDS: usize = MAX_HISTORY_BITS / 64;
+
+/// Specification of one folded view: fold the most recent `hist_len`
+/// bits down to `width` bits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FoldedSpec {
+    /// Number of history bits folded.
+    pub hist_len: u32,
+    /// Output width in bits (1–63).
+    pub width: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Folded {
+    spec: FoldedSpec,
+    comp: u64,
+    out_point: u32,
+}
+
+impl Folded {
+    fn new(spec: FoldedSpec) -> Self {
+        assert!(spec.width >= 1 && spec.width < 64, "folded width out of range");
+        assert!(spec.hist_len as usize <= MAX_HISTORY_BITS);
+        Folded { spec, comp: 0, out_point: spec.hist_len % spec.width }
+    }
+
+    fn update(&mut self, inserted: bool, evicted: bool) {
+        let mask = (1u64 << self.spec.width) - 1;
+        self.comp = (self.comp << 1) | u64::from(inserted);
+        self.comp ^= u64::from(evicted) << self.out_point;
+        self.comp ^= self.comp >> self.spec.width;
+        self.comp &= mask;
+    }
+}
+
+/// Global branch history register with folded views.
+///
+/// # Examples
+///
+/// ```
+/// use tvp_predictors::history::{BranchHistory, FoldedSpec};
+///
+/// let mut h = BranchHistory::new(&[FoldedSpec { hist_len: 8, width: 4 }]);
+/// h.push(true);
+/// h.push(false);
+/// assert_eq!(h.bit(0), false); // most recent
+/// assert_eq!(h.bit(1), true);
+/// let checkpoint = h.clone();
+/// h.push(true);
+/// let _ = h.folded(0);
+/// // Restoring after a squash is plain assignment:
+/// h = checkpoint;
+/// assert_eq!(h.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BranchHistory {
+    bits: [u64; WORDS],
+    pushed: u64,
+    folded: Vec<Folded>,
+}
+
+impl BranchHistory {
+    /// Creates a history register with the given folded views. The view
+    /// order is preserved: `folded(i)` corresponds to `specs[i]`.
+    #[must_use]
+    pub fn new(specs: &[FoldedSpec]) -> Self {
+        BranchHistory {
+            bits: [0; WORDS],
+            pushed: 0,
+            folded: specs.iter().copied().map(Folded::new).collect(),
+        }
+    }
+
+    /// Number of bits pushed so far (saturating view; the buffer itself
+    /// is circular).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Returns `true` if no bits have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// The `age`-th most recent bit (0 = latest). Bits older than the
+    /// buffer (or never pushed) read as `false`.
+    #[must_use]
+    pub fn bit(&self, age: u64) -> bool {
+        if age >= self.pushed || age as usize >= MAX_HISTORY_BITS {
+            return false;
+        }
+        let pos = (self.pushed - 1 - age) as usize % MAX_HISTORY_BITS;
+        self.bits[pos / 64] >> (pos % 64) & 1 == 1
+    }
+
+    /// Pushes one branch outcome, updating every folded view.
+    pub fn push(&mut self, taken: bool) {
+        for i in 0..self.folded.len() {
+            let evicted = self.bit(u64::from(self.folded[i].spec.hist_len) - 1);
+            self.folded[i].update(taken, evicted);
+        }
+        let pos = self.pushed as usize % MAX_HISTORY_BITS;
+        let (w, b) = (pos / 64, pos % 64);
+        self.bits[w] = (self.bits[w] & !(1 << b)) | (u64::from(taken) << b);
+        self.pushed += 1;
+    }
+
+    /// The current value of folded view `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn folded(&self, idx: usize) -> u64 {
+        self.folded[idx].comp
+    }
+
+    /// Number of folded views.
+    #[must_use]
+    pub fn num_folded(&self) -> usize {
+        self.folded.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_is_sensitive_to_single_window_bits() {
+        // Flipping any single bit inside the folded window must change
+        // the folded value: the fold is linear over GF(2), so a one-bit
+        // change toggles a fixed non-zero pattern.
+        let spec = FoldedSpec { hist_len: 13, width: 5 };
+        let base: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let fold_of = |bits: &[bool]| {
+            let mut h = BranchHistory::new(&[spec]);
+            for &b in bits {
+                h.push(b);
+            }
+            h.folded(0)
+        };
+        let reference = fold_of(&base);
+        for flip_age in 0..spec.hist_len as usize {
+            let mut bits = base.clone();
+            let idx = bits.len() - 1 - flip_age;
+            bits[idx] = !bits[idx];
+            assert_ne!(
+                fold_of(&bits),
+                reference,
+                "flipping window bit at age {flip_age} left the fold unchanged"
+            );
+        }
+        // Flipping a bit *outside* the window must not change the fold.
+        let mut bits = base.clone();
+        let idx = bits.len() - 1 - spec.hist_len as usize;
+        bits[idx] = !bits[idx];
+        assert_eq!(fold_of(&bits), reference);
+    }
+
+    #[test]
+    fn fold_depends_only_on_recent_window() {
+        // Two histories that agree on the last `hist_len` bits must fold
+        // identically once enough bits are pushed.
+        let spec = FoldedSpec { hist_len: 8, width: 4 };
+        let pattern = [true, false, true, true, false, false, true, false];
+        let mut a = BranchHistory::new(&[spec]);
+        let mut b = BranchHistory::new(&[spec]);
+        // Different prefixes.
+        for i in 0..40 {
+            a.push(i % 3 == 0);
+        }
+        for i in 0..52 {
+            b.push(i % 5 == 0);
+        }
+        for &t in &pattern {
+            a.push(t);
+            b.push(t);
+        }
+        assert_eq!(a.folded(0), b.folded(0));
+    }
+
+    #[test]
+    fn bit_accessor_orders_most_recent_first() {
+        let mut h = BranchHistory::new(&[]);
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert!(h.bit(0));
+        assert!(!h.bit(1));
+        assert!(h.bit(2));
+        assert!(!h.bit(3), "unpushed history reads as false");
+    }
+
+    #[test]
+    fn clone_checkpoints_folded_state() {
+        let spec = FoldedSpec { hist_len: 16, width: 7 };
+        let mut h = BranchHistory::new(&[spec]);
+        for i in 0..100 {
+            h.push(i % 7 < 3);
+        }
+        let ckpt = h.clone();
+        let folded_at_ckpt = h.folded(0);
+        for i in 0..20 {
+            h.push(i % 2 == 0);
+        }
+        let restored = ckpt;
+        assert_eq!(restored.folded(0), folded_at_ckpt);
+        assert_eq!(restored.len(), 100);
+        // The restored copy evolves identically to the original's past.
+        let mut replay = restored;
+        for i in 0..20 {
+            replay.push(i % 2 == 0);
+        }
+        assert_eq!(replay.folded(0), h.folded(0));
+    }
+
+    #[test]
+    fn buffer_wraps_beyond_capacity() {
+        let mut h = BranchHistory::new(&[]);
+        for i in 0..(MAX_HISTORY_BITS as u64 + 10) {
+            h.push(i % 2 == 0);
+        }
+        // Most recent bit was pushed with i = MAX+9 (odd index → false).
+        assert!(!h.bit(0));
+        assert!(h.bit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "folded width out of range")]
+    fn zero_width_fold_rejected() {
+        let _ = BranchHistory::new(&[FoldedSpec { hist_len: 8, width: 0 }]);
+    }
+}

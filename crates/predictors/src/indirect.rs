@@ -1,0 +1,179 @@
+//! Indirect Branch Target Cache.
+//!
+//! A 1k-entry, history-hashed target cache for `br`/`blr` (Table 2).
+//! The paper notes (§2) that indirect target prediction is "in spirit"
+//! value prediction: a full 64-bit target is predicted, compared against
+//! the computed value, and the predictor is trained — exactly the VP
+//! lifecycle.
+
+use crate::util::pc_hash;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ItcEntry {
+    valid: bool,
+    tag: u16,
+    target: u64,
+    conf: u8, // 2-bit replacement hysteresis
+}
+
+/// History-hashed indirect branch target cache.
+#[derive(Debug)]
+pub struct IndirectTargetCache {
+    entries: Vec<ItcEntry>,
+    index_mask: u64,
+    tag_bits: u32,
+    history_bits: u32,
+    path_history: u64,
+}
+
+impl IndirectTargetCache {
+    /// Creates a cache with `entries` (power of two) entries hashing
+    /// `history_bits` of recent path history into the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize, history_bits: u32) -> Self {
+        assert!(entries.is_power_of_two(), "ITC entries must be a power of two");
+        IndirectTargetCache {
+            entries: vec![ItcEntry::default(); entries],
+            index_mask: entries as u64 - 1,
+            tag_bits: 9,
+            history_bits,
+            path_history: 0,
+        }
+    }
+
+    fn index_with(&self, pc: u64, path: u64) -> usize {
+        let hist = path & ((1 << self.history_bits) - 1);
+        ((pc_hash(pc) ^ hist) & self.index_mask) as usize
+    }
+
+    fn tag_with(&self, pc: u64, path: u64) -> u16 {
+        let hist = path & ((1 << self.history_bits) - 1);
+        (((pc >> 2) ^ (hist >> 3)) & ((1 << self.tag_bits) - 1)) as u16
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        self.index_with(pc, self.path_history)
+    }
+
+    fn tag(&self, pc: u64) -> u16 {
+        self.tag_with(pc, self.path_history)
+    }
+
+    /// Predicts the target of the indirect branch at `pc`.
+    #[must_use]
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        let e = &self.entries[self.index(pc)];
+        (e.valid && e.tag == self.tag(pc)).then_some(e.target)
+    }
+
+    /// Trains the cache with the resolved target using the *current*
+    /// path history. Only correct when training happens with the same
+    /// history the prediction saw; out-of-order pipelines should use
+    /// [`IndirectTargetCache::update_with_path`] with the checkpointed
+    /// prediction-time path instead.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.update_with_path(pc, target, self.path_history);
+    }
+
+    /// Trains the cache with the resolved target, indexing with the
+    /// path history that was current when the prediction was made
+    /// (checkpointed by the pipeline) so training hits the same entry
+    /// the next prediction will read.
+    pub fn update_with_path(&mut self, pc: u64, target: u64, path: u64) {
+        let (idx, tag) = (self.index_with(pc, path), self.tag_with(pc, path));
+        let e = &mut self.entries[idx];
+        if e.valid && e.tag == tag {
+            if e.target == target {
+                e.conf = (e.conf + 1).min(3);
+            } else if e.conf > 0 {
+                e.conf -= 1;
+            } else {
+                e.target = target;
+            }
+        } else if !e.valid || e.conf == 0 {
+            *e = ItcEntry { valid: true, tag, target, conf: 1 };
+        } else {
+            e.conf -= 1;
+        }
+    }
+
+    /// Pushes a taken-branch target into the path history (call for
+    /// every taken branch, speculatively at prediction time).
+    pub fn push_path(&mut self, target: u64) {
+        self.path_history = (self.path_history << 3) ^ (target >> 2);
+    }
+
+    /// Checkpoints the path history.
+    #[must_use]
+    pub fn path_checkpoint(&self) -> u64 {
+        self.path_history
+    }
+
+    /// Restores a path history checkpoint after a squash.
+    pub fn restore_path(&mut self, checkpoint: u64) {
+        self.path_history = checkpoint;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monomorphic_target_learned() {
+        let mut itc = IndirectTargetCache::new(256, 8);
+        for _ in 0..4 {
+            itc.update(0x1000, 0xBEEF_0000);
+        }
+        assert_eq!(itc.predict(0x1000), Some(0xBEEF_0000));
+    }
+
+    #[test]
+    fn polymorphic_targets_separated_by_path() {
+        let mut itc = IndirectTargetCache::new(1024, 12);
+        // The same indirect branch goes to different targets depending
+        // on the preceding taken branch.
+        for _ in 0..50 {
+            itc.restore_path(0);
+            itc.push_path(0xAAA0);
+            itc.update(0x2000, 0x1111_0000);
+            itc.restore_path(0);
+            itc.push_path(0xBBB0);
+            itc.update(0x2000, 0x2222_0000);
+        }
+        itc.restore_path(0);
+        itc.push_path(0xAAA0);
+        assert_eq!(itc.predict(0x2000), Some(0x1111_0000));
+        itc.restore_path(0);
+        itc.push_path(0xBBB0);
+        assert_eq!(itc.predict(0x2000), Some(0x2222_0000));
+    }
+
+    #[test]
+    fn hysteresis_resists_single_flip() {
+        let mut itc = IndirectTargetCache::new(64, 0);
+        for _ in 0..4 {
+            itc.update(0x3000, 0xAAAA);
+        }
+        itc.update(0x3000, 0xBBBB); // one-off change
+        assert_eq!(itc.predict(0x3000), Some(0xAAAA), "hysteresis keeps stable target");
+        for _ in 0..8 {
+            itc.update(0x3000, 0xBBBB);
+        }
+        assert_eq!(itc.predict(0x3000), Some(0xBBBB));
+    }
+
+    #[test]
+    fn path_checkpoint_roundtrip() {
+        let mut itc = IndirectTargetCache::new(64, 8);
+        itc.push_path(0x40);
+        let ckpt = itc.path_checkpoint();
+        itc.push_path(0x80);
+        itc.restore_path(ckpt);
+        assert_eq!(itc.path_checkpoint(), ckpt);
+    }
+}

@@ -1,0 +1,474 @@
+//! TAGE conditional branch predictor [Seznec 2011].
+//!
+//! The paper's baseline front-end uses a 32KB, 1+15-table TAGE with
+//! geometric history lengths between 5 and 640 bits (Table 2). TAGE is
+//! also the structural template for the VTAGE value predictor, which
+//! reuses the same folded-history indexing (see [`crate::vtage`]).
+//!
+//! History is updated *speculatively* at prediction time; the pipeline
+//! checkpoints it (cheap [`BranchHistory::clone`]) and restores it on a
+//! squash. Table update happens in retirement order using the indices
+//! and tags captured in the [`TageToken`] at prediction time, so the
+//! updater never needs to reconstruct stale history.
+
+use crate::history::{BranchHistory, FoldedSpec};
+use crate::util::{pc_hash, XorShift64};
+
+/// Maximum number of tagged tables supported by the fixed-size token.
+pub const MAX_TAGGED_TABLES: usize = 15;
+
+/// TAGE geometry and behaviour parameters.
+#[derive(Clone, Debug)]
+pub struct TageConfig {
+    /// Number of tagged tables (≤ [`MAX_TAGGED_TABLES`]).
+    pub num_tables: usize,
+    /// Shortest history length (bits).
+    pub min_hist: u32,
+    /// Longest history length (bits).
+    pub max_hist: u32,
+    /// log2 of base (bimodal) table entries.
+    pub base_log2: u32,
+    /// log2 of each tagged table's entries.
+    pub tagged_log2: u32,
+    /// Tag width per tagged table.
+    pub tag_bits: Vec<u32>,
+    /// Updates between graceful usefulness decays.
+    pub u_reset_period: u64,
+    /// PRNG seed for allocation tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for TageConfig {
+    /// The paper's Table 2 configuration: 1+15 tables, history 5–640,
+    /// ≈32KB of state.
+    fn default() -> Self {
+        TageConfig {
+            num_tables: 15,
+            min_hist: 5,
+            max_hist: 640,
+            base_log2: 13,
+            tagged_log2: 10,
+            tag_bits: (0..15).map(|i| 8 + (i as u32) / 2).collect(),
+            u_reset_period: 256 * 1024,
+            seed: 0x7A6E_5EED,
+        }
+    }
+}
+
+impl TageConfig {
+    /// Geometric history length of tagged table `i` (0 = shortest).
+    #[must_use]
+    pub fn history_length(&self, i: usize) -> u32 {
+        if self.num_tables == 1 {
+            return self.min_hist;
+        }
+        let ratio = f64::from(self.max_hist) / f64::from(self.min_hist);
+        let exp = i as f64 / (self.num_tables - 1) as f64;
+        (f64::from(self.min_hist) * ratio.powf(exp)).round() as u32
+    }
+
+    /// Total predictor state in bits (base counters + tagged entries).
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        let base = (1u64 << self.base_log2) * 2;
+        let tagged: u64 = (0..self.num_tables)
+            .map(|i| (1u64 << self.tagged_log2) * (3 + 2 + u64::from(self.tag_bits[i])))
+            .sum();
+        base + tagged
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TaggedEntry {
+    tag: u16,
+    ctr: i8, // 3-bit signed: -4..=3
+    u: u8,   // 2-bit usefulness
+}
+
+/// Everything the in-order updater needs about one prediction: indices
+/// and tags computed with fetch-time history, plus the provider chain.
+#[derive(Clone, Copy, Debug)]
+pub struct TageToken {
+    base_index: u32,
+    indices: [u32; MAX_TAGGED_TABLES],
+    tags: [u16; MAX_TAGGED_TABLES],
+    provider: Option<u8>,
+    alt: Option<u8>,
+    provider_pred: bool,
+    alt_pred: bool,
+    used_alt: bool,
+    provider_new: bool,
+    /// The final predicted direction.
+    pub taken: bool,
+}
+
+/// Aggregate prediction statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TageStats {
+    /// Number of conditional branch predictions made.
+    pub predictions: u64,
+    /// Number of updates whose prediction was wrong.
+    pub mispredictions: u64,
+}
+
+impl TageStats {
+    /// Mispredictions per kilo-update.
+    #[must_use]
+    pub fn mpki_per_branch(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// The TAGE predictor.
+pub struct Tage {
+    cfg: TageConfig,
+    base: Vec<u8>, // 2-bit counters
+    tables: Vec<Vec<TaggedEntry>>,
+    history: BranchHistory,
+    use_alt_on_na: i8, // 4-bit signed
+    rng: XorShift64,
+    tick: u64,
+    stats: TageStats,
+}
+
+impl Tage {
+    /// Builds a predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests more than
+    /// [`MAX_TAGGED_TABLES`] tables or mismatched tag widths.
+    #[must_use]
+    pub fn new(cfg: TageConfig) -> Self {
+        assert!(cfg.num_tables <= MAX_TAGGED_TABLES, "too many tagged tables");
+        assert_eq!(cfg.tag_bits.len(), cfg.num_tables, "tag_bits length mismatch");
+        let mut specs = Vec::new();
+        for i in 0..cfg.num_tables {
+            let len = cfg.history_length(i);
+            specs.push(FoldedSpec { hist_len: len, width: cfg.tagged_log2 });
+            specs.push(FoldedSpec { hist_len: len, width: cfg.tag_bits[i] });
+            specs.push(FoldedSpec { hist_len: len, width: cfg.tag_bits[i] - 1 });
+        }
+        let history = BranchHistory::new(&specs);
+        Tage {
+            base: vec![1; 1 << cfg.base_log2], // weakly not-taken
+            tables: (0..cfg.num_tables)
+                .map(|_| vec![TaggedEntry::default(); 1 << cfg.tagged_log2])
+                .collect(),
+            history,
+            use_alt_on_na: 0,
+            rng: XorShift64::new(cfg.seed),
+            tick: 0,
+            stats: TageStats::default(),
+            cfg,
+        }
+    }
+
+    fn index(&self, pc: u64, table: usize) -> u32 {
+        let mask = (1u64 << self.cfg.tagged_log2) - 1;
+        ((pc_hash(pc) ^ self.history.folded(table * 3) ^ (pc >> self.cfg.tagged_log2)) & mask)
+            as u32
+    }
+
+    fn tag(&self, pc: u64, table: usize) -> u16 {
+        let mask = (1u64 << self.cfg.tag_bits[table]) - 1;
+        (((pc >> 2) ^ self.history.folded(table * 3 + 1) ^ (self.history.folded(table * 3 + 2) << 1))
+            & mask) as u16
+    }
+
+    fn base_index(&self, pc: u64) -> u32 {
+        ((pc >> 2) & ((1u64 << self.cfg.base_log2) - 1)) as u32
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` using
+    /// the current (speculative) history. The returned token must be
+    /// passed back to [`Tage::update`] at retirement.
+    pub fn predict(&mut self, pc: u64) -> TageToken {
+        let mut token = TageToken {
+            base_index: self.base_index(pc),
+            indices: [0; MAX_TAGGED_TABLES],
+            tags: [0; MAX_TAGGED_TABLES],
+            provider: None,
+            alt: None,
+            provider_pred: false,
+            alt_pred: false,
+            used_alt: false,
+            provider_new: false,
+            taken: false,
+        };
+        for t in 0..self.cfg.num_tables {
+            token.indices[t] = self.index(pc, t);
+            token.tags[t] = self.tag(pc, t);
+        }
+        // Find provider (longest history match) and alternate.
+        for t in (0..self.cfg.num_tables).rev() {
+            if self.tables[t][token.indices[t] as usize].tag == token.tags[t] {
+                if token.provider.is_none() {
+                    token.provider = Some(t as u8);
+                } else {
+                    token.alt = Some(t as u8);
+                    break;
+                }
+            }
+        }
+        let base_taken = self.base[token.base_index as usize] >= 2;
+        token.alt_pred = match token.alt {
+            Some(t) => self.tables[t as usize][token.indices[t as usize] as usize].ctr >= 0,
+            None => base_taken,
+        };
+        match token.provider {
+            Some(t) => {
+                let e = &self.tables[t as usize][token.indices[t as usize] as usize];
+                token.provider_pred = e.ctr >= 0;
+                token.provider_new = e.u == 0 && (e.ctr == 0 || e.ctr == -1);
+                token.used_alt = token.provider_new && self.use_alt_on_na >= 0;
+                token.taken = if token.used_alt { token.alt_pred } else { token.provider_pred };
+            }
+            None => {
+                token.provider_pred = base_taken;
+                token.alt_pred = base_taken;
+                token.taken = base_taken;
+            }
+        }
+        self.stats.predictions += 1;
+        token
+    }
+
+    /// Pushes the (speculative) outcome of a conditional branch into
+    /// the global history. Call once per predicted conditional branch,
+    /// right after [`Tage::predict`].
+    pub fn push_history(&mut self, taken: bool) {
+        self.history.push(taken);
+    }
+
+    /// Checkpoints the speculative history (attach to the in-flight
+    /// branch; restore on squash).
+    #[must_use]
+    pub fn history_checkpoint(&self) -> BranchHistory {
+        self.history.clone()
+    }
+
+    /// Restores a previously checkpointed history after a squash.
+    pub fn restore_history(&mut self, h: BranchHistory) {
+        self.history = h;
+    }
+
+    /// Trains the predictor with the architectural outcome. Call in
+    /// retirement order.
+    pub fn update(&mut self, token: &TageToken, taken: bool) {
+        if token.taken != taken {
+            self.stats.mispredictions += 1;
+        }
+
+        // use_alt_on_na bookkeeping: when the provider was freshly
+        // allocated, learn whether trusting it would have been better.
+        if token.provider.is_some() && token.provider_new && token.provider_pred != token.alt_pred
+        {
+            let delta = if token.provider_pred == taken { -1 } else { 1 };
+            self.use_alt_on_na = (self.use_alt_on_na + delta).clamp(-8, 7);
+        }
+
+        // Update provider counter (or base).
+        match token.provider {
+            Some(t) => {
+                let e = &mut self.tables[t as usize][token.indices[t as usize] as usize];
+                e.ctr = if taken { (e.ctr + 1).min(3) } else { (e.ctr - 1).max(-4) };
+                if token.provider_pred != token.alt_pred {
+                    if token.provider_pred == taken {
+                        e.u = (e.u + 1).min(3);
+                    } else {
+                        e.u = e.u.saturating_sub(1);
+                    }
+                }
+                // Keep the base predictor warm when it served as altpred.
+                if token.alt.is_none() {
+                    Self::update_base(&mut self.base, token.base_index, taken);
+                }
+            }
+            None => Self::update_base(&mut self.base, token.base_index, taken),
+        }
+
+        // Allocate on a misprediction, in a table with longer history.
+        let final_wrong = token.taken != taken;
+        let first_candidate = token.provider.map_or(0, |p| p as usize + 1);
+        if final_wrong && first_candidate < self.cfg.num_tables {
+            let mut free: Vec<usize> = (first_candidate..self.cfg.num_tables)
+                .filter(|&t| self.tables[t][token.indices[t] as usize].u == 0)
+                .collect();
+            if free.is_empty() {
+                for t in first_candidate..self.cfg.num_tables {
+                    let e = &mut self.tables[t][token.indices[t] as usize];
+                    e.u = e.u.saturating_sub(1);
+                }
+            } else {
+                // Favor shorter-history tables 2:1, as in the reference
+                // TAGE implementation.
+                let pick = if free.len() > 1 && !self.rng.one_in(3) { 0 } else { self.rng.below(free.len() as u32) as usize };
+                let t = free.swap_remove(pick.min(free.len() - 1));
+                let e = &mut self.tables[t][token.indices[t] as usize];
+                e.tag = token.tags[t];
+                e.ctr = if taken { 0 } else { -1 };
+                e.u = 0;
+            }
+        }
+
+        // Graceful usefulness decay.
+        self.tick += 1;
+        if self.tick.is_multiple_of(self.cfg.u_reset_period) {
+            for table in &mut self.tables {
+                for e in table {
+                    e.u >>= 1;
+                }
+            }
+        }
+    }
+
+    fn update_base(base: &mut [u8], index: u32, taken: bool) {
+        let c = &mut base[index as usize];
+        *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+    }
+
+    /// Prediction statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> TageStats {
+        self.stats
+    }
+
+    /// The configuration this predictor was built with.
+    #[must_use]
+    pub fn config(&self) -> &TageConfig {
+        &self.cfg
+    }
+}
+
+impl std::fmt::Debug for Tage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tage")
+            .field("tables", &self.cfg.num_tables)
+            .field("storage_bits", &self.cfg.storage_bits())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tage() -> Tage {
+        Tage::new(TageConfig {
+            num_tables: 4,
+            min_hist: 4,
+            max_hist: 64,
+            base_log2: 8,
+            tagged_log2: 7,
+            tag_bits: vec![8, 9, 10, 11],
+            u_reset_period: 1 << 20,
+            seed: 1,
+        })
+    }
+
+    /// Helper: run predict/update over a branch outcome stream and
+    /// return final accuracy.
+    fn accuracy(tage: &mut Tage, stream: impl Iterator<Item = (u64, bool)>) -> f64 {
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        for (pc, taken) in stream {
+            let token = tage.predict(pc);
+            tage.push_history(taken);
+            if token.taken == taken {
+                correct += 1;
+            }
+            total += 1;
+            tage.update(&token, taken);
+        }
+        correct as f64 / total as f64
+    }
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut tage = small_tage();
+        let acc = accuracy(&mut tage, (0..20_000).map(|i| (0x1000 + (i % 16) * 4, true)));
+        assert!(acc > 0.99, "always-taken accuracy = {acc}");
+    }
+
+    #[test]
+    fn learns_short_periodic_patterns_via_history() {
+        // Period-3 pattern needs history correlation; bimodal alone
+        // cannot exceed 2/3.
+        let mut tage = small_tage();
+        let acc = accuracy(&mut tage, (0..60_000).map(|i| (0x2000, i % 3 == 0)));
+        assert!(acc > 0.95, "period-3 accuracy = {acc}");
+    }
+
+    #[test]
+    fn learns_correlated_branches() {
+        // Second branch mirrors the first; with history the second is
+        // fully predictable even though it is random in isolation.
+        let mut tage = small_tage();
+        let mut lcg = 7u64;
+        let mut correct = 0;
+        let total = 40_000;
+        for _ in 0..total {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = lcg >> 62 & 1 == 1;
+            let t1 = tage.predict(0x4000);
+            tage.push_history(r);
+            tage.update(&t1, r);
+            let t2 = tage.predict(0x4010);
+            tage.push_history(r);
+            if t2.taken == r {
+                correct += 1;
+            }
+            tage.update(&t2, r);
+        }
+        let acc = f64::from(correct) / f64::from(total);
+        assert!(acc > 0.90, "correlated accuracy = {acc}");
+    }
+
+    #[test]
+    fn history_checkpoint_restore_roundtrip() {
+        let mut tage = small_tage();
+        for i in 0..100 {
+            let t = tage.predict(0x100 + i * 4);
+            tage.push_history(i % 2 == 0);
+            tage.update(&t, i % 2 == 0);
+        }
+        let ckpt = tage.history_checkpoint();
+        let before = tage.predict(0x9000).taken;
+        for _ in 0..10 {
+            tage.push_history(true);
+        }
+        tage.restore_history(ckpt);
+        assert_eq!(tage.predict(0x9000).taken, before);
+    }
+
+    #[test]
+    fn default_config_matches_table2() {
+        let cfg = TageConfig::default();
+        assert_eq!(cfg.num_tables, 15);
+        assert_eq!(cfg.history_length(0), 5);
+        assert_eq!(cfg.history_length(14), 640);
+        // Geometric lengths strictly increase.
+        for i in 1..15 {
+            assert!(cfg.history_length(i) > cfg.history_length(i - 1));
+        }
+        // ~32KB budget (Table 2).
+        let kb = cfg.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((28.0..36.0).contains(&kb), "TAGE storage = {kb} KB");
+    }
+
+    #[test]
+    fn stats_track_mispredictions() {
+        let mut tage = small_tage();
+        let _ = accuracy(&mut tage, (0..1000).map(|i| (0x100, i % 2 == 0)));
+        let s = tage.stats();
+        assert_eq!(s.predictions, 1000);
+        assert!(s.mispredictions > 0);
+        assert!(s.mispredictions < 1000);
+    }
+}

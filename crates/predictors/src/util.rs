@@ -1,0 +1,102 @@
+//! Small deterministic utilities shared by the predictor implementations.
+
+/// A tiny deterministic xorshift64* PRNG.
+///
+/// Predictors need randomness for probabilistic counter updates (FPC) and
+/// allocation tie-breaking, but simulation results must be reproducible,
+/// so each predictor owns one of these seeded generators instead of using
+/// a global source of entropy.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a non-zero seed (zero is mapped to a
+    /// fixed constant, since xorshift has a zero fixed point).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns `true` with probability `1/denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero.
+    pub fn one_in(&mut self, denominator: u32) -> bool {
+        assert!(denominator > 0, "denominator must be non-zero");
+        self.next_u64().is_multiple_of(u64::from(denominator))
+    }
+
+    /// Uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be non-zero");
+        (self.next_u64() % u64::from(bound)) as u32
+    }
+}
+
+/// Mixes a program counter into a table index; spreads the (4-byte
+/// aligned) PC bits across the index space.
+#[must_use]
+pub fn pc_hash(pc: u64) -> u64 {
+    let pc = pc >> 2;
+    pc ^ (pc >> 17) ^ (pc >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_does_not_stick() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn one_in_roughly_matches_probability() {
+        let mut r = XorShift64::new(7);
+        let hits = (0..160_000).filter(|_| r.one_in(16)).count();
+        // Expected 10000; accept a generous window.
+        assert!((8_000..12_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = XorShift64::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn pc_hash_distinguishes_nearby_pcs() {
+        assert_ne!(pc_hash(0x1000), pc_hash(0x1004));
+        assert_ne!(pc_hash(0x1000), pc_hash(0x2000));
+    }
+}

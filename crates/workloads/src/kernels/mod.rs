@@ -1,0 +1,62 @@
+//! The kernel implementations behind [`crate::suite()`].
+//!
+//! Kernels are grouped by dominant behaviour:
+//!
+//! * [`int`] — integer/control-dominated kernels (perlbench, gcc, x264,
+//!   deepsjeng, imagick, leela, xz proxies);
+//! * [`fp`] — floating-point kernels (bwaves, cactuBSSN, lbm, wrf,
+//!   pop2, nab, roms proxies);
+//! * [`mem`] — memory-behaviour-dominated kernels (mcf, omnetpp, and
+//!   the xalancbmk `pointer_chase` outlier).
+//!
+//! Shared conventions: `x19` counts outer-loop repetitions, `x20`–`x27`
+//! hold workload parameters installed via initial register state, and
+//! `x0`–`x15` are scratch. Data segments start at [`HEAP`].
+
+pub mod fp;
+pub mod int;
+pub mod mem;
+
+/// Base virtual address of workload data segments.
+pub const HEAP: u64 = 0x0100_0000;
+
+/// A tiny splitmix-style generator for deterministic data-segment
+/// content (kept separate from the `rand` crate so kernels' data is
+/// stable across dependency upgrades).
+#[derive(Clone, Debug)]
+pub(crate) struct DataRng(u64);
+
+impl DataRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        DataRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_rng_is_deterministic_and_varied() {
+        let mut a = DataRng::new(1);
+        let mut b = DataRng::new(1);
+        let xs: Vec<u64> = (0..10).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next()).collect();
+        assert_eq!(xs, ys);
+        let mut sorted = xs.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+}

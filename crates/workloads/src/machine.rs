@@ -1,0 +1,420 @@
+//! The functional machine: architectural execution and trace emission.
+//!
+//! Executes a [`Program`] at architectural precision — registers, flags,
+//! byte-addressed sparse memory, control flow — and emits a
+//! [`Trace`] of micro-ops annotated with actual results. The timing
+//! core never re-executes semantics; it replays this trace, which makes
+//! the functional model the single source of architectural truth.
+
+use std::collections::HashMap;
+
+use tvp_isa::exec::{branch_taken, exec_alu, Operands};
+use tvp_isa::flags::Nzcv;
+use tvp_isa::inst::{expand, AddrMode, Src2};
+use tvp_isa::op::Op;
+use tvp_isa::reg::{Reg, NUM_FP_REGS, NUM_INT_REGS, ZERO_REG_INDEX};
+
+use crate::program::{Program, INST_BYTES};
+use crate::trace::{BranchOutcome, Trace, TraceUop};
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressed memory. Untouched bytes read as zero.
+#[derive(Default, Debug, Clone)]
+pub struct SparseMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMem {
+    /// Reads `size` bytes (1, 2, 4 or 8) little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported size.
+    #[must_use]
+    pub fn read(&self, addr: u64, size: u8) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported read size {size}");
+        let mut v = 0u64;
+        for i in 0..u64::from(size) {
+            v |= u64::from(self.read_byte(addr + i)) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported size.
+    pub fn write(&mut self, addr: u64, size: u8, value: u64) {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported write size {size}");
+        for i in 0..u64::from(size) {
+            self.write_byte(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    fn read_byte(&self, addr: u64) -> u8 {
+        self.pages
+            .get(&(addr >> PAGE_SHIFT))
+            .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    fn write_byte(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+}
+
+/// The architectural machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Program,
+    int: [u64; NUM_INT_REGS as usize],
+    fp: [u64; NUM_FP_REGS as usize],
+    flags: Nzcv,
+    pc: u64,
+    mem: SparseMem,
+    seq: u64,
+}
+
+impl Machine {
+    /// Creates a machine at the program's entry point with zeroed
+    /// registers and memory.
+    #[must_use]
+    pub fn new(program: Program) -> Self {
+        let pc = program.entry();
+        Machine {
+            program,
+            int: [0; NUM_INT_REGS as usize],
+            fp: [0; NUM_FP_REGS as usize],
+            flags: Nzcv::default(),
+            pc,
+            mem: SparseMem::default(),
+            seq: 0,
+        }
+    }
+
+    /// Reads an architectural register (the zero register reads 0).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u64 {
+        match r {
+            Reg::Int(ZERO_REG_INDEX) => 0,
+            Reg::Int(i) => self.int[usize::from(i)],
+            Reg::Fp(i) => self.fp[usize::from(i)],
+            Reg::Nzcv => u64::from(self.flags.pack()),
+        }
+    }
+
+    /// Writes an architectural register (writes to the zero register
+    /// are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        match r {
+            Reg::Int(ZERO_REG_INDEX) => {}
+            Reg::Int(i) => self.int[usize::from(i)] = value,
+            Reg::Fp(i) => self.fp[usize::from(i)] = value,
+            Reg::Nzcv => self.flags = Nzcv::unpack(value as u8),
+        }
+    }
+
+    /// Direct memory write for workload initialisation.
+    pub fn write_mem(&mut self, addr: u64, size: u8, value: u64) {
+        self.mem.write(addr, size, value);
+    }
+
+    /// Direct memory read, mostly for tests.
+    #[must_use]
+    pub fn read_mem(&self, addr: u64, size: u8) -> u64 {
+        self.mem.read(addr, size)
+    }
+
+    /// Bulk memory initialisation (workload data segments).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.mem.write_byte(addr + i as u64, b);
+        }
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    fn src2_value(&self, s: Src2) -> u64 {
+        match s {
+            Src2::None => 0,
+            Src2::Reg(r) => self.reg(r),
+            Src2::Imm(i) => i as u64,
+        }
+    }
+
+    fn effective_addr(&self, addr: AddrMode) -> u64 {
+        match addr {
+            AddrMode::BaseDisp { base, disp } => self.reg(base).wrapping_add(disp as u64),
+            AddrMode::BaseIndex { base, index, shift } => {
+                self.reg(base).wrapping_add(self.reg(index) << shift)
+            }
+            AddrMode::PreIndex { .. } | AddrMode::PostIndex { .. } => {
+                unreachable!("writeback addressing is removed by µop expansion")
+            }
+        }
+    }
+
+    /// Executes one *architectural* instruction, appending its µops to
+    /// `out`. Returns `false` when the machine has halted (PC left the
+    /// text segment).
+    pub fn step_into(&mut self, out: &mut Trace) -> bool {
+        let Some(&inst) = self.program.fetch(self.pc) else {
+            return false;
+        };
+        let mut next_pc = self.pc + INST_BYTES;
+        let uops = expand(&inst);
+        let n = uops.len();
+        for (k, uop) in uops.into_iter().enumerate() {
+            let mut rec = TraceUop {
+                seq: self.seq,
+                pc: self.pc,
+                uop,
+                first_uop: k == 0,
+                result: None,
+                flags_out: None,
+                mem_addr: None,
+                branch: None,
+            };
+            self.seq += 1;
+            match uop.op {
+                Op::Load { size, signed } => {
+                    let addr = self.effective_addr(uop.addr.expect("load has addressing"));
+                    let raw = self.mem.read(addr, size);
+                    let value = if signed && size < 8 {
+                        let shift = 64 - u32::from(size) * 8;
+                        (((raw << shift) as i64) >> shift) as u64
+                    } else {
+                        raw
+                    };
+                    let dst = uop.dst.expect("load has a destination");
+                    self.set_reg(dst, value);
+                    rec.mem_addr = Some(addr);
+                    rec.result = Some(value);
+                }
+                Op::Store { size } => {
+                    let addr = self.effective_addr(uop.addr.expect("store has addressing"));
+                    let data = self.reg(uop.src1.expect("store has a data register"));
+                    self.mem.write(addr, size, data);
+                    rec.mem_addr = Some(addr);
+                }
+                op if op.is_branch() => {
+                    let src = uop.src1.map_or(0, |r| self.reg(r));
+                    let taken = branch_taken(op, uop.width, src, self.flags);
+                    let target = match op {
+                        Op::Br | Op::Blr | Op::Ret => src,
+                        _ => uop.target.expect("direct branch has a target"),
+                    };
+                    if matches!(op, Op::Bl | Op::Blr) {
+                        let link = self.pc + INST_BYTES;
+                        self.set_reg(Reg::Int(30), link);
+                        rec.result = Some(link);
+                    }
+                    if taken {
+                        next_pc = target;
+                    }
+                    rec.branch = Some(BranchOutcome {
+                        taken,
+                        target: if taken { target } else { self.pc + INST_BYTES },
+                    });
+                }
+                op => {
+                    let ops = Operands {
+                        a: uop.src1.map_or(0, |r| self.reg(r)),
+                        b: self.src2_value(uop.src2),
+                        c: uop.src3.map_or(0, |r| self.reg(r)),
+                        flags: self.flags,
+                    };
+                    let r = exec_alu(op, uop.width, uop.sets_flags, ops);
+                    if let Some(dst) = uop.dst {
+                        self.set_reg(dst, r.value);
+                        rec.result = Some(r.value);
+                    }
+                    if let Some(f) = r.flags {
+                        self.flags = f;
+                        rec.flags_out = Some(f);
+                    }
+                }
+            }
+            out.uops.push(rec);
+        }
+        debug_assert!(n >= 1);
+        out.arch_insts += 1;
+        self.pc = next_pc;
+        true
+    }
+
+    /// Runs up to `max_arch_insts` architectural instructions (or until
+    /// the machine halts) and returns the trace.
+    pub fn run(&mut self, max_arch_insts: u64) -> Trace {
+        let mut trace = Trace::default();
+        for _ in 0..max_arch_insts {
+            if !self.step_into(&mut trace) {
+                break;
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Asm;
+    use tvp_isa::flags::Cond;
+    use tvp_isa::inst::build::*;
+    use tvp_isa::reg::x;
+
+    #[test]
+    fn counted_loop_executes_correctly() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 10)); // counter
+        a.i(movz(x(1), 0)); // sum
+        a.label("loop");
+        a.i(add(x(1), x(1), x(0)));
+        a.i(subs(x(0), x(0), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let mut m = Machine::new(a.assemble().unwrap());
+        let t = m.run(1_000);
+        assert_eq!(m.reg(x(1)), 55, "sum 10..1");
+        assert_eq!(m.reg(x(0)), 0);
+        // 2 setup + 10 × 3 loop insts.
+        assert_eq!(t.arch_insts, 32);
+        assert!(t.uops.len() as u64 >= t.arch_insts);
+    }
+
+    #[test]
+    fn machine_halts_at_text_end() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 7));
+        let mut m = Machine::new(a.assemble().unwrap());
+        let t = m.run(100);
+        assert_eq!(t.arch_insts, 1, "runs off the end and halts");
+    }
+
+    #[test]
+    fn memory_roundtrip_with_sizes() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 0x2000));
+        a.i(movz(x(1), 0x1234));
+        a.i(str_sized(x(1), AddrMode::BaseDisp { base: x(0), disp: 0 }, 2));
+        a.i(ldr_sized(x(2), AddrMode::BaseDisp { base: x(0), disp: 0 }, 2, false));
+        a.i(ldr_sized(x(3), AddrMode::BaseDisp { base: x(0), disp: 1 }, 1, false));
+        let mut m = Machine::new(a.assemble().unwrap());
+        let _ = m.run(100);
+        assert_eq!(m.reg(x(2)), 0x1234);
+        assert_eq!(m.reg(x(3)), 0x12, "little-endian high byte");
+    }
+
+    #[test]
+    fn signed_loads_sign_extend() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 0x3000));
+        a.i(movz(x(1), 0x80));
+        a.i(str_sized(x(1), AddrMode::BaseDisp { base: x(0), disp: 0 }, 1));
+        a.i(ldr_sized(x(2), AddrMode::BaseDisp { base: x(0), disp: 0 }, 1, true));
+        let mut m = Machine::new(a.assemble().unwrap());
+        let _ = m.run(100);
+        assert_eq!(m.reg(x(2)), (-128i64) as u64);
+    }
+
+    #[test]
+    fn post_index_walks_an_array() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 0x4000)); // pointer
+        a.i(movz(x(1), 0)); // sum
+        a.i(movz(x(2), 4)); // count
+        a.label("loop");
+        a.i(ldr(x(3), AddrMode::PostIndex { base: x(0), disp: 8 }));
+        a.i(add(x(1), x(1), x(3)));
+        a.i(subs(x(2), x(2), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let mut m = Machine::new(a.assemble().unwrap());
+        for i in 0..4u64 {
+            m.write_mem(0x4000 + i * 8, 8, 10 + i);
+        }
+        let t = m.run(1_000);
+        assert_eq!(m.reg(x(1)), 10 + 11 + 12 + 13);
+        assert_eq!(m.reg(x(0)), 0x4000 + 32, "post-index writeback");
+        assert!(t.expansion_ratio() > 1.0, "ldr post-index expands to 2 µops");
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 1));
+        a.bl("callee");
+        a.i(add(x(0), x(0), 100i64));
+        a.b("end");
+        a.label("callee");
+        a.i(add(x(0), x(0), 10i64));
+        a.ret();
+        a.label("end");
+        a.i(nop());
+        let mut m = Machine::new(a.assemble().unwrap());
+        let _ = m.run(100);
+        assert_eq!(m.reg(x(0)), 111, "call, body, return, continue");
+    }
+
+    #[test]
+    fn flags_and_csel() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 5));
+        a.i(movz(x(1), 9));
+        a.i(cmp(x(0), x(1)));
+        a.i(csel(x(2), x(0), x(1), Cond::Lt)); // 5 < 9 → x0
+        a.i(cset(x(3), Cond::Lt)); // → 1
+        let mut m = Machine::new(a.assemble().unwrap());
+        let _ = m.run(100);
+        assert_eq!(m.reg(x(2)), 5);
+        assert_eq!(m.reg(x(3)), 1);
+    }
+
+    #[test]
+    fn trace_records_branch_outcomes() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 2));
+        a.label("loop");
+        a.i(subs(x(0), x(0), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let mut m = Machine::new(a.assemble().unwrap());
+        let t = m.run(100);
+        let branches: Vec<_> = t.uops.iter().filter_map(|u| u.branch).collect();
+        assert_eq!(branches.len(), 2);
+        assert!(branches[0].taken);
+        assert!(!branches[1].taken);
+    }
+
+    #[test]
+    fn zero_register_reads_zero_and_discards_writes() {
+        let mut a = Asm::new();
+        a.i(movz(x(5), 42));
+        a.i(add(tvp_isa::reg::XZR, x(5), x(5)));
+        a.i(add(x(6), tvp_isa::reg::XZR, 0i64));
+        let mut m = Machine::new(a.assemble().unwrap());
+        let t = m.run(100);
+        assert_eq!(m.reg(x(6)), 0);
+        // The discarded write is still recorded in the trace.
+        assert_eq!(t.uops[1].result, Some(84));
+    }
+
+    #[test]
+    fn sparse_memory_defaults_to_zero() {
+        let m = SparseMem::default();
+        assert_eq!(m.read(0xDEAD_BEEF, 8), 0);
+        let mut m = SparseMem::default();
+        m.write(0xFFF, 8, 0x1122_3344_5566_7788);
+        // Crosses a page boundary.
+        assert_eq!(m.read(0xFFF, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(0x1000, 1), 0x77);
+    }
+}

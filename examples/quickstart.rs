@@ -1,0 +1,52 @@
+//! Quickstart: simulate one workload under the baseline and under
+//! Targeted Value Prediction + SpSR, and compare.
+//!
+//! ```text
+//! cargo run --release -p tvp-harness --example quickstart
+//! ```
+
+use tvp_core::config::VpMode;
+use tvp_core::pipeline::simulate_vp;
+
+fn main() {
+    // 1. Pick a workload from the built-in suite (a stand-in for
+    //    641.leela_s; see DESIGN.md §3) and generate its dynamic trace.
+    let workload = tvp_workloads::suite::by_name("mc_playout").expect("kernel exists");
+    let trace = workload.trace(100_000);
+    println!(
+        "workload: {} (proxy for {}), {} arch insts → {} µops",
+        workload.name,
+        workload.proxy,
+        trace.arch_insts,
+        trace.uops.len()
+    );
+
+    // 2. Replay the trace through the paper's Table 2 machine.
+    let baseline = simulate_vp(VpMode::Off, false, &trace);
+    println!("\nbaseline          : {} cycles, IPC {:.3}", baseline.cycles, baseline.ipc());
+
+    // 3. Same machine with Targeted VP and Speculative Strength
+    //    Reduction enabled.
+    let tvp = simulate_vp(VpMode::Tvp, true, &trace);
+    println!("TVP + SpSR        : {} cycles, IPC {:.3}", tvp.cycles, tvp.ipc());
+    println!(
+        "speedup           : {:+.2}%",
+        (tvp.speedup_over(&baseline) - 1.0) * 100.0
+    );
+    println!(
+        "VP coverage       : {:.1}% of eligible µops (accuracy {:.3}%)",
+        tvp.vp.coverage() * 100.0,
+        tvp.vp.accuracy() * 100.0
+    );
+    println!(
+        "SpSR eliminations : {} µops ({:.2}% of instructions)",
+        tvp.rename.spsr,
+        tvp.rename.fraction(tvp.rename.spsr) * 100.0
+    );
+    println!(
+        "IQ dispatches     : {} → {} ({:+.2}%)",
+        baseline.activity.iq_dispatched,
+        tvp.activity.iq_dispatched,
+        (tvp.activity.iq_dispatched as f64 / baseline.activity.iq_dispatched as f64 - 1.0) * 100.0
+    );
+}

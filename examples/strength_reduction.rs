@@ -1,0 +1,71 @@
+//! Speculative Strength Reduction up close: a hand-written loop whose
+//! instructions collapse at rename once a value prediction lands.
+//!
+//! The loop loads a flag that is almost always `0x0`. Under MVP the
+//! load's destination is renamed to the hardwired zero register; every
+//! Table 1 idiom downstream then disappears at rename: `add` becomes a
+//! move, `ands` becomes a nop that *also* resolves the following
+//! `csel` and `b.eq` through the frontend NZCV register.
+//!
+//! ```text
+//! cargo run --release -p tvp-harness --example strength_reduction
+//! ```
+
+use tvp_core::config::{CoreConfig, VpMode};
+use tvp_core::pipeline::simulate;
+use tvp_isa::flags::Cond;
+use tvp_isa::inst::build::*;
+use tvp_isa::inst::AddrMode;
+use tvp_isa::reg::x;
+use tvp_workloads::program::Asm;
+use tvp_workloads::Machine;
+
+fn main() {
+    // A flag array that is ~always zero (one flag in 4096 set).
+    let mut a = Asm::new();
+    a.i(movz(x(9), 2_000_000));
+    a.label("loop");
+    a.i(add(x(0), x(0), 1i64));
+    a.i(and(x(1), x(0), 0x3FFFi64));
+    a.i(ldr_sized(x(2), AddrMode::BaseIndex { base: x(20), index: x(1), shift: 0 }, 1, false));
+    a.i(add(x(3), x(4), x(2))); // SpSR: move when x2 == 0
+    a.i(ands(x(5), x(6), x(2))); // SpSR: nop + NZCV when x2 == 0
+    a.i(csel(x(7), x(3), x(0), Cond::Eq)); // SpSR: move once NZCV known
+    a.i(add(x(8), x(8), x(7)));
+    a.i(subs(x(9), x(9), 1i64));
+    a.b_cond(Cond::Ne, "loop");
+
+    let mut machine = Machine::new(a.assemble().expect("program assembles"));
+    machine.set_reg(x(20), 0x10_0000);
+    machine.set_reg(x(6), 0xABCD);
+    machine.write_mem(0x10_0000 + 1234, 1, 1); // the lone set flag
+    let trace = machine.run(150_000);
+
+    println!("trace: {} µops\n", trace.uops.len());
+    for (vp, spsr, label) in [
+        (VpMode::Off, false, "baseline (DSR only)"),
+        (VpMode::Mvp, false, "MVP"),
+        (VpMode::Mvp, true, "MVP + SpSR"),
+    ] {
+        let mut cfg = CoreConfig::with_vp(vp);
+        cfg.spsr = spsr;
+        let s = simulate(cfg, &trace);
+        let r = s.rename;
+        println!("{label}:");
+        println!("  cycles {:>9}   IPC {:.3}", s.cycles, s.ipc());
+        println!(
+            "  eliminated at rename: zero {} | one {} | move {} | SpSR {}",
+            r.zero_idiom, r.one_idiom, r.move_elim, r.spsr
+        );
+        println!(
+            "  IQ dispatched {} / issued {}   PRF reads {} writes {}\n",
+            s.activity.iq_dispatched,
+            s.activity.iq_issued,
+            s.activity.int_prf_reads,
+            s.activity.int_prf_writes
+        );
+    }
+    println!("With MVP+SpSR, the add/ands/csel triple vanishes at rename in");
+    println!("nearly every iteration — ~3 of 9 instructions need no scheduler");
+    println!("entry, no issue slot and no PRF traffic (paper §4.1).");
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: every kernel × every configuration retires
+//! exactly its trace, deterministically, with self-consistent counters.
+
+use tvp_core::config::{CoreConfig, VpMode};
+use tvp_core::pipeline::{simulate, simulate_vp};
+use tvp_workloads::suite::suite;
+
+const INSTS: u64 = 12_000;
+
+#[test]
+fn every_kernel_retires_exactly_under_every_config() {
+    for w in suite() {
+        let trace = w.trace(INSTS);
+        for vp in [VpMode::Off, VpMode::Mvp, VpMode::Tvp, VpMode::Gvp] {
+            for spsr in [false, true] {
+                let s = simulate_vp(vp, spsr, &trace);
+                assert_eq!(
+                    s.insts_retired, trace.arch_insts,
+                    "{} under {vp:?}/spsr={spsr}: lost instructions",
+                    w.name
+                );
+                assert_eq!(
+                    s.uops_retired,
+                    trace.uops.len() as u64,
+                    "{} under {vp:?}/spsr={spsr}: lost µops",
+                    w.name
+                );
+                assert!(s.cycles > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_per_config() {
+    let w = tvp_workloads::suite::by_name("minimax").unwrap();
+    let trace = w.trace(INSTS);
+    for vp in [VpMode::Off, VpMode::Gvp] {
+        let a = simulate_vp(vp, true, &trace);
+        let b = simulate_vp(vp, true, &trace);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.flush.vp_flushes, b.flush.vp_flushes);
+        assert_eq!(a.activity.int_prf_reads, b.activity.int_prf_reads);
+        assert_eq!(a.rename.spsr, b.rename.spsr);
+    }
+}
+
+#[test]
+fn counter_consistency_invariants() {
+    for name in ["string_match", "pointer_chase", "stream_triad"] {
+        let w = tvp_workloads::suite::by_name(name).unwrap();
+        let trace = w.trace(INSTS);
+        let s = simulate_vp(VpMode::Tvp, true, &trace);
+        let r = s.rename;
+        let eliminated =
+            r.zero_idiom + r.one_idiom + r.move_elim + r.nine_bit_idiom + r.spsr;
+        // Every renamed µop either entered the IQ or was eliminated
+        // (rename counters include squashed-and-replayed µops, so ≥).
+        assert!(
+            s.activity.iq_dispatched + eliminated >= s.uops_retired,
+            "{name}: dispatch + eliminations < retired µops"
+        );
+        // Issues cannot exceed dispatches.
+        assert!(s.activity.iq_issued <= s.activity.iq_dispatched, "{name}");
+        // VP accounting: used ⊆ eligible; outcomes partition used.
+        assert!(s.vp.used <= s.vp.eligible, "{name}");
+        assert!(s.vp.correct_used + s.vp.incorrect_used <= s.vp.used + s.flush.squashed_uops, "{name}");
+    }
+}
+
+#[test]
+fn smaller_window_is_never_faster() {
+    let w = tvp_workloads::suite::by_name("pointer_chase").unwrap();
+    let trace = w.trace(INSTS);
+    let big = simulate(CoreConfig::table2(), &trace);
+    let mut small_cfg = CoreConfig::table2();
+    small_cfg.rob_size = 64;
+    small_cfg.iq_size = 24;
+    let small = simulate(small_cfg, &trace);
+    assert!(
+        small.cycles >= big.cycles,
+        "shrinking ROB/IQ should not speed anything up: {} vs {}",
+        small.cycles,
+        big.cycles
+    );
+}
+
+#[test]
+fn narrower_machine_is_never_faster() {
+    let w = tvp_workloads::suite::by_name("image_filter").unwrap();
+    let trace = w.trace(INSTS);
+    let wide = simulate(CoreConfig::table2(), &trace);
+    let mut narrow_cfg = CoreConfig::table2();
+    narrow_cfg.rename_width = 2;
+    narrow_cfg.commit_width = 2;
+    let narrow = simulate(narrow_cfg, &trace);
+    assert!(narrow.cycles > wide.cycles, "a 2-wide machine must be slower on a high-IPC kernel");
+}
+
+#[test]
+fn prefetcher_helps_streaming_workloads() {
+    let w = tvp_workloads::suite::by_name("stream_triad").unwrap();
+    let trace = w.trace(INSTS);
+    let on = simulate(CoreConfig::table2(), &trace);
+    let mut off_cfg = CoreConfig::table2();
+    off_cfg.mem.stride_prefetcher = false;
+    off_cfg.mem.ampm_prefetcher = false;
+    let off = simulate(off_cfg, &trace);
+    assert!(
+        on.cycles < off.cycles,
+        "prefetching must help a stream: {} vs {}",
+        on.cycles,
+        off.cycles
+    );
+}

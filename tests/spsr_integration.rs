@@ -1,0 +1,100 @@
+//! SpSR end-to-end: eliminations appear, reduce back-end activity and
+//! never corrupt retirement; the width restriction and frontend NZCV
+//! behave across crates.
+
+use tvp_core::config::VpMode;
+use tvp_core::pipeline::simulate_vp;
+use tvp_workloads::suite::suite;
+
+const INSTS: u64 = 30_000;
+
+#[test]
+fn spsr_reduces_iq_activity_without_hurting_much() {
+    // Fig. 6's headline: SpSR cuts dispatched/issued µops. Speed may
+    // move either way slightly (§6.2), but not catastrophically.
+    let mut total_disp_plain = 0u64;
+    let mut total_disp_spsr = 0u64;
+    for w in suite() {
+        let trace = w.trace(INSTS);
+        let plain = simulate_vp(VpMode::Tvp, false, &trace);
+        let spsr = simulate_vp(VpMode::Tvp, true, &trace);
+        assert_eq!(spsr.insts_retired, trace.arch_insts, "{}", w.name);
+        total_disp_plain += plain.activity.iq_dispatched;
+        total_disp_spsr += spsr.activity.iq_dispatched;
+        let slowdown = (plain.cycles as f64 / spsr.cycles as f64 - 1.0) * 100.0;
+        assert!(
+            slowdown > -5.0,
+            "{}: SpSR slowed things by {:.2}%",
+            w.name,
+            -slowdown
+        );
+    }
+    assert!(
+        total_disp_spsr < total_disp_plain,
+        "suite-wide IQ dispatches must drop: {total_disp_spsr} vs {total_disp_plain}"
+    );
+}
+
+#[test]
+fn spsr_requires_value_prediction_to_fire_beyond_statics() {
+    // With VP off, SpSR has no dynamic value knowledge: only
+    // hardwired-name knowledge produced by static DSR remains, so the
+    // SpSR count collapses on kernels whose idioms are value-driven.
+    let w = tvp_workloads::suite::by_name("mc_playout").unwrap();
+    let trace = w.trace(INSTS);
+    let no_vp = simulate_vp(VpMode::Off, true, &trace);
+    let mvp = simulate_vp(VpMode::Mvp, true, &trace);
+    assert!(
+        mvp.rename.spsr > no_vp.rename.spsr * 2,
+        "predictions must unlock reductions: {} vs {}",
+        mvp.rename.spsr,
+        no_vp.rename.spsr
+    );
+}
+
+#[test]
+fn spsr_counts_scale_with_trace_length() {
+    let w = tvp_workloads::suite::by_name("mc_playout").unwrap();
+    let short = w.trace(INSTS);
+    let long = w.trace(INSTS * 3);
+    let s_short = simulate_vp(VpMode::Mvp, true, &short);
+    let s_long = simulate_vp(VpMode::Mvp, true, &long);
+    // Confidence warms up, so the long run should reduce a *larger
+    // fraction*, not merely more instructions.
+    let f_short = s_short.rename.fraction(s_short.rename.spsr);
+    let f_long = s_long.rename.fraction(s_long.rename.spsr);
+    assert!(
+        f_long >= f_short * 0.9,
+        "SpSR fraction should not collapse over time: {f_short} → {f_long}"
+    );
+}
+
+#[test]
+fn nine_bit_idiom_only_fires_with_inlining() {
+    let w = tvp_workloads::suite::by_name("pixel_encode").unwrap();
+    let trace = w.trace(INSTS);
+    let mvp = simulate_vp(VpMode::Mvp, true, &trace);
+    let tvp = simulate_vp(VpMode::Tvp, true, &trace);
+    assert_eq!(mvp.rename.nine_bit_idiom, 0, "MVP has no widened names");
+    assert!(tvp.rename.nine_bit_idiom > 0, "TVP inlines movz #imm9");
+}
+
+#[test]
+fn width_restricted_moves_are_counted_not_eliminated() {
+    let w = tvp_workloads::suite::by_name("weather_loop").unwrap();
+    let trace = w.trace(INSTS);
+    let s = simulate_vp(VpMode::Off, false, &trace);
+    assert!(s.rename.non_me_move > 0, "w-moves of 64-bit defs must be blocked");
+    assert!(s.rename.move_elim > 0, "plain moves must still eliminate");
+}
+
+#[test]
+fn spsr_squash_bookkeeping_is_consistent() {
+    let w = tvp_workloads::suite::by_name("mc_playout").unwrap();
+    let trace = w.trace(INSTS);
+    let s = simulate_vp(VpMode::Mvp, true, &trace);
+    assert!(
+        s.rename.spsr_squashed <= s.rename.spsr,
+        "cannot squash more reductions than were made"
+    );
+}

@@ -1,0 +1,121 @@
+//! Value-prediction behaviour across crates: accuracy, coverage
+//! ordering, flush recovery and livelock prevention via silencing.
+
+use tvp_core::config::{CoreConfig, VpMode};
+use tvp_core::pipeline::{simulate, simulate_vp};
+use tvp_isa::flags::Cond;
+use tvp_isa::inst::build::*;
+use tvp_isa::inst::AddrMode;
+use tvp_isa::reg::x;
+use tvp_workloads::program::Asm;
+use tvp_workloads::Machine;
+
+const INSTS: u64 = 40_000;
+
+#[test]
+fn fpc_confidence_keeps_accuracy_extreme() {
+    // Paper §6.1: accuracy above 99.9% thanks to FPC saturation.
+    for name in ["mc_playout", "entropy_coder", "pointer_chase", "string_match"] {
+        let w = tvp_workloads::suite::by_name(name).unwrap();
+        let trace = w.trace(INSTS);
+        for vp in [VpMode::Mvp, VpMode::Tvp, VpMode::Gvp] {
+            let s = simulate_vp(vp, false, &trace);
+            if s.vp.used > 100 {
+                assert!(
+                    s.vp.accuracy() > 0.99,
+                    "{name}/{vp:?}: accuracy {}",
+                    s.vp.accuracy()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coverage_grows_with_prediction_width() {
+    // MVP ⊆ TVP ⊆ GVP admissible sets: wider modes should not lose
+    // (much) coverage. Allow small dynamic noise.
+    for name in ["mc_playout", "entropy_coder"] {
+        let w = tvp_workloads::suite::by_name(name).unwrap();
+        let trace = w.trace(INSTS);
+        let cov = |vp| simulate_vp(vp, false, &trace).vp.coverage();
+        let (m, t, g) = (cov(VpMode::Mvp), cov(VpMode::Tvp), cov(VpMode::Gvp));
+        assert!(t >= m - 0.02, "{name}: TVP {t} < MVP {m}");
+        assert!(g >= t - 0.02, "{name}: GVP {g} < TVP {t}");
+    }
+}
+
+/// A load whose value flips between two constants every `period`
+/// occurrences — engineered to defeat the predictor periodically.
+fn flipping_value_trace(period: u64, iters: i64) -> tvp_workloads::Trace {
+    let mut a = Asm::new();
+    a.i(movz(x(9), iters));
+    a.label("loop");
+    a.i(and(x(1), x(9), (period as i64 * 2) - 1));
+    a.i(cmp(x(1), period as i64));
+    a.i(cset(x(2), Cond::Cc));
+    a.i(str_sized(x(2), AddrMode::BaseDisp { base: x(20), disp: 0 }, 1));
+    a.i(ldr_sized(x(3), AddrMode::BaseDisp { base: x(20), disp: 0 }, 1, false));
+    a.i(add(x(4), x(4), x(3)));
+    a.i(subs(x(9), x(9), 1i64));
+    a.b_cond(Cond::Ne, "loop");
+    let mut m = Machine::new(a.assemble().unwrap());
+    m.set_reg(x(20), 0x30_0000);
+    m.run(200_000)
+}
+
+#[test]
+fn mispredictions_flush_and_silence_prevents_livelock() {
+    let trace = flipping_value_trace(4096, 20_000);
+    for silence in [15u64, 250, 1000] {
+        let mut cfg = CoreConfig::with_vp(VpMode::Mvp);
+        cfg.silence_cycles = silence;
+        let s = simulate(cfg, &trace);
+        assert_eq!(s.insts_retired, trace.arch_insts, "silence={silence}");
+        // The flipping value must cause at least one VP flush once
+        // confidence has been established.
+        assert!(s.flush.vp_flushes > 0, "silence={silence}: no flushes seen");
+    }
+}
+
+#[test]
+fn longer_silencing_reduces_flushes() {
+    let trace = flipping_value_trace(512, 20_000);
+    let flushes = |silence: u64| {
+        let mut cfg = CoreConfig::with_vp(VpMode::Mvp);
+        cfg.silence_cycles = silence;
+        simulate(cfg, &trace).flush.vp_flushes
+    };
+    let short = flushes(15);
+    let long = flushes(2_000);
+    assert!(
+        long <= short,
+        "more silencing cannot create more flushes: {long} vs {short}"
+    );
+}
+
+#[test]
+fn gvp_strictly_dominates_on_the_outlier() {
+    // The pointer_chase crossover the paper highlights: MVP/TVP ≈ 0,
+    // GVP large.
+    let w = tvp_workloads::suite::by_name("pointer_chase").unwrap();
+    let trace = w.trace(60_000);
+    let base = simulate_vp(VpMode::Off, false, &trace);
+    let mvp = simulate_vp(VpMode::Mvp, false, &trace);
+    let tvp = simulate_vp(VpMode::Tvp, false, &trace);
+    let gvp = simulate_vp(VpMode::Gvp, false, &trace);
+    let pct = |s: &tvp_core::SimStats| (s.speedup_over(&base) - 1.0) * 100.0;
+    assert!(pct(&gvp) > 20.0, "GVP = {:.2}%", pct(&gvp));
+    assert!(pct(&mvp).abs() < 5.0, "MVP = {:.2}%", pct(&mvp));
+    assert!(pct(&tvp).abs() < 5.0, "TVP = {:.2}%", pct(&tvp));
+}
+
+#[test]
+fn vp_off_has_no_vp_state() {
+    let w = tvp_workloads::suite::by_name("string_match").unwrap();
+    let trace = w.trace(10_000);
+    let s = simulate_vp(VpMode::Off, false, &trace);
+    assert_eq!(s.vp.eligible, 0);
+    assert_eq!(s.vp.used, 0);
+    assert_eq!(s.flush.vp_flushes, 0);
+}

@@ -1,0 +1,104 @@
+//! Property-based integration tests: randomly generated programs must
+//! execute functionally, trace consistently and retire exactly through
+//! the timing pipeline under any configuration.
+
+use proptest::prelude::*;
+use tvp_core::config::VpMode;
+use tvp_core::pipeline::simulate_vp;
+use tvp_isa::flags::Cond;
+use tvp_isa::inst::build::*;
+use tvp_isa::inst::{AddrMode, Inst};
+use tvp_isa::reg::x;
+use tvp_workloads::program::Asm;
+use tvp_workloads::Machine;
+
+/// One random straight-line instruction over scratch registers
+/// x0–x7, data pointer x20.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let reg = 0u8..8;
+    prop_oneof![
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| add(x(d), x(a), x(b))),
+        (reg.clone(), reg.clone(), -64i64..64).prop_map(|(d, a, i)| sub(x(d), x(a), i)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| and(x(d), x(a), x(b))),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| eor(x(d), x(a), x(b))),
+        (reg.clone(), reg.clone(), 0i64..63).prop_map(|(d, a, s)| lsl(x(d), x(a), s)),
+        (reg.clone(), reg.clone(), 0i64..63).prop_map(|(d, a, s)| lsr(x(d), x(a), s)),
+        (reg.clone(), -256i64..256).prop_map(|(d, i)| movz(x(d), i)),
+        (reg.clone(), reg.clone()).prop_map(|(d, a)| mov(x(d), x(a))),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| mul(x(d), x(a), x(b))),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| adds(x(d), x(a), x(b))),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| csel(x(d), x(a), x(b), Cond::Eq)),
+        (reg.clone(), 0i64..256).prop_map(|(d, o)| {
+            ldr(x(d), AddrMode::BaseDisp { base: x(20), disp: o * 8 })
+        }),
+        (reg.clone(), 0i64..256).prop_map(|(s, o)| {
+            str(x(s), AddrMode::BaseDisp { base: x(20), disp: o * 8 })
+        }),
+        (reg, 0i64..128).prop_map(|(d, o)| {
+            ldr_sized(x(d), AddrMode::BaseDisp { base: x(20), disp: o }, 1, false)
+        }),
+    ]
+}
+
+fn program_of(insts: &[Inst], loop_count: i64) -> tvp_workloads::Trace {
+    let mut a = Asm::new();
+    a.i(movz(x(9), loop_count));
+    a.label("top");
+    for i in insts {
+        a.i(*i);
+    }
+    a.i(subs(x(9), x(9), 1i64));
+    a.b_cond(Cond::Ne, "top");
+    let mut m = Machine::new(a.assemble().expect("random program assembles"));
+    m.set_reg(x(20), 0x40_0000);
+    for i in 0..512u64 {
+        m.write_mem(0x40_0000 + i * 8, 8, i.wrapping_mul(0x9E37));
+    }
+    m.run(20_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_retire_exactly(
+        insts in proptest::collection::vec(arb_inst(), 1..24),
+        loops in 8i64..64,
+    ) {
+        let trace = program_of(&insts, loops);
+        prop_assert!(trace.arch_insts > 0);
+        for vp in [VpMode::Off, VpMode::Mvp, VpMode::Tvp, VpMode::Gvp] {
+            let s = simulate_vp(vp, true, &trace);
+            prop_assert_eq!(s.insts_retired, trace.arch_insts);
+            prop_assert_eq!(s.uops_retired, trace.uops.len() as u64);
+        }
+    }
+
+    #[test]
+    fn traces_replay_identically(
+        insts in proptest::collection::vec(arb_inst(), 1..16),
+    ) {
+        let a = program_of(&insts, 16);
+        let b = program_of(&insts, 16);
+        prop_assert_eq!(a.uops.len(), b.uops.len());
+        for (ua, ub) in a.uops.iter().zip(&b.uops) {
+            prop_assert_eq!(ua.result, ub.result);
+            prop_assert_eq!(ua.mem_addr, ub.mem_addr);
+        }
+    }
+
+    #[test]
+    fn speedups_are_bounded_sane(
+        insts in proptest::collection::vec(arb_inst(), 4..20),
+    ) {
+        // No configuration may be pathologically slower or faster than
+        // baseline on random straight-line loop bodies.
+        let trace = program_of(&insts, 48);
+        let base = simulate_vp(VpMode::Off, false, &trace);
+        for vp in [VpMode::Mvp, VpMode::Tvp, VpMode::Gvp] {
+            let s = simulate_vp(vp, true, &trace);
+            let ratio = s.cycles as f64 / base.cycles as f64;
+            prop_assert!(ratio > 0.2 && ratio < 2.0, "ratio {} under {:?}", ratio, vp);
+        }
+    }
+}
