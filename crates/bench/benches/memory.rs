@@ -1,11 +1,11 @@
-//! Criterion micro-benchmarks: memory hierarchy structures.
+//! Micro-benchmarks: memory hierarchy structures.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tvp_bench::microbench::bench_function;
 use tvp_mem::hierarchy::{Hierarchy, HierarchyConfig};
 use tvp_mem::prefetch::{AmpmPrefetcher, StridePrefetcher};
 
-fn bench_hierarchy(c: &mut Criterion) {
-    c.bench_function("hierarchy_streaming_loads", |b| {
+fn bench_hierarchy() {
+    bench_function("hierarchy_streaming_loads", |b| {
         let mut h = Hierarchy::new(HierarchyConfig::default());
         let mut cycle = 0u64;
         let mut addr = 0x1000_0000u64;
@@ -16,7 +16,7 @@ fn bench_hierarchy(c: &mut Criterion) {
         });
     });
 
-    c.bench_function("hierarchy_random_loads", |b| {
+    bench_function("hierarchy_random_loads", |b| {
         let mut h = Hierarchy::new(HierarchyConfig {
             stride_prefetcher: false,
             ampm_prefetcher: false,
@@ -32,8 +32,8 @@ fn bench_hierarchy(c: &mut Criterion) {
     });
 }
 
-fn bench_prefetchers(c: &mut Criterion) {
-    c.bench_function("stride_observe", |b| {
+fn bench_prefetchers() {
+    bench_function("stride_observe", |b| {
         let mut p = StridePrefetcher::new(256, 4);
         let mut addr = 0u64;
         b.iter(|| {
@@ -42,7 +42,7 @@ fn bench_prefetchers(c: &mut Criterion) {
         });
     });
 
-    c.bench_function("ampm_observe", |b| {
+    bench_function("ampm_observe", |b| {
         let mut p = AmpmPrefetcher::new(64, 8);
         let mut addr = 0u64;
         let mut clock = 0u64;
@@ -54,5 +54,7 @@ fn bench_prefetchers(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hierarchy, bench_prefetchers);
-criterion_main!(benches);
+fn main() {
+    bench_hierarchy();
+    bench_prefetchers();
+}

@@ -1,42 +1,37 @@
-//! Criterion macro-benchmarks: simulator throughput per configuration.
+//! Macro-benchmarks: simulator throughput per configuration.
 //!
 //! These measure *simulator* speed (host µops simulated per second),
 //! useful for tracking regressions in the cycle loop, and they double
 //! as smoke tests that every configuration runs a real workload.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tvp_bench::microbench::bench_function;
 use tvp_core::config::VpMode;
 use tvp_core::pipeline::simulate_vp;
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let workload = tvp_workloads::suite::by_name("mc_playout").expect("kernel exists");
     let trace = workload.trace(20_000);
-    let mut group = c.benchmark_group("simulate_mc_playout_20k");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(trace.uops.len() as u64));
+    println!("simulate_mc_playout_20k ({} uops/iter)", trace.uops.len());
     for (vp, spsr, name) in [
         (VpMode::Off, false, "baseline"),
         (VpMode::Mvp, true, "mvp_spsr"),
         (VpMode::Tvp, true, "tvp_spsr"),
         (VpMode::Gvp, false, "gvp"),
     ] {
-        group.bench_function(name, |b| {
+        bench_function(name, |b| {
             b.iter(|| simulate_vp(vp, spsr, &trace).cycles);
         });
     }
-    group.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
+fn bench_trace_generation() {
     let workload = tvp_workloads::suite::by_name("string_match").expect("kernel exists");
-    let mut group = c.benchmark_group("trace_generation");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(20_000));
-    group.bench_function("string_match_20k", |b| {
+    bench_function("trace_generation_string_match_20k", |b| {
         b.iter(|| workload.trace(20_000).uops.len());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_trace_generation);
-criterion_main!(benches);
+fn main() {
+    bench_simulator();
+    bench_trace_generation();
+}

@@ -1,11 +1,11 @@
-//! Criterion micro-benchmarks: predictor structures.
+//! Micro-benchmarks: predictor structures.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tvp_bench::microbench::bench_function;
 use tvp_predictors::tage::{Tage, TageConfig};
 use tvp_predictors::vtage::{PredMode, Vtage, VtageConfig};
 
-fn bench_tage(c: &mut Criterion) {
-    c.bench_function("tage_predict_update", |b| {
+fn bench_tage() {
+    bench_function("tage_predict_update", |b| {
         let mut tage = Tage::new(TageConfig::default());
         let mut i = 0u64;
         b.iter(|| {
@@ -19,28 +19,24 @@ fn bench_tage(c: &mut Criterion) {
         });
     });
 
-    c.bench_function("tage_history_checkpoint", |b| {
+    bench_function("tage_history_checkpoint", |b| {
         let mut tage = Tage::new(TageConfig::default());
         for i in 0..1000 {
             let t = tage.predict(0x4000 + i * 4);
             tage.push_history(i % 2 == 0);
             tage.update(&t, i % 2 == 0);
         }
-        b.iter_batched(
-            || (),
-            |()| tage.history_checkpoint(),
-            BatchSize::SmallInput,
-        );
+        b.iter(|| tage.history_checkpoint());
     });
 }
 
-fn bench_vtage(c: &mut Criterion) {
+fn bench_vtage() {
     for (mode, name) in [
         (PredMode::ZeroOne, "vtage_mvp_predict_update"),
         (PredMode::Narrow9, "vtage_tvp_predict_update"),
         (PredMode::Full64, "vtage_gvp_predict_update"),
     ] {
-        c.bench_function(name, |b| {
+        bench_function(name, |b| {
             let mut vp = Vtage::new(VtageConfig::paper(mode));
             let mut i = 0u64;
             b.iter(|| {
@@ -54,5 +50,7 @@ fn bench_vtage(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_tage, bench_vtage);
-criterion_main!(benches);
+fn main() {
+    bench_tage();
+    bench_vtage();
+}

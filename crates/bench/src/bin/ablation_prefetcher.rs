@@ -12,10 +12,7 @@ fn main() {
     println!("=== Ablation: SpSR vs. the stride prefetcher (§6.2) ({insts} insts) ===\n");
     let prepared = prepare_suite(insts);
 
-    println!(
-        "{:<22} {:>14} {:>14}",
-        "config", "TVP geo %", "TVP+SpSR geo %"
-    );
+    println!("{:<22} {:>14} {:>14}", "config", "TVP geo %", "TVP+SpSR geo %");
     let mut rows = Vec::new();
     for stride_on in [true, false] {
         let mk = |vp: VpMode, spsr: bool| {

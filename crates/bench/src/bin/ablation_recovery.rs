@@ -3,7 +3,9 @@
 //! alternative the paper describes for microarchitectures that already
 //! implement replay, applicable to GVP wide predictions only).
 
-use tvp_bench::{geomean_speedup, inst_budget, prepare_suite, run_cfg, run_vp, write_results, StatsRow};
+use tvp_bench::{
+    geomean_speedup, inst_budget, prepare_suite, run_cfg, run_vp, write_results, StatsRow,
+};
 use tvp_core::config::{CoreConfig, RecoveryPolicy, VpMode};
 
 fn main() {

@@ -7,7 +7,9 @@
 //! with the same wrong value), which our flush-including-self recovery
 //! makes observable as a flush storm.
 
-use tvp_bench::{geomean_speedup, inst_budget, prepare_suite, run_cfg, run_vp, write_results, StatsRow};
+use tvp_bench::{
+    geomean_speedup, inst_budget, prepare_suite, run_cfg, run_vp, write_results, StatsRow,
+};
 use tvp_core::config::{CoreConfig, VpMode};
 
 fn main() {
@@ -43,7 +45,14 @@ fn main() {
             }
             let g = (geomean_speedup(&pairs) - 1.0) * 100.0;
             let label = if adaptive { format!("{silence}+adapt") } else { silence.to_string() };
-            println!("{:<10} {:<10} {:>12.2} {:>14} {:>12}", format!("{vp:?}"), label, g, flushes, squashed);
+            println!(
+                "{:<10} {:<10} {:>12.2} {:>14} {:>12}",
+                format!("{vp:?}"),
+                label,
+                g,
+                flushes,
+                squashed
+            );
         }
     }
     println!();

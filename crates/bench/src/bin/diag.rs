@@ -1,9 +1,14 @@
+//! Quick diagnostic table: per-workload pipeline statistics across the
+//! VP modes, for eyeballing a configuration before a full experiment.
+
 use tvp_core::{simulate_vp, VpMode};
 
 fn main() {
     let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
-    println!("{:<16} {:>6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>6}",
-        "kernel", "ipc", "mvp%", "tvp%", "gvp%", "mvpS%", "tvpS%", "covM", "covT", "covG", "bmiss%");
+    println!(
+        "{:<16} {:>6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>6}",
+        "kernel", "ipc", "mvp%", "tvp%", "gvp%", "mvpS%", "tvpS%", "covM", "covT", "covG", "bmiss%"
+    );
     for w in tvp_workloads::suite() {
         let trace = w.trace(n);
         let base = simulate_vp(VpMode::Off, false, &trace);

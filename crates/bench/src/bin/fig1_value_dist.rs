@@ -33,16 +33,11 @@ fn main() {
     // Also record the per-workload totals for reproducibility.
     let rows: Vec<StatsRow> = Vec::new();
     write_results("fig1_value_dist", &rows);
-    std::fs::write(
-        "results/fig1_top_values.json",
-        serde_json::to_string_pretty(
-            &dist
-                .top(20)
-                .into_iter()
-                .map(|(v, s)| (format!("{v:#x}"), s))
-                .collect::<Vec<_>>(),
-        )
-        .expect("serialize"),
-    )
-    .expect("write fig1 values");
+    let entries: Vec<String> = dist
+        .top(20)
+        .into_iter()
+        .map(|(v, s)| format!("[\"{v:#x}\", {}]", tvp_bench::json::number(s)))
+        .collect();
+    std::fs::write("results/fig1_top_values.json", tvp_bench::json::array(&entries))
+        .expect("write fig1 values");
 }

@@ -71,13 +71,19 @@ fn main() {
         eprintln!("unknown workload `{name}` (try --list)");
         std::process::exit(1);
     };
-    eprintln!("generating trace: {name} ({} arch insts)...", insts);
+    eprintln!("generating trace: {name} ({insts} arch insts)...");
     let trace = workload.trace(insts);
     eprintln!("simulating...");
     let s = simulate(cfg.clone(), &trace);
 
     println!("---------- {} ({}) ----------", workload.name, workload.proxy);
-    println!("config                 vp={:?} spsr={} silence={}{}", cfg.vp, cfg.spsr, cfg.silence_cycles, if cfg.adaptive_silencing { "+adaptive" } else { "" });
+    println!(
+        "config                 vp={:?} spsr={} silence={}{}",
+        cfg.vp,
+        cfg.spsr,
+        cfg.silence_cycles,
+        if cfg.adaptive_silencing { "+adaptive" } else { "" }
+    );
     println!("cycles                 {:>12}", s.cycles);
     println!("insts retired          {:>12}", s.insts_retired);
     println!("uops retired           {:>12}", s.uops_retired);
@@ -112,9 +118,6 @@ fn main() {
         let base = simulate(base_cfg, &trace);
         println!("-- vs. baseline");
         println!("baseline cycles        {:>12}", base.cycles);
-        println!(
-            "speedup                {:>11.2}%",
-            (s.speedup_over(&base) - 1.0) * 100.0
-        );
+        println!("speedup                {:>11.2}%", (s.speedup_over(&base) - 1.0) * 100.0);
     }
 }

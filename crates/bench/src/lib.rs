@@ -10,10 +10,6 @@
 //! default 300,000 — a scaled-down SimPoint) and write JSON next to
 //! their stdout tables into `results/`.
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
-use serde::Serialize;
 use tvp_core::config::{CoreConfig, VpMode};
 use tvp_core::pipeline::simulate;
 use tvp_core::stats::SimStats;
@@ -27,10 +23,7 @@ pub const DEFAULT_INSTS: u64 = 300_000;
 /// [`DEFAULT_INSTS`]).
 #[must_use]
 pub fn inst_budget() -> u64 {
-    std::env::var("TVP_INSTS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTS)
+    std::env::var("TVP_INSTS").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTS)
 }
 
 /// A workload with its pre-generated trace (traces are deterministic,
@@ -56,7 +49,6 @@ pub fn prepare_suite(insts: u64) -> Vec<PreparedWorkload> {
 }
 
 /// Simulates one prepared workload under a VP mode (paper machine).
-#[must_use]
 pub fn run_vp(p: &PreparedWorkload, vp: VpMode, spsr: bool) -> SimStats {
     let mut cfg = CoreConfig::with_vp(vp);
     cfg.spsr = spsr;
@@ -64,7 +56,6 @@ pub fn run_vp(p: &PreparedWorkload, vp: VpMode, spsr: bool) -> SimStats {
 }
 
 /// Simulates one prepared workload under an explicit configuration.
-#[must_use]
 pub fn run_cfg(p: &PreparedWorkload, cfg: CoreConfig) -> SimStats {
     simulate(cfg, &p.trace)
 }
@@ -76,10 +67,7 @@ pub fn geomean_speedup(pairs: &[(SimStats, SimStats)]) -> f64 {
     if pairs.is_empty() {
         return 1.0;
     }
-    let log_sum: f64 = pairs
-        .iter()
-        .map(|(new, base)| new.speedup_over(base).ln())
-        .sum();
+    let log_sum: f64 = pairs.iter().map(|(new, base)| new.speedup_over(base).ln()).sum();
     (log_sum / pairs.len() as f64).exp()
 }
 
@@ -110,7 +98,7 @@ pub fn speedup_pct(new: &SimStats, base: &SimStats) -> f64 {
 }
 
 /// JSON-friendly snapshot of one simulation.
-#[derive(Serialize, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct StatsRow {
     /// Workload name.
     pub workload: &'static str,
@@ -183,6 +171,85 @@ impl StatsRow {
     }
 }
 
+/// Hand-rolled JSON emission (the offline build environment has no
+/// `serde`; results stay machine-readable without it).
+pub mod json {
+    /// Escapes a string for inclusion in a JSON document.
+    #[must_use]
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Formats an `f64` as a JSON number (finite values only; NaN and
+    /// infinities serialise as `null`, as `serde_json` does).
+    #[must_use]
+    pub fn number(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".to_owned()
+        }
+    }
+
+    /// Serialises `(key, value)` pairs as one pretty-printed object.
+    #[must_use]
+    pub fn object(fields: &[(&str, String)]) -> String {
+        let body: Vec<String> =
+            fields.iter().map(|(k, v)| format!("    \"{}\": {v}", escape(k))).collect();
+        format!("{{\n{}\n  }}", body.join(",\n"))
+    }
+
+    /// Serialises pre-rendered elements as a pretty-printed array.
+    #[must_use]
+    pub fn array(elements: &[String]) -> String {
+        if elements.is_empty() {
+            return "[]".to_owned();
+        }
+        format!("[\n  {}\n]", elements.join(",\n  "))
+    }
+}
+
+impl StatsRow {
+    /// Serialises the row as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        json::object(&[
+            ("workload", format!("\"{}\"", json::escape(self.workload))),
+            ("config", format!("\"{}\"", json::escape(&self.config))),
+            ("cycles", self.cycles.to_string()),
+            ("insts", self.insts.to_string()),
+            ("uops", self.uops.to_string()),
+            ("ipc", json::number(self.ipc)),
+            ("vp_coverage", json::number(self.vp_coverage)),
+            ("vp_accuracy", json::number(self.vp_accuracy)),
+            ("vp_flushes", self.vp_flushes.to_string()),
+            ("branch_mispredicts", self.branch_mispredicts.to_string()),
+            ("prf_reads", self.prf_reads.to_string()),
+            ("prf_writes", self.prf_writes.to_string()),
+            ("iq_dispatched", self.iq_dispatched.to_string()),
+            ("iq_issued", self.iq_issued.to_string()),
+            ("zero_idiom", self.zero_idiom.to_string()),
+            ("one_idiom", self.one_idiom.to_string()),
+            ("move_elim", self.move_elim.to_string()),
+            ("nine_bit_idiom", self.nine_bit_idiom.to_string()),
+            ("spsr", self.spsr.to_string()),
+            ("non_me_move", self.non_me_move.to_string()),
+        ])
+    }
+}
+
 /// Writes experiment rows as JSON under `results/<name>.json`.
 ///
 /// # Panics
@@ -192,17 +259,57 @@ impl StatsRow {
 pub fn write_results(name: &str, rows: &[StatsRow]) {
     std::fs::create_dir_all("results").expect("create results directory");
     let path = format!("results/{name}.json");
-    let json = serde_json::to_string_pretty(rows).expect("serialize results");
-    std::fs::write(&path, json).expect("write results file");
+    let rendered: Vec<String> = rows.iter().map(StatsRow::to_json).collect();
+    std::fs::write(&path, json::array(&rendered)).expect("write results file");
     println!("\n[results written to {path}]");
 }
 
+/// Dependency-free micro-benchmark harness (the offline build has no
+/// `criterion`). Auto-calibrates iteration counts against wall-clock
+/// time and reports ns/iteration; `cargo bench` wires the `benches/`
+/// files straight into it via `harness = false`.
+pub mod microbench {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Timing state handed to each benchmark closure.
+    pub struct Bencher {
+        ns_per_iter: f64,
+    }
+
+    impl Bencher {
+        /// Calibrates and times `f`, storing the per-iteration cost.
+        pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+            // Warm up and find an iteration count that runs ≥ ~50 ms.
+            let mut batch: u64 = 8;
+            loop {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                let elapsed = start.elapsed();
+                if elapsed.as_millis() >= 50 || batch >= 1 << 28 {
+                    #[allow(clippy::cast_precision_loss)]
+                    let ns = elapsed.as_nanos() as f64 / batch as f64;
+                    self.ns_per_iter = ns;
+                    return;
+                }
+                batch *= 4;
+            }
+        }
+    }
+
+    /// Runs one named benchmark and prints its ns/iteration.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(name: &str, f: F) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        println!("{name:<40} {:>12.1} ns/iter", b.ns_per_iter);
+    }
+}
+
 /// The VP flavours of Fig. 3, with display labels.
-pub const VP_FLAVOURS: [(VpMode, &str); 3] = [
-    (VpMode::Mvp, "Min. VP"),
-    (VpMode::Tvp, "Tar. VP"),
-    (VpMode::Gvp, "Gen. VP"),
-];
+pub const VP_FLAVOURS: [(VpMode, &str); 3] =
+    [(VpMode::Mvp, "Min. VP"), (VpMode::Tvp, "Tar. VP"), (VpMode::Gvp, "Gen. VP")];
 
 #[cfg(test)]
 mod tests {

@@ -131,6 +131,10 @@ pub struct CoreConfig {
     pub tage: TageConfig,
     /// Memory hierarchy geometry.
     pub mem: HierarchyConfig,
+    /// Run the invariant auditors every this many cycles (0 disables
+    /// periodic audits; an end-of-run audit still happens). Only
+    /// effective when the crate is built with the `verif` feature.
+    pub audit_every: u64,
 }
 
 impl CoreConfig {
@@ -167,6 +171,7 @@ impl CoreConfig {
             adaptive_silencing: false,
             tage: TageConfig::default(),
             mem: HierarchyConfig::default(),
+            audit_every: 1_000,
         }
     }
 
@@ -241,7 +246,16 @@ pub struct FuPool {
 
 impl Default for FuPool {
     fn default() -> Self {
-        FuPool { int_alu: 6, int_mul: 2, int_div: 1, fp_alu: 4, fp_mul: 4, fp_div: 1, load: 2, store: 2 }
+        FuPool {
+            int_alu: 6,
+            int_mul: 2,
+            int_div: 1,
+            fp_alu: 4,
+            fp_mul: 4,
+            fp_div: 1,
+            load: 2,
+            store: 2,
+        }
     }
 }
 

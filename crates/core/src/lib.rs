@@ -30,9 +30,6 @@
 //! assert!(base.ipc() > 0.1);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod config;
 pub mod physreg;
 pub mod pipeline;

@@ -199,6 +199,33 @@ impl RegFile {
     pub fn ref_count(&self, p: u16) -> u32 {
         self.ref_count[usize::from(p)]
     }
+
+    /// Total number of physical registers in this class.
+    #[must_use]
+    pub fn total(&self) -> u16 {
+        self.ref_count.len() as u16
+    }
+
+    /// Number of hardwired (never allocated or freed) registers.
+    #[must_use]
+    pub fn hardwired(&self) -> u16 {
+        self.hardwired
+    }
+
+    /// The current free-list contents, in allocation order
+    /// (diagnostics: the invariant auditor cross-checks this against
+    /// the rename maps).
+    #[must_use]
+    pub fn free_regs(&self) -> Vec<u16> {
+        self.free.iter().copied().collect()
+    }
+
+    /// All reference counts, indexed by physical register id
+    /// (diagnostics).
+    #[must_use]
+    pub fn ref_counts(&self) -> Vec<u32> {
+        self.ref_count.clone()
+    }
 }
 
 #[cfg(test)]

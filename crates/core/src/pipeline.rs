@@ -145,6 +145,12 @@ pub struct Core {
     int_div_busy: u64,
     fp_div_busy: u64,
     stats: SimStats,
+    #[cfg(feature = "verif")]
+    auditors: Vec<Box<dyn tvp_verif::PipelineAuditor>>,
+    #[cfg(feature = "verif")]
+    audit_report: tvp_verif::AuditReport,
+    #[cfg(feature = "verif")]
+    last_committed_seq: Option<u64>,
 }
 
 impl Core {
@@ -192,6 +198,12 @@ impl Core {
             int_div_busy: 0,
             fp_div_busy: 0,
             stats: SimStats::default(),
+            #[cfg(feature = "verif")]
+            auditors: tvp_verif::standard_suite(),
+            #[cfg(feature = "verif")]
+            audit_report: tvp_verif::AuditReport::default(),
+            #[cfg(feature = "verif")]
+            last_committed_seq: None,
             cfg,
         }
     }
@@ -227,6 +239,8 @@ impl Core {
         }
         self.stats.cycles = self.cycle;
         self.stats.rename = self.renamer.stats();
+        #[cfg(feature = "verif")]
+        self.final_audit();
         self.stats
     }
 
@@ -252,6 +266,8 @@ impl Core {
         self.drain_issued_iq();
         self.rename(trace);
         self.fetch(trace);
+        #[cfg(feature = "verif")]
+        self.maybe_audit();
         self.cycle += 1;
     }
 
@@ -262,8 +278,7 @@ impl Core {
     fn commit(&mut self, trace: &Trace) {
         for _ in 0..self.cfg.commit_width {
             let Some(head) = self.rob.front() else { break };
-            if !(head.renamed.eliminated.is_some() || head.issued) || head.done_cycle > self.cycle
-            {
+            if !(head.renamed.eliminated.is_some() || head.issued) || head.done_cycle > self.cycle {
                 break;
             }
             let entry = self.rob.pop_front().expect("head exists");
@@ -292,8 +307,10 @@ impl Core {
                 if b.taken {
                     self.btb.insert(u.pc, b.target, kind);
                 }
-                if matches!(kind, BranchKind::Indirect | BranchKind::IndirectCall | BranchKind::Return)
-                {
+                if matches!(
+                    kind,
+                    BranchKind::Indirect | BranchKind::IndirectCall | BranchKind::Return
+                ) {
                     self.itc.update_with_path(u.pc, b.target, entry.itc_path_at_predict);
                 }
             }
@@ -304,17 +321,17 @@ impl Core {
             }
 
             // Advance the history checkpoint floor past this µop.
-            while self
-                .checkpoints
-                .front()
-                .is_some_and(|c| c.seq <= entry.seq)
-            {
+            while self.checkpoints.front().is_some_and(|c| c.seq <= entry.seq) {
                 self.floor = self.checkpoints.pop_front().expect("front exists");
             }
 
             self.stats.uops_retired += 1;
             if entry.first_uop {
                 self.stats.insts_retired += 1;
+            }
+            #[cfg(feature = "verif")]
+            {
+                self.last_committed_seq = Some(entry.seq);
             }
         }
     }
@@ -324,10 +341,7 @@ impl Core {
     // ----------------------------------------------------------------
 
     fn deps_ready(&self, renamed: &RenamedUop) -> bool {
-        renamed
-            .deps
-            .iter()
-            .all(|d| self.renamer.file(d.class).ready_at(d.p) <= self.cycle)
+        renamed.deps.iter().all(|d| self.renamer.file(d.class).ready_at(d.p) <= self.cycle)
     }
 
     fn issue(&mut self, trace: &Trace) {
@@ -408,7 +422,9 @@ impl Core {
                         .iter()
                         .rev()
                         .find(|s| {
-                            s.seq < seq && s.issued && overlap(s.addr, s.size, lq_entry.addr, lq_entry.size)
+                            s.seq < seq
+                                && s.issued
+                                && overlap(s.addr, s.size, lq_entry.addr, lq_entry.size)
                         })
                         .is_some();
                     if forward {
@@ -419,11 +435,8 @@ impl Core {
                     self.lq[lq_idx].issued = true;
                 }
                 ExecClass::Store => {
-                    let sq_entry = self
-                        .sq
-                        .iter_mut()
-                        .find(|s| s.seq == seq)
-                        .expect("store has an SQ entry");
+                    let sq_entry =
+                        self.sq.iter_mut().find(|s| s.seq == seq).expect("store has an SQ entry");
                     sq_entry.issued = true;
                     let (s_addr, s_size, s_pc) = (sq_entry.addr, sq_entry.size, sq_entry.pc);
                     // Memory-ordering violation: a younger load already
@@ -431,7 +444,9 @@ impl Core {
                     let violating = self
                         .lq
                         .iter()
-                        .filter(|l| l.seq > seq && l.issued && overlap(l.addr, l.size, s_addr, s_size))
+                        .filter(|l| {
+                            l.seq > seq && l.issued && overlap(l.addr, l.size, s_addr, s_size)
+                        })
                         .map(|l| l.seq)
                         .min();
                     if let Some(load_seq) = violating {
@@ -465,15 +480,11 @@ impl Core {
                     // Replay recovery policy repairs them selectively.
                     let include_self = apply == PredApply::Named;
                     let wide_reg = self.rob[i].renamed.dest_alloc.map(|(_, p)| p);
-                    if !include_self
-                        && self.cfg.recovery == RecoveryPolicy::Replay
-                        && wide_reg.is_some()
-                    {
-                        self.pending_replays.push(PendingReplay {
-                            at_cycle: completion,
-                            seq,
-                            reg: wide_reg.expect("checked above"),
-                        });
+                    let replay_reg = (!include_self && self.cfg.recovery == RecoveryPolicy::Replay)
+                        .then_some(wide_reg)
+                        .flatten();
+                    if let Some(reg) = replay_reg {
+                        self.pending_replays.push(PendingReplay { at_cycle: completion, seq, reg });
                     } else {
                         self.pending_flushes.push(PendingFlush {
                             at_cycle: completion,
@@ -514,9 +525,7 @@ impl Core {
                 }
             }
             if let Some(p) = renamed.flags_alloc {
-                self.renamer
-                    .file_mut(crate::rename::RegClass::Int)
-                    .set_ready(p, completion);
+                self.renamer.file_mut(crate::rename::RegClass::Int).set_ready(p, completion);
                 self.stats.activity.int_prf_writes += 1;
             }
             // Predicted µops with named destinations write no register.
@@ -619,6 +628,7 @@ impl Core {
                     addr: u.mem_addr.expect("load has an address"),
                     size: match u.uop.op {
                         Op::Load { size, .. } => size,
+                        // audited: guarded by is_load() on the µop above
                         _ => unreachable!(),
                     },
                     issued: false,
@@ -626,10 +636,8 @@ impl Core {
                 });
             }
             if u.uop.op.is_store() {
-                let size = match u.uop.op {
-                    Op::Store { size } => size,
-                    _ => unreachable!(),
-                };
+                // audited: guarded by is_store() on the µop above
+                let Op::Store { size } = u.uop.op else { unreachable!() };
                 self.sq.push_back(SqEntry {
                     seq: u.seq,
                     addr: u.mem_addr.expect("store has an address"),
@@ -812,12 +820,8 @@ impl Core {
         if self.pending_replays.is_empty() {
             return;
         }
-        let due: Vec<PendingReplay> = self
-            .pending_replays
-            .iter()
-            .copied()
-            .filter(|r| r.at_cycle <= self.cycle)
-            .collect();
+        let due: Vec<PendingReplay> =
+            self.pending_replays.iter().copied().filter(|r| r.at_cycle <= self.cycle).collect();
         if due.is_empty() {
             return;
         }
@@ -834,22 +838,17 @@ impl Core {
             self.stats.flush.vp_replays += 1;
 
             // The repaired value becomes available now.
-            self.renamer
-                .file_mut(crate::rename::RegClass::Int)
-                .set_ready(replay.reg, self.cycle);
+            self.renamer.file_mut(crate::rename::RegClass::Int).set_ready(replay.reg, self.cycle);
 
-            let mut poisoned: Vec<crate::rename::Dep> = vec![crate::rename::Dep {
-                class: crate::rename::RegClass::Int,
-                p: replay.reg,
-            }];
+            let mut poisoned: Vec<crate::rename::Dep> =
+                vec![crate::rename::Dep { class: crate::rename::RegClass::Int, p: replay.reg }];
             let mut fallback_flush = false;
             for i in (start + 1)..self.rob.len() {
                 let entry = &self.rob[i];
                 if !entry.issued {
                     continue; // unissued consumers wait naturally
                 }
-                let consumes =
-                    entry.renamed.deps.iter().any(|d| poisoned.contains(d));
+                let consumes = entry.renamed.deps.iter().any(|d| poisoned.contains(d));
                 if !consumes {
                     continue;
                 }
@@ -872,13 +871,8 @@ impl Core {
                     poisoned.push(crate::rename::Dep { class, p });
                 }
                 if let Some(p) = entry.renamed.flags_alloc {
-                    self.renamer
-                        .file_mut(crate::rename::RegClass::Int)
-                        .set_ready(p, u64::MAX);
-                    poisoned.push(crate::rename::Dep {
-                        class: crate::rename::RegClass::Int,
-                        p,
-                    });
+                    self.renamer.file_mut(crate::rename::RegClass::Int).set_ready(p, u64::MAX);
+                    poisoned.push(crate::rename::Dep { class: crate::rename::RegClass::Int, p });
                 }
                 let u = &trace.uops[self.rob[i].idx];
                 if u.uop.op.is_load() {
@@ -908,12 +902,8 @@ impl Core {
     // ----------------------------------------------------------------
 
     fn apply_pending_flush(&mut self, trace: &Trace) {
-        let due: Vec<PendingFlush> = self
-            .pending_flushes
-            .iter()
-            .copied()
-            .filter(|f| f.at_cycle <= self.cycle)
-            .collect();
+        let due: Vec<PendingFlush> =
+            self.pending_flushes.iter().copied().filter(|f| f.at_cycle <= self.cycle).collect();
         let Some(flush) = due.iter().min_by_key(|f| f.first_squashed_seq).copied() else {
             return;
         };
@@ -922,8 +912,7 @@ impl Core {
         // after re-execution).
         self.pending_flushes
             .retain(|f| f.at_cycle > self.cycle && f.first_squashed_seq < flush.first_squashed_seq);
-        self.pending_replays
-            .retain(|r| r.seq < flush.first_squashed_seq);
+        self.pending_replays.retain(|r| r.seq < flush.first_squashed_seq);
 
         let cut = flush.first_squashed_seq;
         match flush.kind {
@@ -1002,9 +991,140 @@ impl Core {
     }
 
     /// Statistics snapshot (valid after [`Core::run`]).
-    #[must_use]
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+}
+
+// --------------------------------------------------------------------
+// verification (the `verif` feature)
+// --------------------------------------------------------------------
+
+#[cfg(feature = "verif")]
+impl Core {
+    fn snap_name(name: PhysName) -> tvp_verif::SnapName {
+        match name {
+            PhysName::Reg(p) => tvp_verif::SnapName::Reg(p),
+            PhysName::Inline(v) => tvp_verif::SnapName::Inline(v),
+            PhysName::KnownFlags(f) => tvp_verif::SnapName::KnownFlags(f),
+        }
+    }
+
+    /// Class of a dense architectural index (see [`tvp_isa::reg::Reg::dense_index`]):
+    /// `32..64` are the FP registers, everything else (GPRs and `NZCV`)
+    /// lives in the integer file.
+    fn snap_class(dense: usize) -> tvp_verif::RegClass {
+        if (32..64).contains(&dense) {
+            tvp_verif::RegClass::Fp
+        } else {
+            tvp_verif::RegClass::Int
+        }
+    }
+
+    fn class_snapshot(&self, class: crate::rename::RegClass) -> tvp_verif::RegClassSnapshot {
+        let file = self.renamer.file(class);
+        tvp_verif::RegClassSnapshot {
+            class: match class {
+                crate::rename::RegClass::Int => tvp_verif::RegClass::Int,
+                crate::rename::RegClass::Fp => tvp_verif::RegClass::Fp,
+            },
+            total: file.total(),
+            hardwired: file.hardwired(),
+            free: file.free_regs(),
+            ref_counts: file.ref_counts(),
+        }
+    }
+
+    /// Assembles the plain-data mirror of the renaming and queue state
+    /// that the [`tvp_verif`] auditors inspect. Taken between cycles,
+    /// when no µop is mid-rename.
+    #[must_use]
+    pub fn snapshot(&self) -> tvp_verif::PipelineSnapshot {
+        use tvp_isa::reg::NUM_DENSE_REGS;
+        let map_entry = |dense: usize, name: PhysName| tvp_verif::MapEntry {
+            dense: dense as u16,
+            class: Self::snap_class(dense),
+            name: Self::snap_name(name),
+        };
+        let crat = (0..NUM_DENSE_REGS).map(|d| map_entry(d, self.renamer.crat_entry(d))).collect();
+        let rat = (0..NUM_DENSE_REGS).map(|d| map_entry(d, self.renamer.rat_entry(d))).collect();
+        let rob = self
+            .rob
+            .iter()
+            .map(|e| tvp_verif::RobSnapshot {
+                seq: e.seq,
+                in_iq: e.in_iq,
+                new_names: e.new_names.iter().map(|&(d, n)| map_entry(d, n)).collect(),
+            })
+            .collect();
+        tvp_verif::PipelineSnapshot {
+            cycle: self.cycle,
+            int: self.class_snapshot(crate::rename::RegClass::Int),
+            fp: self.class_snapshot(crate::rename::RegClass::Fp),
+            crat,
+            rat,
+            rob,
+            iq_count: self.iq_count,
+            lq_seqs: self.lq.iter().map(|l| l.seq).collect(),
+            sq_seqs: self.sq.iter().map(|s| s.seq).collect(),
+            limits: tvp_verif::QueueLimits {
+                rob: self.cfg.rob_size,
+                iq: self.cfg.iq_size,
+                lq: self.cfg.lq_size,
+                sq: self.cfg.sq_size,
+            },
+            committed_seq: self.last_committed_seq,
+            uops_retired: self.stats.uops_retired,
+        }
+    }
+
+    fn maybe_audit(&mut self) {
+        let every = self.cfg.audit_every;
+        if every != 0 && self.cycle.is_multiple_of(every) {
+            self.run_audit();
+        }
+    }
+
+    fn run_audit(&mut self) {
+        let snap = self.snapshot();
+        tvp_verif::run_suite(&mut self.auditors, &snap, &mut self.audit_report);
+    }
+
+    /// End-of-run audit: one last invariant pass over the drained
+    /// pipeline, plus the storage-budget assertion — the single place
+    /// every [`tvp_verif::StorageBudget`] report is checked against the
+    /// paper's Table 2 ceilings.
+    fn final_audit(&mut self) {
+        self.run_audit();
+        let specs = tvp_verif::budget::table2_budgets();
+        for v in tvp_verif::budget::check_budgets(&specs, &self.storage_report()) {
+            self.audit_report.violations.push((self.cycle, "storage-budget", v));
+        }
+    }
+
+    /// Modeled hardware state, in bits, per structure — every table the
+    /// core instantiates, named as in the Table 2 budget list.
+    #[must_use]
+    pub fn storage_report(&self) -> Vec<(String, u64)> {
+        use tvp_verif::StorageBudget;
+        let mut out = vec![
+            (self.tage.storage_name().to_owned(), self.tage.storage_bits()),
+            (self.btb.storage_name().to_owned(), self.btb.storage_bits()),
+            (self.ras.storage_name().to_owned(), self.ras.storage_bits()),
+            (self.itc.storage_name().to_owned(), self.itc.storage_bits()),
+        ];
+        if let Some(vp) = self.vtage.as_ref() {
+            out.push((vp.storage_name().to_owned(), vp.storage_bits()));
+        }
+        out.extend(self.mem.storage_report());
+        out
+    }
+
+    /// Everything the auditors have found so far (complete after
+    /// [`Core::run`]).
+    #[must_use]
+    pub fn audit_report(&self) -> &tvp_verif::AuditReport {
+        &self.audit_report
     }
 }
 
@@ -1019,13 +1139,11 @@ impl std::fmt::Debug for Core {
 }
 
 /// Convenience: simulate a trace under a configuration.
-#[must_use]
 pub fn simulate(cfg: CoreConfig, trace: &Trace) -> SimStats {
     Core::new(cfg).run(trace)
 }
 
 /// Convenience: simulate a named VP mode (paper Table 2 machine).
-#[must_use]
 pub fn simulate_vp(vp: VpMode, spsr: bool, trace: &Trace) -> SimStats {
     let mut cfg = CoreConfig::with_vp(vp);
     cfg.spsr = spsr;
@@ -1035,12 +1153,12 @@ pub fn simulate_vp(vp: VpMode, spsr: bool, trace: &Trace) -> SimStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tvp_workloads::program::Asm;
-    use tvp_workloads::Machine;
     use tvp_isa::flags::Cond;
     use tvp_isa::inst::build::*;
     use tvp_isa::inst::AddrMode;
     use tvp_isa::reg::x;
+    use tvp_workloads::program::Asm;
+    use tvp_workloads::Machine;
 
     fn counted_loop_trace(n: i64) -> Trace {
         let mut a = Asm::new();
@@ -1061,6 +1179,25 @@ mod tests {
         assert!(stats.cycles > 0);
         let ipc = stats.ipc();
         assert!(ipc > 0.5 && ipc < 8.0, "loop IPC = {ipc}");
+    }
+
+    #[cfg(feature = "verif")]
+    #[test]
+    fn auditors_stay_clean_on_a_small_loop() {
+        // Audit every cycle, across every VP/SpSR flavour, so rename,
+        // squash and commit all hit the invariant checks repeatedly.
+        let trace = counted_loop_trace(400);
+        for vp in [VpMode::Off, VpMode::Mvp, VpMode::Tvp, VpMode::Gvp] {
+            for spsr in [false, true] {
+                let mut cfg = CoreConfig::with_vp(vp);
+                cfg.spsr = spsr;
+                cfg.audit_every = 1;
+                let mut core = Core::new(cfg);
+                let _stats = core.run(&trace);
+                let report = core.audit_report();
+                assert!(report.is_clean(), "vp={vp:?} spsr={spsr}:\n{}", report.render());
+            }
+        }
     }
 
     #[test]
@@ -1135,10 +1272,7 @@ mod tests {
         let mvp = simulate_vp(VpMode::Mvp, false, &trace);
         let mvp_gain = mvp.speedup_over(&base) - 1.0;
         let gvp_gain = speedup - 1.0;
-        assert!(
-            mvp_gain < gvp_gain * 0.3,
-            "MVP gain {mvp_gain:.3} vs GVP gain {gvp_gain:.3}"
-        );
+        assert!(mvp_gain < gvp_gain * 0.3, "MVP gain {mvp_gain:.3} vs GVP gain {gvp_gain:.3}");
     }
 
     #[test]

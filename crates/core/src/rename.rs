@@ -138,17 +138,12 @@ impl Renamer {
             };
             rat.push(name);
         }
-        // The CRAT shares the initial mappings; bump refcounts so each
-        // register is owned by both tables.
-        for (dense, name) in rat.iter().enumerate() {
-            if let PhysName::Reg(p) = *name {
-                if dense < 32 || dense == Reg::Nzcv.dense_index() {
-                    int.add_ref(p);
-                } else {
-                    fp.add_ref(p);
-                }
-            }
-        }
+        // The CRAT shares the initial mappings under a single reference
+        // each: one refcount unit covers a name's whole new_names → CRAT
+        // lifetime, released when the next writer of the same register
+        // commits (see `commit_with_names`). A second per-table
+        // reference here would never be released — the registers would
+        // leak out of the free list at their first overwrite.
         Renamer {
             crat: rat.clone(),
             rat,
@@ -200,7 +195,6 @@ impl Renamer {
     }
 
     /// Rename statistics.
-    #[must_use]
     pub fn stats(&self) -> RenameStats {
         self.stats
     }
@@ -307,11 +301,8 @@ impl Renamer {
                 if !self.move_elim {
                     return None;
                 }
-                let src = if reduction == Reduction::MoveOfSrc1 {
-                    uop.src1
-                } else {
-                    uop.src2.reg()
-                }?;
+                let src =
+                    if reduction == Reduction::MoveOfSrc1 { uop.src1 } else { uop.src2.reg() }?;
                 let name = self.name_of(src);
                 if !self.move_width_ok(uop.width, name) {
                     out.non_me_move = true;
@@ -367,13 +358,21 @@ impl Renamer {
         if uop.op == Op::MovImm {
             let value = uop.src2.imm().unwrap_or(0) as u64 & uop.width.mask();
             if self.zero_one_idiom && value == 0 {
-                self.map_dest(uop.dst.expect("movz has a destination"), PhysName::Reg(PHYS_ZERO), &mut out);
+                self.map_dest(
+                    uop.dst.expect("movz has a destination"),
+                    PhysName::Reg(PHYS_ZERO),
+                    &mut out,
+                );
                 out.eliminated = Some(ElimCategory::ZeroIdiom);
                 self.stats.zero_idiom += 1;
                 return Ok(out);
             }
             if self.zero_one_idiom && value == 1 {
-                self.map_dest(uop.dst.expect("movz has a destination"), PhysName::Reg(PHYS_ONE), &mut out);
+                self.map_dest(
+                    uop.dst.expect("movz has a destination"),
+                    PhysName::Reg(PHYS_ONE),
+                    &mut out,
+                );
                 out.eliminated = Some(ElimCategory::OneIdiom);
                 self.stats.one_idiom += 1;
                 return Ok(out);
@@ -423,7 +422,9 @@ impl Renamer {
                 Reduction::ZeroIdiom { .. } => Some(ElimCategory::ZeroIdiom),
                 Reduction::OneIdiom { .. } => Some(ElimCategory::OneIdiom),
                 Reduction::MoveOfSrc1 | Reduction::MoveOfSrc2 => Some(ElimCategory::MoveElim),
-                Reduction::KnownValue { .. } | Reduction::ResolvedBranch { .. } | Reduction::None => None,
+                Reduction::KnownValue { .. }
+                | Reduction::ResolvedBranch { .. }
+                | Reduction::None => None,
             };
             if let Some(cat) = category {
                 if let Some(applied) = self.apply_reduction(uop, static_red, cat, &mut out) {
@@ -454,7 +455,9 @@ impl Renamer {
             if has_dynamic {
                 let red = reduce(uop, &known);
                 if red.is_reduced() {
-                    if let Some(applied) = self.apply_reduction(uop, red, ElimCategory::Spsr, &mut out) {
+                    if let Some(applied) =
+                        self.apply_reduction(uop, red, ElimCategory::Spsr, &mut out)
+                    {
                         out.eliminated = Some(applied);
                         self.stats.spsr += 1;
                         return Ok(out);
@@ -485,7 +488,11 @@ impl Renamer {
             let p = self.int.alloc().expect("checked above");
             self.int.set_ready(p, 0);
             self.int.set_is32(p, value <= u64::from(u32::MAX));
-            self.map_dest(uop.dst.expect("VP-eligible µops have a GPR dest"), PhysName::Reg(p), &mut out);
+            self.map_dest(
+                uop.dst.expect("VP-eligible µops have a GPR dest"),
+                PhysName::Reg(p),
+                &mut out,
+            );
             out.dest_alloc = Some((RegClass::Int, p));
             out.predicted = Some((value, PredApply::WidePrfWrite));
             if uop.sets_flags {
@@ -801,8 +808,7 @@ mod tests {
         let new_name = r.name_of(x(0));
         let old_p = old.reg().unwrap();
         let rc = r.file(RegClass::Int).ref_count(old_p);
-        let names: Vec<(usize, PhysName)> =
-            out.undo.iter().map(|&(d, _)| (d, new_name)).collect();
+        let names: Vec<(usize, PhysName)> = out.undo.iter().map(|&(d, _)| (d, new_name)).collect();
         r.commit_with_names(&names);
         assert_eq!(r.crat_entry(x(0).dense_index()), new_name);
         assert_eq!(r.file(RegClass::Int).ref_count(old_p), rc - 1);
@@ -815,10 +821,7 @@ mod tests {
         let mut r = Renamer::new(&cfg);
         assert!(r.rename_uop(&add(x(0), x(1), x(2)), true, None).is_ok());
         assert!(r.rename_uop(&add(x(3), x(1), x(2)), true, None).is_ok());
-        assert!(
-            r.rename_uop(&add(x(4), x(1), x(2)), true, None).is_err(),
-            "free list exhausted"
-        );
+        assert!(r.rename_uop(&add(x(4), x(1), x(2)), true, None).is_err(), "free list exhausted");
         // Eliminations still succeed without registers.
         let out = r.rename_uop(&movz(x(5), 0), true, None).unwrap();
         assert_eq!(out.eliminated, Some(ElimCategory::ZeroIdiom));

@@ -137,7 +137,8 @@ pub fn reduce(uop: &Inst, known: &Known) -> Reduction {
 
     match uop.op {
         Op::Cbz | Op::Cbnz | Op::Tbz(_) | Op::Tbnz(_) if all_known => {
-            let taken = tvp_isa::exec::branch_taken(uop.op, uop.width, k1.unwrap(), Nzcv::default());
+            let taken =
+                tvp_isa::exec::branch_taken(uop.op, uop.width, k1.unwrap(), Nzcv::default());
             return Reduction::ResolvedBranch { taken };
         }
         Op::BCond(c) => {
@@ -282,11 +283,7 @@ mod tests {
     #[test]
     fn row_add_orr_eor_imm1_one_idiom() {
         for u in [add(x(0), x(1), 1i64), orr(x(0), x(1), 1i64), eor(x(0), x(1), 1i64)] {
-            assert_eq!(
-                reduce(&u, &k(Some(0), None)),
-                Reduction::OneIdiom { flags: None },
-                "{u}"
-            );
+            assert_eq!(reduce(&u, &k(Some(0), None)), Reduction::OneIdiom { flags: None }, "{u}");
         }
     }
 

@@ -1,6 +1,7 @@
 //! Simulation statistics: everything the paper's figures report.
 
 /// Rename-time elimination categories (Fig. 4's stacked bars).
+#[must_use = "rename counters feed Fig. 4; dropping them silently skews the elimination breakdown"]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RenameStats {
     /// Architectural instructions processed at rename (first µops).
@@ -38,6 +39,7 @@ impl RenameStats {
 }
 
 /// Value prediction accounting (coverage/accuracy of §6.1).
+#[must_use = "value-prediction counters feed the coverage/accuracy tables; dropping them hides mispredictions"]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct VpStats {
     /// VP-eligible µops seen at rename.
@@ -76,6 +78,7 @@ impl VpStats {
 }
 
 /// Activity proxies for the power discussion (Fig. 6).
+#[must_use = "activity counters feed the Fig. 6 power proxies"]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ActivityStats {
     /// Integer PRF read ports exercised at issue.
@@ -89,6 +92,7 @@ pub struct ActivityStats {
 }
 
 /// Pipeline flush accounting.
+#[must_use = "flush counters explain every cycle lost to recovery"]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FlushStats {
     /// Branch mispredictions (front-end stalls in this trace-driven
@@ -108,6 +112,7 @@ pub struct FlushStats {
 }
 
 /// Top-level simulation result.
+#[must_use = "a simulation result that is dropped was a wasted run"]
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SimStats {
     /// Cycles simulated.
@@ -160,10 +165,21 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let mut s = SimStats { cycles: 1000, insts_retired: 2500, uops_retired: 2700, ..Default::default() };
+        let mut s = SimStats {
+            cycles: 1000,
+            insts_retired: 2500,
+            uops_retired: 2700,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert!((s.expansion_ratio() - 1.08).abs() < 1e-12);
-        s.vp = VpStats { eligible: 1000, used: 300, correct_used: 299, incorrect_used: 1, ..Default::default() };
+        s.vp = VpStats {
+            eligible: 1000,
+            used: 300,
+            correct_used: 299,
+            incorrect_used: 1,
+            ..Default::default()
+        };
         assert!((s.vp.coverage() - 0.299).abs() < 1e-12);
         assert!(s.vp.accuracy() > 0.99);
     }

@@ -15,8 +15,6 @@
 //!
 //! and the integration tests with `cargo test -p tvp-harness`.
 
-#![warn(missing_docs)]
-
 /// Workspace version, re-exported for examples that print banners.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 

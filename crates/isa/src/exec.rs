@@ -195,22 +195,19 @@ pub fn exec_alu(op: Op, width: Width, sets_flags: bool, ops: Operands) -> AluRes
             if cond.eval(flags) { a_n } else { b_n.wrapping_add(1) },
             width,
         )),
-        Op::Csneg(cond) => AluResult::plain(narrow(
-            if cond.eval(flags) { a_n } else { b_n.wrapping_neg() },
-            width,
-        )),
+        Op::Csneg(cond) => {
+            AluResult::plain(narrow(if cond.eval(flags) { a_n } else { b_n.wrapping_neg() }, width))
+        }
         Op::Csinv(cond) => {
             AluResult::plain(narrow(if cond.eval(flags) { a_n } else { !b_n }, width))
         }
         Op::Mul => AluResult::plain(narrow(a_n.wrapping_mul(b_n), width)),
-        Op::Madd => AluResult::plain(narrow(
-            narrow(c, width).wrapping_add(a_n.wrapping_mul(b_n)),
-            width,
-        )),
-        Op::Msub => AluResult::plain(narrow(
-            narrow(c, width).wrapping_sub(a_n.wrapping_mul(b_n)),
-            width,
-        )),
+        Op::Madd => {
+            AluResult::plain(narrow(narrow(c, width).wrapping_add(a_n.wrapping_mul(b_n)), width))
+        }
+        Op::Msub => {
+            AluResult::plain(narrow(narrow(c, width).wrapping_sub(a_n.wrapping_mul(b_n)), width))
+        }
         Op::Udiv => {
             let r = match width {
                 Width::W64 => a_n.checked_div(b_n).unwrap_or(0),
@@ -240,14 +237,14 @@ pub fn exec_alu(op: Op, width: Width, sets_flags: bool, ops: Operands) -> AluRes
         Op::Fmul => AluResult::plain((f64::from_bits(a) * f64::from_bits(b)).to_bits()),
         Op::Fdiv => AluResult::plain((f64::from_bits(a) / f64::from_bits(b)).to_bits()),
         Op::Fmadd => AluResult::plain(
-            f64::from_bits(a)
-                .mul_add(f64::from_bits(b), f64::from_bits(c))
-                .to_bits(),
+            f64::from_bits(a).mul_add(f64::from_bits(b), f64::from_bits(c)).to_bits(),
         ),
         Op::Fneg => AluResult::plain((-f64::from_bits(a)).to_bits()),
         Op::Fabs => AluResult::plain(f64::from_bits(a).abs().to_bits()),
         Op::Fsqrt => AluResult::plain(f64::from_bits(a).sqrt().to_bits()),
-        Op::Fcmp => AluResult { value: 0, flags: Some(fcmp_flags(f64::from_bits(a), f64::from_bits(b))) },
+        Op::Fcmp => {
+            AluResult { value: 0, flags: Some(fcmp_flags(f64::from_bits(a), f64::from_bits(b))) }
+        }
         Op::Fmov | Op::FmovFromInt | Op::FmovToInt => AluResult::plain(a),
         Op::FcvtToInt => {
             let f = f64::from_bits(a);
@@ -264,7 +261,9 @@ pub fn exec_alu(op: Op, width: Width, sets_flags: bool, ops: Operands) -> AluRes
         }
         Op::FcvtFromInt => AluResult::plain(((a as i64) as f64).to_bits()),
         Op::Nop => AluResult::plain(0),
-        Op::Load { .. } | Op::Store { .. } => panic!("memory op {op} must be executed by the machine"),
+        Op::Load { .. } | Op::Store { .. } => {
+            panic!("memory op {op} must be executed by the machine")
+        }
         Op::B
         | Op::Bl
         | Op::Br

@@ -56,7 +56,10 @@ impl Nzcv {
     /// (bit 3 = N, bit 2 = Z, bit 1 = C, bit 0 = V).
     #[must_use]
     pub fn pack(self) -> u8 {
-        (u8::from(self.n) << 3) | (u8::from(self.z) << 2) | (u8::from(self.c) << 1) | u8::from(self.v)
+        (u8::from(self.n) << 3)
+            | (u8::from(self.z) << 2)
+            | (u8::from(self.c) << 1)
+            | u8::from(self.v)
     }
 
     /// Unpacks flags from the canonical 4-bit encoding; the upper four
@@ -243,7 +246,12 @@ mod tests {
             }
             for bits in 0..16u8 {
                 let f = Nzcv::unpack(bits);
-                assert_ne!(cond.eval(f), cond.invert().eval(f), "{cond} vs {} on {f}", cond.invert());
+                assert_ne!(
+                    cond.eval(f),
+                    cond.invert().eval(f),
+                    "{cond} vs {} on {f}",
+                    cond.invert()
+                );
             }
         }
     }

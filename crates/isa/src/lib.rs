@@ -34,9 +34,6 @@
 //! assert_eq!(r.value, 42);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod exec;
 pub mod flags;
 pub mod inst;

@@ -231,9 +231,28 @@ impl Op {
     pub fn exec_class(self) -> ExecClass {
         use Op::*;
         match self {
-            Add | Sub | And | Orr | Eor | Bic | Lsl | Lsr | Asr | Ror | Rbit | Clz
-            | Ubfx { .. } | Sbfx { .. } | MovImm | Mov | Csel(_) | Csinc(_) | Csneg(_)
-            | Csinv(_) | FmovToInt | FcvtToInt => ExecClass::IntAlu,
+            Add
+            | Sub
+            | And
+            | Orr
+            | Eor
+            | Bic
+            | Lsl
+            | Lsr
+            | Asr
+            | Ror
+            | Rbit
+            | Clz
+            | Ubfx { .. }
+            | Sbfx { .. }
+            | MovImm
+            | Mov
+            | Csel(_)
+            | Csinc(_)
+            | Csneg(_)
+            | Csinv(_)
+            | FmovToInt
+            | FcvtToInt => ExecClass::IntAlu,
             Mul | Madd | Msub => ExecClass::IntMul,
             Udiv | Sdiv => ExecClass::IntDiv,
             Fadd | Fsub | Fneg | Fabs | Fcmp | Fmov | FmovFromInt | FcvtFromInt => ExecClass::FpAlu,
@@ -272,10 +291,7 @@ impl Op {
     /// Returns `true` if this operation reads the condition flags.
     #[must_use]
     pub fn reads_flags(self) -> bool {
-        matches!(
-            self,
-            Op::Csel(_) | Op::Csinc(_) | Op::Csneg(_) | Op::Csinv(_) | Op::BCond(_)
-        )
+        matches!(self, Op::Csel(_) | Op::Csinc(_) | Op::Csneg(_) | Op::Csinv(_) | Op::BCond(_))
     }
 
     /// The condition code evaluated by this operation, if any.

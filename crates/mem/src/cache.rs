@@ -36,7 +36,11 @@ impl CacheConfig {
     pub fn num_sets(&self) -> usize {
         assert!(self.ways > 0 && self.line_size > 0);
         let sets = self.size_bytes / (self.ways * self.line_size);
-        assert!(sets > 0 && sets.is_power_of_two(), "{}: set count {sets} must be a power of two", self.name);
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "{}: set count {sets} must be a power of two",
+            self.name
+        );
         sets
     }
 }
@@ -173,10 +177,8 @@ impl Cache {
             l.lru = clock;
             return None; // already resident (e.g. MSHR merge)
         }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("ways > 0");
+        let victim =
+            ways.iter_mut().min_by_key(|l| if l.valid { l.lru } else { 0 }).expect("ways > 0");
         let evicted = (victim.valid && victim.dirty)
             .then(|| ((victim.tag << set_bits) | set as u64) << self.set_shift);
         if victim.valid {
@@ -216,16 +218,31 @@ impl Cache {
     #[must_use]
     pub fn mshr_pending(&self, addr: u64, cycle: u64) -> Option<u64> {
         let line = self.line_addr(addr);
-        self.mshrs
-            .iter()
-            .find(|&&(l, done)| l == line && done > cycle)
-            .map(|&(_, done)| done)
+        self.mshrs.iter().find(|&&(l, done)| l == line && done > cycle).map(|&(_, done)| done)
     }
 
     /// Statistics so far.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+}
+
+impl tvp_verif::StorageBudget for Cache {
+    fn storage_name(&self) -> &'static str {
+        self.cfg.name
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per line: data + tag (48-bit VA minus set/offset bits) +
+        // valid/dirty/prefetched + log2(ways) replacement state.
+        let sets = self.sets.len() as u64;
+        let ways = self.cfg.ways as u64;
+        let set_bits = u64::from(self.set_mask.count_ones());
+        let tag_bits = 48 - set_bits - u64::from(self.set_shift);
+        let lru_bits = u64::from(ways.next_power_of_two().trailing_zeros());
+        let per_line = self.cfg.line_size as u64 * 8 + tag_bits + 3 + lru_bits;
+        sets * ways * per_line
     }
 }
 

@@ -227,6 +227,36 @@ impl Hierarchy {
     }
 }
 
+impl tvp_verif::StorageBudget for Hierarchy {
+    fn storage_name(&self) -> &'static str {
+        "mem-hierarchy"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.storage_report().iter().map(|(_, bits)| bits).sum()
+    }
+}
+
+impl Hierarchy {
+    /// Per-structure storage report with hierarchy-level names (the two
+    /// TLB instances are distinguished by their role here, which the
+    /// structures themselves cannot know).
+    #[must_use]
+    pub fn storage_report(&self) -> Vec<(String, u64)> {
+        use tvp_verif::StorageBudget;
+        vec![
+            (self.l1d.storage_name().to_owned(), self.l1d.storage_bits()),
+            (self.l1i.storage_name().to_owned(), self.l1i.storage_bits()),
+            (self.l2.storage_name().to_owned(), self.l2.storage_bits()),
+            (self.l3.storage_name().to_owned(), self.l3.storage_bits()),
+            ("dtlb".to_owned(), self.dtlb.storage_bits()),
+            ("itlb".to_owned(), self.itlb.storage_bits()),
+            (self.stride.storage_name().to_owned(), self.stride.storage_bits()),
+            (self.ampm.storage_name().to_owned(), self.ampm.storage_bits()),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,10 +335,7 @@ mod tests {
         let s = h.stats();
         assert!(s.stride_issued > 0);
         assert!(s.l1d.prefetch_fills > 0);
-        assert!(
-            s.l1d.hits + s.l1d.misses == 100,
-            "demand counters see only demand accesses"
-        );
+        assert!(s.l1d.hits + s.l1d.misses == 100, "demand counters see only demand accesses");
     }
 
     #[test]

@@ -29,9 +29,6 @@
 //! assert!(warm - cold == 4, "L1D load-to-use is 4 cycles");
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod cache;
 pub mod hierarchy;
 pub mod prefetch;

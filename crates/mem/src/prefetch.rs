@@ -120,7 +120,8 @@ impl AmpmPrefetcher {
     /// candidates.
     pub fn observe(&mut self, addr: u64, clock: u64) -> Vec<u64> {
         let zone = addr >> self.zone_shift;
-        let line_in_zone = ((addr >> self.line_shift) & ((1 << (self.zone_shift - self.line_shift)) - 1)) as i64;
+        let line_in_zone =
+            ((addr >> self.line_shift) & ((1 << (self.zone_shift - self.line_shift)) - 1)) as i64;
         // Find or allocate the zone's access map.
         let idx = match self.zones.iter().position(|z| z.valid && z.zone == zone) {
             Some(i) => i,
@@ -172,6 +173,30 @@ impl AmpmPrefetcher {
     #[must_use]
     pub fn issued(&self) -> u64 {
         self.issued
+    }
+}
+
+impl tvp_verif::StorageBudget for StridePrefetcher {
+    fn storage_name(&self) -> &'static str {
+        "stride"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per entry: valid + 16-bit partial tag + 48-bit last address +
+        // 16-bit stride + 2-bit confidence.
+        self.table.len() as u64 * (1 + 16 + 48 + 16 + 2)
+    }
+}
+
+impl tvp_verif::StorageBudget for AmpmPrefetcher {
+    fn storage_name(&self) -> &'static str {
+        "ampm"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per zone: valid + 36-bit zone tag + 64-bit access map +
+        // 16-bit LRU stamp.
+        self.zones.len() as u64 * (1 + 36 + 64 + 16)
     }
 }
 

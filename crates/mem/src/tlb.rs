@@ -111,6 +111,32 @@ impl TlbHierarchy {
     }
 }
 
+impl tvp_verif::StorageBudget for Tlb {
+    fn storage_name(&self) -> &'static str {
+        "tlb"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per entry: valid + VPN tag (36-bit VPN minus set bits) +
+        // log2(ways) replacement state.
+        let sets = self.entries.len() as u64;
+        let ways = self.entries.first().map_or(0, Vec::len) as u64;
+        let set_bits = u64::from(self.set_mask.count_ones());
+        let lru_bits = u64::from(ways.next_power_of_two().trailing_zeros());
+        sets * ways * (1 + (36 - set_bits) + lru_bits)
+    }
+}
+
+impl tvp_verif::StorageBudget for TlbHierarchy {
+    fn storage_name(&self) -> &'static str {
+        "tlb-hierarchy"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.l1.storage_bits() + self.l2.storage_bits()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -119,6 +119,19 @@ impl Btb {
     }
 }
 
+impl tvp_verif::StorageBudget for Btb {
+    fn storage_name(&self) -> &'static str {
+        "btb"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per entry: tag 16 + compressed target 32 + kind 3 (valid is
+        // folded into the kind encoding), matching Table 2's costing.
+        let entries = self.sets.len() as u64 * self.sets.first().map_or(0, Vec::len) as u64;
+        entries * 51
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,7 +157,7 @@ mod tests {
     #[test]
     fn lru_evicts_coldest() {
         let mut btb = Btb::new(4, 2); // 2 sets × 2 ways
-        // Three PCs mapping to the same set (stride = 2 sets × 4 bytes).
+                                      // Three PCs mapping to the same set (stride = 2 sets × 4 bytes).
         let pcs = [0x1000u64, 0x1008, 0x1010];
         btb.insert(pcs[0], 0xA, BranchKind::UncondDirect);
         btb.insert(pcs[1], 0xB, BranchKind::UncondDirect);

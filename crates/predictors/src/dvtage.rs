@@ -136,7 +136,9 @@ impl Dvtage {
         }
         Dvtage {
             base: vec![empty.clone(); b.entries[0] as usize],
-            tables: (1..b.entries.len()).map(|i| vec![empty.clone(); b.entries[i] as usize]).collect(),
+            tables: (1..b.entries.len())
+                .map(|i| vec![empty.clone(); b.entries[i] as usize])
+                .collect(),
             history: BranchHistory::new(&specs),
             window: Vec::new(),
             rng: XorShift64::new(b.seed ^ 0xD57A),
@@ -346,6 +348,16 @@ impl std::fmt::Debug for Dvtage {
     }
 }
 
+impl tvp_verif::StorageBudget for Dvtage {
+    fn storage_name(&self) -> &'static str {
+        "dvtage"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.cfg.storage_bits()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,16 +388,14 @@ mod tests {
         // value = 1000 + 8·n: every instance differs, so plain VTAGE
         // never gains confidence, but the stride is perfectly stable.
         let mut v = 1000u64;
-        let mut seq = 0u64;
         let mut confident_correct = 0;
-        for _ in 0..5000 {
+        for seq in 0..5000u64 {
             let p = vp.predict(0x2000);
             if p.confident && p.value == v {
                 confident_correct += 1;
             }
             vp.update(&p, v, seq);
             v += 8;
-            seq += 1;
         }
         assert!(confident_correct > 2000, "stride coverage = {confident_correct}/5000");
     }
@@ -440,16 +450,14 @@ mod tests {
         for mode in [PredMode::ZeroOne, PredMode::Narrow9] {
             let mut vp = Dvtage::new(DvtageConfig::paper(mode));
             let mut v = 0u64;
-            let mut seq = 0u64;
             let mut confident_used = 0u64;
-            for _ in 0..4000 {
+            for seq in 0..4000u64 {
                 let p = vp.predict(0x5000);
                 if p.confident && vp.config().base.mode.admits(p.value) {
                     confident_used += 1;
                 }
                 vp.update(&p, v, seq);
                 v += 8; // leaves the 9-bit range after 32 instances
-                seq += 1;
             }
             assert!(
                 confident_used < 200,
@@ -476,10 +484,8 @@ mod tests {
 
     #[test]
     fn window_capacity_limits_chaining() {
-        let mut vp = Dvtage::new(DvtageConfig {
-            spec_window: 2,
-            ..DvtageConfig::paper(PredMode::Full64)
-        });
+        let mut vp =
+            Dvtage::new(DvtageConfig { spec_window: 2, ..DvtageConfig::paper(PredMode::Full64) });
         let mut v = 0u64;
         for seq in 0..4000u64 {
             let p = vp.predict(0x6000);

@@ -78,6 +78,17 @@ impl Fpc {
     }
 }
 
+impl tvp_verif::StorageBudget for Fpc {
+    fn storage_name(&self) -> &'static str {
+        "fpc"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // `max` is 2^bits - 1, so the counter width is log2(max + 1).
+        u64::from((u32::from(self.max) + 1).trailing_zeros())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -141,6 +141,18 @@ impl BranchHistory {
     }
 }
 
+impl tvp_verif::StorageBudget for BranchHistory {
+    fn storage_name(&self) -> &'static str {
+        "branch-history"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // The raw circular buffer plus one shift register per folded
+        // view.
+        MAX_HISTORY_BITS as u64 + self.folded.iter().map(|f| u64::from(f.spec.width)).sum::<u64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

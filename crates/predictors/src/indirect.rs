@@ -119,6 +119,18 @@ impl IndirectTargetCache {
     }
 }
 
+impl tvp_verif::StorageBudget for IndirectTargetCache {
+    fn storage_name(&self) -> &'static str {
+        "ibtc"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per entry: tag + 48-bit target + 2-bit hysteresis (valid is
+        // folded into the confidence encoding).
+        self.entries.len() as u64 * (u64::from(self.tag_bits) + 48 + 2)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

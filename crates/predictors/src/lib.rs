@@ -34,9 +34,6 @@
 //! assert!(p.confident && p.value == 7);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod btb;
 pub mod dvtage;
 pub mod fpc;

@@ -65,6 +65,17 @@ impl Ras {
     }
 }
 
+impl tvp_verif::StorageBudget for Ras {
+    fn storage_name(&self) -> &'static str {
+        "ras"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // 48-bit virtual return addresses per slot.
+        self.entries.len() as u64 * 48
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

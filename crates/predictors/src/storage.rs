@@ -97,10 +97,7 @@ mod tests {
         let vt = VtageConfig::paper(PredMode::Narrow9);
         let report = frontend_report(&tage, Some(&vt));
         assert_eq!(report.items.len(), 5);
-        assert_eq!(
-            report.total_bits(),
-            report.items.iter().map(|i| i.bits).sum::<u64>()
-        );
+        assert_eq!(report.total_bits(), report.items.iter().map(|i| i.bits).sum::<u64>());
         // Sanity: branch direction predictor ≈ 32 KB dwarfs the RAS.
         let tage_kb = report.items[0].kb();
         assert!(tage_kb > 25.0 && tage_kb < 40.0);

@@ -176,7 +176,9 @@ impl Tage {
 
     fn tag(&self, pc: u64, table: usize) -> u16 {
         let mask = (1u64 << self.cfg.tag_bits[table]) - 1;
-        (((pc >> 2) ^ self.history.folded(table * 3 + 1) ^ (self.history.folded(table * 3 + 2) << 1))
+        (((pc >> 2)
+            ^ self.history.folded(table * 3 + 1)
+            ^ (self.history.folded(table * 3 + 2) << 1))
             & mask) as u16
     }
 
@@ -266,8 +268,7 @@ impl Tage {
 
         // use_alt_on_na bookkeeping: when the provider was freshly
         // allocated, learn whether trusting it would have been better.
-        if token.provider.is_some() && token.provider_new && token.provider_pred != token.alt_pred
-        {
+        if token.provider.is_some() && token.provider_new && token.provider_pred != token.alt_pred {
             let delta = if token.provider_pred == taken { -1 } else { 1 };
             self.use_alt_on_na = (self.use_alt_on_na + delta).clamp(-8, 7);
         }
@@ -307,7 +308,11 @@ impl Tage {
             } else {
                 // Favor shorter-history tables 2:1, as in the reference
                 // TAGE implementation.
-                let pick = if free.len() > 1 && !self.rng.one_in(3) { 0 } else { self.rng.below(free.len() as u32) as usize };
+                let pick = if free.len() > 1 && !self.rng.one_in(3) {
+                    0
+                } else {
+                    self.rng.below(free.len() as u32) as usize
+                };
                 let t = free.swap_remove(pick.min(free.len() - 1));
                 let e = &mut self.tables[t][token.indices[t] as usize];
                 e.tag = token.tags[t];
@@ -352,6 +357,16 @@ impl std::fmt::Debug for Tage {
             .field("storage_bits", &self.cfg.storage_bits())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
+    }
+}
+
+impl tvp_verif::StorageBudget for Tage {
+    fn storage_name(&self) -> &'static str {
+        "tage"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.cfg.storage_bits()
     }
 }
 

@@ -220,7 +220,13 @@ impl Vtage {
         assert_eq!(cfg.entries.len(), cfg.tag_bits.len(), "entries/tag_bits mismatch");
         assert!(cfg.num_tagged() <= MAX_VTAGE_TABLES, "too many tagged tables");
         assert!(!cfg.entries.is_empty());
-        let empty = VtageEntry { valid: false, tag: 0, value: 0, conf: Fpc::new(cfg.conf_bits, cfg.conf_inv_prob), useful: 0 };
+        let empty = VtageEntry {
+            valid: false,
+            tag: 0,
+            value: 0,
+            conf: Fpc::new(cfg.conf_bits, cfg.conf_inv_prob),
+            useful: 0,
+        };
         let mut specs = Vec::new();
         for i in 0..cfg.num_tagged() {
             let len = cfg.history_length(i);
@@ -400,7 +406,10 @@ impl Vtage {
             }
             // Also install into the base table if it is empty or cold.
             let b = &mut self.base[pred.base_index as usize];
-            if !b.valid || (b.tag != pred.base_tag && b.conf.level() == 0) || (b.tag == pred.base_tag && b.value != actual && b.conf.level() == 0) {
+            if !b.valid
+                || (b.tag != pred.base_tag && b.conf.level() == 0)
+                || (b.tag == pred.base_tag && b.value != actual && b.conf.level() == 0)
+            {
                 let conf = Fpc::new(self.cfg.conf_bits, self.cfg.conf_inv_prob);
                 *b = VtageEntry { valid: true, tag: pred.base_tag, value: actual, conf, useful: 0 };
             } else if b.tag != pred.base_tag {
@@ -429,6 +438,20 @@ impl std::fmt::Debug for Vtage {
             .field("storage_kb", &self.cfg.storage_kb())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
+    }
+}
+
+impl tvp_verif::StorageBudget for Vtage {
+    fn storage_name(&self) -> &'static str {
+        match self.cfg.mode {
+            PredMode::ZeroOne => "vtage.mvp",
+            PredMode::Narrow9 => "vtage.tvp",
+            PredMode::Full64 => "vtage.gvp",
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.cfg.storage_bits()
     }
 }
 

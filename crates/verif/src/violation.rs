@@ -1,0 +1,210 @@
+//! Violation taxonomy for the verification layer.
+//!
+//! Every auditor and the storage-budget checker report their findings as
+//! [`Violation`] values: structured, comparable and printable, so tests
+//! can assert on the *kind* of defect while humans read the rendered
+//! message.
+
+use crate::snapshot::{RegClass, SnapName};
+use std::fmt;
+
+/// One invariant violation detected by an auditor.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A free-list entry is outside the allocatable physical range.
+    FreeListOutOfRange {
+        /// Register class.
+        class: RegClass,
+        /// Offending physical register.
+        preg: u16,
+    },
+    /// A physical register appears on the free list more than once.
+    FreeListDuplicate {
+        /// Register class.
+        class: RegClass,
+        /// Offending physical register.
+        preg: u16,
+    },
+    /// A register sits on the free list while still carrying references
+    /// (double-free / premature release).
+    FreedButReferenced {
+        /// Register class.
+        class: RegClass,
+        /// Offending physical register.
+        preg: u16,
+        /// Its reference count.
+        ref_count: u32,
+    },
+    /// A register sits on the free list while a rename map or in-flight
+    /// µop still names it (use-after-free waiting to happen).
+    FreedButMapped {
+        /// Register class.
+        class: RegClass,
+        /// Offending physical register.
+        preg: u16,
+        /// Number of map/ROB references found.
+        mapped: u32,
+    },
+    /// A register is neither free nor referenced by any rename map or
+    /// in-flight µop: it has leaked out of the conservation equation.
+    LeakedRegister {
+        /// Register class.
+        class: RegClass,
+        /// Offending physical register.
+        preg: u16,
+        /// Its reference count.
+        ref_count: u32,
+    },
+    /// A register's reference count disagrees with the number of rename
+    /// map entries and in-flight destinations that name it.
+    RefCountMismatch {
+        /// Register class.
+        class: RegClass,
+        /// Offending physical register.
+        preg: u16,
+        /// Stored reference count.
+        ref_count: u32,
+        /// References counted from CRAT + in-flight destinations.
+        expected: u32,
+    },
+    /// Replaying the in-flight destination writes over the committed map
+    /// does not reproduce the speculative map.
+    RatMismatch {
+        /// Dense architectural register index.
+        dense: u16,
+        /// Name obtained by replaying CRAT + ROB writes.
+        expected: SnapName,
+        /// Name actually present in the speculative map.
+        actual: SnapName,
+    },
+    /// A rename map holds a structurally invalid name (physical index
+    /// out of range, inline constant outside the 9-bit window).
+    BadName {
+        /// Which table held the name (`"rat"`, `"crat"`, `"rob"`).
+        table: &'static str,
+        /// Dense architectural register index.
+        dense: u16,
+        /// The offending name.
+        name: SnapName,
+    },
+    /// A queue or buffer exceeds its configured capacity.
+    OccupancyExceeded {
+        /// Resource name (`"rob"`, `"iq"`, `"lq"`, `"sq"`).
+        resource: &'static str,
+        /// Observed occupancy.
+        occupancy: usize,
+        /// Configured capacity.
+        limit: usize,
+    },
+    /// The pipeline's cached IQ occupancy counter disagrees with the
+    /// number of ROB entries flagged as waiting in the IQ.
+    IqCountMismatch {
+        /// Entries counted from the ROB snapshot.
+        counted: usize,
+        /// The pipeline's cached counter.
+        tracked: usize,
+    },
+    /// Sequence numbers in a queue are not strictly increasing (age
+    /// order corrupted).
+    SequenceOrder {
+        /// Resource name.
+        resource: &'static str,
+        /// The out-of-order sequence number.
+        seq: u64,
+    },
+    /// A load/store-queue entry references a µop that is no longer in
+    /// the ROB.
+    OrphanQueueEntry {
+        /// Resource name.
+        resource: &'static str,
+        /// The orphaned sequence number.
+        seq: u64,
+    },
+    /// Commit went backwards between two audits.
+    CommitRegression {
+        /// Value at the previous audit.
+        prev: u64,
+        /// Value now.
+        now: u64,
+    },
+    /// An in-flight µop is older than the commit frontier (it should
+    /// have retired or been squashed).
+    CommitOverlap {
+        /// Sequence number of the last committed µop.
+        committed: u64,
+        /// Sequence number found at the ROB head.
+        rob_front: u64,
+    },
+    /// A hardware structure exceeds its Table 2 storage budget.
+    BudgetOverrun {
+        /// Structure name.
+        name: String,
+        /// Actual size in bits.
+        bits: u64,
+        /// Budgeted maximum in bits.
+        max_bits: u64,
+    },
+    /// A structure reported storage but no budget is on file for it.
+    UnknownStructure {
+        /// Structure name.
+        name: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::FreeListOutOfRange { class, preg } => {
+                write!(f, "{class:?} free list holds out-of-range p{preg}")
+            }
+            Violation::FreeListDuplicate { class, preg } => {
+                write!(f, "{class:?} free list holds p{preg} twice")
+            }
+            Violation::FreedButReferenced { class, preg, ref_count } => {
+                write!(f, "{class:?} p{preg} is free but has ref count {ref_count}")
+            }
+            Violation::FreedButMapped { class, preg, mapped } => {
+                write!(f, "{class:?} p{preg} is free but mapped {mapped} time(s)")
+            }
+            Violation::LeakedRegister { class, preg, ref_count } => {
+                write!(f, "{class:?} p{preg} leaked: not free, ref count {ref_count}, unmapped")
+            }
+            Violation::RefCountMismatch { class, preg, ref_count, expected } => {
+                write!(
+                    f,
+                    "{class:?} p{preg} ref count {ref_count} but {expected} reference(s) exist"
+                )
+            }
+            Violation::RatMismatch { dense, expected, actual } => {
+                write!(f, "RAT[{dense}] = {actual:?} but CRAT+ROB replay gives {expected:?}")
+            }
+            Violation::BadName { table, dense, name } => {
+                write!(f, "{table}[{dense}] holds invalid name {name:?}")
+            }
+            Violation::OccupancyExceeded { resource, occupancy, limit } => {
+                write!(f, "{resource} occupancy {occupancy} exceeds capacity {limit}")
+            }
+            Violation::IqCountMismatch { counted, tracked } => {
+                write!(f, "IQ counter says {tracked} but ROB snapshot counts {counted}")
+            }
+            Violation::SequenceOrder { resource, seq } => {
+                write!(f, "{resource} sequence numbers not strictly increasing at seq {seq}")
+            }
+            Violation::OrphanQueueEntry { resource, seq } => {
+                write!(f, "{resource} entry seq {seq} has no matching ROB entry")
+            }
+            Violation::CommitRegression { prev, now } => {
+                write!(f, "commit progress went backwards: {prev} -> {now}")
+            }
+            Violation::CommitOverlap { committed, rob_front } => {
+                write!(f, "ROB head seq {rob_front} is not younger than committed seq {committed}")
+            }
+            Violation::BudgetOverrun { name, bits, max_bits } => {
+                write!(f, "{name} uses {bits} bits, over its {max_bits}-bit Table 2 budget")
+            }
+            Violation::UnknownStructure { name } => {
+                write!(f, "no Table 2 storage budget on file for `{name}`")
+            }
+        }
+    }
+}

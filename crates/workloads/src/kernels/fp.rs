@@ -65,12 +65,7 @@ fn stream_triad_variant(name: &'static str, seed: u64, n: usize) -> Workload {
         name,
         proxy: "603.bwaves_s",
         program: a.assemble().expect("stream_triad assembles"),
-        init_regs: vec![
-            (x(20), HEAP),
-            (x(21), b_base),
-            (x(22), c_base),
-            (v(0), 3.0f64.to_bits()),
-        ],
+        init_regs: vec![(x(20), HEAP), (x(21), b_base), (x(22), c_base), (v(0), 3.0f64.to_bits())],
         init_mem: vec![(b_base, b), (c_base, c)],
     }
 }
@@ -250,9 +245,7 @@ pub fn md_force() -> Workload {
     const PAIRS: u64 = 32 * 1024;
     let mut rng = DataRng::new(0x644);
     let pos = f64_array(&mut rng, (ATOMS * 2) as usize, 50.0);
-    let pairs = words_to_bytes(
-        &(0..PAIRS * 2).map(|_| rng.below(ATOMS)).collect::<Vec<_>>(),
-    );
+    let pairs = words_to_bytes(&(0..PAIRS * 2).map(|_| rng.below(ATOMS)).collect::<Vec<_>>());
 
     let pos_base = HEAP;
     let pair_base = HEAP + ATOMS * 16;
@@ -392,9 +385,7 @@ mod tests {
         let heights: Vec<_> = t
             .uops
             .iter()
-            .filter(|u| {
-                matches!(u.uop.op, tvp_isa::op::Op::Load { size: 1, .. })
-            })
+            .filter(|u| matches!(u.uop.op, tvp_isa::op::Op::Load { size: 1, .. }))
             .map(|u| u.result.unwrap())
             .collect();
         assert!(!heights.is_empty());
@@ -405,11 +396,7 @@ mod tests {
     fn weather_loop_divides_occasionally() {
         let w = weather_loop();
         let t = w.trace(50_000);
-        let divs = t
-            .uops
-            .iter()
-            .filter(|u| u.uop.op == tvp_isa::op::Op::Udiv)
-            .count();
+        let divs = t.uops.iter().filter(|u| u.uop.op == tvp_isa::op::Op::Udiv).count();
         assert!(divs > 0, "no divides executed");
         assert!(divs < t.uops.len() / 10, "divides should be occasional");
     }

@@ -218,9 +218,8 @@ fn pixel_encode_variant(name: &'static str, seed: u64, frame: u64) -> Workload {
 pub fn minimax() -> Workload {
     const BOARD: u64 = 64 * 1024; // 8K positions × 8B
     let mut rng = DataRng::new(0x631);
-    let board = crate::suite::words_to_bytes(
-        &(0..BOARD / 8).map(|_| rng.next()).collect::<Vec<_>>(),
-    );
+    let board =
+        crate::suite::words_to_bytes(&(0..BOARD / 8).map(|_| rng.next()).collect::<Vec<_>>());
 
     let mut a = Asm::new();
     a.label("outer");
@@ -326,9 +325,9 @@ pub fn mc_playout() -> Workload {
     a.i(lsr(x(4), x(8), 40i64));
     a.i(and(x(4), x(4), 0x7FFFFi64)); // board index
     a.i(ldr_sized(x(5), base_index(20, 4, 0), 1, false)); // occupancy: 0/1
-    // Load consumers — SpSR food once x5 is predicted to 0 (a move
-    // idiom and a zero idiom); kept few so the scheduler never fills
-    // with load-dependent work.
+                                                          // Load consumers — SpSR food once x5 is predicted to 0 (a move
+                                                          // idiom and a zero idiom); kept few so the scheduler never fills
+                                                          // with load-dependent work.
     a.i(add(x(9), x(9), x(5))); // occupied count
     a.i(and(x(6), x(5), x(19))); // zero idiom when x5 == 0
     a.i(add(x(10), x(10), x(6)));
@@ -387,7 +386,7 @@ fn entropy_coder_variant(name: &'static str, seed: u64, stability: u64) -> Workl
     a.i(mul(x(4), x(9), x(3)));
     a.i(and(x(4), x(4), 0x7FFFFi64)); // table index
     a.i(ldr_sized(x(5), base_index(20, 4, 0), 1, false)); // prob ≈ 16
-    // Dependent renormalisation chain.
+                                                          // Dependent renormalisation chain.
     a.i(lsl(x(6), x(9), 4i64));
     a.i(udiv(x(7), x(6), x(5))); // divide by predicted probability
     a.i(add(x(9), x(7), 1i64));

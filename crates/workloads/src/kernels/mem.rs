@@ -152,12 +152,12 @@ pub fn pointer_chase() -> Workload {
     a.i(ldr(x(4), base_disp(3, 0))); // → elem_base
     a.i(and(x(5), x(10), 0xFFFi64)); // element index
     a.i(ldr_sized(x(6), base_index(4, 5, 1), 2, false)); // 2B element
-    // A hit/miss test on the (statistically random) element — the
-    // contains()-style data-dependent branch. It mispredicts about
-    // half the time, and until it resolves the front-end cannot
-    // advance; its resolution waits on the whole load chain. GVP
-    // predicts the three stable pointers, collapsing the chain and
-    // resolving the branch an L1-load-chain earlier.
+                                                         // A hit/miss test on the (statistically random) element — the
+                                                         // contains()-style data-dependent branch. It mispredicts about
+                                                         // half the time, and until it resolves the front-end cannot
+                                                         // advance; its resolution waits on the whole load chain. GVP
+                                                         // predicts the three stable pointers, collapsing the chain and
+                                                         // resolving the branch an L1-load-chain earlier.
     a.i(add(x(10), x(10), 1i64));
     a.i(ands(x(7), x(6), 1i64));
     a.b_cond(Cond::Ne, "found");
@@ -194,17 +194,18 @@ mod tests {
     fn sparse_graph_visits_distinct_nodes() {
         let w = sparse_graph();
         let t = w.trace(10_000);
-        let loads: Vec<u64> = t
-            .uops
-            .iter()
-            .filter(|u| u.uop.op.is_load())
-            .filter_map(|u| u.mem_addr)
-            .collect();
+        let loads: Vec<u64> =
+            t.uops.iter().filter(|u| u.uop.op.is_load()).filter_map(|u| u.mem_addr).collect();
         let mut unique = loads.clone();
         unique.sort_unstable();
         unique.dedup();
         // A permutation walk keeps producing fresh addresses.
-        assert!(unique.len() as f64 > loads.len() as f64 * 0.95, "{} / {}", unique.len(), loads.len());
+        assert!(
+            unique.len() as f64 > loads.len() as f64 * 0.95,
+            "{} / {}",
+            unique.len(),
+            loads.len()
+        );
     }
 
     #[test]

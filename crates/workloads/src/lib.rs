@@ -21,9 +21,6 @@
 //! assert!(trace.expansion_ratio() >= 1.0);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod kernels;
 pub mod machine;
 pub mod program;

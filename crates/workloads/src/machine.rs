@@ -6,7 +6,7 @@
 //! core never re-executes semantics; it replays this trace, which makes
 //! the functional model the single source of architectural truth.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tvp_isa::exec::{branch_taken, exec_alu, Operands};
 use tvp_isa::flags::Nzcv;
@@ -23,7 +23,7 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// Sparse byte-addressed memory. Untouched bytes read as zero.
 #[derive(Default, Debug, Clone)]
 pub struct SparseMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl SparseMem {
@@ -55,16 +55,11 @@ impl SparseMem {
     }
 
     fn read_byte(&self, addr: u64) -> u8 {
-        self.pages
-            .get(&(addr >> PAGE_SHIFT))
-            .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+        self.pages.get(&(addr >> PAGE_SHIFT)).map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
     }
 
     fn write_byte(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        let page = self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]));
         page[(addr as usize) & (PAGE_SIZE - 1)] = value;
     }
 }

@@ -19,7 +19,7 @@
 //! assert_eq!(program.len(), 3);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use tvp_isa::flags::Cond;
@@ -70,10 +70,7 @@ impl Program {
 
     /// Iterates over `(pc, inst)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &Inst)> {
-        self.insts
-            .iter()
-            .enumerate()
-            .map(|(i, inst)| (TEXT_BASE + i as u64 * INST_BYTES, inst))
+        self.insts.iter().enumerate().map(|(i, inst)| (TEXT_BASE + i as u64 * INST_BYTES, inst))
     }
 }
 
@@ -111,7 +108,7 @@ impl std::error::Error for AsmError {}
 #[derive(Default, Debug)]
 pub struct Asm {
     insts: Vec<Inst>,
-    labels: HashMap<String, usize>,
+    labels: BTreeMap<String, usize>,
     fixups: Vec<(usize, String)>,
 }
 
@@ -220,10 +217,8 @@ impl Asm {
     /// instructions.
     pub fn assemble(mut self) -> Result<Program, AsmError> {
         for (idx, label) in &self.fixups {
-            let target = self
-                .labels
-                .get(label)
-                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            let target =
+                self.labels.get(label).ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
             self.insts[*idx].target = Some(TEXT_BASE + *target as u64 * INST_BYTES);
         }
         for (index, inst) in self.insts.iter().enumerate() {

@@ -92,10 +92,7 @@ pub fn suite() -> Vec<Workload> {
 /// the paper's 28 benchmark_simpoint rows.
 #[must_use]
 pub fn base_suite() -> Vec<Workload> {
-    suite()
-        .into_iter()
-        .filter(|w| !w.name.ends_with("_2") && !w.name.ends_with("_3"))
-        .collect()
+    suite().into_iter().filter(|w| !w.name.ends_with("_2") && !w.name.ends_with("_3")).collect()
 }
 
 /// Looks a workload up by name.

@@ -104,10 +104,7 @@ mod tests {
 
     #[test]
     fn expansion_ratio() {
-        let t = Trace {
-            uops: vec![mk(nop()), mk(nop()), mk(nop())],
-            arch_insts: 2,
-        };
+        let t = Trace { uops: vec![mk(nop()), mk(nop()), mk(nop())], arch_insts: 2 };
         assert!((t.expansion_ratio() - 1.5).abs() < 1e-9);
         assert!((Trace::default().expansion_ratio() - 1.0).abs() < 1e-9);
     }

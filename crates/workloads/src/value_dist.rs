@@ -6,14 +6,14 @@
 //! dominate the top of the distribution — the observation motivating
 //! MVP and TVP.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::trace::Trace;
 
 /// A value histogram over GPR-producing micro-ops.
 #[derive(Clone, Debug, Default)]
 pub struct ValueDistribution {
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
     total: u64,
 }
 
@@ -48,11 +48,7 @@ impl ValueDistribution {
     pub fn top(&self, n: usize) -> Vec<(u64, f64)> {
         let mut entries: Vec<(u64, u64)> = self.counts.iter().map(|(&v, &c)| (v, c)).collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        entries
-            .into_iter()
-            .take(n)
-            .map(|(v, c)| (v, c as f64 / self.total as f64))
-            .collect()
+        entries.into_iter().take(n).map(|(v, c)| (v, c as f64 / self.total as f64)).collect()
     }
 
     /// Dynamic share of a specific value.

@@ -1,0 +1,508 @@
+//! The simulator-specific lint rules.
+//!
+//! Four rules, each a property a cycle-level simulator must keep but no
+//! off-the-shelf linter checks:
+//!
+//! 1. **no-default-hashmap** — simulator-state code must not use
+//!    `HashMap`/`HashSet` with the default `RandomState`: iteration
+//!    order would leak into simulated behaviour and break run-to-run
+//!    determinism. Use `BTreeMap`/`BTreeSet` (or an explicit seeded
+//!    hasher).
+//! 2. **no-panic-in-hot-path** — per-cycle pipeline modules must not
+//!    reach `panic!`/`unreachable!`/`.unwrap()`; the simulator should
+//!    stall or saturate instead. `.expect("non-empty invariant text")`
+//!    is the sanctioned form for genuinely unreachable states — the
+//!    message *is* the audit; an empty message is a violation.
+//! 3. **no-float-in-arch-state** — modules that update architectural
+//!    state (register files, rename maps, memory, predictor tables)
+//!    must stay in integer arithmetic; floats belong in reporting code
+//!    and the FP datapath only.
+//! 4. **storage-budget-coverage** — every public struct modelling a
+//!    hardware table in `crates/predictors` and `crates/mem` must
+//!    implement `tvp_verif::StorageBudget`, so the Table 2 budget
+//!    assertion sees the whole machine.
+//!
+//! A finding on any line is waived when that line (or the line directly
+//! above it) carries an `// audited: <reason>` comment.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The waiver token: a line (or its predecessor) containing this marker
+/// suppresses findings on it.
+const WAIVER: &str = "audited:";
+
+/// Crates whose source the scanner walks. The proptest shim is
+/// vendored third-party-shaped code; xtask itself is host tooling.
+const SCANNED_CRATES: &[&str] =
+    &["bench", "core", "harness", "isa", "mem", "predictors", "verif", "workloads"];
+
+/// Per-cycle hot-path modules (rule 2).
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/physreg.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/rename.rs",
+    "crates/core/src/storesets.rs",
+    "crates/mem/src/cache.rs",
+    "crates/mem/src/hierarchy.rs",
+    "crates/mem/src/prefetch.rs",
+    "crates/mem/src/tlb.rs",
+    "crates/predictors/src/btb.rs",
+    "crates/predictors/src/history.rs",
+    "crates/predictors/src/indirect.rs",
+    "crates/predictors/src/ras.rs",
+    "crates/predictors/src/tage.rs",
+    "crates/predictors/src/vtage.rs",
+];
+
+/// Architectural-state modules (rule 3). The FP datapath
+/// (`crates/isa/src/exec.rs`) is deliberately absent: it *computes* FP
+/// instruction results; it does not keep state in floats.
+const ARCH_STATE_FILES: &[&str] = &[
+    "crates/core/src/physreg.rs",
+    "crates/core/src/rename.rs",
+    "crates/core/src/spsr.rs",
+    "crates/core/src/storesets.rs",
+    "crates/mem/src/cache.rs",
+    "crates/mem/src/prefetch.rs",
+    "crates/mem/src/tlb.rs",
+    "crates/workloads/src/machine.rs",
+];
+
+/// Crates whose public structs must implement `StorageBudget` (rule 4).
+const BUDGET_CRATES: &[&str] = &["predictors", "mem"];
+
+/// Struct-name suffixes exempt from rule 4: configuration,
+/// statistics and plain-data result types model no hardware storage.
+const BUDGET_EXEMPT_SUFFIXES: &[&str] =
+    &["Config", "Stats", "Token", "Pred", "Hit", "Item", "Report", "Spec"];
+
+/// Named rule-4 exemptions: helper types that are not hardware tables.
+const BUDGET_EXEMPT_NAMES: &[&str] = &["XorShift64"];
+
+/// One lint violation.
+#[derive(Debug)]
+pub struct Finding {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// A source line that survived test-module stripping: its 1-based
+/// number, the raw text (for waiver detection) and the text with
+/// comments removed (for pattern matching).
+struct CodeLine {
+    line_no: usize,
+    raw: String,
+    code: String,
+}
+
+/// Removes `//`-comments, respecting string and char literals well
+/// enough for lint purposes.
+fn strip_comment(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1, // skip the escaped byte
+            b'"' => in_string = !in_string,
+            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return line[..i].to_owned();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line.to_owned()
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut delta = 0i64;
+    let mut in_string = false;
+    let mut prev = ' ';
+    for c in code.chars() {
+        match c {
+            '"' if prev != '\\' => in_string = !in_string,
+            '{' if !in_string => delta += 1,
+            '}' if !in_string => delta -= 1,
+            _ => {}
+        }
+        prev = if prev == '\\' && c == '\\' { ' ' } else { c };
+    }
+    delta
+}
+
+/// The lines of `src` outside `#[cfg(test)]` modules. Test code is free
+/// to unwrap, hash and float; the rules only bind simulation code.
+fn code_lines(src: &str) -> Vec<CodeLine> {
+    let mut out = Vec::new();
+    let mut pending_test_attr = false;
+    // While skipping a test module: (brace depth, whether its `{` has
+    // been seen yet).
+    let mut skipping: Option<(i64, bool)> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let code = strip_comment(raw);
+        if let Some((depth, entered)) = skipping.as_mut() {
+            *depth += brace_delta(&code);
+            if code.contains('{') {
+                *entered = true;
+            }
+            if *entered && *depth <= 0 {
+                skipping = None;
+            }
+            continue;
+        }
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("#[cfg(") && trimmed.contains("test") {
+            pending_test_attr = true;
+            continue;
+        }
+        if pending_test_attr {
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                let delta = brace_delta(&code);
+                let entered = code.contains('{');
+                if !(entered && delta <= 0) {
+                    skipping = Some((delta, entered));
+                }
+                pending_test_attr = false;
+                continue;
+            }
+            if trimmed.starts_with("#[") || trimmed.is_empty() {
+                continue; // stacked attributes on the test module
+            }
+            // `#[cfg(test)]` on a non-module item: skip just that line.
+            pending_test_attr = false;
+            continue;
+        }
+        out.push(CodeLine { line_no: idx + 1, raw: raw.to_owned(), code });
+    }
+    out
+}
+
+/// Is the finding on `lines[i]` waived by an `audited:` comment on the
+/// same or preceding line?
+fn waived(lines: &[CodeLine], i: usize) -> bool {
+    lines[i].raw.contains(WAIVER)
+        || (i > 0
+            && lines[i].line_no == lines[i - 1].line_no + 1
+            && lines[i - 1].raw.contains(WAIVER))
+}
+
+/// Whole-word occurrence check: `needle` in `hay` not glued to an
+/// identifier character on either side.
+fn has_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Rule 1: default-hashed collections in simulator-state code.
+fn check_default_hashmap(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
+    for (i, l) in lines.iter().enumerate() {
+        let uses_hash = has_word(&l.code, "HashMap") || has_word(&l.code, "HashSet");
+        if !uses_hash || waived(lines, i) {
+            continue;
+        }
+        // An explicit hasher is fine; the rule targets RandomState.
+        if l.code.contains("BuildHasher") || l.code.contains("with_hasher") {
+            continue;
+        }
+        out.push(Finding {
+            file: file.to_owned(),
+            line: l.line_no,
+            rule: "no-default-hashmap",
+            msg: "HashMap/HashSet iteration order is randomized and breaks simulator \
+                  determinism; use BTreeMap/BTreeSet or a seeded hasher"
+                .to_owned(),
+        });
+    }
+}
+
+/// Rule 2: panics in per-cycle hot-path modules.
+fn check_hot_path_panics(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &[".unwrap()", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+    for (i, l) in lines.iter().enumerate() {
+        if waived(lines, i) {
+            continue;
+        }
+        for pat in BANNED {
+            if l.code.contains(pat) {
+                out.push(Finding {
+                    file: file.to_owned(),
+                    line: l.line_no,
+                    rule: "no-panic-in-hot-path",
+                    msg: format!(
+                        "`{}` in a per-cycle module: stall or saturate instead, or \
+                         document the invariant with `.expect(\"...\")` / `// audited:`",
+                        pat.trim_start_matches('.')
+                    ),
+                });
+            }
+        }
+        if l.code.contains(".expect(\"\")") || l.code.contains(".expect()") {
+            out.push(Finding {
+                file: file.to_owned(),
+                line: l.line_no,
+                rule: "no-panic-in-hot-path",
+                msg: "`.expect` without an invariant message; state why this cannot fire"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Rule 3: floating point in architectural-state updates.
+fn check_arch_state_floats(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
+    for (i, l) in lines.iter().enumerate() {
+        if waived(lines, i) {
+            continue;
+        }
+        for ty in ["f64", "f32"] {
+            if has_word(&l.code, ty) {
+                out.push(Finding {
+                    file: file.to_owned(),
+                    line: l.line_no,
+                    rule: "no-float-in-arch-state",
+                    msg: format!(
+                        "`{ty}` in an architectural-state module: architectural updates \
+                         must be bit-exact integer operations"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 4: every public struct in the hardware-table crates implements
+/// `StorageBudget` (or is an exempted plain-data type).
+fn check_budget_coverage(files: &[(String, Vec<CodeLine>)], out: &mut Vec<Finding>) {
+    let mut structs: Vec<(String, usize, String)> = Vec::new(); // (file, line, name)
+    let mut implemented: Vec<String> = Vec::new();
+    let ident = |s: &str| -> String {
+        s.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect()
+    };
+    for (file, lines) in files {
+        for l in lines {
+            let t = l.code.trim_start();
+            if let Some(rest) = t.strip_prefix("pub struct ") {
+                let name = ident(rest);
+                if !name.is_empty() {
+                    structs.push((file.clone(), l.line_no, name));
+                }
+            }
+            if let Some(pos) = l.code.find("StorageBudget for ") {
+                let name = ident(&l.code[pos + "StorageBudget for ".len()..]);
+                if !name.is_empty() {
+                    implemented.push(name);
+                }
+            }
+        }
+    }
+    for (file, line, name) in structs {
+        let exempt = BUDGET_EXEMPT_NAMES.contains(&name.as_str())
+            || BUDGET_EXEMPT_SUFFIXES.iter().any(|s| name.ends_with(s));
+        if exempt || implemented.contains(&name) {
+            continue;
+        }
+        out.push(Finding {
+            file,
+            line,
+            rule: "storage-budget-coverage",
+            msg: format!(
+                "pub struct `{name}` implements no `StorageBudget`: hardware tables \
+                 must report their bits for the Table 2 budget assertion \
+                 (or add an exemption if it models no storage)"
+            ),
+        });
+    }
+}
+
+/// The workspace root, derived from this crate's manifest directory.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).expect("crates/xtask sits two levels down").to_owned()
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+/// Runs every rule over the workspace at `root`, returning all
+/// findings (empty = clean tree).
+#[must_use]
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut budget_files: Vec<(String, Vec<CodeLine>)> = Vec::new();
+    for krate in SCANNED_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        let mut sources = Vec::new();
+        rust_sources(&src_dir, &mut sources);
+        for path in sources {
+            let Ok(src) = std::fs::read_to_string(&path) else { continue };
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            let lines = code_lines(&src);
+            check_default_hashmap(&rel, &lines, &mut findings);
+            if HOT_PATH_FILES.contains(&rel.as_str()) {
+                check_hot_path_panics(&rel, &lines, &mut findings);
+            }
+            if ARCH_STATE_FILES.contains(&rel.as_str()) {
+                check_arch_state_floats(&rel, &lines, &mut findings);
+            }
+            if BUDGET_CRATES.contains(krate) {
+                budget_files.push((rel, lines));
+            }
+        }
+    }
+    check_budget_coverage(&budget_files, &mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(src: &str) -> Vec<CodeLine> {
+        code_lines(src)
+    }
+
+    #[test]
+    fn comments_are_stripped_but_strings_survive() {
+        assert_eq!(strip_comment("let x = 1; // HashMap"), "let x = 1; ");
+        assert_eq!(strip_comment(r#"let s = "no // comment";"#), r#"let s = "no // comment";"#);
+        assert_eq!(strip_comment("// all comment"), "");
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_hot() {}\n";
+        let ls = lines(src);
+        let kept: Vec<&str> = ls.iter().map(|l| l.raw.as_str()).collect();
+        assert_eq!(kept, ["fn hot() {}", "fn also_hot() {}"]);
+    }
+
+    #[test]
+    fn seeded_hashmap_violation_is_flagged() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u64> }\n";
+        let mut out = Vec::new();
+        check_default_hashmap("x.rs", &lines(src), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].rule, "no-default-hashmap");
+    }
+
+    #[test]
+    fn hashmap_in_test_module_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let mut out = Vec::new();
+        check_default_hashmap("x.rs", &lines(src), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hashmap_waiver_is_honored() {
+        let src = "// audited: seeded hasher wrapper\nuse std::collections::HashMap;\n";
+        let mut out = Vec::new();
+        check_default_hashmap("x.rs", &lines(src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn identifier_containing_hashmap_is_not_a_word_match() {
+        assert!(!has_word("let my_hashmap_like = 1;", "HashMap"));
+        assert!(has_word("let m: HashMap<u8, u8>;", "HashMap"));
+    }
+
+    #[test]
+    fn seeded_unwrap_violation_is_flagged() {
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+        let mut out = Vec::new();
+        check_hot_path_panics("x.rs", &lines(src), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "no-panic-in-hot-path");
+    }
+
+    #[test]
+    fn documented_expect_is_allowed_but_empty_message_is_not() {
+        let ok = "let x = v.expect(\"ROB head exists: checked above\");\n";
+        let bad = "let x = v.expect(\"\");\n";
+        let mut out = Vec::new();
+        check_hot_path_panics("x.rs", &lines(ok), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        check_hot_path_panics("x.rs", &lines(bad), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn audited_unreachable_is_waived() {
+        let src = "match op {\n    A => 1,\n    // audited: decoder emits only A here\n    _ => unreachable!(),\n}\n";
+        let mut out = Vec::new();
+        check_hot_path_panics("x.rs", &lines(src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_in_comment_is_not_flagged() {
+        let src = "let x = 1; // previously v.unwrap()\n";
+        let mut out = Vec::new();
+        check_hot_path_panics("x.rs", &lines(src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn seeded_float_violation_is_flagged() {
+        let src = "fn update(&mut self) { self.value += 0.5_f64 as f64 as u64 as f64; }\n";
+        let mut out = Vec::new();
+        check_arch_state_floats("x.rs", &lines(src), &mut out);
+        assert!(!out.is_empty());
+        assert_eq!(out[0].rule, "no-float-in-arch-state");
+    }
+
+    #[test]
+    fn budget_coverage_flags_uncovered_tables_only() {
+        let src = "pub struct MyTable { bits: u64 }\n\
+                   pub struct MyTableConfig { n: usize }\n\
+                   pub struct Covered;\n\
+                   impl tvp_verif::StorageBudget for Covered {\n}\n";
+        let files = vec![("t.rs".to_owned(), code_lines(src))];
+        let mut out = Vec::new();
+        check_budget_coverage(&files, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("MyTable"));
+        assert_eq!(out[0].rule, "storage-budget-coverage");
+    }
+
+    #[test]
+    fn shipped_tree_is_clean() {
+        let findings = run(&workspace_root());
+        let rendered: Vec<String> = findings.iter().map(ToString::to_string).collect();
+        assert!(findings.is_empty(), "{}", rendered.join("\n"));
+    }
+}

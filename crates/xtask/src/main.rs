@@ -1,0 +1,35 @@
+//! Workspace task runner.
+//!
+//! `cargo xtask lint` runs the simulator-specific static-analysis pass
+//! that rustc and clippy cannot express — the rules live in [`lint`].
+//! The pass is offline and dependency-free: a hand-rolled lexical
+//! scanner over `crates/*/src`, not a `syn` AST walk, which keeps the
+//! workspace free of external build dependencies.
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = lint::workspace_root();
+            let findings = lint::run(&root);
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask lint: {} violation(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -28,13 +28,14 @@ fn main() {
     );
     println!(
         "{:<10} {:>10} {:>7.3} {:>10} {:>10} {:>9}",
-        "baseline", base.cycles, base.ipc(), "-", "-", "-"
+        "baseline",
+        base.cycles,
+        base.ipc(),
+        "-",
+        "-",
+        "-"
     );
-    for (vp, name) in [
-        (VpMode::Mvp, "MVP"),
-        (VpMode::Tvp, "TVP"),
-        (VpMode::Gvp, "GVP"),
-    ] {
+    for (vp, name) in [(VpMode::Mvp, "MVP"), (VpMode::Tvp, "TVP"), (VpMode::Gvp, "GVP")] {
         let s = simulate_vp(vp, false, &trace);
         println!(
             "{:<10} {:>10} {:>7.3} {:>9.2}% {:>9.1}% {:>9}",

@@ -29,10 +29,7 @@ fn main() {
     //    Reduction enabled.
     let tvp = simulate_vp(VpMode::Tvp, true, &trace);
     println!("TVP + SpSR        : {} cycles, IPC {:.3}", tvp.cycles, tvp.ipc());
-    println!(
-        "speedup           : {:+.2}%",
-        (tvp.speedup_over(&baseline) - 1.0) * 100.0
-    );
+    println!("speedup           : {:+.2}%", (tvp.speedup_over(&baseline) - 1.0) * 100.0);
     println!(
         "VP coverage       : {:.1}% of eligible µops (accuracy {:.3}%)",
         tvp.vp.coverage() * 100.0,

@@ -52,8 +52,7 @@ fn counter_consistency_invariants() {
         let trace = w.trace(INSTS);
         let s = simulate_vp(VpMode::Tvp, true, &trace);
         let r = s.rename;
-        let eliminated =
-            r.zero_idiom + r.one_idiom + r.move_elim + r.nine_bit_idiom + r.spsr;
+        let eliminated = r.zero_idiom + r.one_idiom + r.move_elim + r.nine_bit_idiom + r.spsr;
         // Every renamed µop either entered the IQ or was eliminated
         // (rename counters include squashed-and-replayed µops, so ≥).
         assert!(
@@ -64,7 +63,10 @@ fn counter_consistency_invariants() {
         assert!(s.activity.iq_issued <= s.activity.iq_dispatched, "{name}");
         // VP accounting: used ⊆ eligible; outcomes partition used.
         assert!(s.vp.used <= s.vp.eligible, "{name}");
-        assert!(s.vp.correct_used + s.vp.incorrect_used <= s.vp.used + s.flush.squashed_uops, "{name}");
+        assert!(
+            s.vp.correct_used + s.vp.incorrect_used <= s.vp.used + s.flush.squashed_uops,
+            "{name}"
+        );
     }
 }
 

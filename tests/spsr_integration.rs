@@ -22,12 +22,7 @@ fn spsr_reduces_iq_activity_without_hurting_much() {
         total_disp_plain += plain.activity.iq_dispatched;
         total_disp_spsr += spsr.activity.iq_dispatched;
         let slowdown = (plain.cycles as f64 / spsr.cycles as f64 - 1.0) * 100.0;
-        assert!(
-            slowdown > -5.0,
-            "{}: SpSR slowed things by {:.2}%",
-            w.name,
-            -slowdown
-        );
+        assert!(slowdown > -5.0, "{}: SpSR slowed things by {:.2}%", w.name, -slowdown);
     }
     assert!(
         total_disp_spsr < total_disp_plain,

@@ -21,11 +21,7 @@ fn fpc_confidence_keeps_accuracy_extreme() {
         for vp in [VpMode::Mvp, VpMode::Tvp, VpMode::Gvp] {
             let s = simulate_vp(vp, false, &trace);
             if s.vp.used > 100 {
-                assert!(
-                    s.vp.accuracy() > 0.99,
-                    "{name}/{vp:?}: accuracy {}",
-                    s.vp.accuracy()
-                );
+                assert!(s.vp.accuracy() > 0.99, "{name}/{vp:?}: accuracy {}", s.vp.accuracy());
             }
         }
     }
@@ -88,10 +84,7 @@ fn longer_silencing_reduces_flushes() {
     };
     let short = flushes(15);
     let long = flushes(2_000);
-    assert!(
-        long <= short,
-        "more silencing cannot create more flushes: {long} vs {short}"
-    );
+    assert!(long <= short, "more silencing cannot create more flushes: {long} vs {short}");
 }
 
 #[test]

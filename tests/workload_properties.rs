@@ -27,13 +27,16 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (reg.clone(), reg.clone()).prop_map(|(d, a)| mov(x(d), x(a))),
         (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| mul(x(d), x(a), x(b))),
         (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| adds(x(d), x(a), x(b))),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| csel(x(d), x(a), x(b), Cond::Eq)),
-        (reg.clone(), 0i64..256).prop_map(|(d, o)| {
-            ldr(x(d), AddrMode::BaseDisp { base: x(20), disp: o * 8 })
-        }),
-        (reg.clone(), 0i64..256).prop_map(|(s, o)| {
-            str(x(s), AddrMode::BaseDisp { base: x(20), disp: o * 8 })
-        }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| csel(
+            x(d),
+            x(a),
+            x(b),
+            Cond::Eq
+        )),
+        (reg.clone(), 0i64..256)
+            .prop_map(|(d, o)| { ldr(x(d), AddrMode::BaseDisp { base: x(20), disp: o * 8 }) }),
+        (reg.clone(), 0i64..256)
+            .prop_map(|(s, o)| { str(x(s), AddrMode::BaseDisp { base: x(20), disp: o * 8 }) }),
         (reg, 0i64..128).prop_map(|(d, o)| {
             ldr_sized(x(d), AddrMode::BaseDisp { base: x(20), disp: o }, 1, false)
         }),
