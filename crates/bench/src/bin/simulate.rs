@@ -5,16 +5,30 @@
 //! cargo run --release -p tvp-bench --bin simulate -- --list
 //! cargo run --release -p tvp-bench --bin simulate -- pointer_chase --vp gvp --insts 200000
 //! cargo run --release -p tvp-bench --bin simulate -- mc_playout --vp mvp --spsr --no-stride-prefetch
+//! cargo run --release -p tvp-bench --bin simulate -- pointer_chase --vp gvp --chaos-seed 7 --oracle
 //! ```
+//!
+//! Verification exit codes (all print the reproducing chaos seed when a
+//! campaign is armed):
+//!
+//! * `3` — the golden-model commit oracle found a divergence;
+//! * `4` — the deadlock watchdog tripped (no commit progress);
+//! * `5` — an invariant auditor reported a violation (`verif` builds).
 
+use tvp_chaos::ChaosConfig;
 use tvp_core::config::{CoreConfig, VpMode};
-use tvp_core::pipeline::simulate;
+use tvp_core::pipeline::Core;
 
 fn usage() -> ! {
     eprintln!(
         "usage: simulate <workload> [--vp off|mvp|tvp|gvp] [--spsr] \
          [--insts N] [--silence N] [--adaptive-silencing] \
          [--no-stride-prefetch] [--no-ampm] [--baseline-too]\n       \
+         chaos: [--chaos-seed N] [--chaos-vp-permille N] \
+         [--chaos-branch-permille N] [--chaos-cache-permille N] \
+         [--sabotage] [--oracle] [--watchdog CYCLES]\n       \
+         degradation: [--vp-kill-switch] [--spsr-kill-switch] \
+         [--auto-throttle]\n       \
          simulate --list"
     );
     std::process::exit(2);
@@ -37,7 +51,12 @@ fn main() {
     let mut cfg = CoreConfig::table2();
     let mut insts: u64 = 300_000;
     let mut baseline_too = false;
+    let mut chaos: Option<ChaosConfig> = None;
+    let mut sabotage = false;
+    let mut oracle = false;
     let mut it = args.iter().skip(1);
+    let parse_num =
+        |s: Option<&String>| -> u64 { s.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()) };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--vp" => {
@@ -52,29 +71,57 @@ fn main() {
                 cfg.nine_bit_idiom = cfg.vp.uses_inlining();
             }
             "--spsr" => cfg.spsr = true,
-            "--insts" => {
-                insts = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
-            }
-            "--silence" => {
-                cfg.silence_cycles =
-                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
-            }
+            "--insts" => insts = parse_num(it.next()),
+            "--silence" => cfg.silence_cycles = parse_num(it.next()),
             "--adaptive-silencing" => cfg.adaptive_silencing = true,
             "--no-stride-prefetch" => cfg.mem.stride_prefetcher = false,
             "--no-ampm" => cfg.mem.ampm_prefetcher = false,
             "--baseline-too" => baseline_too = true,
+            "--chaos-seed" => chaos = Some(ChaosConfig::campaign(parse_num(it.next()))),
+            "--chaos-vp-permille" => {
+                let rate = parse_num(it.next()).min(1000) as u32;
+                chaos
+                    .get_or_insert_with(|| ChaosConfig::campaign(1))
+                    .vp_force_mispredict_permille = rate;
+            }
+            "--chaos-branch-permille" => {
+                let rate = parse_num(it.next()).min(1000) as u32;
+                chaos.get_or_insert_with(|| ChaosConfig::campaign(1)).branch_invert_permille = rate;
+            }
+            "--chaos-cache-permille" => {
+                let rate = parse_num(it.next()).min(1000) as u32;
+                chaos.get_or_insert_with(|| ChaosConfig::campaign(1)).cache_delay_permille = rate;
+            }
+            "--sabotage" => sabotage = true,
+            "--oracle" => oracle = true,
+            "--watchdog" => cfg.watchdog_cycles = parse_num(it.next()),
+            "--vp-kill-switch" => cfg.vp_kill_switch = true,
+            "--spsr-kill-switch" => cfg.spsr_kill_switch = true,
+            "--auto-throttle" => cfg.auto_throttle = true,
             _ => usage(),
         }
     }
+    if sabotage {
+        chaos.get_or_insert_with(|| ChaosConfig::campaign(1)).sabotage =
+            Some(tvp_chaos::Sabotage::SkipCursorRollback);
+    }
+    cfg.chaos = chaos;
 
     let Some(workload) = tvp_workloads::suite::by_name(&name) else {
         eprintln!("unknown workload `{name}` (try --list)");
         std::process::exit(1);
     };
     eprintln!("generating trace: {name} ({insts} arch insts)...");
-    let trace = workload.trace(insts);
+    let mut machine = workload.machine();
+    let init = machine.arch_snapshot();
+    let trace = machine.run(insts);
+    let golden = machine.arch_snapshot();
     eprintln!("simulating...");
-    let s = simulate(cfg.clone(), &trace);
+    let mut core = Core::new(cfg.clone());
+    if oracle {
+        core.enable_oracle(&init);
+    }
+    let s = core.run(&trace);
 
     println!("---------- {} ({}) ----------", workload.name, workload.proxy);
     println!(
@@ -111,13 +158,65 @@ fn main() {
     println!("INT PRF writes         {:>12}", s.activity.int_prf_writes);
     println!("IQ dispatched          {:>12}", s.activity.iq_dispatched);
     println!("IQ issued              {:>12}", s.activity.iq_issued);
+    if core.chaos_seed().is_some() {
+        println!("-- chaos campaign (seed {:#x})", core.chaos_seed().unwrap_or(0));
+        println!("faults injected        {:>12}", s.chaos.total());
+        println!("forced vp mispredicts  {:>12}", s.chaos.vp_forced_mispredicts);
+        println!("table corruptions      {:>12}", {
+            s.chaos.vtage_corruptions
+                + s.chaos.tage_corruptions
+                + s.chaos.btb_corruptions
+                + s.chaos.storeset_corruptions
+        });
+        println!("branch inversions      {:>12}", s.chaos.branch_inversions);
+        println!("cache delays           {:>12}", s.chaos.cache_delays);
+        println!("prefetch drop cycles   {:>12}", s.chaos.prefetch_drop_cycles);
+    }
+    if cfg.vp_kill_switch || cfg.spsr_kill_switch || cfg.auto_throttle {
+        println!("-- graceful degradation");
+        println!("throttle engagements   {:>12}", s.degrade.throttle_engagements);
+        println!("throttled cycles       {:>12}", s.degrade.throttled_cycles);
+        println!("killswitch suppressed  {:>12}", s.degrade.killswitch_suppressed);
+        println!("throttle suppressed    {:>12}", s.degrade.throttle_suppressed);
+    }
+    if s.overflow_events > 0 {
+        println!("counter saturations    {:>12}", s.overflow_events);
+    }
 
     if baseline_too {
         let mut base_cfg = CoreConfig::table2();
         base_cfg.mem = cfg.mem.clone();
-        let base = simulate(base_cfg, &trace);
+        let base = tvp_core::pipeline::simulate(base_cfg, &trace);
         println!("-- vs. baseline");
         println!("baseline cycles        {:>12}", base.cycles);
         println!("speedup                {:>11.2}%", (s.speedup_over(&base) - 1.0) * 100.0);
+    }
+
+    // Verification gates, most root-cause first. Each prints the
+    // reproducing chaos seed (the Divergence embeds it; the others
+    // print it explicitly).
+    let seed_note = |core: &Core| match core.chaos_seed() {
+        Some(seed) => format!(" [chaos seed {seed:#x}]"),
+        None => String::new(),
+    };
+    let divergence = core.oracle_divergence().cloned().or_else(|| {
+        if oracle {
+            core.oracle_final_check(&golden)
+        } else {
+            None
+        }
+    });
+    if let Some(d) = divergence {
+        eprintln!("FATAL: {d}");
+        std::process::exit(3);
+    }
+    if let Some(diag) = core.watchdog_diagnostic() {
+        eprintln!("FATAL: {diag}{}", seed_note(&core));
+        std::process::exit(4);
+    }
+    #[cfg(feature = "verif")]
+    if let Some(summary) = core.audit_report().first_violation_summary() {
+        eprintln!("FATAL: invariant auditor violation: {summary}{}", seed_note(&core));
+        std::process::exit(5);
     }
 }

@@ -1,0 +1,133 @@
+//! The fault-injection engine.
+//!
+//! One [`ChaosEngine`] lives inside the timing core. At each fault
+//! site the pipeline asks [`ChaosEngine::fire`] whether this
+//! opportunity faults; corrupt-table sites additionally draw raw
+//! entropy ([`ChaosEngine::entropy`]) that the target structure uses
+//! to pick which entry to damage. All draws come from one seeded
+//! xorshift stream, so a campaign is replayed exactly by its seed.
+
+use crate::fault::{ChaosConfig, FaultKind, Sabotage};
+use crate::rng::ChaosRng;
+
+/// Deterministic, seeded fault injector.
+#[derive(Clone, Debug)]
+pub struct ChaosEngine {
+    cfg: ChaosConfig,
+    rng: ChaosRng,
+}
+
+impl ChaosEngine {
+    /// Creates an engine for a campaign.
+    #[must_use]
+    pub fn new(cfg: ChaosConfig) -> Self {
+        ChaosEngine { rng: ChaosRng::new(cfg.seed), cfg }
+    }
+
+    /// The campaign this engine is running.
+    #[must_use]
+    pub fn cfg(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// The replay seed of this campaign.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// The configured sabotage, if any.
+    #[must_use]
+    pub fn sabotage(&self) -> Option<Sabotage> {
+        self.cfg.sabotage
+    }
+
+    /// Rolls one fault opportunity for `kind`. Returns `true` when the
+    /// fault fires. Sites with a zero rate consume no entropy, so
+    /// enabling one fault site does not shift another site's sequence
+    /// of decisions relative to an otherwise-identical campaign.
+    pub fn fire(&mut self, kind: FaultKind) -> bool {
+        let permille = match kind {
+            FaultKind::VpForceMispredict => self.cfg.vp_force_mispredict_permille,
+            FaultKind::VtageCorrupt => self.cfg.vtage_corrupt_permille,
+            FaultKind::TageCorrupt => self.cfg.tage_corrupt_permille,
+            FaultKind::BtbCorrupt => self.cfg.btb_corrupt_permille,
+            FaultKind::StoreSetCorrupt => self.cfg.storeset_corrupt_permille,
+            FaultKind::BranchInvert => self.cfg.branch_invert_permille,
+            FaultKind::CacheDelay => self.cfg.cache_delay_permille,
+            FaultKind::PrefetchDrop => self.cfg.prefetch_drop_permille,
+        };
+        if permille == 0 {
+            return false;
+        }
+        self.rng.below(1000) < u64::from(permille.min(1000))
+    }
+
+    /// Raw entropy for a structure-side `inject_fault` hook (picks the
+    /// table/set/way to corrupt).
+    pub fn entropy(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Extra latency for a fired [`FaultKind::CacheDelay`], uniform in
+    /// `1..=cache_delay_max_cycles`.
+    pub fn extra_delay(&mut self) -> u64 {
+        1 + self.rng.below(self.cfg.cache_delay_max_cycles.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires_and_consumes_no_entropy() {
+        let mut e = ChaosEngine::new(ChaosConfig::quiet(123));
+        let before = e.clone().entropy();
+        for _ in 0..100 {
+            assert!(!e.fire(FaultKind::VpForceMispredict));
+        }
+        assert_eq!(e.entropy(), before, "quiet sites must not advance the stream");
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let mut cfg = ChaosConfig::quiet(5);
+        cfg.branch_invert_permille = 1000;
+        let mut e = ChaosEngine::new(cfg);
+        for _ in 0..100 {
+            assert!(e.fire(FaultKind::BranchInvert));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let cfg = ChaosConfig::campaign(0xDEAD);
+        let mut a = ChaosEngine::new(cfg);
+        let mut b = ChaosEngine::new(cfg);
+        for _ in 0..1_000 {
+            assert_eq!(a.fire(FaultKind::CacheDelay), b.fire(FaultKind::CacheDelay));
+            assert_eq!(a.extra_delay(), b.extra_delay());
+        }
+    }
+
+    #[test]
+    fn extra_delay_is_bounded_and_nonzero() {
+        let mut cfg = ChaosConfig::quiet(9);
+        cfg.cache_delay_max_cycles = 8;
+        let mut e = ChaosEngine::new(cfg);
+        for _ in 0..200 {
+            let d = e.extra_delay();
+            assert!((1..=8).contains(&d));
+        }
+    }
+
+    #[test]
+    fn approximate_rate_is_honored() {
+        let mut cfg = ChaosConfig::quiet(77);
+        cfg.cache_delay_permille = 100; // 10%
+        let mut e = ChaosEngine::new(cfg);
+        let fired = (0..10_000).filter(|_| e.fire(FaultKind::CacheDelay)).count();
+        assert!((700..=1_300).contains(&fired), "10% of 10k draws, got {fired}");
+    }
+}

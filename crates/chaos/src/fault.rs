@@ -1,0 +1,150 @@
+//! Fault taxonomy and campaign configuration.
+//!
+//! Every fault the engine can inject is a [`FaultKind`]; a campaign is
+//! a [`ChaosConfig`]: one seed plus one per-mille rate per fault site.
+//! Rates are integers (0–1000) so campaign descriptions stay exact and
+//! platform-independent — no floating point anywhere in the decision
+//! path.
+
+/// One injectable fault site, as wired into the timing pipeline.
+///
+/// All faults perturb *micro-architectural* state only (predictions,
+/// predictor tables, latencies). Architectural values always come from
+/// the functional trace, so a correct recovery path must absorb any
+/// campaign without changing committed state — that is exactly what
+/// the commit oracle checks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Replace a confident, admissible value prediction with a wrong
+    /// value at rename, forcing the validate-and-recover path.
+    VpForceMispredict,
+    /// Corrupt a valid VTAGE entry: flip the low value bit and saturate
+    /// its FPC confidence so the poisoned value gets used.
+    VtageCorrupt,
+    /// Corrupt a TAGE entry: invert a tagged counter and a bimodal
+    /// counter.
+    TageCorrupt,
+    /// Invalidate a valid BTB entry (models a dropped target).
+    BtbCorrupt,
+    /// Scribble over an SSIT/LFST entry in the store-set predictor.
+    StoreSetCorrupt,
+    /// Invert the front-end's branch-misprediction verdict.
+    BranchInvert,
+    /// Add extra cycles to a data-cache access latency.
+    CacheDelay,
+    /// Suppress all prefetch issue (demand misses only) for one cycle.
+    PrefetchDrop,
+}
+
+/// Deliberate recovery-path breakage, for proving the oracle catches
+/// real bugs. Never enabled outside broken-fixture tests.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Sabotage {
+    /// On a value-misprediction flush, squash the ROB but *skip* the
+    /// trace-cursor rollback, so the squashed µops are never refetched
+    /// and the commit stream has a sequence gap.
+    SkipCursorRollback,
+}
+
+/// A fault campaign: seed plus per-site rates.
+///
+/// Rates are per-mille (0–1000) of the site's trigger opportunity:
+/// per used prediction for [`FaultKind::VpForceMispredict`], per
+/// predicted branch for [`FaultKind::BranchInvert`], per data access
+/// for [`FaultKind::CacheDelay`], and per cycle for the table
+/// corruption and prefetch-drop sites.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// PRNG seed. The same seed and rates reproduce the exact fault
+    /// sequence, cycle for cycle.
+    pub seed: u64,
+    /// Forced VP mispredictions, per-mille of used predictions.
+    pub vp_force_mispredict_permille: u32,
+    /// VTAGE entry corruption, per-mille per cycle.
+    pub vtage_corrupt_permille: u32,
+    /// TAGE entry corruption, per-mille per cycle.
+    pub tage_corrupt_permille: u32,
+    /// BTB entry invalidation, per-mille per cycle.
+    pub btb_corrupt_permille: u32,
+    /// Store-set SSIT/LFST corruption, per-mille per cycle.
+    pub storeset_corrupt_permille: u32,
+    /// Branch-verdict inversion, per-mille of predicted branches.
+    pub branch_invert_permille: u32,
+    /// Cache latency perturbation, per-mille of data accesses.
+    pub cache_delay_permille: u32,
+    /// Maximum extra cycles added when a cache delay fires (uniform in
+    /// `1..=max`).
+    pub cache_delay_max_cycles: u64,
+    /// Prefetch suppression, per-mille of cycles.
+    pub prefetch_drop_permille: u32,
+    /// Optional deliberate recovery breakage (broken-fixture tests
+    /// only).
+    pub sabotage: Option<Sabotage>,
+}
+
+impl ChaosConfig {
+    /// A quiet campaign: chaos plumbing active, all rates zero.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            vp_force_mispredict_permille: 0,
+            vtage_corrupt_permille: 0,
+            tage_corrupt_permille: 0,
+            btb_corrupt_permille: 0,
+            storeset_corrupt_permille: 0,
+            branch_invert_permille: 0,
+            cache_delay_permille: 0,
+            cache_delay_max_cycles: 16,
+            prefetch_drop_permille: 0,
+            sabotage: None,
+        }
+    }
+
+    /// The standard smoke campaign used by CI: 2% forced VP
+    /// mispredictions plus corruption on every predictor table, branch
+    /// inversion, latency noise and prefetch drops.
+    #[must_use]
+    pub fn campaign(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            vp_force_mispredict_permille: 20,
+            vtage_corrupt_permille: 10,
+            tage_corrupt_permille: 10,
+            btb_corrupt_permille: 10,
+            storeset_corrupt_permille: 5,
+            branch_invert_permille: 5,
+            cache_delay_permille: 10,
+            cache_delay_max_cycles: 32,
+            prefetch_drop_permille: 50,
+            sabotage: None,
+        }
+    }
+
+    /// The same campaign with recovery deliberately broken — the
+    /// oracle must flag it.
+    #[must_use]
+    pub fn sabotaged_campaign(seed: u64) -> Self {
+        ChaosConfig { sabotage: Some(Sabotage::SkipCursorRollback), ..Self::campaign(seed) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_campaign_has_no_rates() {
+        let c = ChaosConfig::quiet(1);
+        assert_eq!(c.vp_force_mispredict_permille, 0);
+        assert_eq!(c.sabotage, None);
+    }
+
+    #[test]
+    fn smoke_campaign_forces_at_least_one_percent_vp_mispredicts() {
+        // Acceptance criterion: the CI campaign forces ≥ 1% of used
+        // predictions wrong.
+        assert!(ChaosConfig::campaign(1).vp_force_mispredict_permille >= 10);
+        assert_eq!(ChaosConfig::sabotaged_campaign(1).sabotage, Some(Sabotage::SkipCursorRollback));
+    }
+}

@@ -1,0 +1,534 @@
+//! Golden-model differential oracle.
+//!
+//! The timing core never computes architectural values — it replays
+//! the functional trace — so a *correct* pipeline commits exactly the
+//! µop sequence the functional machine executed: every sequence
+//! number once, in order, with results that re-execute cleanly from
+//! the initial architectural state. [`CommitOracle`] checks that in
+//! lockstep: it holds its own architectural state (registers, flags,
+//! PC, sparse memory), re-executes every committed µop through the
+//! `tvp-isa` functional semantics ([`exec_alu`]/[`branch_taken`]) and
+//! compares against the trace annotations. Any recovery bug that
+//! skips, duplicates or reorders committed work — e.g. a squash that
+//! forgets to roll the trace cursor back — surfaces as the first
+//! [`Divergence`], with enough context to replay the campaign.
+
+use std::fmt;
+
+use tvp_isa::exec::{branch_taken, exec_alu, Operands};
+use tvp_isa::flags::Nzcv;
+use tvp_isa::inst::{AddrMode, Src2};
+use tvp_isa::op::Op;
+use tvp_isa::reg::{Reg, NUM_FP_REGS, NUM_INT_REGS, ZERO_REG_INDEX};
+use tvp_workloads::machine::{ArchSnapshot, SparseMem};
+use tvp_workloads::program::INST_BYTES;
+use tvp_workloads::trace::{BranchOutcome, TraceUop};
+
+/// What diverged between the pipeline's commit stream and the golden
+/// model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The committed sequence number is not the next expected one:
+    /// a µop was skipped, duplicated or reordered.
+    Order {
+        /// The sequence number the golden model expected to commit.
+        expected_seq: u64,
+    },
+    /// An architectural instruction committed at the wrong PC.
+    Pc {
+        /// The PC the golden model expected.
+        expected_pc: u64,
+    },
+    /// A re-executed value (result, address, flags, link) disagrees
+    /// with the trace annotation.
+    Mismatch {
+        /// Which quantity diverged.
+        what: &'static str,
+        /// Golden-model value.
+        expected: u64,
+        /// Trace-annotated value (`u64::MAX` when the annotation is
+        /// absent).
+        got: u64,
+    },
+    /// A branch resolved differently than the trace recorded.
+    Branch {
+        /// Golden-model branch resolution.
+        expected: BranchOutcome,
+        /// Trace-annotated resolution, if any.
+        got: Option<BranchOutcome>,
+    },
+    /// A µop is structurally malformed (missing operand/addressing);
+    /// committed state can no longer be interpreted.
+    Malformed {
+        /// What was missing.
+        what: &'static str,
+    },
+    /// Post-run architectural state differs from the functional
+    /// machine's final state.
+    FinalState {
+        /// Which piece of state (register name, "flags", "pc",
+        /// "memory digest").
+        what: String,
+        /// Golden final value.
+        expected: u64,
+        /// Oracle's reconstructed value.
+        got: u64,
+    },
+}
+
+/// The first point where the pipeline's committed state departed from
+/// the golden model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Sequence number of the diverging committed µop (or of the last
+    /// µop before a final-state mismatch).
+    pub seq: u64,
+    /// PC of the diverging µop.
+    pub pc: u64,
+    /// What went wrong.
+    pub kind: DivergenceKind,
+    /// Seed of the chaos campaign that provoked the divergence, when
+    /// one was active; rerunning with this seed reproduces the fault
+    /// sequence exactly.
+    pub chaos_seed: Option<u64>,
+}
+
+impl Divergence {
+    /// Attaches the replaying chaos seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: Option<u64>) -> Self {
+        self.chaos_seed = seed;
+        self
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "commit-oracle divergence at seq {} (pc {:#x}): ", self.seq, self.pc)?;
+        match &self.kind {
+            DivergenceKind::Order { expected_seq } => {
+                write!(f, "expected seq {expected_seq} to commit next")?;
+            }
+            DivergenceKind::Pc { expected_pc } => {
+                write!(f, "expected instruction at pc {expected_pc:#x}")?;
+            }
+            DivergenceKind::Mismatch { what, expected, got } => {
+                write!(f, "{what}: expected {expected:#x}, got {got:#x}")?;
+            }
+            DivergenceKind::Branch { expected, got } => {
+                write!(f, "branch outcome: expected {expected:?}, got {got:?}")?;
+            }
+            DivergenceKind::Malformed { what } => write!(f, "malformed µop: {what}")?,
+            DivergenceKind::FinalState { what, expected, got } => {
+                write!(f, "final {what}: expected {expected:#x}, got {got:#x}")?;
+            }
+        }
+        if let Some(seed) = self.chaos_seed {
+            write!(f, " [replay with chaos seed {seed:#x}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Lockstep golden model fed by the pipeline's commit stage.
+#[derive(Clone, Debug)]
+pub struct CommitOracle {
+    int: [u64; NUM_INT_REGS as usize],
+    fp: [u64; NUM_FP_REGS as usize],
+    flags: Nzcv,
+    mem: SparseMem,
+    /// Next expected global sequence number.
+    next_seq: u64,
+    /// Expected PC of the next architectural instruction.
+    next_pc: u64,
+    /// PC of the architectural instruction currently committing.
+    cur_pc: u64,
+    /// Next-instruction PC as resolved so far by the current
+    /// instruction's µops (fall-through until a taken branch).
+    pending_next_pc: u64,
+    commits: u64,
+    poisoned: bool,
+}
+
+impl CommitOracle {
+    /// Creates an oracle from the pre-run architectural state (the
+    /// same snapshot the functional machine started the trace from).
+    #[must_use]
+    pub fn new(init: &ArchSnapshot) -> Self {
+        CommitOracle {
+            int: init.int,
+            fp: init.fp,
+            flags: init.flags,
+            mem: init.mem.clone(),
+            next_seq: 0,
+            next_pc: init.pc,
+            cur_pc: init.pc,
+            pending_next_pc: init.pc,
+            commits: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Number of µops validated so far.
+    #[must_use]
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// The oracle's current architectural state.
+    #[must_use]
+    pub fn snapshot(&self) -> ArchSnapshot {
+        ArchSnapshot {
+            int: self.int,
+            fp: self.fp,
+            flags: self.flags,
+            pc: self.next_pc,
+            mem: self.mem.clone(),
+        }
+    }
+
+    fn reg(&self, r: Reg) -> u64 {
+        match r {
+            Reg::Int(ZERO_REG_INDEX) => 0,
+            Reg::Int(i) => self.int[usize::from(i)],
+            Reg::Fp(i) => self.fp[usize::from(i)],
+            Reg::Nzcv => u64::from(self.flags.pack()),
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, value: u64) {
+        match r {
+            Reg::Int(ZERO_REG_INDEX) => {}
+            Reg::Int(i) => self.int[usize::from(i)] = value,
+            Reg::Fp(i) => self.fp[usize::from(i)] = value,
+            Reg::Nzcv => self.flags = Nzcv::unpack(value as u8),
+        }
+    }
+
+    fn src2_value(&self, s: Src2) -> u64 {
+        match s {
+            Src2::None => 0,
+            Src2::Reg(r) => self.reg(r),
+            Src2::Imm(i) => i as u64,
+        }
+    }
+
+    fn effective_addr(&self, addr: AddrMode) -> Option<u64> {
+        match addr {
+            AddrMode::BaseDisp { base, disp } => Some(self.reg(base).wrapping_add(disp as u64)),
+            AddrMode::BaseIndex { base, index, shift } => {
+                Some(self.reg(base).wrapping_add(self.reg(index) << shift))
+            }
+            // Writeback addressing is removed by µop expansion; seeing
+            // it at commit means the stream is corrupt.
+            AddrMode::PreIndex { .. } | AddrMode::PostIndex { .. } => None,
+        }
+    }
+
+    /// Validates one committed µop against the golden model, updating
+    /// the model's architectural state.
+    ///
+    /// After the first divergence the oracle is *poisoned*: further
+    /// calls are no-ops returning `Ok`, so the caller keeps only the
+    /// first (root-cause) report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Divergence`] when the committed µop departs from
+    /// the golden model.
+    pub fn on_commit(&mut self, u: &TraceUop) -> Result<(), Divergence> {
+        if self.poisoned {
+            return Ok(());
+        }
+        match self.check(u) {
+            Ok(()) => {
+                self.commits += 1;
+                Ok(())
+            }
+            Err(kind) => {
+                self.poisoned = true;
+                Err(Divergence { seq: u.seq, pc: u.pc, kind, chaos_seed: None })
+            }
+        }
+    }
+
+    /// Compares the oracle's post-run state against the functional
+    /// machine's final snapshot. Returns the first mismatch, if any.
+    #[must_use]
+    pub fn final_check(&self, golden: &ArchSnapshot) -> Option<Divergence> {
+        if self.poisoned {
+            // A lockstep divergence was already reported; final state
+            // is not meaningful past that point.
+            return None;
+        }
+        let wrap = |what: String, expected: u64, got: u64| Divergence {
+            seq: self.next_seq.saturating_sub(1),
+            pc: self.cur_pc,
+            kind: DivergenceKind::FinalState { what, expected, got },
+            chaos_seed: None,
+        };
+        for i in 0..self.int.len() {
+            if self.int[i] != golden.int[i] {
+                return Some(wrap(format!("x{i}"), golden.int[i], self.int[i]));
+            }
+        }
+        for i in 0..self.fp.len() {
+            if self.fp[i] != golden.fp[i] {
+                return Some(wrap(format!("v{i}"), golden.fp[i], self.fp[i]));
+            }
+        }
+        if self.flags.pack() != golden.flags.pack() {
+            return Some(wrap(
+                "flags".to_owned(),
+                u64::from(golden.flags.pack()),
+                u64::from(self.flags.pack()),
+            ));
+        }
+        if self.next_pc != golden.pc {
+            return Some(wrap("pc".to_owned(), golden.pc, self.next_pc));
+        }
+        let (want, got) = (golden.mem.digest(), self.mem.digest());
+        if want != got {
+            return Some(wrap("memory digest".to_owned(), want, got));
+        }
+        None
+    }
+
+    fn check(&mut self, u: &TraceUop) -> Result<(), DivergenceKind> {
+        if u.seq != self.next_seq {
+            return Err(DivergenceKind::Order { expected_seq: self.next_seq });
+        }
+        self.next_seq += 1;
+        if u.first_uop {
+            if u.pc != self.next_pc {
+                return Err(DivergenceKind::Pc { expected_pc: self.next_pc });
+            }
+            self.cur_pc = u.pc;
+            self.pending_next_pc = u.pc + INST_BYTES;
+        } else if u.pc != self.cur_pc {
+            return Err(DivergenceKind::Mismatch {
+                what: "intra-instruction pc",
+                expected: self.cur_pc,
+                got: u.pc,
+            });
+        }
+        self.execute(u)?;
+        self.next_pc = self.pending_next_pc;
+        Ok(())
+    }
+
+    fn execute(&mut self, u: &TraceUop) -> Result<(), DivergenceKind> {
+        let absent = u64::MAX;
+        match u.uop.op {
+            Op::Load { size, signed } => {
+                let Some(am) = u.uop.addr else {
+                    return Err(DivergenceKind::Malformed { what: "load without addressing" });
+                };
+                let Some(addr) = self.effective_addr(am) else {
+                    return Err(DivergenceKind::Malformed { what: "writeback load at commit" });
+                };
+                if u.mem_addr != Some(addr) {
+                    return Err(DivergenceKind::Mismatch {
+                        what: "load address",
+                        expected: addr,
+                        got: u.mem_addr.unwrap_or(absent),
+                    });
+                }
+                let raw = self.mem.read(addr, size);
+                let value = if signed && size < 8 {
+                    let shift = 64 - u32::from(size) * 8;
+                    (((raw << shift) as i64) >> shift) as u64
+                } else {
+                    raw
+                };
+                if u.result != Some(value) {
+                    return Err(DivergenceKind::Mismatch {
+                        what: "load value",
+                        expected: value,
+                        got: u.result.unwrap_or(absent),
+                    });
+                }
+                let Some(dst) = u.uop.dst else {
+                    return Err(DivergenceKind::Malformed { what: "load without destination" });
+                };
+                self.set_reg(dst, value);
+            }
+            Op::Store { size } => {
+                let Some(am) = u.uop.addr else {
+                    return Err(DivergenceKind::Malformed { what: "store without addressing" });
+                };
+                let Some(addr) = self.effective_addr(am) else {
+                    return Err(DivergenceKind::Malformed { what: "writeback store at commit" });
+                };
+                if u.mem_addr != Some(addr) {
+                    return Err(DivergenceKind::Mismatch {
+                        what: "store address",
+                        expected: addr,
+                        got: u.mem_addr.unwrap_or(absent),
+                    });
+                }
+                let Some(src) = u.uop.src1 else {
+                    return Err(DivergenceKind::Malformed { what: "store without data register" });
+                };
+                let data = self.reg(src);
+                self.mem.write(addr, size, data);
+            }
+            op if op.is_branch() => {
+                let src = u.uop.src1.map_or(0, |r| self.reg(r));
+                let taken = branch_taken(op, u.uop.width, src, self.flags);
+                let target = match op {
+                    Op::Br | Op::Blr | Op::Ret => src,
+                    _ => match u.uop.target {
+                        Some(t) => t,
+                        None => {
+                            return Err(DivergenceKind::Malformed {
+                                what: "direct branch without target",
+                            });
+                        }
+                    },
+                };
+                if matches!(op, Op::Bl | Op::Blr) {
+                    let link = u.pc + INST_BYTES;
+                    self.set_reg(Reg::Int(30), link);
+                    if u.result != Some(link) {
+                        return Err(DivergenceKind::Mismatch {
+                            what: "link value",
+                            expected: link,
+                            got: u.result.unwrap_or(absent),
+                        });
+                    }
+                }
+                if taken {
+                    self.pending_next_pc = target;
+                }
+                let expected =
+                    BranchOutcome { taken, target: if taken { target } else { u.pc + INST_BYTES } };
+                if u.branch != Some(expected) {
+                    return Err(DivergenceKind::Branch { expected, got: u.branch });
+                }
+            }
+            op => {
+                let ops = Operands {
+                    a: u.uop.src1.map_or(0, |r| self.reg(r)),
+                    b: self.src2_value(u.uop.src2),
+                    c: u.uop.src3.map_or(0, |r| self.reg(r)),
+                    flags: self.flags,
+                };
+                let r = exec_alu(op, u.uop.width, u.uop.sets_flags, ops);
+                if let Some(dst) = u.uop.dst {
+                    if u.result != Some(r.value) {
+                        return Err(DivergenceKind::Mismatch {
+                            what: "result value",
+                            expected: r.value,
+                            got: u.result.unwrap_or(absent),
+                        });
+                    }
+                    self.set_reg(dst, r.value);
+                }
+                if let Some(f) = r.flags {
+                    if u.flags_out != Some(f) {
+                        return Err(DivergenceKind::Mismatch {
+                            what: "flags",
+                            expected: u64::from(f.pack()),
+                            got: u.flags_out.map_or(absent, |g| u64::from(g.pack())),
+                        });
+                    }
+                    self.flags = f;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_for(name: &str, insts: u64) -> (CommitOracle, tvp_workloads::Trace, ArchSnapshot) {
+        let w = tvp_workloads::suite::by_name(name).expect("workload exists");
+        let mut m = w.machine();
+        let init = m.arch_snapshot();
+        let trace = m.run(insts);
+        let golden = m.arch_snapshot();
+        (CommitOracle::new(&init), trace, golden)
+    }
+
+    #[test]
+    fn clean_commit_stream_matches_golden_model() {
+        for name in ["string_match", "pointer_chase", "stream_triad", "minimax"] {
+            let (mut oracle, trace, golden) = oracle_for(name, 3_000);
+            for u in &trace.uops {
+                oracle.on_commit(u).expect("functional trace replays cleanly");
+            }
+            assert_eq!(oracle.commits(), trace.uops.len() as u64);
+            assert_eq!(oracle.final_check(&golden), None, "{name}");
+            assert_eq!(oracle.snapshot().digest(), golden.digest(), "{name}");
+        }
+    }
+
+    #[test]
+    fn skipped_uop_is_caught_as_order_divergence() {
+        let (mut oracle, trace, _) = oracle_for("string_match", 500);
+        oracle.on_commit(&trace.uops[0]).expect("first µop is clean");
+        let d = oracle.on_commit(&trace.uops[2]).expect_err("gap must be flagged");
+        assert_eq!(d.kind, DivergenceKind::Order { expected_seq: 1 });
+        assert_eq!(d.seq, 2);
+        // Poisoned: subsequent commits are ignored, first report wins.
+        assert_eq!(oracle.on_commit(&trace.uops[3]), Ok(()));
+    }
+
+    #[test]
+    fn duplicated_uop_is_caught() {
+        let (mut oracle, trace, _) = oracle_for("string_match", 500);
+        oracle.on_commit(&trace.uops[0]).expect("first µop is clean");
+        let d = oracle.on_commit(&trace.uops[0]).expect_err("replayed seq 0");
+        assert!(matches!(d.kind, DivergenceKind::Order { expected_seq: 1 }));
+    }
+
+    #[test]
+    fn corrupted_result_is_caught() {
+        let (mut oracle, trace, _) = oracle_for("expr_tree", 500);
+        let mut bad = None;
+        for (i, u) in trace.uops.iter().enumerate() {
+            if u.result.is_some() && !u.uop.op.is_branch() && u.mem_addr.is_none() {
+                bad = Some(i);
+                break;
+            }
+        }
+        let bad = bad.expect("an ALU-producing µop exists");
+        for u in &trace.uops[..bad] {
+            oracle.on_commit(u).expect("prefix is clean");
+        }
+        let mut forged = trace.uops[bad].clone();
+        forged.result = forged.result.map(|v| v ^ 0x8000_0001);
+        let d = oracle.on_commit(&forged).expect_err("wrong value must diverge");
+        assert!(matches!(d.kind, DivergenceKind::Mismatch { what: "result value", .. }), "{d}");
+    }
+
+    #[test]
+    fn divergence_renders_with_replay_seed() {
+        let d = Divergence {
+            seq: 17,
+            pc: 0x1_0040,
+            kind: DivergenceKind::Order { expected_seq: 9 },
+            chaos_seed: None,
+        }
+        .with_seed(Some(0xBEEF));
+        let text = d.to_string();
+        assert!(text.contains("seq 17"), "{text}");
+        assert!(text.contains("0xbeef"), "{text}");
+    }
+
+    #[test]
+    fn final_state_mismatch_is_reported() {
+        let (mut oracle, trace, golden) = oracle_for("pixel_encode", 300);
+        for u in &trace.uops {
+            oracle.on_commit(u).expect("trace replays cleanly");
+        }
+        let mut tampered = golden.clone();
+        tampered.int[5] = tampered.int[5].wrapping_add(1);
+        let d = oracle.final_check(&tampered).expect("tampered x5 must mismatch");
+        assert!(matches!(d.kind, DivergenceKind::FinalState { .. }), "{d}");
+    }
+}

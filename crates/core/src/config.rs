@@ -135,6 +135,25 @@ pub struct CoreConfig {
     /// periodic audits; an end-of-run audit still happens). Only
     /// effective when the crate is built with the `verif` feature.
     pub audit_every: u64,
+    /// Deterministic fault-injection campaign (`None` = no chaos).
+    pub chaos: Option<tvp_chaos::ChaosConfig>,
+    /// Deadlock watchdog: trip after this many cycles without a commit
+    /// (0 disables the watchdog entirely).
+    pub watchdog_cycles: u64,
+    /// Runtime kill-switch: never *use* value predictions, even when
+    /// the predictor is confident (training continues).
+    pub vp_kill_switch: bool,
+    /// Runtime kill-switch: disable speculative strength reduction
+    /// even when [`CoreConfig::spsr`] is set.
+    pub spsr_kill_switch: bool,
+    /// Auto-throttle: temporarily disable VP/SpSR when value
+    /// mispredictions storm (graceful degradation).
+    pub auto_throttle: bool,
+    /// Auto-throttle evaluation window, in cycles.
+    pub throttle_window: u64,
+    /// Mispredictions-per-window score at which the throttle engages
+    /// (it disengages below half this threshold).
+    pub throttle_threshold: u64,
 }
 
 impl CoreConfig {
@@ -172,6 +191,13 @@ impl CoreConfig {
             tage: TageConfig::default(),
             mem: HierarchyConfig::default(),
             audit_every: 1_000,
+            chaos: None,
+            watchdog_cycles: 1_000_000,
+            vp_kill_switch: false,
+            spsr_kill_switch: false,
+            auto_throttle: false,
+            throttle_window: 512,
+            throttle_threshold: 8,
         }
     }
 
@@ -189,6 +215,13 @@ impl CoreConfig {
     #[must_use]
     pub fn with_spsr(mut self) -> Self {
         self.spsr = true;
+        self
+    }
+
+    /// Arms a deterministic fault-injection campaign.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: tvp_chaos::ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 
@@ -302,6 +335,16 @@ mod tests {
         assert!(c.move_elim && c.zero_one_idiom);
         assert!(!c.nine_bit_idiom && !c.spsr);
         assert_eq!(c.vp, VpMode::Off);
+    }
+
+    #[test]
+    fn chaos_and_degradation_default_off() {
+        let c = CoreConfig::table2();
+        assert!(c.chaos.is_none());
+        assert_eq!(c.watchdog_cycles, 1_000_000);
+        assert!(!c.vp_kill_switch && !c.spsr_kill_switch && !c.auto_throttle);
+        let armed = CoreConfig::table2().with_chaos(tvp_chaos::ChaosConfig::campaign(42));
+        assert_eq!(armed.chaos.map(|ch| ch.seed), Some(42));
     }
 
     #[test]

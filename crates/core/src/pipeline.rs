@@ -17,6 +17,10 @@
 
 use std::collections::VecDeque;
 
+use tvp_chaos::{
+    ChaosEngine, CommitOracle, DeadlockDiagnostic, Divergence, FaultKind, MshrInfo, RobHeadInfo,
+    Sabotage, Watchdog,
+};
 use tvp_isa::op::{BranchKind, ExecClass, Op};
 use tvp_mem::hierarchy::Hierarchy;
 use tvp_predictors::btb::Btb;
@@ -30,8 +34,9 @@ use tvp_workloads::trace::{Trace, TraceUop};
 use crate::config::{CoreConfig, FuPool, RecoveryPolicy, VpMode};
 use crate::physreg::PhysName;
 use crate::rename::{ElimCategory, PredApply, RenamedUop, Renamer};
-use crate::stats::SimStats;
+use crate::stats::{sat_inc, SimStats};
 use crate::storesets::StoreSets;
+use tvp_workloads::machine::ArchSnapshot;
 
 /// A µop sitting in the fetch queue.
 #[derive(Clone, Debug)]
@@ -144,6 +149,13 @@ pub struct Core {
     last_vp_flush: u64,
     int_div_busy: u64,
     fp_div_busy: u64,
+    chaos: Option<ChaosEngine>,
+    oracle: Option<CommitOracle>,
+    divergence: Option<Divergence>,
+    watchdog_diag: Option<DeadlockDiagnostic>,
+    throttled: bool,
+    storm_score: u64,
+    next_throttle_eval: u64,
     stats: SimStats,
     #[cfg(feature = "verif")]
     auditors: Vec<Box<dyn tvp_verif::PipelineAuditor>>,
@@ -168,7 +180,7 @@ impl Core {
             ras: ras.clone(),
             itc_path: itc.path_checkpoint(),
         };
-        Core {
+        let mut core = Core {
             fu: FuPool::default(),
             btb: Btb::new(8192, 4),
             mem: Hierarchy::new(cfg.mem.clone()),
@@ -197,6 +209,13 @@ impl Core {
             last_vp_flush: 0,
             int_div_busy: 0,
             fp_div_busy: 0,
+            chaos: cfg.chaos.map(ChaosEngine::new),
+            oracle: None,
+            divergence: None,
+            watchdog_diag: None,
+            throttled: false,
+            storm_score: 0,
+            next_throttle_eval: 0,
             stats: SimStats::default(),
             #[cfg(feature = "verif")]
             auditors: tvp_verif::standard_suite(),
@@ -205,7 +224,11 @@ impl Core {
             #[cfg(feature = "verif")]
             last_committed_seq: None,
             cfg,
+        };
+        if core.cfg.spsr_kill_switch {
+            core.renamer.set_spsr_enabled(false);
         }
+        core
     }
 
     /// The configuration in effect.
@@ -216,32 +239,63 @@ impl Core {
 
     /// Runs the entire trace to completion and returns statistics.
     ///
-    /// # Panics
-    ///
-    /// Panics if the pipeline deadlocks (no commit for a very long
-    /// time), which indicates a simulator bug.
+    /// If the pipeline stops making commit progress for
+    /// [`CoreConfig::watchdog_cycles`] cycles, the run stops early and
+    /// a structured [`DeadlockDiagnostic`] is available from
+    /// [`Core::watchdog_diagnostic`] instead of the process hanging
+    /// (the [`simulate`] convenience wrapper still panics on it, with
+    /// the full dump as the message).
     pub fn run(&mut self, trace: &Trace) -> SimStats {
-        let mut last_retired = 0;
-        let mut last_progress_cycle = 0;
+        let mut watchdog = Watchdog::new(self.cfg.watchdog_cycles);
         while self.cursor < trace.uops.len() || !self.rob.is_empty() || !self.fetch_queue.is_empty()
         {
             self.step(trace);
-            if self.stats.uops_retired != last_retired {
-                last_retired = self.stats.uops_retired;
-                last_progress_cycle = self.cycle;
+            if watchdog.observe(self.cycle, self.stats.uops_retired) {
+                self.watchdog_diag =
+                    Some(self.deadlock_diagnostic(trace, watchdog.stalled_for(self.cycle)));
+                break;
             }
-            assert!(
-                self.cycle - last_progress_cycle < 1_000_000,
-                "pipeline deadlock at cycle {} (retired {})",
-                self.cycle,
-                self.stats.uops_retired
-            );
         }
         self.stats.cycles = self.cycle;
         self.stats.rename = self.renamer.stats();
         #[cfg(feature = "verif")]
         self.final_audit();
         self.stats
+    }
+
+    /// Assembles the watchdog's structured dump of the stalled
+    /// pipeline.
+    fn deadlock_diagnostic(&self, trace: &Trace, stalled_cycles: u64) -> DeadlockDiagnostic {
+        let rob_head = self.rob.front().map(|e| RobHeadInfo {
+            seq: e.seq,
+            pc: trace.uops[e.idx].pc,
+            issued: e.issued,
+            eliminated: e.renamed.eliminated.is_some(),
+            in_iq: e.in_iq,
+            done_cycle: e.done_cycle,
+        });
+        let oldest_mshr = self
+            .mem
+            .oldest_mshr(self.cycle)
+            .map(|(level, line_addr, done_cycle)| MshrInfo { level, line_addr, done_cycle });
+        DeadlockDiagnostic {
+            cycle: self.cycle,
+            uops_retired: self.stats.uops_retired,
+            stalled_cycles,
+            rob_occupancy: self.rob.len(),
+            rob_head,
+            iq_occupancy: self.iq_count,
+            lq_occupancy: self.lq.len(),
+            sq_occupancy: self.sq.len(),
+            fetch_queue: self.fetch_queue.len(),
+            trace_cursor: self.cursor,
+            fetch_resume: self.fetch_resume,
+            fetch_wait_branch: self.fetch_wait_branch,
+            pending_flushes: self.pending_flushes.len(),
+            pending_replays: self.pending_replays.len(),
+            silence_until: self.silence_until,
+            oldest_mshr,
+        }
     }
 
     /// Advances one cycle.
@@ -259,6 +313,8 @@ impl Core {
                 self.cursor
             );
         }
+        self.inject_chaos();
+        self.update_throttle();
         self.apply_pending_replays(trace);
         self.apply_pending_flush(trace);
         self.commit(trace);
@@ -269,6 +325,72 @@ impl Core {
         #[cfg(feature = "verif")]
         self.maybe_audit();
         self.cycle += 1;
+    }
+
+    /// Per-cycle fault sites: predictor-table corruption and prefetch
+    /// suppression. (Per-event sites — forced VP mispredicts, branch
+    /// inversions, cache delays — fire inline at rename, fetch and
+    /// issue.) Each site rolls independently and zero-rate sites
+    /// consume no entropy, so one campaign's decisions replay exactly
+    /// from its seed.
+    fn inject_chaos(&mut self) {
+        let Some(ch) = self.chaos.as_mut() else { return };
+        if ch.fire(FaultKind::VtageCorrupt) {
+            let r = ch.entropy();
+            if self.vtage.as_mut().is_some_and(|vp| vp.inject_fault(r)) {
+                sat_inc(&mut self.stats.chaos.vtage_corruptions, &mut self.stats.overflow_events);
+            }
+        }
+        if ch.fire(FaultKind::TageCorrupt) {
+            let r = ch.entropy();
+            self.tage.inject_fault(r);
+            sat_inc(&mut self.stats.chaos.tage_corruptions, &mut self.stats.overflow_events);
+        }
+        if ch.fire(FaultKind::BtbCorrupt) {
+            let r = ch.entropy();
+            if self.btb.inject_fault(r) {
+                sat_inc(&mut self.stats.chaos.btb_corruptions, &mut self.stats.overflow_events);
+            }
+        }
+        if ch.fire(FaultKind::StoreSetCorrupt) {
+            let r = ch.entropy();
+            self.storesets.inject_fault(r);
+            sat_inc(&mut self.stats.chaos.storeset_corruptions, &mut self.stats.overflow_events);
+        }
+        let drop_prefetch = ch.fire(FaultKind::PrefetchDrop);
+        self.mem.set_prefetch_suppressed(drop_prefetch);
+        if drop_prefetch {
+            sat_inc(&mut self.stats.chaos.prefetch_drop_cycles, &mut self.stats.overflow_events);
+        }
+    }
+
+    /// Graceful degradation: when value mispredictions storm (score is
+    /// fed at validation), disable VP use and SpSR until the storm
+    /// subsides. Evaluated once per throttle window with exponential
+    /// decay of the score, engaging at the threshold and disengaging
+    /// below half of it (hysteresis).
+    fn update_throttle(&mut self) {
+        if !self.cfg.auto_throttle {
+            return;
+        }
+        if self.cycle >= self.next_throttle_eval {
+            if !self.throttled && self.storm_score >= self.cfg.throttle_threshold {
+                self.throttled = true;
+                self.renamer.set_spsr_enabled(false);
+                sat_inc(
+                    &mut self.stats.degrade.throttle_engagements,
+                    &mut self.stats.overflow_events,
+                );
+            } else if self.throttled && self.storm_score < self.cfg.throttle_threshold / 2 {
+                self.throttled = false;
+                self.renamer.set_spsr_enabled(self.cfg.spsr && !self.cfg.spsr_kill_switch);
+            }
+            self.storm_score /= 2;
+            self.next_throttle_eval = self.cycle + self.cfg.throttle_window.max(1);
+        }
+        if self.throttled {
+            sat_inc(&mut self.stats.degrade.throttled_cycles, &mut self.stats.overflow_events);
+        }
     }
 
     // ----------------------------------------------------------------
@@ -283,6 +405,19 @@ impl Core {
             }
             let entry = self.rob.pop_front().expect("head exists");
             let u = &trace.uops[entry.idx];
+
+            // Golden-model lockstep check: re-execute the committed µop
+            // through the functional semantics; the first divergence is
+            // recorded (with the replaying chaos seed) and the oracle
+            // goes quiet.
+            if let Some(oracle) = self.oracle.as_mut() {
+                if let Err(d) = oracle.on_commit(u) {
+                    if self.divergence.is_none() {
+                        let seed = self.chaos.as_ref().map(ChaosEngine::seed);
+                        self.divergence = Some(d.with_seed(seed));
+                    }
+                }
+            }
 
             if u.uop.op.is_store() {
                 let addr = u.mem_addr.expect("store has an address");
@@ -325,9 +460,9 @@ impl Core {
                 self.floor = self.checkpoints.pop_front().expect("front exists");
             }
 
-            self.stats.uops_retired += 1;
+            sat_inc(&mut self.stats.uops_retired, &mut self.stats.overflow_events);
             if entry.first_uop {
-                self.stats.insts_retired += 1;
+                sat_inc(&mut self.stats.insts_retired, &mut self.stats.overflow_events);
             }
             #[cfg(feature = "verif")]
             {
@@ -432,6 +567,16 @@ impl Core {
                     } else {
                         completion = self.mem.data_access(u.pc, lq_entry.addr, false, self.cycle);
                     }
+                    // Chaos: perturb load latency (timing-only fault).
+                    if let Some(ch) = self.chaos.as_mut() {
+                        if ch.fire(FaultKind::CacheDelay) {
+                            completion += ch.extra_delay();
+                            sat_inc(
+                                &mut self.stats.chaos.cache_delays,
+                                &mut self.stats.overflow_events,
+                            );
+                        }
+                    }
                     self.lq[lq_idx].issued = true;
                 }
                 ExecClass::Store => {
@@ -492,9 +637,10 @@ impl Core {
                             kind: FlushKind::ValueMispredict,
                         });
                     }
-                    self.stats.vp.incorrect_used += 1;
+                    sat_inc(&mut self.stats.vp.incorrect_used, &mut self.stats.overflow_events);
+                    self.storm_score = self.storm_score.saturating_add(1);
                 } else {
-                    self.stats.vp.correct_used += 1;
+                    sat_inc(&mut self.stats.vp.correct_used, &mut self.stats.overflow_events);
                 }
             }
 
@@ -575,11 +721,42 @@ impl Core {
                     if pred.confident && mode.admits(pred.value) {
                         if self.cycle < self.silence_until {
                             self.stats.vp.silenced_lookups += 1;
+                        } else if self.cfg.vp_kill_switch {
+                            // Graceful degradation: the kill-switch
+                            // suppresses use (training continues).
+                            sat_inc(
+                                &mut self.stats.degrade.killswitch_suppressed,
+                                &mut self.stats.overflow_events,
+                            );
+                        } else if self.throttled {
+                            sat_inc(
+                                &mut self.stats.degrade.throttle_suppressed,
+                                &mut self.stats.overflow_events,
+                            );
                         } else {
                             prediction = Some(pred.value);
                         }
                     }
                     vp_token = Some(pred);
+                }
+            }
+
+            // Chaos: force a used prediction wrong. The forced value
+            // (0, or 1 when the actual result is 0) is admissible in
+            // every prediction mode and always differs from the actual
+            // result, so validation at issue must flush and recover.
+            // Silencing/suppression above still apply — a forced
+            // mispredict cannot livelock the pipeline.
+            if prediction.is_some() {
+                if let Some(ch) = self.chaos.as_mut() {
+                    if ch.fire(FaultKind::VpForceMispredict) {
+                        let actual = u.result.expect("VP-eligible µops produce a value");
+                        prediction = Some(u64::from(actual == 0));
+                        sat_inc(
+                            &mut self.stats.chaos.vp_forced_mispredicts,
+                            &mut self.stats.overflow_events,
+                        );
+                    }
                 }
             }
 
@@ -768,6 +945,19 @@ impl Core {
                         }
                     }
                 }
+                // Chaos: invert the misprediction verdict. Both
+                // directions are timing-only in a trace-driven model —
+                // a spurious "mispredict" stalls fetch until the branch
+                // resolves; a masked one skips the stall.
+                if let Some(ch) = self.chaos.as_mut() {
+                    if ch.fire(FaultKind::BranchInvert) {
+                        mispredicted = !mispredicted;
+                        sat_inc(
+                            &mut self.stats.chaos.branch_inversions,
+                            &mut self.stats.overflow_events,
+                        );
+                    }
+                }
                 if outcome.taken {
                     self.itc.push_path(outcome.target);
                     self.current_line = outcome.target >> 6;
@@ -782,7 +972,10 @@ impl Core {
                     itc_path: self.itc.path_checkpoint(),
                 });
                 if mispredicted {
-                    self.stats.flush.branch_mispredicts += 1;
+                    sat_inc(
+                        &mut self.stats.flush.branch_mispredicts,
+                        &mut self.stats.overflow_events,
+                    );
                     fetch_wait = true;
                     self.fetch_wait_branch = Some(u.seq);
                 } else if outcome.taken && !taken_bubble {
@@ -917,7 +1110,7 @@ impl Core {
         let cut = flush.first_squashed_seq;
         match flush.kind {
             FlushKind::ValueMispredict => {
-                self.stats.flush.vp_flushes += 1;
+                sat_inc(&mut self.stats.flush.vp_flushes, &mut self.stats.overflow_events);
                 if self.cfg.adaptive_silencing {
                     // Dynamic scheme (§3.4.1 future work): clustered
                     // mispredictions widen the window geometrically
@@ -935,7 +1128,9 @@ impl Core {
                 }
                 self.silence_until = self.cycle + self.silence_len;
             }
-            FlushKind::MemOrder => self.stats.flush.mem_order_flushes += 1,
+            FlushKind::MemOrder => {
+                sat_inc(&mut self.stats.flush.mem_order_flushes, &mut self.stats.overflow_events);
+            }
         }
 
         // Squash younger ROB entries, youngest first.
@@ -968,8 +1163,20 @@ impl Core {
         self.fetch_queue.clear();
 
         // Roll the trace cursor back to refetch from the squash point.
+        // The SkipCursorRollback sabotage deliberately omits this on
+        // value-misprediction flushes: the squashed µops are never
+        // refetched, the commit stream gains a sequence gap, and the
+        // golden-model oracle must report an Order divergence — the
+        // broken fixture proving the oracle catches recovery bugs.
+        let sabotaged = flush.kind == FlushKind::ValueMispredict
+            && self
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.sabotage() == Some(Sabotage::SkipCursorRollback));
         if let Some(idx) = squash_cursor {
-            self.cursor = idx;
+            if !sabotaged {
+                self.cursor = idx;
+            }
         }
 
         // Restore speculative front-end state to the youngest surviving
@@ -993,6 +1200,57 @@ impl Core {
     /// Statistics snapshot (valid after [`Core::run`]).
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    // ----------------------------------------------------------------
+    // chaos / oracle / watchdog surface
+    // ----------------------------------------------------------------
+
+    /// Arms the golden-model commit oracle: every committed µop will be
+    /// re-executed from `init` (the architectural state *before* the
+    /// traced run) and checked in lockstep.
+    pub fn enable_oracle(&mut self, init: &ArchSnapshot) {
+        self.oracle = Some(CommitOracle::new(init));
+    }
+
+    /// The first lockstep divergence the oracle found, if any.
+    #[must_use]
+    pub fn oracle_divergence(&self) -> Option<&Divergence> {
+        self.divergence.as_ref()
+    }
+
+    /// Compares the oracle's reconstructed final architectural state
+    /// against the functional machine's `golden` state. `None` means
+    /// the committed state is architecturally identical (or a lockstep
+    /// divergence was already reported — see
+    /// [`Core::oracle_divergence`]). Call after [`Core::run`].
+    #[must_use]
+    pub fn oracle_final_check(&self, golden: &ArchSnapshot) -> Option<Divergence> {
+        let oracle = self.oracle.as_ref()?;
+        if let Some(d) = self.divergence.clone() {
+            return Some(d);
+        }
+        let seed = self.chaos.as_ref().map(ChaosEngine::seed);
+        oracle.final_check(golden).map(|d| d.with_seed(seed))
+    }
+
+    /// The deadlock dump, if the watchdog tripped during [`Core::run`].
+    #[must_use]
+    pub fn watchdog_diagnostic(&self) -> Option<&DeadlockDiagnostic> {
+        self.watchdog_diag.as_ref()
+    }
+
+    /// The active chaos campaign's replay seed, if one is armed.
+    #[must_use]
+    pub fn chaos_seed(&self) -> Option<u64> {
+        self.chaos.as_ref().map(ChaosEngine::seed)
+    }
+
+    /// Whether the misprediction-storm auto-throttle is currently
+    /// engaged.
+    #[must_use]
+    pub fn throttled(&self) -> bool {
+        self.throttled
     }
 }
 
@@ -1139,8 +1397,20 @@ impl std::fmt::Debug for Core {
 }
 
 /// Convenience: simulate a trace under a configuration.
+///
+/// # Panics
+///
+/// Panics with the full [`DeadlockDiagnostic`] dump if the pipeline
+/// stops making commit progress (a simulator bug); drive [`Core`]
+/// directly to handle the diagnostic programmatically.
 pub fn simulate(cfg: CoreConfig, trace: &Trace) -> SimStats {
-    Core::new(cfg).run(trace)
+    let mut core = Core::new(cfg);
+    let stats = core.run(trace);
+    if let Some(diag) = core.watchdog_diagnostic() {
+        // audited: deliberate fail-loud path — a tripped watchdog is a simulator bug
+        panic!("pipeline deadlock:\n{diag}");
+    }
+    stats
 }
 
 /// Convenience: simulate a named VP mode (paper Table 2 machine).
@@ -1371,6 +1641,148 @@ mod tests {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use tvp_chaos::{ChaosConfig, DivergenceKind};
+
+    /// Runs a suite workload functionally, capturing the architectural
+    /// state before and after: `(init, trace, golden)`.
+    fn golden_run(name: &str, n: u64) -> (ArchSnapshot, Trace, ArchSnapshot) {
+        let w = tvp_workloads::suite::by_name(name).expect("workload exists");
+        let mut m = w.machine();
+        let init = m.arch_snapshot();
+        let trace = m.run(n);
+        let golden = m.arch_snapshot();
+        (init, trace, golden)
+    }
+
+    #[test]
+    fn chaos_campaign_commits_identical_architectural_state() {
+        // Full fault campaign (≥2% forced VP mispredicts, predictor
+        // table corruption, branch inversion, cache delays, prefetch
+        // drops) against the golden-model oracle: timing is perturbed
+        // but committed state must be architecturally identical.
+        let (init, trace, golden) = golden_run("pointer_chase", 12_000);
+        let cfg = CoreConfig::with_vp(VpMode::Gvp).with_chaos(ChaosConfig::campaign(0xC0FFEE));
+        let mut core = Core::new(cfg);
+        core.enable_oracle(&init);
+        let stats = core.run(&trace);
+        assert!(core.watchdog_diagnostic().is_none());
+        assert_eq!(stats.insts_retired, trace.arch_insts);
+        assert!(
+            stats.chaos.vp_forced_mispredicts > 0,
+            "campaign must actually force mispredictions: {:?}",
+            stats.chaos
+        );
+        assert!(stats.chaos.total() > stats.chaos.vp_forced_mispredicts, "other sites fired too");
+        assert_eq!(core.oracle_divergence(), None);
+        assert_eq!(core.oracle_final_check(&golden), None);
+    }
+
+    #[test]
+    fn sabotaged_recovery_is_caught_with_replayable_seed() {
+        // Same campaign, but value-misprediction squashes deliberately
+        // skip the trace-cursor rollback: squashed µops are never
+        // refetched and the oracle must report the sequence gap, with
+        // the campaign seed attached for replay.
+        let seed = 0xBAD_5EED;
+        let (init, trace, _) = golden_run("pointer_chase", 12_000);
+        let cfg =
+            CoreConfig::with_vp(VpMode::Gvp).with_chaos(ChaosConfig::sabotaged_campaign(seed));
+        let mut core = Core::new(cfg);
+        core.enable_oracle(&init);
+        let _stats = core.run(&trace);
+        let d = core.oracle_divergence().expect("sabotage must diverge");
+        assert!(
+            matches!(d.kind, DivergenceKind::Order { .. }),
+            "skipped refetch shows up as an order gap: {d}"
+        );
+        assert_eq!(d.chaos_seed, Some(seed), "divergence must carry the replaying seed");
+        assert!(d.to_string().contains("replay with chaos seed"), "{d}");
+    }
+
+    #[test]
+    fn chaos_campaigns_are_deterministic() {
+        let (init, trace, _) = golden_run("mc_playout", 8_000);
+        let run = || {
+            let cfg = CoreConfig::with_vp(VpMode::Tvp).with_chaos(ChaosConfig::campaign(7));
+            let mut core = Core::new(cfg);
+            core.enable_oracle(&init);
+            let stats = core.run(&trace);
+            (stats.cycles, stats.chaos, stats.flush.vp_flushes)
+        };
+        assert_eq!(run(), run(), "same seed must replay the same campaign exactly");
+    }
+
+    #[test]
+    fn watchdog_trips_with_structured_diagnostic() {
+        // A watchdog threshold shorter than the cold I-cache miss at
+        // cycle 0 must trip immediately and describe the stall instead
+        // of hanging.
+        let (_, trace, _) = golden_run("stream_triad", 2_000);
+        let mut cfg = CoreConfig::table2();
+        cfg.watchdog_cycles = 20;
+        let mut core = Core::new(cfg);
+        let _stats = core.run(&trace);
+        let diag = core.watchdog_diagnostic().expect("cold-start stall exceeds 20 cycles");
+        assert!(diag.stalled_cycles >= 20);
+        let text = diag.to_string();
+        assert!(text.contains("no commit progress"), "{text}");
+    }
+
+    #[test]
+    fn vp_kill_switch_suppresses_all_predictions() {
+        let (_, trace, _) = golden_run("pointer_chase", 10_000);
+        let mut cfg = CoreConfig::with_vp(VpMode::Gvp);
+        cfg.vp_kill_switch = true;
+        let stats = simulate(cfg, &trace);
+        assert_eq!(stats.insts_retired, trace.arch_insts);
+        assert_eq!(stats.vp.used, 0, "kill-switch must stop prediction use");
+        assert!(
+            stats.degrade.killswitch_suppressed > 0,
+            "suppressions must be visible in the stats"
+        );
+    }
+
+    #[test]
+    fn auto_throttle_engages_under_misprediction_storm() {
+        // Every used prediction forced wrong, with silencing disabled:
+        // a worst-case misprediction storm. The auto-throttle must
+        // engage (disabling VP use) and the run must stay correct.
+        let (init, trace, golden) = golden_run("pointer_chase", 12_000);
+        let mut chaos = ChaosConfig::quiet(99);
+        chaos.vp_force_mispredict_permille = 1000;
+        let mut cfg = CoreConfig::with_vp(VpMode::Gvp).with_spsr().with_chaos(chaos);
+        cfg.silence_cycles = 0;
+        cfg.auto_throttle = true;
+        let mut core = Core::new(cfg);
+        core.enable_oracle(&init);
+        let stats = core.run(&trace);
+        assert!(core.watchdog_diagnostic().is_none());
+        assert!(
+            stats.degrade.throttle_engagements > 0,
+            "storm must engage the throttle: {:?}",
+            stats.degrade
+        );
+        assert!(stats.degrade.throttled_cycles > 0);
+        assert!(stats.degrade.throttle_suppressed > 0, "suppressed predictions while throttled");
+        assert_eq!(core.oracle_final_check(&golden), None, "degraded, not broken");
+    }
+
+    #[test]
+    fn spsr_kill_switch_stops_reductions() {
+        let (_, trace, _) = golden_run("mc_playout", 10_000);
+        let with = simulate_vp(VpMode::Mvp, true, &trace);
+        let mut cfg = CoreConfig::with_vp(VpMode::Mvp).with_spsr();
+        cfg.spsr_kill_switch = true;
+        let without = simulate(cfg, &trace);
+        assert!(with.rename.spsr > 0, "control: SpSR active without the switch");
+        assert_eq!(without.rename.spsr, 0, "kill-switch must stop SpSR");
+        assert_eq!(without.insts_retired, trace.arch_insts);
     }
 }
 

@@ -188,6 +188,20 @@ impl Renamer {
         self.regfile(class)
     }
 
+    /// Runtime enable/disable for speculative strength reduction
+    /// (kill-switch and auto-throttle graceful degradation). Only
+    /// affects µops renamed after the call; in-flight reductions
+    /// complete normally.
+    pub fn set_spsr_enabled(&mut self, on: bool) {
+        self.spsr = on;
+    }
+
+    /// Whether SpSR is currently applied at rename.
+    #[must_use]
+    pub fn spsr_enabled(&self) -> bool {
+        self.spsr
+    }
+
     /// The SpSR frontend NZCV view: flags known at rename time.
     #[must_use]
     pub fn frontend_flags(&self) -> Option<Nzcv> {

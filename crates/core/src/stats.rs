@@ -1,4 +1,29 @@
 //! Simulation statistics: everything the paper's figures report.
+//!
+//! Counters on fault-campaign paths are hardened: [`sat_inc`] /
+//! [`sat_add`] saturate at `u64::MAX` instead of wrapping and bump
+//! [`SimStats::overflow_events`], so an arbitrarily long chaos run can
+//! degrade a counter's precision but never silently corrupt reported
+//! IPC.
+
+/// Saturating counter increment. On overflow the counter pins at
+/// `u64::MAX` and `overflow_events` records the loss.
+#[inline]
+pub fn sat_inc(counter: &mut u64, overflow_events: &mut u64) {
+    sat_add(counter, 1, overflow_events);
+}
+
+/// Saturating counter addition (see [`sat_inc`]).
+#[inline]
+pub fn sat_add(counter: &mut u64, n: u64, overflow_events: &mut u64) {
+    let (v, overflowed) = counter.overflowing_add(n);
+    if overflowed {
+        *counter = u64::MAX;
+        *overflow_events = overflow_events.saturating_add(1);
+    } else {
+        *counter = v;
+    }
+}
 
 /// Rename-time elimination categories (Fig. 4's stacked bars).
 #[must_use = "rename counters feed Fig. 4; dropping them silently skews the elimination breakdown"]
@@ -111,6 +136,60 @@ pub struct FlushStats {
     pub replayed_uops: u64,
 }
 
+/// Per-site fault-injection counters (one per
+/// `tvp_chaos::FaultKind`), kept by the pipeline at the injection
+/// sites.
+#[must_use = "fault counters prove a chaos campaign actually exercised its sites"]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Value predictions deliberately forced wrong at rename.
+    pub vp_forced_mispredicts: u64,
+    /// VTAGE entries corrupted (valid entry found and damaged).
+    pub vtage_corruptions: u64,
+    /// TAGE counter corruptions.
+    pub tage_corruptions: u64,
+    /// BTB entries invalidated.
+    pub btb_corruptions: u64,
+    /// Store-set SSIT/LFST corruptions.
+    pub storeset_corruptions: u64,
+    /// Branch-misprediction verdicts inverted in the front end.
+    pub branch_inversions: u64,
+    /// Data-cache accesses given extra latency.
+    pub cache_delays: u64,
+    /// Cycles with prefetch issue suppressed.
+    pub prefetch_drop_cycles: u64,
+}
+
+impl ChaosStats {
+    /// Total faults injected across every site.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.vp_forced_mispredicts
+            .saturating_add(self.vtage_corruptions)
+            .saturating_add(self.tage_corruptions)
+            .saturating_add(self.btb_corruptions)
+            .saturating_add(self.storeset_corruptions)
+            .saturating_add(self.branch_inversions)
+            .saturating_add(self.cache_delays)
+            .saturating_add(self.prefetch_drop_cycles)
+    }
+}
+
+/// Graceful-degradation accounting: kill-switches and the
+/// misprediction-storm auto-throttle.
+#[must_use = "degradation counters show whether the fallback engaged"]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradeStats {
+    /// Times the auto-throttle engaged (VP/SpSR disabled).
+    pub throttle_engagements: u64,
+    /// Cycles spent with the throttle engaged.
+    pub throttled_cycles: u64,
+    /// Confident predictions suppressed by the VP kill-switch.
+    pub killswitch_suppressed: u64,
+    /// Confident predictions suppressed while throttled.
+    pub throttle_suppressed: u64,
+}
+
 /// Top-level simulation result.
 #[must_use = "a simulation result that is dropped was a wasted run"]
 #[derive(Clone, Copy, Debug, Default)]
@@ -129,6 +208,13 @@ pub struct SimStats {
     pub activity: ActivityStats,
     /// Flush counters.
     pub flush: FlushStats,
+    /// Fault-injection counters.
+    pub chaos: ChaosStats,
+    /// Graceful-degradation counters.
+    pub degrade: DegradeStats,
+    /// Counter saturations observed ([`sat_inc`]): non-zero means some
+    /// counter above pinned at `u64::MAX` instead of wrapping.
+    pub overflow_events: u64,
 }
 
 impl SimStats {
@@ -189,6 +275,40 @@ mod tests {
         let base = SimStats { cycles: 1100, insts_retired: 1000, ..Default::default() };
         let fast = SimStats { cycles: 1000, insts_retired: 1000, ..Default::default() };
         assert!((fast.speedup_over(&base) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_counters_never_wrap() {
+        let mut counter = u64::MAX - 1;
+        let mut overflows = 0;
+        sat_inc(&mut counter, &mut overflows);
+        assert_eq!(counter, u64::MAX);
+        assert_eq!(overflows, 0);
+        sat_inc(&mut counter, &mut overflows);
+        assert_eq!(counter, u64::MAX, "pins instead of wrapping");
+        assert_eq!(overflows, 1);
+        sat_add(&mut counter, 1_000, &mut overflows);
+        assert_eq!(counter, u64::MAX);
+        assert_eq!(overflows, 2);
+        let mut fresh = 10;
+        sat_add(&mut fresh, 5, &mut overflows);
+        assert_eq!(fresh, 15);
+        assert_eq!(overflows, 2, "no spurious overflow events");
+    }
+
+    #[test]
+    fn chaos_total_sums_all_sites() {
+        let c = ChaosStats {
+            vp_forced_mispredicts: 1,
+            vtage_corruptions: 2,
+            tage_corruptions: 3,
+            btb_corruptions: 4,
+            storeset_corruptions: 5,
+            branch_inversions: 6,
+            cache_delays: 7,
+            prefetch_drop_cycles: 8,
+        };
+        assert_eq!(c.total(), 36);
     }
 
     #[test]

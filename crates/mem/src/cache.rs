@@ -221,6 +221,14 @@ impl Cache {
         self.mshrs.iter().find(|&&(l, done)| l == line && done > cycle).map(|&(_, done)| done)
     }
 
+    /// The outstanding miss with the earliest fill completion still in
+    /// the future at `cycle`: `(line address, fill cycle)`. Feeds the
+    /// deadlock watchdog's diagnostic dump.
+    #[must_use]
+    pub fn oldest_mshr(&self, cycle: u64) -> Option<(u64, u64)> {
+        self.mshrs.iter().filter(|&&(_, done)| done > cycle).min_by_key(|&&(_, done)| done).copied()
+    }
+
     /// Statistics so far.
     #[must_use]
     pub fn stats(&self) -> CacheStats {

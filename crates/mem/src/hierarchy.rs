@@ -85,6 +85,8 @@ pub struct HierarchyStats {
     pub stride_issued: u64,
     /// AMPM prefetches issued.
     pub ampm_issued: u64,
+    /// Prefetch opportunities suppressed by fault injection.
+    pub dropped_prefetches: u64,
 }
 
 /// The memory hierarchy.
@@ -99,6 +101,10 @@ pub struct Hierarchy {
     itlb: TlbHierarchy,
     stride: StridePrefetcher,
     ampm: AmpmPrefetcher,
+    /// While set, all prefetch issue (stride, AMPM, next-line I-fetch)
+    /// is suppressed — the chaos engine's prefetch-drop fault.
+    prefetch_suppressed: bool,
+    dropped_prefetches: u64,
 }
 
 impl Hierarchy {
@@ -114,8 +120,35 @@ impl Hierarchy {
             itlb: TlbHierarchy::table2(),
             stride: StridePrefetcher::new(256, cfg.stride_degree),
             ampm: AmpmPrefetcher::new(64, 8),
+            prefetch_suppressed: false,
+            dropped_prefetches: 0,
             cfg,
         }
+    }
+
+    /// Suppresses (or re-enables) all prefetch issue. The chaos engine
+    /// toggles this per cycle to model dropped prefetches; demand
+    /// accesses are unaffected, so the perturbation is timing-only.
+    pub fn set_prefetch_suppressed(&mut self, suppressed: bool) {
+        self.prefetch_suppressed = suppressed;
+    }
+
+    /// The oldest outstanding miss (earliest fill completion) across
+    /// all cache levels at `cycle`: `(level, line address, fill
+    /// cycle)`. Feeds the watchdog's deadlock diagnostic.
+    #[must_use]
+    pub fn oldest_mshr(&self, cycle: u64) -> Option<(&'static str, u64, u64)> {
+        let mut best: Option<(&'static str, u64, u64)> = None;
+        for (name, cache) in
+            [("l1d", &self.l1d), ("l1i", &self.l1i), ("l2", &self.l2), ("l3", &self.l3)]
+        {
+            if let Some((line, done)) = cache.oldest_mshr(cycle) {
+                if best.is_none_or(|(_, _, d)| done < d) {
+                    best = Some((name, line, done));
+                }
+            }
+        }
+        best
     }
 
     /// The configuration in effect.
@@ -129,7 +162,7 @@ impl Hierarchy {
     /// whether the L2's AMPM prefetcher observes the access.
     fn below_l1(&mut self, addr: u64, write: bool, cycle: u64, from_l1d: bool) -> u64 {
         let l2_hit = self.l2.access(addr, write) == Probe::Hit;
-        if from_l1d && self.cfg.ampm_prefetcher {
+        if from_l1d && self.cfg.ampm_prefetcher && !self.prefetch_suppressed {
             for pf in self.ampm.observe(addr, cycle) {
                 if self.l2.peek(pf) == Probe::Miss {
                     let _ = self.l3.access(pf, false);
@@ -178,6 +211,10 @@ impl Hierarchy {
     }
 
     fn prefetch_into_l1d(&mut self, addr: u64, cycle: u64) {
+        if self.prefetch_suppressed {
+            self.dropped_prefetches += 1;
+            return;
+        }
         if self.l1d.peek(addr) == Probe::Miss {
             let below = self.below_l1(addr, false, cycle, false);
             let _ = self.l1d.mshr_allocate(addr, cycle, self.cfg.l1d.latency + below);
@@ -190,6 +227,10 @@ impl Hierarchy {
     /// front-end performs). Records the in-flight fill in the MSHRs so
     /// a demand fetch arriving early waits for the real completion.
     pub fn inst_prefetch(&mut self, pc: u64, cycle: u64) {
+        if self.prefetch_suppressed {
+            self.dropped_prefetches += 1;
+            return;
+        }
         if self.l1i.peek(pc) == Probe::Miss {
             let below = self.below_l1(pc, false, cycle, false);
             let _ = self.l1i.mshr_allocate(pc, cycle, self.cfg.l1i.latency + below);
@@ -223,6 +264,7 @@ impl Hierarchy {
             l3: self.l3.stats(),
             stride_issued: self.stride.issued(),
             ampm_issued: self.ampm.issued(),
+            dropped_prefetches: self.dropped_prefetches,
         }
     }
 }
@@ -355,6 +397,39 @@ mod tests {
         let _ = h.data_access(0x1000, 0x7000_0000, true, 0);
         let t = h.data_access(0x1000, 0x7000_0000, false, 1000);
         assert_eq!(t, 1004, "write-allocate makes the load hit");
+    }
+
+    #[test]
+    fn prefetch_suppression_drops_and_counts() {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            stride_prefetcher: true,
+            ampm_prefetcher: false,
+            ..HierarchyConfig::default()
+        });
+        h.set_prefetch_suppressed(true);
+        let mut cycle = 0;
+        for i in 0..100u64 {
+            cycle = h.data_access(0x2000, 0x6000_0000 + i * 64, false, cycle);
+        }
+        let s = h.stats();
+        assert!(s.dropped_prefetches > 0, "suppressed prefetches must be counted");
+        assert_eq!(s.l1d.prefetch_fills, 0, "no prefetch reaches the L1D while suppressed");
+        h.set_prefetch_suppressed(false);
+        for i in 100..200u64 {
+            cycle = h.data_access(0x2000, 0x6000_0000 + i * 64, false, cycle);
+        }
+        assert!(h.stats().l1d.prefetch_fills > 0, "prefetching resumes when re-enabled");
+    }
+
+    #[test]
+    fn oldest_mshr_reports_the_earliest_outstanding_fill() {
+        let mut h = no_prefetch();
+        assert_eq!(h.oldest_mshr(0), None);
+        let done = h.data_access(0x1000, 0x9000_0000, false, 0);
+        let m = h.oldest_mshr(1).expect("a miss is outstanding");
+        assert_eq!(m.0, "l1d");
+        assert_eq!(m.2, done);
+        assert_eq!(h.oldest_mshr(done + 1), None, "fill completed");
     }
 
     #[test]

@@ -117,6 +117,26 @@ impl Btb {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Fault-injection hook: invalidates one valid entry chosen by the
+    /// raw entropy `r` (models a dropped/parity-scrubbed target).
+    /// Subsequent fetches of that branch take the BTB-miss bubble and
+    /// re-insert at retirement — timing-only damage. Returns `true` if
+    /// an entry was dropped.
+    pub fn inject_fault(&mut self, r: u64) -> bool {
+        let num_sets = self.sets.len() as u64;
+        let start_set = (r % num_sets) as usize;
+        let way = ((r >> 32) % self.sets[start_set].len().max(1) as u64) as usize;
+        for i in 0..self.sets.len() {
+            let set = &mut self.sets[(start_set + i) % num_sets as usize];
+            let way = way % set.len().max(1);
+            if set[way].valid {
+                set[way].valid = false;
+                return true;
+            }
+        }
+        false
+    }
 }
 
 impl tvp_verif::StorageBudget for Btb {
@@ -144,6 +164,15 @@ mod tests {
         let hit = btb.lookup(0x1000).unwrap();
         assert_eq!(hit.target, 0x2000);
         assert_eq!(hit.kind, BranchKind::CondDirect);
+    }
+
+    #[test]
+    fn injected_fault_drops_a_valid_entry() {
+        let mut btb = Btb::new(64, 4);
+        assert!(!btb.inject_fault(7), "empty BTB has nothing to drop");
+        btb.insert(0x1000, 0x2000, BranchKind::CondDirect);
+        assert!(btb.inject_fault(7));
+        assert!(btb.lookup(0x1000).is_none(), "the only entry was invalidated");
     }
 
     #[test]

@@ -76,6 +76,13 @@ impl Fpc {
     pub fn reset(&mut self) {
         self.level = 0;
     }
+
+    /// Forces the counter to saturation, bypassing the probabilistic
+    /// walk. Used by fault injection to make a corrupted prediction
+    /// immediately trusted; never called on the normal training path.
+    pub fn saturate(&mut self) {
+        self.level = self.max;
+    }
 }
 
 impl tvp_verif::StorageBudget for Fpc {
@@ -140,5 +147,16 @@ mod tests {
     #[should_panic(expected = "width out of range")]
     fn zero_width_rejected() {
         let _ = Fpc::new(0, 16);
+    }
+
+    #[test]
+    fn saturate_forces_full_confidence() {
+        let mut c = Fpc::new(3, 16);
+        assert!(!c.is_saturated());
+        c.saturate();
+        assert!(c.is_saturated());
+        assert_eq!(c.level(), 7);
+        c.reset();
+        assert_eq!(c.level(), 0);
     }
 }

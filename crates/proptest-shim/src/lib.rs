@@ -220,7 +220,16 @@ macro_rules! impl_tuple_strategy {
         }
     )+};
 }
-impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+    (A, B, C, D, E, F, G),
+    (A, B, C, D, E, F, G, H)
+);
 
 /// Uniform choice between boxed alternative strategies — the engine
 /// behind [`prop_oneof!`].

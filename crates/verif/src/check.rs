@@ -43,6 +43,20 @@ impl AuditReport {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// One-line summary of the *first* (root-cause) violation plus the
+    /// total count — the right shape for a process exit message, where
+    /// the full [`AuditReport::render`] dump would drown the cause.
+    #[must_use]
+    pub fn first_violation_summary(&self) -> Option<String> {
+        let (cycle, who, v) = self.violations.first()?;
+        let rest = self.violations.len() - 1;
+        Some(if rest == 0 {
+            format!("[cycle {cycle}] {who}: {v}")
+        } else {
+            format!("[cycle {cycle}] {who}: {v} (+{rest} more)")
+        })
+    }
 }
 
 /// The standard auditor suite the pipeline runs under the `verif`
@@ -364,6 +378,19 @@ mod tests {
         let mut report = AuditReport::default();
         run_suite(&mut standard_suite(), snap, &mut report);
         report.violations.into_iter().map(|(_, _, v)| v).collect()
+    }
+
+    #[test]
+    fn first_violation_summary_names_the_root_cause() {
+        let mut report = AuditReport::default();
+        assert_eq!(report.first_violation_summary(), None);
+        report.violations.push((7, "queues", Violation::CommitRegression { prev: 5, now: 3 }));
+        let one = report.first_violation_summary().expect("one violation");
+        assert!(one.starts_with("[cycle 7] queues:"), "{one}");
+        assert!(!one.contains("more"), "{one}");
+        report.violations.push((9, "queues", Violation::CommitRegression { prev: 5, now: 4 }));
+        let two = report.first_violation_summary().expect("two violations");
+        assert!(two.contains("(+1 more)"), "{two}");
     }
 
     #[test]

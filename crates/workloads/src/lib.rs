@@ -28,7 +28,7 @@ pub mod suite;
 pub mod trace;
 pub mod value_dist;
 
-pub use machine::Machine;
+pub use machine::{ArchSnapshot, Machine};
 pub use program::{Asm, Program};
 pub use suite::{suite, Workload};
 pub use trace::{BranchOutcome, Trace, TraceUop};

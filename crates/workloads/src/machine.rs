@@ -62,6 +62,75 @@ impl SparseMem {
         let page = self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]));
         page[(addr as usize) & (PAGE_SIZE - 1)] = value;
     }
+
+    /// Content digest (FNV-1a over non-zero bytes). All-zero pages are
+    /// skipped and zero bytes within a page contribute nothing, so two
+    /// memories with identical *observable* contents digest equally
+    /// even when one allocated pages the other never touched.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for (page, data) in &self.pages {
+            if data.iter().all(|&b| b == 0) {
+                continue;
+            }
+            h = fnv_mix(h, *page);
+            for (i, &b) in data.iter().enumerate() {
+                if b != 0 {
+                    h = fnv_mix(h, ((i as u64) << 8) | u64::from(b));
+                }
+            }
+        }
+        h
+    }
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn fnv_mix(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for shift in [0u32, 16, 32, 48] {
+        h ^= (v >> shift) & 0xFFFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A copy of the complete architectural state of a [`Machine`]:
+/// registers, flags, program counter and memory. The chaos commit
+/// oracle seeds its golden model from the pre-run snapshot and compares
+/// its post-run state against the functional machine's final snapshot.
+#[derive(Clone, Debug)]
+pub struct ArchSnapshot {
+    /// Integer register file (`x0`–`x30`; index 31 is the hardwired
+    /// zero register and always reads 0).
+    pub int: [u64; NUM_INT_REGS as usize],
+    /// Floating-point/SIMD register file (raw bits).
+    pub fp: [u64; NUM_FP_REGS as usize],
+    /// Condition flags.
+    pub flags: Nzcv,
+    /// Program counter.
+    pub pc: u64,
+    /// Sparse data memory.
+    pub mem: SparseMem,
+}
+
+impl ArchSnapshot {
+    /// Digest of the whole architectural state (registers, flags, PC
+    /// and memory), suitable for cheap equality checks in tests.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &r in &self.int {
+            h = fnv_mix(h, r);
+        }
+        for &r in &self.fp {
+            h = fnv_mix(h, r);
+        }
+        h = fnv_mix(h, u64::from(self.flags.pack()));
+        h = fnv_mix(h, self.pc);
+        fnv_mix(h, self.mem.digest())
+    }
 }
 
 /// The architectural machine.
@@ -137,6 +206,19 @@ impl Machine {
     #[must_use]
     pub fn pc(&self) -> u64 {
         self.pc
+    }
+
+    /// Snapshots the complete architectural state (registers, flags,
+    /// PC, memory).
+    #[must_use]
+    pub fn arch_snapshot(&self) -> ArchSnapshot {
+        ArchSnapshot {
+            int: self.int,
+            fp: self.fp,
+            flags: self.flags,
+            pc: self.pc,
+            mem: self.mem.clone(),
+        }
     }
 
     fn src2_value(&self, s: Src2) -> u64 {
@@ -400,6 +482,36 @@ mod tests {
         assert_eq!(m.reg(x(6)), 0);
         // The discarded write is still recorded in the trace.
         assert_eq!(t.uops[1].result, Some(84));
+    }
+
+    #[test]
+    fn memory_digest_normalizes_untouched_zero_pages() {
+        let mut a = SparseMem::default();
+        let mut b = SparseMem::default();
+        a.write(0x1000, 8, 0xABCD);
+        b.write(0x1000, 8, 0xABCD);
+        // `a` additionally touches a page with a value that is later
+        // overwritten back to zero; observable contents stay equal.
+        a.write(0x9000, 8, 7);
+        a.write(0x9000, 8, 0);
+        assert_eq!(a.digest(), b.digest());
+        b.write(0x1000, 1, 0xFF);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn arch_snapshot_round_trips_machine_state() {
+        let mut a = Asm::new();
+        a.i(movz(x(3), 99));
+        let mut m = Machine::new(a.assemble().unwrap());
+        m.write_mem(0x5000, 8, 0x1234);
+        let before = m.arch_snapshot();
+        let _ = m.run(10);
+        let after = m.arch_snapshot();
+        assert_ne!(before.digest(), after.digest(), "run changed x3 and pc");
+        assert_eq!(after.int[3], 99);
+        assert_eq!(after.mem.read(0x5000, 8), 0x1234);
+        assert_eq!(after.digest(), m.arch_snapshot().digest(), "snapshot is stable");
     }
 
     #[test]

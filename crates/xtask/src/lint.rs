@@ -35,10 +35,14 @@ const WAIVER: &str = "audited:";
 /// Crates whose source the scanner walks. The proptest shim is
 /// vendored third-party-shaped code; xtask itself is host tooling.
 const SCANNED_CRATES: &[&str] =
-    &["bench", "core", "harness", "isa", "mem", "predictors", "verif", "workloads"];
+    &["bench", "chaos", "core", "harness", "isa", "mem", "predictors", "verif", "workloads"];
 
 /// Per-cycle hot-path modules (rule 2).
 const HOT_PATH_FILES: &[&str] = &[
+    "crates/chaos/src/engine.rs",
+    "crates/chaos/src/oracle.rs",
+    "crates/chaos/src/rng.rs",
+    "crates/chaos/src/watchdog.rs",
     "crates/core/src/physreg.rs",
     "crates/core/src/pipeline.rs",
     "crates/core/src/rename.rs",
@@ -59,6 +63,7 @@ const HOT_PATH_FILES: &[&str] = &[
 /// (`crates/isa/src/exec.rs`) is deliberately absent: it *computes* FP
 /// instruction results; it does not keep state in floats.
 const ARCH_STATE_FILES: &[&str] = &[
+    "crates/chaos/src/oracle.rs",
     "crates/core/src/physreg.rs",
     "crates/core/src/rename.rs",
     "crates/core/src/spsr.rs",
