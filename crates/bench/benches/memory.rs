@@ -36,9 +36,12 @@ fn bench_prefetchers() {
     bench_function("stride_observe", |b| {
         let mut p = StridePrefetcher::new(256, 4);
         let mut addr = 0u64;
+        let mut out = Vec::new();
         b.iter(|| {
             addr += 64;
-            p.observe(0x4000, addr).len()
+            out.clear();
+            p.observe_into(0x4000, addr, &mut out);
+            out.len()
         });
     });
 
@@ -46,10 +49,13 @@ fn bench_prefetchers() {
         let mut p = AmpmPrefetcher::new(64, 8);
         let mut addr = 0u64;
         let mut clock = 0u64;
+        let mut out = Vec::new();
         b.iter(|| {
             addr += 64;
             clock += 1;
-            p.observe(addr, clock).len()
+            out.clear();
+            p.observe_into(addr, clock, &mut out);
+            out.len()
         });
     });
 }

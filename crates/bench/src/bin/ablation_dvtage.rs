@@ -1,126 +1,10 @@
-//! Ablation (§2.1 / §3.3) — does stride-based value prediction
-//! (D-VTAGE) still matter once the predictable value set is narrowed?
+//! Ablation — VTAGE vs. D-VTAGE coverage (§2.1/§3.3).
 //!
-//! The paper argues MVP/TVP make stride predictors "mostly irrelevant"
-//! (§3.3): a strided sequence leaves the 1-bit/9-bit admissible range
-//! after a handful of instances, while the speculative in-flight window
-//! stride predictors require (§2.1) keeps costing hardware. This
-//! harness feeds identical value streams — the real VP-eligible µop
-//! streams of the workload suite, plus a synthetic strided stream — to
-//! VTAGE and D-VTAGE at each width and compares confident-correct
-//! coverage.
-
-use tvp_bench::{inst_budget, prepare_suite};
-use tvp_predictors::dvtage::{Dvtage, DvtageConfig};
-use tvp_predictors::vtage::{PredMode, Vtage, VtageConfig};
-
-struct Sample {
-    pc: u64,
-    value: u64,
-    branch: Option<bool>,
-}
-
-fn coverage(samples: &[Sample], mode: PredMode, stride: bool) -> (f64, f64) {
-    let mut vtage = (!stride).then(|| Vtage::new(VtageConfig::paper(mode)));
-    let mut dvtage = stride.then(|| Dvtage::new(DvtageConfig::paper(mode)));
-    let mut eligible = 0u64;
-    let mut covered = 0u64;
-    let mut seq = 0u64;
-    for s in samples {
-        if let Some(taken) = s.branch {
-            if let Some(v) = vtage.as_mut() {
-                v.push_history(taken);
-            }
-            if let Some(d) = dvtage.as_mut() {
-                d.push_history(taken);
-            }
-            continue;
-        }
-        eligible += 1;
-        if let Some(v) = vtage.as_mut() {
-            let p = v.predict(s.pc);
-            if p.confident && mode.admits(p.value) && p.value == s.value {
-                covered += 1;
-            }
-            v.update(&p, s.value);
-        }
-        if let Some(d) = dvtage.as_mut() {
-            let p = d.predict(s.pc);
-            if p.confident && mode.admits(p.value) {
-                d.note_inflight(&p, seq);
-                if p.value == s.value {
-                    covered += 1;
-                }
-            }
-            d.update(&p, s.value, seq);
-        }
-        seq += 1;
-    }
-    let kb = if stride {
-        DvtageConfig::paper(mode).storage_kb()
-    } else {
-        VtageConfig::paper(mode).storage_kb()
-    };
-    (covered as f64 / eligible.max(1) as f64, kb)
-}
-
-fn samples_of(trace: &tvp_workloads::Trace) -> Vec<Sample> {
-    trace
-        .uops
-        .iter()
-        .filter_map(|u| {
-            if let Some(b) = u.branch {
-                u.uop
-                    .op
-                    .branch_kind()
-                    .filter(|k| *k == tvp_isa::op::BranchKind::CondDirect)
-                    .map(|_| Sample { pc: u.pc, value: 0, branch: Some(b.taken) })
-            } else if u.vp_eligible() {
-                u.result.map(|value| Sample { pc: u.pc, value, branch: None })
-            } else {
-                None
-            }
-        })
-        .collect()
-}
+//! Thin driver over [`tvp_bench::experiments::ablation_dvtage`];
+//! accepts the common engine CLI (`--jobs N`, `--smoke`, `--insts N`).
 
 fn main() {
-    let insts = inst_budget().min(150_000);
-    println!("=== Ablation: VTAGE vs. D-VTAGE coverage (§2.1/§3.3) ({insts} insts) ===\n");
-    let prepared = prepare_suite(insts);
-
-    // Real workload value streams, pooled.
-    let mut pooled: Vec<Sample> = Vec::new();
-    for p in &prepared {
-        pooled.extend(samples_of(&p.trace));
-    }
-    // Plus a perfectly strided synthetic stream (array address/index
-    // production — D-VTAGE's home turf).
-    let mut v = 0x10_0000u64;
-    for i in 0..60_000u64 {
-        pooled.push(Sample { pc: 0xFFFF_0000 + (i % 4) * 4, value: v, branch: None });
-        v += 8;
-    }
-
-    println!(
-        "{:<10} {:>14} {:>14} {:>12} {:>12}",
-        "mode", "VTAGE cov %", "D-VTAGE cov %", "VTAGE KB", "D-VTAGE KB"
-    );
-    for mode in [PredMode::ZeroOne, PredMode::Narrow9, PredMode::Full64] {
-        let (cv, kv) = coverage(&pooled, mode, false);
-        let (cd, kd) = coverage(&pooled, mode, true);
-        println!(
-            "{:<10} {:>14.2} {:>14.2} {:>12.1} {:>12.1}",
-            format!("{mode:?}"),
-            cv * 100.0,
-            cd * 100.0,
-            kv,
-            kd
-        );
-    }
-    println!();
-    println!("paper (§3.3): narrowing the value set makes stride algorithms");
-    println!("mostly irrelevant — the D-VTAGE column should only pull ahead");
-    println!("at Full64 width (the strided synthetic stream), while costing");
-    println!("extra storage and the §2.1 speculative window at every width.");
+    tvp_bench::engine::run_main(&[Box::new(
+        tvp_bench::experiments::ablation_dvtage::AblationDvtage,
+    )]);
 }

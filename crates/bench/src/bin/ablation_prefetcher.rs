@@ -1,47 +1,10 @@
-//! Ablation (§6.2) — SpSR × L1D stride prefetcher interaction.
+//! Ablation — SpSR × stride prefetcher interaction (§6.2).
 //!
-//! The paper traces the occasional SpSR slowdowns (perlbench, x264,
-//! cam4) to the unthrottled stride prefetcher: with it disabled, SpSR's
-//! geomean contribution improves from +0.06% to +0.11% on TVP.
-
-use tvp_bench::{geomean_speedup, inst_budget, prepare_suite, run_cfg, write_results, StatsRow};
-use tvp_core::config::{CoreConfig, VpMode};
+//! Thin driver over [`tvp_bench::experiments::ablation_prefetcher`];
+//! accepts the common engine CLI (`--jobs N`, `--smoke`, `--insts N`).
 
 fn main() {
-    let insts = inst_budget();
-    println!("=== Ablation: SpSR vs. the stride prefetcher (§6.2) ({insts} insts) ===\n");
-    let prepared = prepare_suite(insts);
-
-    println!("{:<22} {:>14} {:>14}", "config", "TVP geo %", "TVP+SpSR geo %");
-    let mut rows = Vec::new();
-    for stride_on in [true, false] {
-        let mk = |vp: VpMode, spsr: bool| {
-            let mut cfg = CoreConfig::with_vp(vp);
-            cfg.spsr = spsr;
-            cfg.mem.stride_prefetcher = stride_on;
-            cfg
-        };
-        let mut tvp_pairs = Vec::new();
-        let mut spsr_pairs = Vec::new();
-        for p in &prepared {
-            let base = run_cfg(p, mk(VpMode::Off, false));
-            let tvp = run_cfg(p, mk(VpMode::Tvp, false));
-            let tvps = run_cfg(p, mk(VpMode::Tvp, true));
-            let tag = if stride_on { "stride-on" } else { "stride-off" };
-            rows.push(StatsRow::new(p.workload.name, format!("tvp/{tag}"), &tvp));
-            rows.push(StatsRow::new(p.workload.name, format!("tvp+spsr/{tag}"), &tvps));
-            tvp_pairs.push((tvp, base));
-            spsr_pairs.push((tvps, base));
-        }
-        println!(
-            "{:<22} {:>14.2} {:>14.2}",
-            if stride_on { "stride prefetcher ON" } else { "stride prefetcher OFF" },
-            (geomean_speedup(&tvp_pairs) - 1.0) * 100.0,
-            (geomean_speedup(&spsr_pairs) - 1.0) * 100.0,
-        );
-    }
-    println!();
-    println!("paper: without the stride prefetcher the SpSR slowdowns on");
-    println!("perlbench_2/3, x264_2 and cam4 disappear (+0.06% → +0.11%).");
-    write_results("ablation_prefetcher", &rows);
+    tvp_bench::engine::run_main(&[Box::new(
+        tvp_bench::experiments::ablation_prefetcher::AblationPrefetcher,
+    )]);
 }

@@ -1,51 +1,10 @@
-//! Ablation (§2.2 / §3.4) — value-misprediction recovery: pipeline
-//! flush (the paper's scheme) vs. selective consumer replay (the
-//! alternative the paper describes for microarchitectures that already
-//! implement replay, applicable to GVP wide predictions only).
-
-use tvp_bench::{
-    geomean_speedup, inst_budget, prepare_suite, run_cfg, run_vp, write_results, StatsRow,
-};
-use tvp_core::config::{CoreConfig, RecoveryPolicy, VpMode};
+//! Ablation — flush vs. replay recovery (§3.4).
+//!
+//! Thin driver over [`tvp_bench::experiments::ablation_recovery`];
+//! accepts the common engine CLI (`--jobs N`, `--smoke`, `--insts N`).
 
 fn main() {
-    let insts = inst_budget();
-    println!("=== Ablation: flush vs. replay recovery (§3.4) ({insts} insts) ===\n");
-    let prepared = prepare_suite(insts);
-    let bases: Vec<_> = prepared.iter().map(|p| run_vp(p, VpMode::Off, false)).collect();
-
-    println!(
-        "{:<10} {:>12} {:>10} {:>10} {:>10} {:>12}",
-        "policy", "geomean %", "flushes", "replays", "squashed", "replayed"
-    );
-    let mut rows = Vec::new();
-    for policy in [RecoveryPolicy::Flush, RecoveryPolicy::Replay] {
-        let mut pairs = Vec::new();
-        let (mut flushes, mut replays, mut squashed, mut replayed) = (0u64, 0u64, 0u64, 0u64);
-        for (p, base) in prepared.iter().zip(&bases) {
-            let mut cfg = CoreConfig::with_vp(VpMode::Gvp);
-            cfg.recovery = policy;
-            let s = run_cfg(p, cfg);
-            flushes += s.flush.vp_flushes;
-            replays += s.flush.vp_replays;
-            squashed += s.flush.squashed_uops;
-            replayed += s.flush.replayed_uops;
-            rows.push(StatsRow::new(p.workload.name, format!("gvp/{policy:?}"), &s));
-            pairs.push((s, *base));
-        }
-        let g = (geomean_speedup(&pairs) - 1.0) * 100.0;
-        println!(
-            "{:<10} {:>12.2} {:>10} {:>10} {:>10} {:>12}",
-            format!("{policy:?}"),
-            g,
-            flushes,
-            replays,
-            squashed,
-            replayed
-        );
-    }
-    println!();
-    println!("paper: flush is chosen for simplicity (§3.4); replay avoids the");
-    println!("refetch but risks replay tornadoes [24] — silencing guards both.");
-    write_results("ablation_recovery", &rows);
+    tvp_bench::engine::run_main(&[Box::new(
+        tvp_bench::experiments::ablation_recovery::AblationRecovery,
+    )]);
 }

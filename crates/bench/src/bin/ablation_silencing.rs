@@ -1,64 +1,10 @@
-//! Ablation (§3.4.1) — predictor silencing window after a value
-//! misprediction.
+//! Ablation — VP silencing window (§3.4.1).
 //!
-//! The paper finds 15 cycles sufficient in most cases but uses 250 to
-//! curb a TVP/stride-prefetcher pathology in roms; a 0-cycle window
-//! risks livelock (the refetched µop would immediately be re-predicted
-//! with the same wrong value), which our flush-including-self recovery
-//! makes observable as a flush storm.
-
-use tvp_bench::{
-    geomean_speedup, inst_budget, prepare_suite, run_cfg, run_vp, write_results, StatsRow,
-};
-use tvp_core::config::{CoreConfig, VpMode};
+//! Thin driver over [`tvp_bench::experiments::ablation_silencing`];
+//! accepts the common engine CLI (`--jobs N`, `--smoke`, `--insts N`).
 
 fn main() {
-    let insts = inst_budget();
-    println!("=== Ablation: VP silencing window (§3.4.1) ({insts} insts) ===\n");
-    let prepared = prepare_suite(insts);
-    let bases: Vec<_> = prepared.iter().map(|p| run_vp(p, VpMode::Off, false)).collect();
-
-    println!(
-        "{:<10} {:<10} {:>12} {:>14} {:>12}",
-        "vp", "silence", "geomean %", "vp flushes", "squashed"
-    );
-    let mut rows = Vec::new();
-    for vp in [VpMode::Tvp, VpMode::Gvp] {
-        for (silence, adaptive) in [(15u64, false), (250, false), (1000, false), (250, true)] {
-            let mut pairs = Vec::new();
-            let mut flushes = 0u64;
-            let mut squashed = 0u64;
-            for (p, base) in prepared.iter().zip(&bases) {
-                let mut cfg = CoreConfig::with_vp(vp);
-                cfg.silence_cycles = silence;
-                cfg.adaptive_silencing = adaptive;
-                let s = run_cfg(p, cfg);
-                flushes += s.flush.vp_flushes;
-                squashed += s.flush.squashed_uops;
-                let label = if adaptive {
-                    format!("{vp:?}/adaptive{silence}")
-                } else {
-                    format!("{vp:?}/silence{silence}")
-                };
-                rows.push(StatsRow::new(p.workload.name, label, &s));
-                pairs.push((s, *base));
-            }
-            let g = (geomean_speedup(&pairs) - 1.0) * 100.0;
-            let label = if adaptive { format!("{silence}+adapt") } else { silence.to_string() };
-            println!(
-                "{:<10} {:<10} {:>12.2} {:>14} {:>12}",
-                format!("{vp:?}"),
-                label,
-                g,
-                flushes,
-                squashed
-            );
-        }
-    }
-    println!();
-    println!("paper: 15 cycles performs like 250 except for roms under TVP;");
-    println!("250 is used everywhere as it costs nothing in MVP/GVP. The");
-    println!("adaptive row is this reproduction's extension (§3.4.1 future");
-    println!("work): geometric backoff on clustered mispredictions.");
-    write_results("ablation_silencing", &rows);
+    tvp_bench::engine::run_main(&[Box::new(
+        tvp_bench::experiments::ablation_silencing::AblationSilencing,
+    )]);
 }

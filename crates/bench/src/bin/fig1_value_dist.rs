@@ -1,43 +1,8 @@
-//! Fig. 1 — Distribution of values produced by instructions writing
-//! general purpose registers.
+//! Fig. 1 — dynamic GPR value distribution.
 //!
-//! Paper result: `0x0` tops the distribution (~5%), `0x1` is third,
-//! and the top-20 is dominated by narrow values, motivating MVP/TVP.
-
-use tvp_bench::{inst_budget, prepare_suite, write_results, StatsRow};
-use tvp_workloads::value_dist::ValueDistribution;
+//! Thin driver over [`tvp_bench::experiments::fig1`]; accepts the
+//! common engine CLI (`--jobs N`, `--smoke`, `--insts N`).
 
 fn main() {
-    let insts = inst_budget();
-    println!("=== Fig. 1: dynamic GPR value distribution ({insts} insts/workload) ===\n");
-    let prepared = prepare_suite(insts);
-    let mut dist = ValueDistribution::new();
-    for p in &prepared {
-        dist.add_trace(&p.trace);
-    }
-
-    println!("{:>20}  {:>8}", "value", "share %");
-    for (value, share) in dist.top(20) {
-        println!("{value:>20x}  {:>8.3}", share * 100.0);
-    }
-    println!();
-    println!("total GPR value productions : {}", dist.total());
-    println!("share of 0x0                : {:.2}%", dist.share(0) * 100.0);
-    println!("share of 0x1                : {:.2}%", dist.share(1) * 100.0);
-    println!("share of 0x0 + 0x1 (MVP)    : {:.2}%", dist.zero_one_share() * 100.0);
-    println!("share of 9-bit signed (TVP) : {:.2}%", dist.narrow9_share() * 100.0);
-    println!();
-    println!("paper: 0x0 is the most produced value (~5%), 0x1 third; narrow");
-    println!("values dominate — the motivation for Minimal and Targeted VP.");
-
-    // Also record the per-workload totals for reproducibility.
-    let rows: Vec<StatsRow> = Vec::new();
-    write_results("fig1_value_dist", &rows);
-    let entries: Vec<String> = dist
-        .top(20)
-        .into_iter()
-        .map(|(v, s)| format!("[\"{v:#x}\", {}]", tvp_bench::json::number(s)))
-        .collect();
-    std::fs::write("results/fig1_top_values.json", tvp_bench::json::array(&entries))
-        .expect("write fig1 values");
+    tvp_bench::engine::run_main(&[Box::new(tvp_bench::experiments::fig1::Fig1)]);
 }

@@ -1,31 +1,8 @@
-//! Fig. 2 — Retired µops per architectural instruction (bars) and
-//! baseline IPC (line).
+//! Fig. 2 — µops per instruction and baseline IPC.
 //!
-//! Paper result: expansion ratios between 1.0 and ~1.15 (mean ~1.05),
-//! IPC between ~0.5 and ~5.5 (hmean ≈ 2).
-
-use tvp_bench::{amean, hmean, inst_budget, prepare_suite, run_vp, write_results, StatsRow};
-use tvp_core::config::VpMode;
+//! Thin driver over [`tvp_bench::experiments::fig2`]; accepts the
+//! common engine CLI (`--jobs N`, `--smoke`, `--insts N`).
 
 fn main() {
-    let insts = inst_budget();
-    println!("=== Fig. 2: µops per arch. instruction + baseline IPC ({insts} insts) ===\n");
-    let prepared = prepare_suite(insts);
-
-    println!("{:<16} {:>12} {:>8}", "workload", "uops/inst", "IPC");
-    let mut rows = Vec::new();
-    let mut ratios = Vec::new();
-    let mut ipcs = Vec::new();
-    for p in &prepared {
-        let stats = run_vp(p, VpMode::Off, false);
-        let ratio = stats.expansion_ratio();
-        println!("{:<16} {:>12.3} {:>8.2}", p.workload.name, ratio, stats.ipc());
-        ratios.push(ratio);
-        ipcs.push(stats.ipc());
-        rows.push(StatsRow::new(p.workload.name, "baseline", &stats));
-    }
-    println!("{:<16} {:>12.3} {:>8.2}", "mean/hmean", amean(&ratios), hmean(&ipcs));
-    println!();
-    println!("paper: ratios 1.0–1.15 (amean ~1.05); IPC line spans ~0.5–5.5.");
-    write_results("fig2_uops_ipc", &rows);
+    tvp_bench::engine::run_main(&[Box::new(tvp_bench::experiments::fig2::Fig2)]);
 }

@@ -1,63 +1,8 @@
-//! Fig. 4 — Fraction of dynamic (architectural) instructions optimized
-//! away at rename, for MVP+SpSR (a) and TVP+SpSR (b).
+//! Fig. 4 — dynamic instructions eliminated at rename.
 //!
-//! Paper result (averages): 0-idiom 0.72%, 1-idiom 0.39%, move ~4%,
-//! SpSR 1.73% (MVP) / 1.70% (TVP), 9-bit idiom 0.48% (TVP only),
-//! non-ME moves 0.44% / 0.34%.
-
-use tvp_bench::{amean, inst_budget, prepare_suite, run_vp, write_results, StatsRow};
-use tvp_core::config::VpMode;
-use tvp_core::stats::SimStats;
-
-fn report(label: &str, prepared: &[tvp_bench::PreparedWorkload], vp: VpMode) -> Vec<StatsRow> {
-    println!("--- Fig. 4{label}: rename-eliminated fractions under {vp:?} + SpSR ---\n");
-    println!(
-        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "workload", "0-idm %", "1-idm %", "move %", "9bit %", "SpSR %", "nonME %"
-    );
-    let mut rows = Vec::new();
-    let mut sums = [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    for p in prepared {
-        let s: SimStats = run_vp(p, vp, true);
-        let r = s.rename;
-        let f = |c: u64| r.fraction(c) * 100.0;
-        let cols = [
-            f(r.zero_idiom),
-            f(r.one_idiom),
-            f(r.move_elim),
-            f(r.nine_bit_idiom),
-            f(r.spsr),
-            f(r.non_me_move),
-        ];
-        println!(
-            "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
-            p.workload.name, cols[0], cols[1], cols[2], cols[3], cols[4], cols[5]
-        );
-        for (acc, v) in sums.iter_mut().zip(cols) {
-            acc.push(v);
-        }
-        rows.push(StatsRow::new(p.workload.name, format!("{vp:?}+spsr"), &s));
-    }
-    println!(
-        "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
-        "amean",
-        amean(&sums[0]),
-        amean(&sums[1]),
-        amean(&sums[2]),
-        amean(&sums[3]),
-        amean(&sums[4]),
-        amean(&sums[5]),
-    );
-    rows
-}
+//! Thin driver over [`tvp_bench::experiments::fig4`]; accepts the
+//! common engine CLI (`--jobs N`, `--smoke`, `--insts N`).
 
 fn main() {
-    let insts = inst_budget();
-    println!("=== Fig. 4: dynamic instructions eliminated at rename ({insts} insts) ===\n");
-    let prepared = prepare_suite(insts);
-    let mut rows = report("a", &prepared, VpMode::Mvp);
-    rows.extend(report("b", &prepared, VpMode::Tvp));
-    println!("paper (amean): (a) MVP: 0-idiom 0.72, 1-idiom 0.39, move 3.96,");
-    println!("SpSR 1.73, non-ME 0.44; (b) TVP: move 4.06, 9-bit 0.48, SpSR 1.70.");
-    write_results("fig4_rename_fractions", &rows);
+    tvp_bench::engine::run_main(&[Box::new(tvp_bench::experiments::fig4::Fig4)]);
 }

@@ -1,51 +1,8 @@
-//! Fig. 5 — Performance uplift of MVP/TVP with and without SpSR.
+//! Fig. 5 — MVP/TVP ± SpSR speedup over the baseline.
 //!
-//! Paper result (geomean): MVP +0.54% → MVP+SpSR +0.64%; TVP +1.11% →
-//! TVP+SpSR +1.17%. SpSR's per-benchmark effect is small and
-//! occasionally negative (stride-prefetcher interaction, §6.2).
-
-use tvp_bench::{
-    geomean_speedup, inst_budget, prepare_suite, run_vp, speedup_pct, write_results, StatsRow,
-};
-use tvp_core::config::VpMode;
+//! Thin driver over [`tvp_bench::experiments::fig5`]; accepts the
+//! common engine CLI (`--jobs N`, `--smoke`, `--insts N`).
 
 fn main() {
-    let insts = inst_budget();
-    println!("=== Fig. 5: MVP/TVP ± SpSR speedup over baseline ({insts} insts) ===\n");
-    let prepared = prepare_suite(insts);
-
-    println!(
-        "{:<16} {:>8} {:>10} {:>8} {:>10}",
-        "workload", "MVP %", "MVP+SpSR %", "TVP %", "TVP+SpSR %"
-    );
-    let mut rows = Vec::new();
-    let mut pairs = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    let configs = [
-        (VpMode::Mvp, false, "mvp"),
-        (VpMode::Mvp, true, "mvp+spsr"),
-        (VpMode::Tvp, false, "tvp"),
-        (VpMode::Tvp, true, "tvp+spsr"),
-    ];
-    for p in &prepared {
-        let base = run_vp(p, VpMode::Off, false);
-        let mut pcts = [0.0f64; 4];
-        for (i, (vp, spsr, label)) in configs.iter().enumerate() {
-            let s = run_vp(p, *vp, *spsr);
-            pcts[i] = speedup_pct(&s, &base);
-            rows.push(StatsRow::new(p.workload.name, *label, &s));
-            pairs[i].push((s, base));
-        }
-        println!(
-            "{:<16} {:>8.2} {:>10.2} {:>8.2} {:>10.2}",
-            p.workload.name, pcts[0], pcts[1], pcts[2], pcts[3]
-        );
-    }
-    println!();
-    for (i, (_, _, label)) in configs.iter().enumerate() {
-        let g = (geomean_speedup(&pairs[i]) - 1.0) * 100.0;
-        println!("{label:<10} geomean {g:+.2}%");
-    }
-    println!();
-    println!("paper: MVP +0.54 → +0.64 with SpSR; TVP +1.11 → +1.17 with SpSR.");
-    write_results("fig5_spsr_speedup", &rows);
+    tvp_bench::engine::run_main(&[Box::new(tvp_bench::experiments::fig5::Fig5)]);
 }

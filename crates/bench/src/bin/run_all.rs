@@ -1,36 +1,21 @@
-//! Runs every experiment binary in sequence (Figs. 1–6, Table 3,
-//! ablations), producing the full paper reproduction in one command:
+//! Runs the full paper reproduction (Figs. 1–6, Table 3, ablations)
+//! through the parallel deterministic experiment engine:
 //!
 //! ```text
-//! cargo run --release -p tvp-bench --bin run_all
+//! cargo run --release -p tvp-bench --bin run_all -- --jobs 8
+//! cargo run --release -p tvp-bench --bin run_all -- --jobs 1 --smoke
 //! ```
-
-use std::process::Command;
+//!
+//! Every simulation point across all experiments is enumerated as a
+//! keyed job, deduplicated through the result cache (shared baselines
+//! simulate exactly once), and run on a work-stealing pool sized by
+//! `--jobs` (default: available cores). `--jobs 1` and `--jobs N`
+//! produce byte-identical `results/*.json`. A failed point never
+//! aborts the sequence: the engine finishes everything else, reports
+//! the failed jobs' keys, and exits non-zero. Telemetry (wall time,
+//! sims/sec, simulated cycles/sec, cache hit rate, per-job timings)
+//! lands in `BENCH_parallel_runner.json`.
 
 fn main() {
-    let binaries = [
-        "fig1_value_dist",
-        "fig2_uops_ipc",
-        "fig3_vp_speedup",
-        "table3_storage_sweep",
-        "fig4_rename_fractions",
-        "fig5_spsr_speedup",
-        "fig6_activity",
-        "ablation_silencing",
-        "ablation_prefetcher",
-        "ablation_recovery",
-        "ablation_dvtage",
-    ];
-    let exe = std::env::current_exe().expect("current executable path");
-    let dir = exe.parent().expect("executable directory");
-    for bin in binaries {
-        println!("\n================================================================");
-        println!("== {bin}");
-        println!("================================================================\n");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed with {status}");
-    }
-    println!("\nAll experiments complete; JSON results are under results/.");
+    tvp_bench::engine::run_main(&tvp_bench::experiments::all());
 }

@@ -1,65 +1,8 @@
-//! Table 3 — geomean speedups for MVP/TVP/GVP at four predictor
-//! storage budgets (same tables/history; only table sizes scale).
+//! Table 3 — predictor storage sweep.
 //!
-//! Paper result:
-//!
-//! | budget        | MVP    | TVP    | GVP    |
-//! |---------------|--------|--------|--------|
-//! | ~4KB (½·MVP)  | +0.50% | +0.74% | +2.54% |
-//! | ~8KB (MVP)    | +0.54% | +0.96% | +2.86% |
-//! | ~14KB (TVP)   | +0.60% | +1.11% | +3.51% |
-//! | ~55KB (GVP)   | +0.66% | +1.24% | +4.67% |
-
-use tvp_bench::{
-    geomean_speedup, inst_budget, prepare_suite, run_cfg, run_vp, write_results, StatsRow,
-    VP_FLAVOURS,
-};
-use tvp_core::config::{CoreConfig, VpMode};
-use tvp_predictors::vtage::VtageConfig;
+//! Thin driver over [`tvp_bench::experiments::table3`]; accepts the
+//! common engine CLI (`--jobs N`, `--smoke`, `--insts N`).
 
 fn main() {
-    let insts = inst_budget();
-    println!("=== Table 3: storage sweep ({insts} insts) ===\n");
-    let prepared = prepare_suite(insts);
-
-    // Each flavour's own paper budget in bits, used to derive the
-    // scale factor that hits the row's target budget.
-    let budgets: [(&str, f64); 4] = [
-        ("0.5 x MVP (~4KB)", 0.5 * 65_152.0),
-        ("MVP budget (~8KB)", 65_152.0),
-        ("TVP budget (~14KB)", 114_304.0),
-        ("GVP budget (~55KB)", 452_224.0),
-    ];
-
-    let bases: Vec<_> = prepared.iter().map(|p| run_vp(p, VpMode::Off, false)).collect();
-
-    println!("{:<20} {:>10} {:>10} {:>10}", "budget", "MVP", "TVP", "GVP");
-    let mut rows = Vec::new();
-    for (label, target_bits) in budgets {
-        let mut cells = Vec::new();
-        for (vp, _) in VP_FLAVOURS {
-            let mode = vp.pred_mode().expect("VP flavour");
-            let own = VtageConfig::paper(mode);
-            // Scale table sizes so the flavour's storage hits the row
-            // budget (entry widths are fixed by the prediction width).
-            let factor = target_bits / own.storage_bits() as f64;
-            let scaled = own.scaled(factor);
-            let kb = scaled.storage_kb();
-            let mut pairs = Vec::new();
-            for (p, base) in prepared.iter().zip(&bases) {
-                let mut cfg = CoreConfig::with_vp(vp);
-                cfg.vtage = Some(scaled.clone());
-                let s = run_cfg(p, cfg);
-                rows.push(StatsRow::new(p.workload.name, format!("{vp:?}@{kb:.1}KB"), &s));
-                pairs.push((s, *base));
-            }
-            let g = (geomean_speedup(&pairs) - 1.0) * 100.0;
-            cells.push(format!("{g:+.2}%"));
-        }
-        println!("{:<20} {:>10} {:>10} {:>10}", label, cells[0], cells[1], cells[2]);
-    }
-    println!();
-    println!("paper: +0.50/+0.74/+2.54 | +0.54/+0.96/+2.86 | +0.60/+1.11/+3.51 |");
-    println!("       +0.66/+1.24/+4.67 (rows: 4/8/14/55KB; columns MVP/TVP/GVP)");
-    write_results("table3_storage_sweep", &rows);
+    tvp_bench::engine::run_main(&[Box::new(tvp_bench::experiments::table3::Table3)]);
 }

@@ -1,0 +1,249 @@
+//! The experiment engine: enumerate → dedupe → simulate → assemble.
+//!
+//! Used by `run_all` and by every per-figure binary. The phases are:
+//!
+//! 1. **prepare** — generate every workload trace once;
+//! 2. **enumerate** — collect each experiment's [`Job`]s and push them
+//!    through the [`ResultCache`], which dedupes shared points (the
+//!    VP-off baseline appears in most experiments but simulates once);
+//! 3. **simulate** — run the deduplicated schedule on the
+//!    work-stealing pool ([`runner::run_jobs`]);
+//! 4. **assemble** — single-threaded, in fixed experiment order: print
+//!    each experiment's tables and write its `results/*.json` from
+//!    cached points only.
+//!
+//! Failures never abort the sequence: a panicked job is recorded with
+//! its [`ExpKey`], experiments that depend on it are skipped (and
+//! listed), every other experiment still assembles, and the process
+//! exits non-zero at the end.
+//!
+//! Determinism: simulation is a pure function of (trace, config), the
+//! schedule is keyed, and assembly is ordered — so `--jobs 1` and
+//! `--jobs N` produce byte-identical results files.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::cache::ResultCache;
+use crate::experiments::{ExpContext, Experiment, ResultSet};
+use crate::jobs::ExpKey;
+use crate::runner::{self, JobFailure};
+use crate::telemetry::Telemetry;
+use crate::{prepare_suite, DEFAULT_INSTS};
+
+/// Instruction budget used by `--smoke` (CI-sized).
+pub const SMOKE_INSTS: u64 = 20_000;
+
+/// Parsed engine options, shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Worker threads (`--jobs N`); `None` sizes to available cores.
+    pub workers: Option<usize>,
+    /// Architectural instructions per workload.
+    pub insts: u64,
+    /// Smoke mode (CI-sized budget unless `--insts` overrides).
+    pub smoke: bool,
+    /// Per-job progress lines on stderr.
+    pub progress: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { workers: None, insts: DEFAULT_INSTS, smoke: false, progress: false }
+    }
+}
+
+/// Parses the common experiment CLI: `[--jobs N] [--smoke]
+/// [--insts N] [--progress]`. Budget precedence: `--insts` flag, then
+/// the `TVP_INSTS` environment variable, then the smoke/default
+/// budget.
+///
+/// # Panics
+///
+/// Exits the process (code 2) on unknown or malformed arguments.
+#[must_use]
+pub fn parse_run_options(args: impl Iterator<Item = String>) -> RunOptions {
+    let usage = || -> ! {
+        eprintln!("usage: <experiment> [--jobs N] [--smoke] [--insts N] [--progress]");
+        std::process::exit(2);
+    };
+    let mut workers = None;
+    let mut insts_flag: Option<u64> = None;
+    let mut smoke = false;
+    let mut progress = false;
+    let args: Vec<String> = args.collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let n: usize = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if n == 0 {
+                    usage();
+                }
+                workers = Some(n);
+            }
+            "--smoke" => smoke = true,
+            "--insts" => {
+                insts_flag =
+                    Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--progress" => progress = true,
+            _ => usage(),
+        }
+    }
+    let insts = insts_flag
+        .or_else(|| std::env::var("TVP_INSTS").ok().and_then(|s| s.parse().ok()))
+        .unwrap_or(if smoke { SMOKE_INSTS } else { DEFAULT_INSTS });
+    RunOptions { workers, insts, smoke, progress }
+}
+
+/// Resolves the results directory (`$TVP_RESULTS_DIR`, default
+/// `results`).
+#[must_use]
+pub fn results_dir() -> String {
+    std::env::var("TVP_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned())
+}
+
+/// What one engine invocation produced, beyond the files on disk.
+pub struct EngineReport {
+    /// Jobs that panicked, with their keys.
+    pub failures: Vec<JobFailure>,
+    /// Experiments skipped because one of their points failed, with
+    /// the missing keys.
+    pub skipped: Vec<(&'static str, Vec<ExpKey>)>,
+    /// Performance record of this invocation.
+    pub telemetry: Telemetry,
+}
+
+/// Runs `experiments` end to end: enumerate, dedupe, simulate on the
+/// pool, assemble in order, write results JSON and telemetry.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or a results
+/// file cannot be written (fatal setup errors); job panics are
+/// *contained* and reported through the returned [`EngineReport`].
+pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineReport {
+    let total_start = Instant::now();
+
+    // 1. prepare —————————————————————————————————————————————————————
+    eprintln!("[engine] generating workload traces ({} insts each)...", opts.insts);
+    let prepare_start = Instant::now();
+    let ctx = ExpContext { insts: opts.insts, prepared: prepare_suite(opts.insts) };
+    let prepare = prepare_start.elapsed();
+
+    // 2. enumerate + dedupe ——————————————————————————————————————————
+    let mut cache = ResultCache::new();
+    let mut wanted: Vec<(&'static str, Vec<ExpKey>)> = Vec::new();
+    for exp in experiments {
+        let jobs = exp.jobs(&ctx);
+        for job in &jobs {
+            cache.request(job);
+        }
+        wanted.push((exp.name(), jobs.into_iter().map(|j| j.key).collect()));
+    }
+    let schedule = cache.take_scheduled();
+    let requested = cache.hits() + cache.misses();
+    let workers = runner::resolve_workers(opts.workers);
+    eprintln!(
+        "[engine] {} unique simulation points ({} requested, {} cache hits) on {} worker(s)",
+        schedule.len(),
+        requested,
+        cache.hits(),
+        workers
+    );
+
+    // 3. simulate ————————————————————————————————————————————————————
+    let traces: BTreeMap<&str, &tvp_workloads::trace::Trace> =
+        ctx.prepared.iter().map(|p| (p.workload.name, &p.trace)).collect();
+    let sim_start = Instant::now();
+    let outcome = runner::run_jobs(
+        &schedule,
+        |name| traces.get(name).unwrap_or_else(|| panic!("no trace for workload {name}")),
+        workers,
+        opts.progress,
+    );
+    let sim_wall = sim_start.elapsed();
+    for (key, point) in outcome.points {
+        cache.insert(key, point);
+    }
+
+    // 4. assemble ————————————————————————————————————————————————————
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let mut skipped = Vec::new();
+    let results = ResultSet::new(&cache);
+    for (exp, (name, keys)) in experiments.iter().zip(&wanted) {
+        if experiments.len() > 1 {
+            println!("\n================================================================");
+            println!("== {name}");
+            println!("================================================================\n");
+        }
+        let missing: Vec<ExpKey> =
+            keys.iter().filter(|k| cache.get(k).is_none()).cloned().collect();
+        if missing.is_empty() {
+            for file in exp.assemble(&ctx, &results) {
+                let path = format!("{dir}/{}.json", file.name);
+                std::fs::write(&path, file.json).expect("write results file");
+                println!("\n[results written to {path}]");
+            }
+        } else {
+            eprintln!("[engine] SKIPPED {name}: {} failed point(s)", missing.len());
+            skipped.push((*name, missing));
+        }
+    }
+
+    // telemetry ——————————————————————————————————————————————————————
+    let cpu_time = outcome.timings.iter().map(|t| t.wall).sum();
+    let simulated_cycles = outcome.timings.iter().map(|t| t.cycles).sum();
+    #[allow(clippy::cast_possible_truncation)]
+    let telemetry = Telemetry {
+        schema: 1,
+        workers,
+        insts: opts.insts,
+        smoke: opts.smoke,
+        jobs_requested: requested,
+        jobs_unique: schedule.len() as u64,
+        cache_hits: cache.hits(),
+        cache_hit_rate: cache.hit_rate(),
+        jobs_failed: outcome.failures.len() as u64,
+        prepare,
+        sim_wall,
+        total_wall: total_start.elapsed(),
+        cpu_time,
+        simulated_cycles,
+        per_job: outcome.timings,
+    };
+    let telemetry_path = Telemetry::default_path();
+    telemetry.write(&telemetry_path);
+    eprintln!("[engine] {}", telemetry.summary());
+    eprintln!("[engine] telemetry written to {telemetry_path}");
+
+    EngineReport { failures: outcome.failures, skipped, telemetry }
+}
+
+/// Prints the failure report (if any) and returns the process exit
+/// code: 0 on a fully clean run, 1 when any job failed.
+#[must_use]
+pub fn exit_code(report: &EngineReport) -> i32 {
+    if report.failures.is_empty() && report.skipped.is_empty() {
+        return 0;
+    }
+    eprintln!("\n[engine] {} job(s) FAILED:", report.failures.len());
+    for f in &report.failures {
+        let first_line = f.panic.lines().next().unwrap_or("");
+        eprintln!("  {}: {first_line}", f.key.display());
+    }
+    for (name, missing) in &report.skipped {
+        eprintln!("[engine] experiment {name} skipped ({} missing point(s))", missing.len());
+    }
+    1
+}
+
+/// Standard `main` body for an experiment binary: parse the common
+/// CLI, run the given experiments, exit non-zero if anything failed.
+pub fn run_main(experiments: &[Box<dyn Experiment>]) -> ! {
+    let opts = parse_run_options(std::env::args().skip(1));
+    let report = run(experiments, &opts);
+    std::process::exit(exit_code(&report));
+}

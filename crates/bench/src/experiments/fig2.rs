@@ -1,0 +1,46 @@
+//! Fig. 2 — Retired µops per architectural instruction (bars) and
+//! baseline IPC (line).
+//!
+//! Paper result: expansion ratios between 1.0 and ~1.15 (mean ~1.05),
+//! IPC between ~0.5 and ~5.5 (hmean ≈ 2).
+
+use super::{baseline_cfg, per_workload_jobs, ExpContext, Experiment, ResultFile, ResultSet};
+use crate::jobs::Job;
+use crate::{amean, hmean, StatsRow};
+
+/// Fig. 2 experiment.
+pub struct Fig2;
+
+impl Experiment for Fig2 {
+    fn name(&self) -> &'static str {
+        "fig2_uops_ipc"
+    }
+
+    fn jobs(&self, ctx: &ExpContext) -> Vec<Job> {
+        per_workload_jobs(ctx, &baseline_cfg())
+    }
+
+    fn assemble(&self, ctx: &ExpContext, results: &ResultSet<'_>) -> Vec<ResultFile> {
+        println!(
+            "=== Fig. 2: µops per arch. instruction + baseline IPC ({} insts) ===\n",
+            ctx.insts
+        );
+        println!("{:<16} {:>12} {:>8}", "workload", "uops/inst", "IPC");
+        let base = baseline_cfg();
+        let mut rows = Vec::new();
+        let mut ratios = Vec::new();
+        let mut ipcs = Vec::new();
+        for p in &ctx.prepared {
+            let stats = results.of(ctx, p, &base);
+            let ratio = stats.expansion_ratio();
+            println!("{:<16} {:>12.3} {:>8.2}", p.workload.name, ratio, stats.ipc());
+            ratios.push(ratio);
+            ipcs.push(stats.ipc());
+            rows.push(StatsRow::new(p.workload.name, "baseline", &stats));
+        }
+        println!("{:<16} {:>12.3} {:>8.2}", "mean/hmean", amean(&ratios), hmean(&ipcs));
+        println!();
+        println!("paper: ratios 1.0–1.15 (amean ~1.05); IPC line spans ~0.5–5.5.");
+        vec![ResultFile::rows("fig2_uops_ipc", &rows)]
+    }
+}

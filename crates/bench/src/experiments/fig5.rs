@@ -1,0 +1,70 @@
+//! Fig. 5 — Performance uplift of MVP/TVP with and without SpSR.
+//!
+//! Paper result (geomean): MVP +0.54% → MVP+SpSR +0.64%; TVP +1.11% →
+//! TVP+SpSR +1.17%. SpSR's per-benchmark effect is small and
+//! occasionally negative (stride-prefetcher interaction, §6.2).
+
+use tvp_core::config::VpMode;
+
+use super::{baseline_cfg, vp_cfg, ExpContext, Experiment, ResultFile, ResultSet};
+use crate::jobs::Job;
+use crate::{geomean_speedup, speedup_pct, StatsRow};
+
+/// Fig. 5 experiment.
+pub struct Fig5;
+
+const CONFIGS: [(VpMode, bool, &str); 4] = [
+    (VpMode::Mvp, false, "mvp"),
+    (VpMode::Mvp, true, "mvp+spsr"),
+    (VpMode::Tvp, false, "tvp"),
+    (VpMode::Tvp, true, "tvp+spsr"),
+];
+
+impl Experiment for Fig5 {
+    fn name(&self) -> &'static str {
+        "fig5_spsr_speedup"
+    }
+
+    fn jobs(&self, ctx: &ExpContext) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for p in &ctx.prepared {
+            jobs.push(Job::new(p.workload.name, ctx.insts, baseline_cfg()));
+            for (vp, spsr, _) in CONFIGS {
+                jobs.push(Job::new(p.workload.name, ctx.insts, vp_cfg(vp, spsr)));
+            }
+        }
+        jobs
+    }
+
+    fn assemble(&self, ctx: &ExpContext, results: &ResultSet<'_>) -> Vec<ResultFile> {
+        println!("=== Fig. 5: MVP/TVP ± SpSR speedup over baseline ({} insts) ===\n", ctx.insts);
+        println!(
+            "{:<16} {:>8} {:>10} {:>8} {:>10}",
+            "workload", "MVP %", "MVP+SpSR %", "TVP %", "TVP+SpSR %"
+        );
+        let mut rows = Vec::new();
+        let mut pairs = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for p in &ctx.prepared {
+            let base = results.of(ctx, p, &baseline_cfg());
+            let mut pcts = [0.0f64; 4];
+            for (i, (vp, spsr, label)) in CONFIGS.iter().enumerate() {
+                let s = results.of(ctx, p, &vp_cfg(*vp, *spsr));
+                pcts[i] = speedup_pct(&s, &base);
+                rows.push(StatsRow::new(p.workload.name, *label, &s));
+                pairs[i].push((s, base));
+            }
+            println!(
+                "{:<16} {:>8.2} {:>10.2} {:>8.2} {:>10.2}",
+                p.workload.name, pcts[0], pcts[1], pcts[2], pcts[3]
+            );
+        }
+        println!();
+        for (i, (_, _, label)) in CONFIGS.iter().enumerate() {
+            let g = (geomean_speedup(&pairs[i]) - 1.0) * 100.0;
+            println!("{label:<10} geomean {g:+.2}%");
+        }
+        println!();
+        println!("paper: MVP +0.54 → +0.64 with SpSR; TVP +1.11 → +1.17 with SpSR.");
+        vec![ResultFile::rows("fig5_spsr_speedup", &rows)]
+    }
+}

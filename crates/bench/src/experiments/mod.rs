@@ -1,0 +1,146 @@
+//! Experiment definitions: every figure/table/ablation as a job
+//! enumerator plus an assembler.
+//!
+//! An [`Experiment`] no longer simulates anything itself. It
+//! *enumerates* the simulation points it needs as keyed [`Job`]s, the
+//! engine runs the deduplicated union of all experiments' jobs on the
+//! thread pool, and then each experiment *assembles* its stdout tables
+//! and JSON files from the cached [`SimPoint`](crate::jobs::SimPoint)
+//! results. Enumeration and assembly are pure and single-threaded;
+//! only the keyed simulations run concurrently — which is why serial
+//! and parallel runs of the same grid emit byte-identical JSON.
+
+use tvp_core::config::{CoreConfig, VpMode};
+use tvp_core::stats::SimStats;
+
+use crate::cache::ResultCache;
+use crate::jobs::{ExpKey, Job};
+use crate::{PreparedWorkload, StatsRow};
+
+pub mod ablation_dvtage;
+pub mod ablation_prefetcher;
+pub mod ablation_recovery;
+pub mod ablation_silencing;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table3;
+
+/// Shared inputs every experiment sees: the instruction budget and the
+/// pre-generated trace suite.
+pub struct ExpContext {
+    /// Architectural instructions per workload.
+    pub insts: u64,
+    /// The bundled suite with traces generated once at `insts`.
+    pub prepared: Vec<PreparedWorkload>,
+}
+
+/// One JSON artefact an experiment produces; the engine writes it to
+/// `<results-dir>/<name>.json`.
+pub struct ResultFile {
+    /// File stem under the results directory.
+    pub name: String,
+    /// Rendered JSON document.
+    pub json: String,
+}
+
+impl ResultFile {
+    /// Renders experiment rows as the standard results array.
+    #[must_use]
+    pub fn rows(name: &str, rows: &[StatsRow]) -> Self {
+        let rendered: Vec<String> = rows.iter().map(StatsRow::to_json).collect();
+        ResultFile { name: name.to_owned(), json: crate::json::array(&rendered) }
+    }
+}
+
+/// Read-only view of the simulated points, for assembly.
+pub struct ResultSet<'a> {
+    cache: &'a ResultCache,
+}
+
+impl<'a> ResultSet<'a> {
+    /// Wraps a populated cache.
+    #[must_use]
+    pub fn new(cache: &'a ResultCache) -> Self {
+        ResultSet { cache }
+    }
+
+    /// Stats for an explicit key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point was never simulated — the engine only runs
+    /// an experiment's assembly once every one of its enumerated jobs
+    /// succeeded, so a miss here is an enumerate/assemble mismatch
+    /// inside the experiment.
+    pub fn stats(&self, key: &ExpKey) -> SimStats {
+        self.cache
+            .get(key)
+            .unwrap_or_else(|| {
+                panic!(
+                    "missing simulation point {} — assemble asked for a key its \
+                     jobs() never enumerated",
+                    key.display()
+                )
+            })
+            .stats
+    }
+
+    /// Stats for (workload, config) under the context's budget.
+    pub fn of(&self, ctx: &ExpContext, p: &PreparedWorkload, cfg: &CoreConfig) -> SimStats {
+        self.stats(&ExpKey::new(p.workload.name, ctx.insts, cfg))
+    }
+}
+
+/// One figure/table/ablation of the paper.
+pub trait Experiment: Sync {
+    /// Binary-style name (also the legacy `run_all` banner label).
+    fn name(&self) -> &'static str;
+    /// Enumerates every simulation point this experiment needs.
+    fn jobs(&self, ctx: &ExpContext) -> Vec<Job>;
+    /// Prints the experiment's tables and returns its JSON artefacts,
+    /// reading every simulated point from `results`.
+    fn assemble(&self, ctx: &ExpContext, results: &ResultSet<'_>) -> Vec<ResultFile>;
+}
+
+/// The paper configuration shorthand shared by the experiments
+/// (identical to what the pre-engine binaries simulated).
+#[must_use]
+pub fn vp_cfg(vp: VpMode, spsr: bool) -> CoreConfig {
+    let mut cfg = CoreConfig::with_vp(vp);
+    cfg.spsr = spsr;
+    cfg
+}
+
+/// The DSR baseline every speedup is reported against.
+#[must_use]
+pub fn baseline_cfg() -> CoreConfig {
+    vp_cfg(VpMode::Off, false)
+}
+
+/// Enumerates one job per workload for a fixed configuration.
+#[must_use]
+pub fn per_workload_jobs(ctx: &ExpContext, cfg: &CoreConfig) -> Vec<Job> {
+    ctx.prepared.iter().map(|p| Job::new(p.workload.name, ctx.insts, cfg.clone())).collect()
+}
+
+/// All eleven experiments, in the canonical `run_all` order.
+#[must_use]
+pub fn all() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(fig1::Fig1),
+        Box::new(fig2::Fig2),
+        Box::new(fig3::Fig3),
+        Box::new(table3::Table3),
+        Box::new(fig4::Fig4),
+        Box::new(fig5::Fig5),
+        Box::new(fig6::Fig6),
+        Box::new(ablation_silencing::AblationSilencing),
+        Box::new(ablation_prefetcher::AblationPrefetcher),
+        Box::new(ablation_recovery::AblationRecovery),
+        Box::new(ablation_dvtage::AblationDvtage),
+    ]
+}

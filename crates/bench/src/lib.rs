@@ -16,6 +16,15 @@ use tvp_core::stats::SimStats;
 use tvp_workloads::suite::{suite, Workload};
 use tvp_workloads::trace::Trace;
 
+pub mod cache;
+pub mod engine;
+pub mod experiments;
+#[cfg(test)]
+mod fingerprint_tests;
+pub mod jobs;
+pub mod runner;
+pub mod telemetry;
+
 /// Default per-workload instruction budget.
 pub const DEFAULT_INSTS: u64 = 300_000;
 
@@ -250,15 +259,17 @@ impl StatsRow {
     }
 }
 
-/// Writes experiment rows as JSON under `results/<name>.json`.
+/// Writes experiment rows as JSON under `<results-dir>/<name>.json`
+/// (see [`engine::results_dir`]).
 ///
 /// # Panics
 ///
 /// Panics if the results directory or file cannot be written — the
 /// harness treats an unwritable workspace as a fatal setup error.
 pub fn write_results(name: &str, rows: &[StatsRow]) {
-    std::fs::create_dir_all("results").expect("create results directory");
-    let path = format!("results/{name}.json");
+    let dir = engine::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let path = format!("{dir}/{name}.json");
     let rendered: Vec<String> = rows.iter().map(StatsRow::to_json).collect();
     std::fs::write(&path, json::array(&rendered)).expect("write results file");
     println!("\n[results written to {path}]");

@@ -1,0 +1,226 @@
+//! Scoped work-stealing thread pool for simulation jobs.
+//!
+//! Workers run on `std::thread::scope` threads (no `'static` bounds,
+//! no dependencies): each worker owns a deque seeded round-robin with
+//! job indices, pops from its own front, and steals from the back of
+//! the busiest sibling when empty. Jobs are coarse (one full pipeline
+//! simulation each, typically 10⁵–10⁶ cycles), so the per-steal mutex
+//! cost is noise.
+//!
+//! Every job runs under `catch_unwind`: a panicking simulation (e.g. a
+//! watchdog-diagnosed deadlock) is captured as a [`JobFailure`] carrying
+//! the job's [`ExpKey`] and the panic payload. The pool always drains —
+//! one poisoned point can never hang or abort the whole run.
+//!
+//! Determinism: results are keyed, and the simulator is a pure
+//! function of (trace, config), so *which worker* runs a job — and in
+//! what order — cannot affect any simulated value. The assembly phase
+//! consumes results by key in experiment order, which is what makes
+//! `--jobs 1` and `--jobs N` byte-identical.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tvp_core::pipeline::simulate;
+use tvp_workloads::trace::Trace;
+
+use crate::jobs::{ExpKey, Job, SimPoint};
+
+/// A job that panicked instead of producing a [`SimPoint`].
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// The failed point's identity.
+    pub key: ExpKey,
+    /// Rendered panic payload.
+    pub panic: String,
+}
+
+/// Wall-clock timing of one completed job (telemetry only; never part
+/// of the cached result).
+#[derive(Clone, Debug)]
+pub struct JobTiming {
+    /// The point's identity.
+    pub key: ExpKey,
+    /// Simulation wall time.
+    pub wall: Duration,
+    /// Cycles the point simulated (throughput numerator).
+    pub cycles: u64,
+}
+
+/// Everything the pool produced: results, failures and timings.
+#[derive(Debug, Default)]
+pub struct RunOutcome {
+    /// Successfully simulated points.
+    pub points: Vec<(ExpKey, SimPoint)>,
+    /// Panicked jobs, with their keys.
+    pub failures: Vec<JobFailure>,
+    /// Per-job wall-clock timings (successful jobs only).
+    pub timings: Vec<JobTiming>,
+}
+
+/// One job's outcome slot, written exactly once by whichever worker
+/// ran the job: the simulated point and its wall time, or the
+/// rendered panic payload.
+type ResultSlot = Mutex<Option<Result<(SimPoint, Duration), String>>>;
+
+/// Resolves the worker count: an explicit `--jobs N` wins, otherwise
+/// the pool is sized to the machine's available cores.
+#[must_use]
+pub fn resolve_workers(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Runs `jobs` on `workers` threads, looking up each job's trace with
+/// `trace_of` (keyed by workload name). Returns all results, failures
+/// and timings; panics in jobs are contained, panics in `trace_of`
+/// (unknown workload) are a harness bug and propagate.
+pub fn run_jobs<'t>(
+    jobs: &[Job],
+    trace_of: impl Fn(&'static str) -> &'t Trace + Sync,
+    workers: usize,
+    progress: bool,
+) -> RunOutcome {
+    let workers = workers.max(1).min(jobs.len().max(1));
+    // Round-robin seeding gives every worker a balanced starting deque;
+    // stealing evens out whatever imbalance the workloads create.
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, _) in jobs.iter().enumerate() {
+        deques[i % workers].lock().expect("seed deque").push_back(i);
+    }
+
+    let slots: Vec<ResultSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let done = AtomicUsize::new(0);
+    let total = jobs.len();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let done = &done;
+            let trace_of = &trace_of;
+            scope.spawn(move || {
+                while let Some(idx) = next_job(deques, me) {
+                    let job = &jobs[idx];
+                    let trace = trace_of(job.key.workload);
+                    let start = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let cfg = job.cfg.clone();
+                        SimPoint { stats: simulate(cfg, trace) }
+                    }));
+                    let wall = start.elapsed();
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if progress {
+                        eprintln!("  [{finished:>4}/{total}] {}", job.key.display());
+                    }
+                    *slots[idx].lock().expect("result slot") = Some(match result {
+                        Ok(point) => Ok((point, wall)),
+                        Err(payload) => Err(panic_text(payload.as_ref())),
+                    });
+                }
+            });
+        }
+    });
+
+    let mut outcome = RunOutcome::default();
+    for (job, slot) in jobs.iter().zip(slots) {
+        let result = slot.into_inner().expect("slot lock").expect("pool drained every job");
+        match result {
+            Ok((point, wall)) => {
+                outcome.timings.push(JobTiming {
+                    key: job.key.clone(),
+                    wall,
+                    cycles: point.stats.cycles,
+                });
+                outcome.points.push((job.key.clone(), point));
+            }
+            Err(panic) => outcome.failures.push(JobFailure { key: job.key.clone(), panic }),
+        }
+    }
+    outcome
+}
+
+/// Pops from our own deque, or steals from the back of the fullest
+/// sibling. `None` only when every deque is empty (all jobs taken).
+fn next_job(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(idx) = deques[me].lock().expect("own deque").pop_front() {
+        return Some(idx);
+    }
+    // Steal from the victim with the most queued work to keep steal
+    // frequency low.
+    let victim = deques
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != me)
+        .max_by_key(|(_, d)| d.lock().expect("victim deque").len())
+        .map(|(i, _)| i)?;
+    deques[victim].lock().expect("steal deque").pop_back()
+}
+
+/// Renders a panic payload (the two shapes `panic!` produces).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_core::config::CoreConfig;
+
+    fn tiny_traces() -> Vec<(&'static str, Trace)> {
+        tvp_workloads::suite().into_iter().take(3).map(|w| (w.name, w.trace(2_000))).collect()
+    }
+
+    fn lookup<'t>(
+        traces: &'t [(&'static str, Trace)],
+    ) -> impl Fn(&'static str) -> &'t Trace + Sync {
+        move |name| &traces.iter().find(|(n, _)| *n == name).expect("known workload").1
+    }
+
+    #[test]
+    fn pool_runs_all_jobs_any_width() {
+        let traces = tiny_traces();
+        let jobs: Vec<Job> =
+            traces.iter().map(|(name, _)| Job::new(name, 2_000, CoreConfig::table2())).collect();
+        let serial = run_jobs(&jobs, lookup(&traces), 1, false);
+        let wide = run_jobs(&jobs, lookup(&traces), 4, false);
+        assert_eq!(serial.points.len(), jobs.len());
+        assert_eq!(wide.points.len(), jobs.len());
+        assert!(serial.failures.is_empty() && wide.failures.is_empty());
+        for ((ka, pa), (kb, pb)) in serial.points.iter().zip(&wide.points) {
+            assert_eq!(ka, kb);
+            assert_eq!(pa, pb, "worker count changed a simulated point");
+        }
+    }
+
+    #[test]
+    fn panicking_job_fails_with_its_key_and_pool_drains() {
+        let traces = tiny_traces();
+        // A watchdog budget of 1 cycle trips on the first cold-cache
+        // stall, and the simulate() entry point panics on the
+        // diagnostic — a deterministic in-job panic.
+        let mut poisoned = CoreConfig::table2();
+        poisoned.watchdog_cycles = 1;
+        let mut jobs: Vec<Job> =
+            traces.iter().map(|(name, _)| Job::new(name, 2_000, CoreConfig::table2())).collect();
+        jobs.insert(1, Job::new(traces[0].0, 2_000, poisoned));
+
+        let outcome = run_jobs(&jobs, lookup(&traces), 3, false);
+        assert_eq!(outcome.points.len(), jobs.len() - 1, "healthy jobs all completed");
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].key, jobs[1].key, "failure names the poisoned key");
+        assert!(!outcome.failures[0].panic.is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Runner performance telemetry — the bench trajectory record.
+//!
+//! Every `run_all` invocation writes `BENCH_parallel_runner.json` (at
+//! the workspace root, or `$TVP_BENCH_TELEMETRY` when set) describing
+//! how fast the experiment engine itself ran: wall time, simulations
+//! per second, aggregate simulated cycles per second, cache hit rate
+//! and per-job timings. The schema is documented in DESIGN.md §10.
+
+use std::time::Duration;
+
+use crate::json;
+use crate::runner::JobTiming;
+
+/// Default telemetry path (workspace root).
+pub const TELEMETRY_FILE: &str = "BENCH_parallel_runner.json";
+
+/// One engine invocation's performance record.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    /// Schema version of this record.
+    pub schema: u32,
+    /// Worker thread count the pool ran with.
+    pub workers: usize,
+    /// Architectural instruction budget per workload.
+    pub insts: u64,
+    /// Whether the run was in smoke mode.
+    pub smoke: bool,
+    /// Points requested across all experiments (before dedup).
+    pub jobs_requested: u64,
+    /// Distinct points actually simulated.
+    pub jobs_unique: u64,
+    /// Requests served by the cache (`requested - unique`).
+    pub cache_hits: u64,
+    /// `cache_hits / jobs_requested`.
+    pub cache_hit_rate: f64,
+    /// Jobs that panicked.
+    pub jobs_failed: u64,
+    /// Trace-generation wall time.
+    pub prepare: Duration,
+    /// Pool wall time (simulation phase only).
+    pub sim_wall: Duration,
+    /// End-to-end wall time (prepare + simulate + assemble).
+    pub total_wall: Duration,
+    /// Sum of per-job simulation times (≈ `sim_wall × workers` when
+    /// the pool is saturated).
+    pub cpu_time: Duration,
+    /// Total simulated cycles across all unique points.
+    pub simulated_cycles: u64,
+    /// Per-job wall-clock timings.
+    pub per_job: Vec<JobTiming>,
+}
+
+impl Telemetry {
+    /// Completed simulations per second of pool wall time.
+    #[must_use]
+    pub fn sims_per_sec(&self) -> f64 {
+        per_second(self.jobs_unique as f64, self.sim_wall)
+    }
+
+    /// Aggregate simulated cycles per second of pool wall time.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn cycles_per_sec(&self) -> f64 {
+        per_second(self.simulated_cycles as f64, self.sim_wall)
+    }
+
+    /// Serialises the record as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let per_job: Vec<String> = self
+            .per_job
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"point\": \"{}\", \"micros\": {}, \"cycles\": {}}}",
+                    json::escape(&t.key.display()),
+                    t.wall.as_micros(),
+                    t.cycles
+                )
+            })
+            .collect();
+        json::object(&[
+            ("schema", self.schema.to_string()),
+            ("workers", self.workers.to_string()),
+            ("insts", self.insts.to_string()),
+            ("smoke", self.smoke.to_string()),
+            ("jobs_requested", self.jobs_requested.to_string()),
+            ("jobs_unique", self.jobs_unique.to_string()),
+            ("cache_hits", self.cache_hits.to_string()),
+            ("cache_hit_rate", json::number(self.cache_hit_rate)),
+            ("jobs_failed", self.jobs_failed.to_string()),
+            ("prepare_seconds", json::number(self.prepare.as_secs_f64())),
+            ("sim_wall_seconds", json::number(self.sim_wall.as_secs_f64())),
+            ("total_wall_seconds", json::number(self.total_wall.as_secs_f64())),
+            ("cpu_seconds", json::number(self.cpu_time.as_secs_f64())),
+            ("sims_per_sec", json::number(self.sims_per_sec())),
+            ("simulated_cycles", self.simulated_cycles.to_string()),
+            ("simulated_cycles_per_sec", json::number(self.cycles_per_sec())),
+            ("per_job", json::array(&per_job)),
+        ])
+    }
+
+    /// Writes the record to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (fatal setup error, as for
+    /// results).
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.to_json()).expect("write telemetry file");
+    }
+
+    /// Resolves the output path: `$TVP_BENCH_TELEMETRY` or the
+    /// default workspace-root file.
+    #[must_use]
+    pub fn default_path() -> String {
+        std::env::var("TVP_BENCH_TELEMETRY").unwrap_or_else(|_| TELEMETRY_FILE.to_owned())
+    }
+
+    /// One-line human summary (stderr companion of the JSON record).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} unique sims ({} requested, {:.1}% cache hits) on {} worker(s): \
+             {:.2}s wall, {:.1} sims/s, {:.2}M simulated cycles/s",
+            self.jobs_unique,
+            self.jobs_requested,
+            self.cache_hit_rate * 100.0,
+            self.workers,
+            self.total_wall.as_secs_f64(),
+            self.sims_per_sec(),
+            self.cycles_per_sec() / 1e6,
+        )
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn per_second(count: f64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        count / secs
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::ExpKey;
+    use tvp_core::config::CoreConfig;
+
+    #[test]
+    fn telemetry_serialises_all_headline_fields() {
+        let key = ExpKey::new("k", 100, &CoreConfig::table2());
+        let t = Telemetry {
+            schema: 1,
+            workers: 4,
+            insts: 100,
+            smoke: true,
+            jobs_requested: 10,
+            jobs_unique: 6,
+            cache_hits: 4,
+            cache_hit_rate: 0.4,
+            jobs_failed: 0,
+            prepare: Duration::from_millis(10),
+            sim_wall: Duration::from_millis(500),
+            total_wall: Duration::from_millis(600),
+            cpu_time: Duration::from_millis(1_900),
+            simulated_cycles: 1_000_000,
+            per_job: vec![JobTiming { key, wall: Duration::from_millis(80), cycles: 123 }],
+        };
+        let j = t.to_json();
+        for field in [
+            "\"sims_per_sec\"",
+            "\"cache_hit_rate\"",
+            "\"total_wall_seconds\"",
+            "\"simulated_cycles_per_sec\"",
+            "\"per_job\"",
+            "\"cycles\": 123",
+        ] {
+            assert!(j.contains(field), "missing {field} in {j}");
+        }
+        assert!((t.sims_per_sec() - 12.0).abs() < 1e-9);
+        assert!(t.summary().contains("sims/s"));
+    }
+}

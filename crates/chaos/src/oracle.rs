@@ -269,27 +269,27 @@ impl CommitOracle {
         };
         for i in 0..self.int.len() {
             if self.int[i] != golden.int[i] {
-                return Some(wrap(format!("x{i}"), golden.int[i], self.int[i]));
+                return Some(wrap(format!("x{i}"), golden.int[i], self.int[i])); // audited: mismatch report, fires at most once per run
             }
         }
         for i in 0..self.fp.len() {
             if self.fp[i] != golden.fp[i] {
-                return Some(wrap(format!("v{i}"), golden.fp[i], self.fp[i]));
+                return Some(wrap(format!("v{i}"), golden.fp[i], self.fp[i])); // audited: mismatch report, fires at most once per run
             }
         }
         if self.flags.pack() != golden.flags.pack() {
             return Some(wrap(
-                "flags".to_owned(),
+                "flags".to_owned(), // audited: mismatch report, fires at most once per run
                 u64::from(golden.flags.pack()),
                 u64::from(self.flags.pack()),
             ));
         }
         if self.next_pc != golden.pc {
-            return Some(wrap("pc".to_owned(), golden.pc, self.next_pc));
+            return Some(wrap("pc".to_owned(), golden.pc, self.next_pc)); // audited: mismatch report, fires at most once per run
         }
         let (want, got) = (golden.mem.digest(), self.mem.digest());
         if want != got {
-            return Some(wrap("memory digest".to_owned(), want, got));
+            return Some(wrap("memory digest".to_owned(), want, got)); // audited: mismatch report, fires at most once per run
         }
         None
     }

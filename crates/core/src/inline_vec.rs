@@ -1,0 +1,123 @@
+//! Fixed-capacity inline vector for per-µop hot-path structures.
+//!
+//! The rename/dispatch/commit path used to heap-allocate three `Vec`s
+//! per renamed µop (scheduling deps, the RAT undo log and the ROB's
+//! new-name capture) — millions of allocator round-trips per simulated
+//! second, flagged by `cargo xtask lint`'s hot-path allocation rule.
+//! Per-µop cardinalities are architecturally bounded (a µop has at
+//! most [`MAX_SRC_REGS`] register sources and writes at most a
+//! destination plus `NZCV`), so the storage lives inline in the
+//! containing struct instead.
+
+use std::ops::Deref;
+
+/// Architectural bound on register sources per µop: `src1`, `src2`,
+/// `src3`, up to two address registers (base + index) and `NZCV`.
+pub const MAX_SRC_REGS: usize = 6;
+
+/// Architectural bound on RAT writes per µop: the destination register
+/// plus `NZCV` for flag-setters.
+pub const MAX_DST_REGS: usize = 2;
+
+/// A `Vec`-like container whose elements live inline, with a
+/// compile-time capacity `N`.
+#[derive(Clone, Copy, Debug)]
+pub struct InlineVec<T, const N: usize> {
+    len: u8,
+    buf: [T; N],
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Empty vector.
+    #[must_use]
+    pub fn new() -> Self {
+        InlineVec { len: 0, buf: [T::default(); N] }
+    }
+
+    /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is full — per-µop cardinalities are
+    /// architecturally bounded, so overflow is a simulator bug.
+    pub fn push(&mut self, value: T) {
+        // audited: capacity overflow is an architectural-invariant violation — fail loud
+        assert!((self.len as usize) < N, "InlineVec capacity {N} exceeded");
+        self.buf[self.len as usize] = value;
+        self.len += 1;
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_deref_clear() {
+        let mut v: InlineVec<u32, 3> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(7);
+        v.push(9);
+        assert_eq!(*v, [7, 9]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.iter().copied().sum::<u32>(), 16);
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 2 exceeded")]
+    fn overflow_fails_loud() {
+        let mut v: InlineVec<u8, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+    }
+
+    #[test]
+    fn equality_ignores_spare_capacity() {
+        let mut a: InlineVec<u8, 4> = InlineVec::new();
+        let mut b: InlineVec<u8, 4> = InlineVec::new();
+        a.push(1);
+        b.push(1);
+        assert_eq!(a, b);
+        b.push(2);
+        assert_ne!(a, b);
+    }
+}

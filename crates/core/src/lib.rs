@@ -31,6 +31,7 @@
 //! ```
 
 pub mod config;
+pub mod inline_vec;
 pub mod physreg;
 pub mod pipeline;
 pub mod rename;

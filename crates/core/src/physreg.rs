@@ -33,6 +33,14 @@ pub enum PhysName {
     KnownFlags(u8),
 }
 
+/// The hardwired zero register — the identity element of the name
+/// space, used as the inline fill value of undo/new-name records.
+impl Default for PhysName {
+    fn default() -> Self {
+        PhysName::Reg(PHYS_ZERO)
+    }
+}
+
 impl PhysName {
     /// The 64-bit value this *integer-class* name represents, if it is
     /// known without reading the PRF: hardwired registers and inlined
@@ -106,10 +114,10 @@ impl RegFile {
     pub fn new(total: usize, hardwired: u16) -> Self {
         assert!(usize::from(hardwired) <= total);
         RegFile {
-            free: (hardwired..total as u16).collect(),
-            ref_count: vec![0; total],
-            ready_at: vec![0; total],
-            is32: vec![false; total],
+            free: (hardwired..total as u16).collect(), // audited: constructor
+            ref_count: vec![0; total],                 // audited: constructor
+            ready_at: vec![0; total],                  // audited: constructor
+            is32: vec![false; total],                  // audited: constructor
             hardwired,
         }
     }
@@ -217,7 +225,7 @@ impl RegFile {
     /// the rename maps).
     #[must_use]
     pub fn free_regs(&self) -> Vec<u16> {
-        self.free.iter().copied().collect()
+        self.free.iter().copied().collect() // audited: diagnostics, off the per-cycle loop
     }
 
     /// All reference counts, indexed by physical register id

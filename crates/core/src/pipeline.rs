@@ -32,6 +32,7 @@ use tvp_predictors::vtage::{Vtage, VtagePred};
 use tvp_workloads::trace::{Trace, TraceUop};
 
 use crate::config::{CoreConfig, FuPool, RecoveryPolicy, VpMode};
+use crate::inline_vec::{InlineVec, MAX_DST_REGS};
 use crate::physreg::PhysName;
 use crate::rename::{ElimCategory, PredApply, RenamedUop, Renamer};
 use crate::stats::{sat_inc, SimStats};
@@ -53,7 +54,7 @@ struct RobEntry {
     idx: usize,
     seq: u64,
     renamed: RenamedUop,
-    new_names: Vec<(usize, PhysName)>,
+    new_names: InlineVec<(usize, PhysName), MAX_DST_REGS>,
     in_iq: bool,
     issued: bool,
     done_cycle: u64,
@@ -144,6 +145,10 @@ pub struct Core {
     floor: Checkpoint,
     pending_flushes: Vec<PendingFlush>,
     pending_replays: Vec<PendingReplay>,
+    // Reusable scratch (replay wavefront) — cleared per use, never
+    // reallocated on the per-cycle path.
+    replay_due_scratch: Vec<PendingReplay>,
+    replay_poison_scratch: Vec<crate::rename::Dep>,
     silence_until: u64,
     silence_len: u64,
     last_vp_flush: u64,
@@ -202,8 +207,10 @@ impl Core {
             sq: VecDeque::new(),
             checkpoints: VecDeque::new(),
             floor,
-            pending_flushes: Vec::new(),
-            pending_replays: Vec::new(),
+            pending_flushes: Vec::new(),       // audited: constructor
+            pending_replays: Vec::new(),       // audited: constructor
+            replay_due_scratch: Vec::new(),    // audited: constructor
+            replay_poison_scratch: Vec::new(), // audited: constructor
             silence_until: 0,
             silence_len: cfg.silence_cycles,
             last_vp_flush: 0,
@@ -793,11 +800,10 @@ impl Core {
             }
 
             let fetched = self.fetch_queue.pop_front().expect("front exists");
-            let new_names: Vec<(usize, PhysName)> = renamed
-                .undo
-                .iter()
-                .map(|&(dense, _)| (dense, self.renamer.rat_entry(dense)))
-                .collect();
+            let mut new_names: InlineVec<(usize, PhysName), MAX_DST_REGS> = InlineVec::new();
+            for &(dense, _) in &renamed.undo {
+                new_names.push((dense, self.renamer.rat_entry(dense)));
+            }
 
             if u.uop.op.is_load() {
                 self.lq.push_back(LqEntry {
@@ -1013,13 +1019,16 @@ impl Core {
         if self.pending_replays.is_empty() {
             return;
         }
-        let due: Vec<PendingReplay> =
-            self.pending_replays.iter().copied().filter(|r| r.at_cycle <= self.cycle).collect();
+        let mut due = std::mem::take(&mut self.replay_due_scratch);
+        due.clear();
+        due.extend(self.pending_replays.iter().copied().filter(|r| r.at_cycle <= self.cycle));
         if due.is_empty() {
+            self.replay_due_scratch = due;
             return;
         }
         self.pending_replays.retain(|r| r.at_cycle > self.cycle);
-        for replay in due {
+        let mut poisoned = std::mem::take(&mut self.replay_poison_scratch);
+        for &replay in &due {
             // The mispredicted µop may have been squashed by an older
             // flush in the meantime; its repair is then moot.
             let Some(start) = self.rob.iter().position(|e| e.seq == replay.seq) else {
@@ -1033,8 +1042,9 @@ impl Core {
             // The repaired value becomes available now.
             self.renamer.file_mut(crate::rename::RegClass::Int).set_ready(replay.reg, self.cycle);
 
-            let mut poisoned: Vec<crate::rename::Dep> =
-                vec![crate::rename::Dep { class: crate::rename::RegClass::Int, p: replay.reg }];
+            poisoned.clear();
+            poisoned
+                .push(crate::rename::Dep { class: crate::rename::RegClass::Int, p: replay.reg });
             let mut fallback_flush = false;
             for i in (start + 1)..self.rob.len() {
                 let entry = &self.rob[i];
@@ -1088,6 +1098,8 @@ impl Core {
                 });
             }
         }
+        self.replay_due_scratch = due;
+        self.replay_poison_scratch = poisoned;
     }
 
     // ----------------------------------------------------------------
@@ -1095,9 +1107,8 @@ impl Core {
     // ----------------------------------------------------------------
 
     fn apply_pending_flush(&mut self, trace: &Trace) {
-        let due: Vec<PendingFlush> =
-            self.pending_flushes.iter().copied().filter(|f| f.at_cycle <= self.cycle).collect();
-        let Some(flush) = due.iter().min_by_key(|f| f.first_squashed_seq).copied() else {
+        let due = self.pending_flushes.iter().filter(|f| f.at_cycle <= self.cycle);
+        let Some(flush) = due.min_by_key(|f| f.first_squashed_seq).copied() else {
             return;
         };
         // The chosen flush supersedes any pending flush of a younger
@@ -1304,17 +1315,17 @@ impl Core {
             class: Self::snap_class(dense),
             name: Self::snap_name(name),
         };
-        let crat = (0..NUM_DENSE_REGS).map(|d| map_entry(d, self.renamer.crat_entry(d))).collect();
-        let rat = (0..NUM_DENSE_REGS).map(|d| map_entry(d, self.renamer.rat_entry(d))).collect();
+        let crat = (0..NUM_DENSE_REGS).map(|d| map_entry(d, self.renamer.crat_entry(d))).collect(); // audited: verif snapshot, off the per-cycle loop
+        let rat = (0..NUM_DENSE_REGS).map(|d| map_entry(d, self.renamer.rat_entry(d))).collect(); // audited: verif snapshot, off the per-cycle loop
         let rob = self
             .rob
             .iter()
             .map(|e| tvp_verif::RobSnapshot {
                 seq: e.seq,
                 in_iq: e.in_iq,
-                new_names: e.new_names.iter().map(|&(d, n)| map_entry(d, n)).collect(),
+                new_names: e.new_names.iter().map(|&(d, n)| map_entry(d, n)).collect(), // audited: verif snapshot, off the per-cycle loop
             })
-            .collect();
+            .collect(); // audited: verif snapshot, off the per-cycle loop
         tvp_verif::PipelineSnapshot {
             cycle: self.cycle,
             int: self.class_snapshot(crate::rename::RegClass::Int),
@@ -1323,8 +1334,8 @@ impl Core {
             rat,
             rob,
             iq_count: self.iq_count,
-            lq_seqs: self.lq.iter().map(|l| l.seq).collect(),
-            sq_seqs: self.sq.iter().map(|s| s.seq).collect(),
+            lq_seqs: self.lq.iter().map(|l| l.seq).collect(), // audited: verif snapshot, off the per-cycle loop
+            sq_seqs: self.sq.iter().map(|s| s.seq).collect(), // audited: verif snapshot, off the per-cycle loop
             limits: tvp_verif::QueueLimits {
                 rob: self.cfg.rob_size,
                 iq: self.cfg.iq_size,
@@ -1365,14 +1376,15 @@ impl Core {
     #[must_use]
     pub fn storage_report(&self) -> Vec<(String, u64)> {
         use tvp_verif::StorageBudget;
+        // audited: storage report, runs once per config
         let mut out = vec![
-            (self.tage.storage_name().to_owned(), self.tage.storage_bits()),
-            (self.btb.storage_name().to_owned(), self.btb.storage_bits()),
-            (self.ras.storage_name().to_owned(), self.ras.storage_bits()),
-            (self.itc.storage_name().to_owned(), self.itc.storage_bits()),
+            (self.tage.storage_name().to_owned(), self.tage.storage_bits()), // audited: storage report, runs once per config
+            (self.btb.storage_name().to_owned(), self.btb.storage_bits()), // audited: storage report, runs once per config
+            (self.ras.storage_name().to_owned(), self.ras.storage_bits()), // audited: storage report, runs once per config
+            (self.itc.storage_name().to_owned(), self.itc.storage_bits()), // audited: storage report, runs once per config
         ];
         if let Some(vp) = self.vtage.as_ref() {
-            out.push((vp.storage_name().to_owned(), vp.storage_bits()));
+            out.push((vp.storage_name().to_owned(), vp.storage_bits())); // audited: storage report, runs once per config
         }
         out.extend(self.mem.storage_report());
         out

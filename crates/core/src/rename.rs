@@ -14,14 +14,16 @@ use tvp_isa::op::{Op, Width};
 use tvp_isa::reg::{Reg, NUM_DENSE_REGS};
 
 use crate::config::CoreConfig;
+use crate::inline_vec::{InlineVec, MAX_DST_REGS, MAX_SRC_REGS};
 use crate::physreg::{PhysName, RegFile, PHYS_ONE, PHYS_ZERO};
 use crate::spsr::{is_static_eor_zero, reduce, Known, Reduction};
 use crate::stats::RenameStats;
 
 /// Register file class.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum RegClass {
     /// Integer registers (including renamed `NZCV`).
+    #[default]
     Int,
     /// FP/SIMD registers.
     Fp,
@@ -38,7 +40,7 @@ pub fn class_of(reg: Reg) -> RegClass {
 }
 
 /// A scheduling dependency on a real physical register.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub struct Dep {
     /// Register class.
     pub class: RegClass,
@@ -74,13 +76,16 @@ pub enum PredApply {
 /// The renamer's output for one µop.
 #[derive(Clone, Debug, Default)]
 pub struct RenamedUop {
-    /// Scheduling dependencies (real registers only).
-    pub deps: Vec<Dep>,
+    /// Scheduling dependencies (real registers only). Inline: a µop
+    /// has at most [`MAX_SRC_REGS`] register sources, and the rename
+    /// path must not hit the allocator once per µop.
+    pub deps: InlineVec<Dep, MAX_SRC_REGS>,
     /// Integer PRF read ports this µop will exercise at issue.
     pub prf_reads: u32,
     /// Undo log: `(dense arch index, previous name)` pairs, oldest
-    /// first. Also identifies the new mappings for commit.
-    pub undo: Vec<(usize, PhysName)>,
+    /// first. Also identifies the new mappings for commit. Inline: a
+    /// µop maps at most [`MAX_DST_REGS`] registers (dest + `NZCV`).
+    pub undo: InlineVec<(usize, PhysName), MAX_DST_REGS>,
     /// Register allocated for the destination, if any.
     pub dest_alloc: Option<(RegClass, u16)>,
     /// Register allocated for the flags, if any.
@@ -123,7 +128,7 @@ impl Renamer {
     pub fn new(cfg: &CoreConfig) -> Self {
         let mut int = RegFile::new(cfg.int_regs, 2);
         let mut fp = RegFile::new(cfg.fp_regs, 0);
-        let mut rat = Vec::with_capacity(NUM_DENSE_REGS);
+        let mut rat = Vec::with_capacity(NUM_DENSE_REGS); // audited: constructor
         for dense in 0..NUM_DENSE_REGS {
             let name = if dense == Reg::Int(tvp_isa::reg::ZERO_REG_INDEX).dense_index() {
                 PhysName::Reg(PHYS_ZERO)

@@ -192,7 +192,7 @@ pub struct DegradeStats {
 
 /// Top-level simulation result.
 #[must_use = "a simulation result that is dropped was a wasted run"]
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,

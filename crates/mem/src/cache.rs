@@ -98,8 +98,8 @@ impl Cache {
         Cache {
             set_shift: cfg.line_size.trailing_zeros(),
             set_mask: sets as u64 - 1,
-            sets: vec![vec![Line::default(); cfg.ways]; sets],
-            mshrs: Vec::with_capacity(cfg.mshrs),
+            sets: vec![vec![Line::default(); cfg.ways]; sets], // audited: constructor
+            mshrs: Vec::with_capacity(cfg.mshrs),              // audited: constructor
             clock: 0,
             stats: CacheStats::default(),
             cfg,

@@ -105,6 +105,9 @@ pub struct Hierarchy {
     /// is suppressed — the chaos engine's prefetch-drop fault.
     prefetch_suppressed: bool,
     dropped_prefetches: u64,
+    // Reusable prefetch-candidate scratch — cleared per use, never
+    // reallocated on the per-access path.
+    pf_scratch: Vec<u64>,
 }
 
 impl Hierarchy {
@@ -122,6 +125,8 @@ impl Hierarchy {
             ampm: AmpmPrefetcher::new(64, 8),
             prefetch_suppressed: false,
             dropped_prefetches: 0,
+            // audited: constructor — runs once per simulated hierarchy
+            pf_scratch: Vec::new(),
             cfg,
         }
     }
@@ -163,13 +168,17 @@ impl Hierarchy {
     fn below_l1(&mut self, addr: u64, write: bool, cycle: u64, from_l1d: bool) -> u64 {
         let l2_hit = self.l2.access(addr, write) == Probe::Hit;
         if from_l1d && self.cfg.ampm_prefetcher && !self.prefetch_suppressed {
-            for pf in self.ampm.observe(addr, cycle) {
+            let mut pfs = std::mem::take(&mut self.pf_scratch);
+            pfs.clear();
+            self.ampm.observe_into(addr, cycle, &mut pfs);
+            for &pf in &pfs {
                 if self.l2.peek(pf) == Probe::Miss {
                     let _ = self.l3.access(pf, false);
                     self.l3.fill(pf, true);
                     self.l2.fill(pf, true);
                 }
             }
+            self.pf_scratch = pfs;
         }
         if l2_hit {
             return self.cfg.l2.latency;
@@ -203,9 +212,13 @@ impl Hierarchy {
         };
         // The stride prefetcher observes demand loads.
         if !write && self.cfg.stride_prefetcher {
-            for pf in self.stride.observe(pc, vaddr) {
+            let mut pfs = std::mem::take(&mut self.pf_scratch);
+            pfs.clear();
+            self.stride.observe_into(pc, vaddr, &mut pfs);
+            for &pf in &pfs {
                 self.prefetch_into_l1d(pf, cycle);
             }
+            self.pf_scratch = pfs;
         }
         completion
     }
@@ -286,15 +299,16 @@ impl Hierarchy {
     #[must_use]
     pub fn storage_report(&self) -> Vec<(String, u64)> {
         use tvp_verif::StorageBudget;
+        // audited: storage report, runs once per config
         vec![
-            (self.l1d.storage_name().to_owned(), self.l1d.storage_bits()),
-            (self.l1i.storage_name().to_owned(), self.l1i.storage_bits()),
-            (self.l2.storage_name().to_owned(), self.l2.storage_bits()),
-            (self.l3.storage_name().to_owned(), self.l3.storage_bits()),
-            ("dtlb".to_owned(), self.dtlb.storage_bits()),
-            ("itlb".to_owned(), self.itlb.storage_bits()),
-            (self.stride.storage_name().to_owned(), self.stride.storage_bits()),
-            (self.ampm.storage_name().to_owned(), self.ampm.storage_bits()),
+            (self.l1d.storage_name().to_owned(), self.l1d.storage_bits()), // audited: storage report, runs once per config
+            (self.l1i.storage_name().to_owned(), self.l1i.storage_bits()), // audited: storage report, runs once per config
+            (self.l2.storage_name().to_owned(), self.l2.storage_bits()), // audited: storage report, runs once per config
+            (self.l3.storage_name().to_owned(), self.l3.storage_bits()), // audited: storage report, runs once per config
+            ("dtlb".to_owned(), self.dtlb.storage_bits()), // audited: storage report, runs once per config
+            ("itlb".to_owned(), self.itlb.storage_bits()), // audited: storage report, runs once per config
+            (self.stride.storage_name().to_owned(), self.stride.storage_bits()), // audited: storage report, runs once per config
+            (self.ampm.storage_name().to_owned(), self.ampm.storage_bits()), // audited: storage report, runs once per config
         ]
     }
 }

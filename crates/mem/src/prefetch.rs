@@ -34,18 +34,20 @@ impl StridePrefetcher {
     pub fn new(entries: usize, degree: u32) -> Self {
         assert!(entries.is_power_of_two(), "stride table must be a power of two");
         assert!(degree > 0);
+        // audited: constructor
         StridePrefetcher { table: vec![StrideEntry::default(); entries], degree, issued: 0 }
     }
 
-    /// Observes a demand load and returns the addresses to prefetch
-    /// (possibly empty).
-    pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+    /// Observes a demand load and appends the addresses to prefetch
+    /// (possibly none) to `out`, a caller-owned scratch buffer — the
+    /// per-access path must not allocate.
+    pub fn observe_into(&mut self, pc: u64, addr: u64, out: &mut Vec<u64>) {
         let idx = ((pc >> 2) as usize) & (self.table.len() - 1);
         let tag = pc >> 2;
         let e = &mut self.table[idx];
         if !e.valid || e.tag != tag {
             *e = StrideEntry { valid: true, tag, last_addr: addr, stride: 0, confidence: 0 };
-            return Vec::new();
+            return;
         }
         let stride = addr.wrapping_sub(e.last_addr) as i64;
         if stride == e.stride && stride != 0 {
@@ -59,13 +61,10 @@ impl StridePrefetcher {
         e.last_addr = addr;
         if e.confidence >= 2 && e.stride != 0 {
             let stride = e.stride;
-            let out: Vec<u64> = (1..=i64::from(self.degree))
-                .map(|i| addr.wrapping_add((stride * i) as u64))
-                .collect();
-            self.issued += out.len() as u64;
-            out
-        } else {
-            Vec::new()
+            for i in 1..=i64::from(self.degree) {
+                out.push(addr.wrapping_add((stride * i) as u64));
+            }
+            self.issued += u64::from(self.degree);
         }
     }
 
@@ -108,17 +107,18 @@ impl AmpmPrefetcher {
     pub fn new(zones: usize, max_strides: i64) -> Self {
         assert!(zones > 0);
         AmpmPrefetcher {
-            zones: vec![AmpmZone::default(); zones],
-            zone_shift: 12, // 4KB zones
-            line_shift: 6,  // 64B lines
+            zones: vec![AmpmZone::default(); zones], // audited: constructor
+            zone_shift: 12,                          // 4KB zones
+            line_shift: 6,                           // 64B lines
             max_strides,
             issued: 0,
         }
     }
 
-    /// Observes a demand access at the L2 and returns prefetch
-    /// candidates.
-    pub fn observe(&mut self, addr: u64, clock: u64) -> Vec<u64> {
+    /// Observes a demand access at the L2 and appends prefetch
+    /// candidates to `out`, a caller-owned scratch buffer — the
+    /// per-access path must not allocate.
+    pub fn observe_into(&mut self, addr: u64, clock: u64, out: &mut Vec<u64>) {
         let zone = addr >> self.zone_shift;
         let line_in_zone =
             ((addr >> self.line_shift) & ((1 << (self.zone_shift - self.line_shift)) - 1)) as i64;
@@ -142,7 +142,7 @@ impl AmpmPrefetcher {
         z.map |= 1 << line_in_zone;
         let map = z.map;
         let lines_per_zone = 1i64 << (self.zone_shift - self.line_shift);
-        let mut out = Vec::new();
+        let before = out.len();
         for k in 1..=self.max_strides {
             let (p1, p2, target) = (line_in_zone - k, line_in_zone - 2 * k, line_in_zone + k);
             if p1 >= 0
@@ -165,8 +165,7 @@ impl AmpmPrefetcher {
                 out.push((zone << self.zone_shift) + ((ntarget as u64) << self.line_shift));
             }
         }
-        self.issued += out.len() as u64;
-        out
+        self.issued += (out.len() - before) as u64;
     }
 
     /// Number of prefetch requests issued so far.
@@ -204,14 +203,28 @@ impl tvp_verif::StorageBudget for AmpmPrefetcher {
 mod tests {
     use super::*;
 
+    /// Test convenience: the allocating shape of [`StridePrefetcher::observe_into`].
+    fn observe_stride(p: &mut StridePrefetcher, pc: u64, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        p.observe_into(pc, addr, &mut out);
+        out
+    }
+
+    /// Test convenience: the allocating shape of [`AmpmPrefetcher::observe_into`].
+    fn observe_ampm(p: &mut AmpmPrefetcher, addr: u64, clock: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        p.observe_into(addr, clock, &mut out);
+        out
+    }
+
     #[test]
     fn stride_detects_constant_stride() {
         let mut p = StridePrefetcher::new(64, 4);
         let pc = 0x4000;
-        assert!(p.observe(pc, 0x1000).is_empty());
-        assert!(p.observe(pc, 0x1040).is_empty()); // learns stride 0x40
-        assert!(p.observe(pc, 0x1080).is_empty()); // conf 1
-        let pf = p.observe(pc, 0x10C0); // conf 2 → fire
+        assert!(observe_stride(&mut p, pc, 0x1000).is_empty());
+        assert!(observe_stride(&mut p, pc, 0x1040).is_empty()); // learns stride 0x40
+        assert!(observe_stride(&mut p, pc, 0x1080).is_empty()); // conf 1
+        let pf = observe_stride(&mut p, pc, 0x10C0); // conf 2 → fire
         assert_eq!(pf, vec![0x1100, 0x1140, 0x1180, 0x11C0]);
     }
 
@@ -220,10 +233,10 @@ mod tests {
         let mut p = StridePrefetcher::new(64, 4);
         let pc = 0x4000;
         for i in 0..100u64 {
-            let _ = p.observe(pc, 0x1000 + i * 8);
+            let _ = observe_stride(&mut p, pc, 0x1000 + i * 8);
         }
         // Once confident it fires on *every* access — no throttling.
-        let pf = p.observe(pc, 0x1000 + 100 * 8);
+        let pf = observe_stride(&mut p, pc, 0x1000 + 100 * 8);
         assert_eq!(pf.len(), 4);
         assert!(p.issued() > 300);
     }
@@ -236,7 +249,7 @@ mod tests {
         let mut fired = 0;
         for _ in 0..200 {
             lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
-            fired += usize::from(!p.observe(pc, lcg & 0xFFFF_FFC0).is_empty());
+            fired += usize::from(!observe_stride(&mut p, pc, lcg & 0xFFFF_FFC0).is_empty());
         }
         assert!(fired < 10, "random stream fired {fired} times");
     }
@@ -245,10 +258,10 @@ mod tests {
     fn stride_negative_direction() {
         let mut p = StridePrefetcher::new(64, 2);
         let pc = 0x8000;
-        let _ = p.observe(pc, 0x2000);
-        let _ = p.observe(pc, 0x1FC0);
-        let _ = p.observe(pc, 0x1F80);
-        let pf = p.observe(pc, 0x1F40);
+        let _ = observe_stride(&mut p, pc, 0x2000);
+        let _ = observe_stride(&mut p, pc, 0x1FC0);
+        let _ = observe_stride(&mut p, pc, 0x1F80);
+        let pf = observe_stride(&mut p, pc, 0x1F40);
         assert_eq!(pf, vec![0x1F00, 0x1EC0]);
     }
 
@@ -256,11 +269,11 @@ mod tests {
     fn distinct_pcs_use_distinct_entries() {
         let mut p = StridePrefetcher::new(64, 1);
         for i in 0..4u64 {
-            let _ = p.observe(0x4000, 0x1000 + i * 64);
-            let _ = p.observe(0x4004, 0x9000 + i * 128);
+            let _ = observe_stride(&mut p, 0x4000, 0x1000 + i * 64);
+            let _ = observe_stride(&mut p, 0x4004, 0x9000 + i * 128);
         }
-        let a = p.observe(0x4000, 0x1000 + 4 * 64);
-        let b = p.observe(0x4004, 0x9000 + 4 * 128);
+        let a = observe_stride(&mut p, 0x4000, 0x1000 + 4 * 64);
+        let b = observe_stride(&mut p, 0x4004, 0x9000 + 4 * 128);
         assert_eq!(a, vec![0x1000 + 5 * 64]);
         assert_eq!(b, vec![0x9000 + 5 * 128]);
     }
@@ -269,38 +282,38 @@ mod tests {
     fn ampm_detects_pattern_within_zone() {
         let mut p = AmpmPrefetcher::new(16, 4);
         // Touch lines 0, 1, 2 → expect line 3 prefetched (stride 1).
-        assert!(p.observe(0x1000_0000, 1).is_empty());
-        let _ = p.observe(0x1000_0040, 2);
-        let pf = p.observe(0x1000_0080, 3);
+        assert!(observe_ampm(&mut p, 0x1000_0000, 1).is_empty());
+        let _ = observe_ampm(&mut p, 0x1000_0040, 2);
+        let pf = observe_ampm(&mut p, 0x1000_0080, 3);
         assert!(pf.contains(&0x1000_00C0), "pf = {pf:#x?}");
     }
 
     #[test]
     fn ampm_detects_strided_pattern() {
         let mut p = AmpmPrefetcher::new(16, 4);
-        let _ = p.observe(0x2000_0000, 1); // line 0
-        let _ = p.observe(0x2000_0080, 2); // line 2
-        let pf = p.observe(0x2000_0100, 3); // line 4; stride 2 established
+        let _ = observe_ampm(&mut p, 0x2000_0000, 1); // line 0
+        let _ = observe_ampm(&mut p, 0x2000_0080, 2); // line 2
+        let pf = observe_ampm(&mut p, 0x2000_0100, 3); // line 4; stride 2 established
         assert!(pf.contains(&0x2000_0180), "pf = {pf:#x?}");
     }
 
     #[test]
     fn ampm_zone_isolation() {
         let mut p = AmpmPrefetcher::new(16, 4);
-        let _ = p.observe(0x1000, 1);
-        let _ = p.observe(0x1040, 2);
+        let _ = observe_ampm(&mut p, 0x1000, 1);
+        let _ = observe_ampm(&mut p, 0x1040, 2);
         // Access in a *different* zone must not inherit the map.
-        let pf = p.observe(0x9080, 3);
+        let pf = observe_ampm(&mut p, 0x9080, 3);
         assert!(pf.is_empty());
     }
 
     #[test]
     fn ampm_does_not_refetch_accessed_lines() {
         let mut p = AmpmPrefetcher::new(16, 1);
-        let _ = p.observe(0x3000_0000, 1);
-        let _ = p.observe(0x3000_0040, 2);
-        let _ = p.observe(0x3000_0080, 3); // would prefetch line 3
-        let pf = p.observe(0x3000_00C0, 4); // line 3 now accessed; next is 4
+        let _ = observe_ampm(&mut p, 0x3000_0000, 1);
+        let _ = observe_ampm(&mut p, 0x3000_0040, 2);
+        let _ = observe_ampm(&mut p, 0x3000_0080, 3); // would prefetch line 3
+        let pf = observe_ampm(&mut p, 0x3000_00C0, 4); // line 3 now accessed; next is 4
         assert!(!pf.contains(&0x3000_00C0));
     }
 }

@@ -61,7 +61,7 @@ impl Btb {
         let num_sets = entries / ways;
         assert!(num_sets.is_power_of_two(), "BTB set count must be a power of two");
         Btb {
-            sets: vec![vec![BtbEntry::default(); ways]; num_sets],
+            sets: vec![vec![BtbEntry::default(); ways]; num_sets], // audited: constructor
             set_mask: num_sets as u64 - 1,
             clock: 0,
             hits: 0,

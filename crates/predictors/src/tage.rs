@@ -48,7 +48,7 @@ impl Default for TageConfig {
             max_hist: 640,
             base_log2: 13,
             tagged_log2: 10,
-            tag_bits: (0..15).map(|i| 8 + (i as u32) / 2).collect(),
+            tag_bits: (0..15).map(|i| 8 + (i as u32) / 2).collect(), // audited: constructor
             u_reset_period: 256 * 1024,
             seed: 0x7A6E_5EED,
         }
@@ -146,7 +146,7 @@ impl Tage {
     pub fn new(cfg: TageConfig) -> Self {
         assert!(cfg.num_tables <= MAX_TAGGED_TABLES, "too many tagged tables");
         assert_eq!(cfg.tag_bits.len(), cfg.num_tables, "tag_bits length mismatch");
-        let mut specs = Vec::new();
+        let mut specs = Vec::new(); // audited: constructor
         for i in 0..cfg.num_tables {
             let len = cfg.history_length(i);
             specs.push(FoldedSpec { hist_len: len, width: cfg.tagged_log2 });
@@ -155,10 +155,10 @@ impl Tage {
         }
         let history = BranchHistory::new(&specs);
         Tage {
-            base: vec![1; 1 << cfg.base_log2], // weakly not-taken
+            base: vec![1; 1 << cfg.base_log2], // weakly not-taken // audited: constructor
             tables: (0..cfg.num_tables)
-                .map(|_| vec![TaggedEntry::default(); 1 << cfg.tagged_log2])
-                .collect(),
+                .map(|_| vec![TaggedEntry::default(); 1 << cfg.tagged_log2]) // audited: constructor
+                .collect(), // audited: constructor
             history,
             use_alt_on_na: 0,
             rng: XorShift64::new(cfg.seed),
@@ -297,10 +297,12 @@ impl Tage {
         let final_wrong = token.taken != taken;
         let first_candidate = token.provider.map_or(0, |p| p as usize + 1);
         if final_wrong && first_candidate < self.cfg.num_tables {
-            let mut free: Vec<usize> = (first_candidate..self.cfg.num_tables)
-                .filter(|&t| self.tables[t][token.indices[t] as usize].u == 0)
-                .collect();
-            if free.is_empty() {
+            let is_free =
+                |tables: &[Vec<TaggedEntry>], t: usize| tables[t][token.indices[t] as usize].u == 0;
+            let free_count = (first_candidate..self.cfg.num_tables)
+                .filter(|&t| is_free(&self.tables, t))
+                .count();
+            if free_count == 0 {
                 for t in first_candidate..self.cfg.num_tables {
                     let e = &mut self.tables[t][token.indices[t] as usize];
                     e.u = e.u.saturating_sub(1);
@@ -308,12 +310,15 @@ impl Tage {
             } else {
                 // Favor shorter-history tables 2:1, as in the reference
                 // TAGE implementation.
-                let pick = if free.len() > 1 && !self.rng.one_in(3) {
+                let pick = if free_count > 1 && !self.rng.one_in(3) {
                     0
                 } else {
-                    self.rng.below(free.len() as u32) as usize
+                    self.rng.below(free_count as u32) as usize
                 };
-                let t = free.swap_remove(pick.min(free.len() - 1));
+                let t = (first_candidate..self.cfg.num_tables)
+                    .filter(|&t| is_free(&self.tables, t))
+                    .nth(pick)
+                    .expect("pick < free_count: below() is exclusive");
                 let e = &mut self.tables[t][token.indices[t] as usize];
                 e.tag = token.tags[t];
                 e.ctr = if taken { 0 } else { -1 };

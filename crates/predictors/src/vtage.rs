@@ -93,8 +93,8 @@ impl VtageConfig {
             mode,
             min_hist: 2,
             max_hist: 128,
-            entries: [12u32, 9, 9, 8, 8, 8, 7, 7].iter().map(|&l| 1 << l).collect(),
-            tag_bits: vec![4, 9, 9, 10, 10, 11, 11, 12],
+            entries: [12u32, 9, 9, 8, 8, 8, 7, 7].iter().map(|&l| 1 << l).collect(), // audited: constructor
+            tag_bits: vec![4, 9, 9, 10, 10, 11, 11, 12], // audited: constructor
             conf_bits: 3,
             conf_inv_prob: 16,
             useful_bits: 2,
@@ -227,7 +227,7 @@ impl Vtage {
             conf: Fpc::new(cfg.conf_bits, cfg.conf_inv_prob),
             useful: 0,
         };
-        let mut specs = Vec::new();
+        let mut specs = Vec::new(); // audited: constructor
         for i in 0..cfg.num_tagged() {
             let len = cfg.history_length(i);
             // Fold history to ~log2(entries) bits for the index and to
@@ -238,10 +238,10 @@ impl Vtage {
             specs.push(FoldedSpec { hist_len: len, width: (cfg.tag_bits[i + 1] - 1).max(1) });
         }
         Vtage {
-            base: vec![empty.clone(); cfg.entries[0] as usize],
+            base: vec![empty.clone(); cfg.entries[0] as usize], // audited: constructor
             tables: (1..cfg.entries.len())
-                .map(|i| vec![empty.clone(); cfg.entries[i] as usize])
-                .collect(),
+                .map(|i| vec![empty.clone(); cfg.entries[i] as usize]) // audited: constructor
+                .collect(), // audited: constructor
             history: BranchHistory::new(&specs),
             rng: XorShift64::new(cfg.seed),
             stats: VtageStats::default(),
@@ -376,24 +376,28 @@ impl Vtage {
         if !provider_correct && admissible {
             let first = pred.provider as usize; // tagged table index to start from
             if first < self.cfg.num_tagged() {
-                let candidates: Vec<usize> = (first..self.cfg.num_tagged())
-                    .filter(|&t| {
-                        let e = &self.tables[t][pred.indices[t] as usize];
-                        !e.valid || e.useful == 0
-                    })
-                    .collect();
-                if candidates.is_empty() {
+                let is_candidate = |tables: &[Vec<VtageEntry>], t: usize| {
+                    let e = &tables[t][pred.indices[t] as usize];
+                    !e.valid || e.useful == 0
+                };
+                let candidates = (first..self.cfg.num_tagged())
+                    .filter(|&t| is_candidate(&self.tables, t))
+                    .count();
+                if candidates == 0 {
                     for t in first..self.cfg.num_tagged() {
                         let e = &mut self.tables[t][pred.indices[t] as usize];
                         e.useful = e.useful.saturating_sub(1);
                     }
                 } else {
-                    let pick = if candidates.len() > 1 && !self.rng.one_in(3) {
+                    let pick = if candidates > 1 && !self.rng.one_in(3) {
                         0
                     } else {
-                        self.rng.below(candidates.len() as u32) as usize
+                        self.rng.below(candidates as u32) as usize
                     };
-                    let t = candidates[pick.min(candidates.len() - 1)];
+                    let t = (first..self.cfg.num_tagged())
+                        .filter(|&t| is_candidate(&self.tables, t))
+                        .nth(pick)
+                        .expect("pick < candidate count: below() is exclusive");
                     let conf = Fpc::new(self.cfg.conf_bits, self.cfg.conf_inv_prob);
                     self.tables[t][pred.indices[t] as usize] = VtageEntry {
                         valid: true,

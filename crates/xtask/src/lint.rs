@@ -21,6 +21,13 @@
 //!    hardware table in `crates/predictors` and `crates/mem` must
 //!    implement `tvp_verif::StorageBudget`, so the Table 2 budget
 //!    assertion sees the whole machine.
+//! 5. **no-alloc-in-hot-path** — per-cycle pipeline modules must not
+//!    heap-allocate (`Vec::new`/`vec!`/`.collect()`/`Box::new`/
+//!    `format!`/…) on the simulation path; per-µop structures have
+//!    architecturally bounded cardinality and belong in inline arrays
+//!    ([`tvp_core::inline_vec`]) or reusable scratch buffers owned by
+//!    the component. One-time construction, reset and diagnostic paths
+//!    are fine — waive them with `// audited: <reason>`.
 //!
 //! A finding on any line is waived when that line (or the line directly
 //! above it) carries an `// audited: <reason>` comment.
@@ -43,6 +50,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/chaos/src/oracle.rs",
     "crates/chaos/src/rng.rs",
     "crates/chaos/src/watchdog.rs",
+    "crates/core/src/inline_vec.rs",
     "crates/core/src/physreg.rs",
     "crates/core/src/pipeline.rs",
     "crates/core/src/rename.rs",
@@ -275,6 +283,59 @@ fn check_hot_path_panics(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>)
     }
 }
 
+/// Rule 5: heap allocation in per-cycle hot-path modules.
+fn check_hot_path_allocs(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &[
+        "Vec::new()",
+        "Vec::with_capacity(",
+        "vec![",
+        ".collect()",
+        ".to_vec()",
+        "Box::new(",
+        "String::new()",
+        "String::from(",
+        "format!(",
+        ".to_owned()",
+        ".to_string()",
+    ];
+    // A pattern starting with an identifier character must not be
+    // preceded by one (`InlineVec::new()` is not `Vec::new()`).
+    let hit = |code: &str, pat: &str| -> bool {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(pat) {
+            let at = start + pos;
+            let head_is_ident = pat.starts_with(|c: char| c.is_alphanumeric());
+            let glued = head_is_ident
+                && code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if !glued {
+                return true;
+            }
+            start = at + pat.len();
+        }
+        false
+    };
+    for (i, l) in lines.iter().enumerate() {
+        if waived(lines, i) {
+            continue;
+        }
+        for pat in BANNED {
+            if hit(&l.code, pat) {
+                out.push(Finding {
+                    file: file.to_owned(),
+                    line: l.line_no,
+                    rule: "no-alloc-in-hot-path",
+                    msg: format!(
+                        "`{}` in a per-cycle module: per-µop state is architecturally \
+                         bounded — use an inline array or a reusable scratch buffer, or \
+                         waive construction/diagnostic paths with `// audited:`",
+                        pat.trim_start_matches('.')
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Rule 3: floating point in architectural-state updates.
 fn check_arch_state_floats(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
     for (i, l) in lines.iter().enumerate() {
@@ -378,6 +439,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
             check_default_hashmap(&rel, &lines, &mut findings);
             if HOT_PATH_FILES.contains(&rel.as_str()) {
                 check_hot_path_panics(&rel, &lines, &mut findings);
+                check_hot_path_allocs(&rel, &lines, &mut findings);
             }
             if ARCH_STATE_FILES.contains(&rel.as_str()) {
                 check_arch_state_floats(&rel, &lines, &mut findings);
@@ -478,6 +540,34 @@ mod tests {
         let src = "let x = 1; // previously v.unwrap()\n";
         let mut out = Vec::new();
         check_hot_path_panics("x.rs", &lines(src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn seeded_alloc_violation_is_flagged() {
+        let src = "fn rename(&mut self) { let deps: Vec<Dep> = uop.srcs().iter().collect(); }\n";
+        let mut out = Vec::new();
+        check_hot_path_allocs("x.rs", &lines(src), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "no-alloc-in-hot-path");
+    }
+
+    #[test]
+    fn inline_vec_new_is_not_vec_new() {
+        let src = "let names: InlineVec<PhysName, 2> = InlineVec::new();\n";
+        let mut out = Vec::new();
+        check_hot_path_allocs("x.rs", &lines(src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn audited_alloc_is_waived_and_tests_are_exempt() {
+        let src = "// audited: constructor, runs once per simulation\n\
+                   fn new() -> Self { Self { rob: Vec::new() } }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { let v = vec![1]; }\n}\n";
+        let mut out = Vec::new();
+        check_hot_path_allocs("x.rs", &lines(src), &mut out);
         assert!(out.is_empty(), "{out:?}");
     }
 
