@@ -6,6 +6,7 @@
 //! cargo run --release -p tvp-bench --bin simulate -- pointer_chase --vp gvp --insts 200000
 //! cargo run --release -p tvp-bench --bin simulate -- mc_playout --vp mvp --spsr --no-stride-prefetch
 //! cargo run --release -p tvp-bench --bin simulate -- pointer_chase --vp gvp --chaos-seed 7 --oracle
+//! cargo run --release -p tvp-bench --bin simulate -- pixel_encode --vp tvp --trace trace.json
 //! ```
 //!
 //! Verification exit codes (all print the reproducing chaos seed when a
@@ -23,7 +24,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: simulate <workload> [--vp off|mvp|tvp|gvp] [--spsr] \
          [--insts N] [--silence N] [--adaptive-silencing] \
-         [--no-stride-prefetch] [--no-ampm] [--baseline-too]\n       \
+         [--no-stride-prefetch] [--no-ampm] [--baseline-too] \
+         [--trace FILE]\n       \
          chaos: [--chaos-seed N] [--chaos-vp-permille N] \
          [--chaos-branch-permille N] [--chaos-cache-permille N] \
          [--sabotage] [--oracle] [--watchdog CYCLES]\n       \
@@ -54,6 +56,7 @@ fn main() {
     let mut chaos: Option<ChaosConfig> = None;
     let mut sabotage = false;
     let mut oracle = false;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter().skip(1);
     let parse_num =
         |s: Option<&String>| -> u64 { s.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()) };
@@ -94,6 +97,7 @@ fn main() {
             }
             "--sabotage" => sabotage = true,
             "--oracle" => oracle = true,
+            "--trace" => trace_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--watchdog" => cfg.watchdog_cycles = parse_num(it.next()),
             "--vp-kill-switch" => cfg.vp_kill_switch = true,
             "--spsr-kill-switch" => cfg.spsr_kill_switch = true,
@@ -121,7 +125,30 @@ fn main() {
     if oracle {
         core.enable_oracle(&init);
     }
+    if trace_out.is_some() {
+        core.enable_tracing(tvp_core::pipeline::DEFAULT_TRACE_CAPACITY);
+    }
     let s = core.run(&trace);
+
+    // Export the event trace *before* the verification gates below so a
+    // divergence (exit 3) or watchdog fire (exit 4) still ships its
+    // flight-recorder history to disk.
+    if let Some(path) = &trace_out {
+        let json = tvp_obs::export::chrome_trace(
+            &core.trace_events(),
+            core.trace_dropped(),
+            &core.export_registry(),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("FATAL: cannot write trace file {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "trace written: {path} ({} events, {} dropped)",
+            core.trace_events().len(),
+            core.trace_dropped()
+        );
+    }
 
     println!("---------- {} ({}) ----------", workload.name, workload.proxy);
     println!(
@@ -182,6 +209,18 @@ fn main() {
     if s.overflow_events > 0 {
         println!("counter saturations    {:>12}", s.overflow_events);
     }
+    let cpi = core.cpi_stack();
+    println!("-- cycle attribution (CPI stack, retire-slot counts)");
+    for (name, slots) in cpi.components() {
+        println!("{name:<22} {slots:>12} ({:>6.2}%)", cpi.fraction(slots) * 100.0);
+    }
+    println!("attributed slots       {:>12} (= cycles x width: {})", cpi.total(), {
+        if cpi.total() == s.cycles.saturating_mul(cfg.commit_width as u64) {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    });
 
     if baseline_too {
         let mut base_cfg = CoreConfig::table2();

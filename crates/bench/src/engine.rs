@@ -28,7 +28,7 @@ use crate::cache::ResultCache;
 use crate::experiments::{ExpContext, Experiment, ResultSet};
 use crate::jobs::ExpKey;
 use crate::runner::{self, JobFailure};
-use crate::telemetry::Telemetry;
+use crate::telemetry::{Telemetry, TELEMETRY_SCHEMA};
 use crate::{prepare_suite, DEFAULT_INSTS};
 
 /// Instruction budget used by `--smoke` (CI-sized).
@@ -198,7 +198,7 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
     let simulated_cycles = outcome.timings.iter().map(|t| t.cycles).sum();
     #[allow(clippy::cast_possible_truncation)]
     let telemetry = Telemetry {
-        schema: 1,
+        schema: TELEMETRY_SCHEMA,
         workers,
         insts: opts.insts,
         smoke: opts.smoke,

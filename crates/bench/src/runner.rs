@@ -24,7 +24,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use tvp_core::pipeline::simulate;
+use tvp_core::pipeline::Core;
+use tvp_obs::cpi::CpiStack;
 use tvp_workloads::trace::Trace;
 
 use crate::jobs::{ExpKey, Job, SimPoint};
@@ -48,6 +49,8 @@ pub struct JobTiming {
     pub wall: Duration,
     /// Cycles the point simulated (throughput numerator).
     pub cycles: u64,
+    /// The point's CPI stack — where its retire-bandwidth slots went.
+    pub cpi: CpiStack,
 }
 
 /// Everything the pool produced: results, failures and timings.
@@ -64,7 +67,7 @@ pub struct RunOutcome {
 /// One job's outcome slot, written exactly once by whichever worker
 /// ran the job: the simulated point and its wall time, or the
 /// rendered panic payload.
-type ResultSlot = Mutex<Option<Result<(SimPoint, Duration), String>>>;
+type ResultSlot = Mutex<Option<Result<(SimPoint, CpiStack, Duration), String>>>;
 
 /// Resolves the worker count: an explicit `--jobs N` wins, otherwise
 /// the pool is sized to the machine's available cores.
@@ -110,9 +113,19 @@ pub fn run_jobs<'t>(
                     let job = &jobs[idx];
                     let trace = trace_of(job.key.workload);
                     let start = Instant::now();
+                    // Drive the core directly (rather than through
+                    // `simulate`) so the CPI stack can be captured for
+                    // per-job telemetry; the watchdog fail-loud
+                    // behaviour of `simulate` is preserved.
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         let cfg = job.cfg.clone();
-                        SimPoint { stats: simulate(cfg, trace) }
+                        let mut core = Core::new(cfg);
+                        let stats = core.run(trace);
+                        if let Some(diag) = core.watchdog_diagnostic() {
+                            // audited: deliberate fail-loud path — a tripped watchdog is a simulator bug
+                            panic!("pipeline deadlock:\n{diag}");
+                        }
+                        (SimPoint { stats }, core.cpi_stack())
                     }));
                     let wall = start.elapsed();
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -120,7 +133,7 @@ pub fn run_jobs<'t>(
                         eprintln!("  [{finished:>4}/{total}] {}", job.key.display());
                     }
                     *slots[idx].lock().expect("result slot") = Some(match result {
-                        Ok(point) => Ok((point, wall)),
+                        Ok((point, cpi)) => Ok((point, cpi, wall)),
                         Err(payload) => Err(panic_text(payload.as_ref())),
                     });
                 }
@@ -132,11 +145,12 @@ pub fn run_jobs<'t>(
     for (job, slot) in jobs.iter().zip(slots) {
         let result = slot.into_inner().expect("slot lock").expect("pool drained every job");
         match result {
-            Ok((point, wall)) => {
+            Ok((point, cpi, wall)) => {
                 outcome.timings.push(JobTiming {
                     key: job.key.clone(),
                     wall,
                     cycles: point.stats.cycles,
+                    cpi,
                 });
                 outcome.points.push((job.key.clone(), point));
             }

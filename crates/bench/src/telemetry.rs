@@ -14,6 +14,10 @@ use crate::runner::JobTiming;
 /// Default telemetry path (workspace root).
 pub const TELEMETRY_FILE: &str = "BENCH_parallel_runner.json";
 
+/// Telemetry record schema. Version 2 added the per-job `cpi` object
+/// (cycle-attribution stack components).
+pub const TELEMETRY_SCHEMA: u32 = 2;
+
 /// One engine invocation's performance record.
 #[derive(Clone, Debug)]
 pub struct Telemetry {
@@ -71,11 +75,18 @@ impl Telemetry {
             .per_job
             .iter()
             .map(|t| {
+                let cpi: Vec<String> = t
+                    .cpi
+                    .components()
+                    .iter()
+                    .map(|(name, slots)| format!("\"{name}\": {slots}"))
+                    .collect();
                 format!(
-                    "{{\"point\": \"{}\", \"micros\": {}, \"cycles\": {}}}",
+                    "{{\"point\": \"{}\", \"micros\": {}, \"cycles\": {}, \"cpi\": {{{}}}}}",
                     json::escape(&t.key.display()),
                     t.wall.as_micros(),
-                    t.cycles
+                    t.cycles,
+                    cpi.join(", ")
                 )
             })
             .collect();
@@ -154,7 +165,7 @@ mod tests {
     fn telemetry_serialises_all_headline_fields() {
         let key = ExpKey::new("k", 100, &CoreConfig::table2());
         let t = Telemetry {
-            schema: 1,
+            schema: TELEMETRY_SCHEMA,
             workers: 4,
             insts: 100,
             smoke: true,
@@ -168,7 +179,17 @@ mod tests {
             total_wall: Duration::from_millis(600),
             cpu_time: Duration::from_millis(1_900),
             simulated_cycles: 1_000_000,
-            per_job: vec![JobTiming { key, wall: Duration::from_millis(80), cycles: 123 }],
+            per_job: vec![JobTiming {
+                key,
+                wall: Duration::from_millis(80),
+                cycles: 123,
+                cpi: {
+                    let mut cpi = tvp_obs::cpi::CpiStack::default();
+                    cpi.retire(7);
+                    cpi.lose(tvp_obs::cpi::SlotClass::Memory, 1);
+                    cpi
+                },
+            }],
         };
         let j = t.to_json();
         for field in [
@@ -178,6 +199,10 @@ mod tests {
             "\"simulated_cycles_per_sec\"",
             "\"per_job\"",
             "\"cycles\": 123",
+            "\"cpi\": {",
+            "\"base\": 7",
+            "\"memory\": 1",
+            "\"schema\": 2",
         ] {
             assert!(j.contains(field), "missing {field} in {j}");
         }

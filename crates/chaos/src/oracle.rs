@@ -91,6 +91,10 @@ pub struct Divergence {
     /// one was active; rerunning with this seed reproduces the fault
     /// sequence exactly.
     pub chaos_seed: Option<u64>,
+    /// The pipeline's last-N-cycle event history (oldest first), when
+    /// event tracing was enabled — the flight recorder's contents at
+    /// the moment of divergence. Empty when tracing was off.
+    pub history: Vec<tvp_obs::event::TraceEvent>,
 }
 
 impl Divergence {
@@ -98,6 +102,13 @@ impl Divergence {
     #[must_use]
     pub fn with_seed(mut self, seed: Option<u64>) -> Self {
         self.chaos_seed = seed;
+        self
+    }
+
+    /// Attaches the event-trace flight-recorder snapshot.
+    #[must_use]
+    pub fn with_history(mut self, history: Vec<tvp_obs::event::TraceEvent>) -> Self {
+        self.history = history;
         self
     }
 }
@@ -125,6 +136,9 @@ impl fmt::Display for Divergence {
         }
         if let Some(seed) = self.chaos_seed {
             write!(f, " [replay with chaos seed {seed:#x}]")?;
+        }
+        if !self.history.is_empty() {
+            write!(f, " [{} trace events captured]", self.history.len())?;
         }
         Ok(())
     }
@@ -247,7 +261,14 @@ impl CommitOracle {
             }
             Err(kind) => {
                 self.poisoned = true;
-                Err(Divergence { seq: u.seq, pc: u.pc, kind, chaos_seed: None })
+                Err(Divergence {
+                    seq: u.seq,
+                    pc: u.pc,
+                    kind,
+                    chaos_seed: None,
+                    // audited: divergence construction — error path, runs at most once
+                    history: Vec::new(),
+                })
             }
         }
     }
@@ -262,6 +283,8 @@ impl CommitOracle {
             return None;
         }
         let wrap = |what: String, expected: u64, got: u64| Divergence {
+            // audited: divergence construction — error path, runs at most once
+            history: Vec::new(),
             seq: self.next_seq.saturating_sub(1),
             pc: self.cur_pc,
             kind: DivergenceKind::FinalState { what, expected, got },
@@ -513,6 +536,7 @@ mod tests {
             pc: 0x1_0040,
             kind: DivergenceKind::Order { expected_seq: 9 },
             chaos_seed: None,
+            history: Vec::new(),
         }
         .with_seed(Some(0xBEEF));
         let text = d.to_string();

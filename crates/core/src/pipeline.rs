@@ -23,6 +23,9 @@ use tvp_chaos::{
 };
 use tvp_isa::op::{BranchKind, ExecClass, Op};
 use tvp_mem::hierarchy::Hierarchy;
+use tvp_obs::cpi::{CpiStack, SlotClass};
+use tvp_obs::event::{EventKind, TraceEvent, Tracer};
+use tvp_obs::registry::Registry;
 use tvp_predictors::btb::Btb;
 use tvp_predictors::history::BranchHistory;
 use tvp_predictors::indirect::IndirectTargetCache;
@@ -35,7 +38,7 @@ use crate::config::{CoreConfig, FuPool, RecoveryPolicy, VpMode};
 use crate::inline_vec::{InlineVec, MAX_DST_REGS};
 use crate::physreg::PhysName;
 use crate::rename::{ElimCategory, PredApply, RenamedUop, Renamer};
-use crate::stats::{sat_inc, SimStats};
+use crate::stats::{sat_add, sat_inc, SimStats};
 use crate::storesets::StoreSets;
 use tvp_workloads::machine::ArchSnapshot;
 
@@ -117,6 +120,25 @@ fn overlap(a_addr: u64, a_size: u8, b_addr: u64, b_size: u8) -> bool {
     a_addr < b_addr + u64::from(b_size) && b_addr < a_addr + u64::from(a_size)
 }
 
+/// Default event-ring capacity when tracing is enabled without an
+/// explicit size (`--trace`, or `TVP_TRACE_EVENTS` set to a
+/// non-numeric value such as `on`; a numeric value picks the
+/// capacity).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Folds one 64-bit word into an FNV-1a running hash (the commit
+/// fingerprint primitive — order-sensitive and allocation-free).
+#[inline]
+fn fnv_fold(h: &mut u64, word: u64) {
+    for b in word.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// FNV-1a offset basis (the commit fingerprint's initial state).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
 /// The simulator core. Construct with a configuration, then
 /// [`Core::run`] a trace.
 pub struct Core {
@@ -162,6 +184,15 @@ pub struct Core {
     storm_score: u64,
     next_throttle_eval: u64,
     stats: SimStats,
+    // Observability (tvp-obs). All four are observation-only: they
+    // read pipeline state but never feed back into it, which is what
+    // keeps tracing determinism-neutral.
+    tracer: Tracer,
+    cpi: CpiStack,
+    commit_fp: u64,
+    flush_shadow_class: SlotClass,
+    flush_shadow_until: u64,
+    flush_refill: u64,
     #[cfg(feature = "verif")]
     auditors: Vec<Box<dyn tvp_verif::PipelineAuditor>>,
     #[cfg(feature = "verif")]
@@ -185,6 +216,26 @@ impl Core {
             ras: ras.clone(),
             itc_path: itc.path_checkpoint(),
         };
+        // Environment opt-in for event tracing, read exactly once per
+        // core (never on the per-cycle path): `TVP_TRACE_EVENTS` set to
+        // a number picks the ring capacity, any other value takes the
+        // default. Kept out of CoreConfig so experiment fingerprints
+        // (ExpKey) are untouched; tests use [`Core::enable_tracing`].
+        let tracer = match std::env::var("TVP_TRACE_EVENTS") {
+            // audited: constructor — one env read per core construction
+            Ok(v) => Tracer::enabled(match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => DEFAULT_TRACE_CAPACITY,
+            }),
+            Err(_) => Tracer::disabled(),
+        };
+        // Front-end refill depth after a flush redirect: how long the
+        // ROB stays empty while refetched µops travel to dispatch. The
+        // CPI accountant charges that shadow to the flush's class.
+        let flush_refill = cfg.redirect_penalty
+            + cfg.fetch_to_decode
+            + cfg.decode_to_rename
+            + cfg.rename_to_dispatch;
         let mut core = Core {
             fu: FuPool::default(),
             btb: Btb::new(8192, 4),
@@ -224,6 +275,12 @@ impl Core {
             storm_score: 0,
             next_throttle_eval: 0,
             stats: SimStats::default(),
+            tracer,
+            cpi: CpiStack::default(),
+            commit_fp: FNV_OFFSET,
+            flush_shadow_class: SlotClass::Frontend,
+            flush_shadow_until: 0,
+            flush_refill,
             #[cfg(feature = "verif")]
             auditors: tvp_verif::standard_suite(),
             #[cfg(feature = "verif")]
@@ -258,13 +315,19 @@ impl Core {
         {
             self.step(trace);
             if watchdog.observe(self.cycle, self.stats.uops_retired) {
-                self.watchdog_diag =
-                    Some(self.deadlock_diagnostic(trace, watchdog.stalled_for(self.cycle)));
+                let stalled = watchdog.stalled_for(self.cycle);
+                self.tracer.record(EventKind::Watchdog, self.cycle, 0, 0, stalled);
+                self.watchdog_diag = Some(self.deadlock_diagnostic(trace, stalled));
                 break;
             }
         }
         self.stats.cycles = self.cycle;
         self.stats.rename = self.renamer.stats();
+        // The renamer keeps its own saturation sink; fold it into the
+        // headline overflow count so one number still answers "did any
+        // counter lose precision this run?".
+        self.stats.overflow_events =
+            self.stats.overflow_events.saturating_add(self.renamer.overflow_events);
         #[cfg(feature = "verif")]
         self.final_audit();
         self.stats
@@ -307,24 +370,12 @@ impl Core {
 
     /// Advances one cycle.
     fn step(&mut self, trace: &Trace) {
-        #[cfg(feature = "trace-cycles")]
-        if std::env::var("TVP_TRACE_CYCLES").is_ok() && self.cycle > 400 && self.cycle < 480 {
-            eprintln!(
-                "c{} fq={} rob={} iq={} retired={} issued={} cursor={}",
-                self.cycle,
-                self.fetch_queue.len(),
-                self.rob.len(),
-                self.iq_count,
-                self.stats.uops_retired,
-                self.stats.activity.iq_issued,
-                self.cursor
-            );
-        }
         self.inject_chaos();
         self.update_throttle();
         self.apply_pending_replays(trace);
         self.apply_pending_flush(trace);
-        self.commit(trace);
+        let retired = self.commit(trace);
+        self.account_cycle(retired, trace);
         self.issue(trace);
         self.drain_issued_iq();
         self.rename(trace);
@@ -332,6 +383,48 @@ impl Core {
         #[cfg(feature = "verif")]
         self.maybe_audit();
         self.cycle += 1;
+    }
+
+    /// CPI-stack attribution for this cycle: `retired` slots are
+    /// credited to the base component and the remaining
+    /// `commit_width − retired` slots are charged to exactly one loss
+    /// class, chosen deterministically from the post-commit pipeline
+    /// state. Pure accounting — reads state, never writes it — so the
+    /// stack always sums to `cycles × commit_width` and cannot perturb
+    /// the simulation.
+    fn account_cycle(&mut self, retired: u64, trace: &Trace) {
+        let width = self.cfg.commit_width as u64;
+        self.cpi.retire(retired);
+        if retired >= width {
+            return;
+        }
+        let class = match self.rob.front() {
+            // Commit stopped on an unfinished head: memory if the head
+            // is waiting on the data path, otherwise back-end
+            // latency/contention.
+            Some(head) => {
+                let op = &trace.uops[head.idx].uop.op;
+                if op.is_load() || op.is_store() {
+                    SlotClass::Memory
+                } else {
+                    SlotClass::BackendStructural
+                }
+            }
+            // ROB empty: the front end is starved. Distinguish the
+            // refill shadow of a recent flush, a fetch stall on an
+            // unresolved mispredicted branch, and plain front-end
+            // latency (i-cache misses, redirect bubbles, trace drain).
+            None => {
+                if self.cycle < self.flush_shadow_until {
+                    self.flush_shadow_class
+                } else if self.fetch_wait_branch.is_some() {
+                    SlotClass::BranchMispredict
+                } else {
+                    SlotClass::Frontend
+                }
+            }
+        };
+        self.cpi.lose(class, width - retired);
     }
 
     /// Per-cycle fault sites: predictor-table corruption and prefetch
@@ -404,7 +497,10 @@ impl Core {
     // commit
     // ----------------------------------------------------------------
 
-    fn commit(&mut self, trace: &Trace) {
+    /// Retires up to `commit_width` finished µops; returns how many
+    /// retired this cycle (the CPI stack's base credit).
+    fn commit(&mut self, trace: &Trace) -> u64 {
+        let mut retired: u64 = 0;
         for _ in 0..self.cfg.commit_width {
             let Some(head) = self.rob.front() else { break };
             if !(head.renamed.eliminated.is_some() || head.issued) || head.done_cycle > self.cycle {
@@ -415,13 +511,14 @@ impl Core {
 
             // Golden-model lockstep check: re-execute the committed µop
             // through the functional semantics; the first divergence is
-            // recorded (with the replaying chaos seed) and the oracle
-            // goes quiet.
+            // recorded (with the replaying chaos seed and the traced
+            // last-N-event history) and the oracle goes quiet.
             if let Some(oracle) = self.oracle.as_mut() {
                 if let Err(d) = oracle.on_commit(u) {
                     if self.divergence.is_none() {
                         let seed = self.chaos.as_ref().map(ChaosEngine::seed);
-                        self.divergence = Some(d.with_seed(seed));
+                        self.divergence =
+                            Some(d.with_seed(seed).with_history(self.tracer.snapshot()));
                     }
                 }
             }
@@ -471,11 +568,19 @@ impl Core {
             if entry.first_uop {
                 sat_inc(&mut self.stats.insts_retired, &mut self.stats.overflow_events);
             }
+            retired += 1;
+            // Order-sensitive commit fingerprint over (seq, pc) — the
+            // determinism-neutrality witness (always on; a few integer
+            // ops per retirement).
+            fnv_fold(&mut self.commit_fp, entry.seq);
+            fnv_fold(&mut self.commit_fp, u.pc);
+            self.tracer.record(EventKind::Commit, self.cycle, entry.seq, u.pc, 0);
             #[cfg(feature = "verif")]
             {
                 self.last_committed_seq = Some(entry.seq);
             }
         }
+        retired
     }
 
     // ----------------------------------------------------------------
@@ -626,6 +731,13 @@ impl Core {
             if let Some((predicted, apply)) = self.rob[i].renamed.predicted {
                 let actual = u.result.expect("VP-eligible µops produce a value");
                 if predicted != actual {
+                    self.tracer.record(
+                        EventKind::ValueMispredict,
+                        self.cycle,
+                        seq,
+                        u.pc,
+                        predicted,
+                    );
                     // MVP/TVP must refetch the mispredicted µop itself
                     // (§3.4); GVP has a register to repair in place but
                     // still flushes younger consumers — unless the
@@ -674,16 +786,25 @@ impl Core {
                     self.renamer.file_mut(class).set_ready(p, completion);
                 }
                 if class == crate::rename::RegClass::Int {
-                    self.stats.activity.int_prf_writes += 1;
+                    sat_inc(
+                        &mut self.stats.activity.int_prf_writes,
+                        &mut self.stats.overflow_events,
+                    );
                 }
             }
             if let Some(p) = renamed.flags_alloc {
                 self.renamer.file_mut(crate::rename::RegClass::Int).set_ready(p, completion);
-                self.stats.activity.int_prf_writes += 1;
+                sat_inc(&mut self.stats.activity.int_prf_writes, &mut self.stats.overflow_events);
             }
             // Predicted µops with named destinations write no register.
-            self.stats.activity.int_prf_reads += u64::from(renamed.prf_reads);
-            self.stats.activity.iq_issued += 1;
+            let prf_reads = u64::from(renamed.prf_reads);
+            sat_add(
+                &mut self.stats.activity.int_prf_reads,
+                prf_reads,
+                &mut self.stats.overflow_events,
+            );
+            sat_inc(&mut self.stats.activity.iq_issued, &mut self.stats.overflow_events);
+            self.tracer.record(EventKind::Issue, self.cycle, seq, u.pc, 0);
             class_counts[slot] += 1;
             issued_total += 1;
         }
@@ -723,11 +844,14 @@ impl Core {
             if let Some(vp) = self.vtage.as_mut() {
                 if u.vp_eligible() {
                     let pred = vp.predict(Self::vp_key(u));
-                    self.stats.vp.eligible += 1;
+                    sat_inc(&mut self.stats.vp.eligible, &mut self.stats.overflow_events);
                     let mode = self.cfg.vp.pred_mode().expect("vtage implies a mode");
                     if pred.confident && mode.admits(pred.value) {
                         if self.cycle < self.silence_until {
-                            self.stats.vp.silenced_lookups += 1;
+                            sat_inc(
+                                &mut self.stats.vp.silenced_lookups,
+                                &mut self.stats.overflow_events,
+                            );
                         } else if self.cfg.vp_kill_switch {
                             // Graceful degradation: the kill-switch
                             // suppresses use (training continues).
@@ -776,7 +900,7 @@ impl Core {
                 break;
             };
             if prediction.is_some() {
-                self.stats.vp.used += 1;
+                sat_inc(&mut self.stats.vp.used, &mut self.stats.overflow_events);
             }
 
             // IQ capacity — checked after rename so eliminated µops
@@ -834,7 +958,7 @@ impl Core {
             // GVP wide predictions are written to the PRF at rename —
             // the extra write ports the paper charges GVP for (§6.2).
             if matches!(renamed.predicted, Some((_, PredApply::WidePrfWrite))) {
-                self.stats.activity.int_prf_writes += 1;
+                sat_inc(&mut self.stats.activity.int_prf_writes, &mut self.stats.overflow_events);
             }
 
             // SpSR-resolved branch: redirect/unstall the front-end at
@@ -847,8 +971,9 @@ impl Core {
             let eliminated = renamed.eliminated.is_some();
             if needs_iq {
                 self.iq_count += 1;
-                self.stats.activity.iq_dispatched += 1;
+                sat_inc(&mut self.stats.activity.iq_dispatched, &mut self.stats.overflow_events);
             }
+            self.tracer.record(EventKind::Rename, self.cycle, u.seq, u.pc, 0);
             self.rob.push_back(RobEntry {
                 idx,
                 seq: u.seq,
@@ -982,6 +1107,7 @@ impl Core {
                         &mut self.stats.flush.branch_mispredicts,
                         &mut self.stats.overflow_events,
                     );
+                    self.tracer.record(EventKind::BranchMispredict, self.cycle, u.seq, u.pc, 1);
                     fetch_wait = true;
                     self.fetch_wait_branch = Some(u.seq);
                 } else if outcome.taken && !taken_bubble {
@@ -1037,7 +1163,7 @@ impl Core {
             // Guard against the replay tornado: silence the predictor
             // exactly as a flush would (§3.4.1).
             self.silence_until = self.cycle + self.silence_len;
-            self.stats.flush.vp_replays += 1;
+            sat_inc(&mut self.stats.flush.vp_replays, &mut self.stats.overflow_events);
 
             // The repaired value becomes available now.
             self.renamer.file_mut(crate::rename::RegClass::Int).set_ready(replay.reg, self.cycle);
@@ -1088,7 +1214,7 @@ impl Core {
                         s.issued = false;
                     }
                 }
-                self.stats.flush.replayed_uops += 1;
+                sat_inc(&mut self.stats.flush.replayed_uops, &mut self.stats.overflow_events);
             }
             if fallback_flush {
                 self.pending_flushes.push(PendingFlush {
@@ -1146,6 +1272,7 @@ impl Core {
 
         // Squash younger ROB entries, youngest first.
         let mut squash_cursor: Option<usize> = None;
+        let mut squashed_now: u64 = 0;
         while self.rob.back().is_some_and(|e| e.seq >= cut) {
             let entry = self.rob.pop_back().expect("back exists");
             let u = &trace.uops[entry.idx];
@@ -1153,7 +1280,11 @@ impl Core {
                 self.iq_count -= 1;
             }
             if entry.renamed.eliminated == Some(ElimCategory::Spsr) {
-                self.stats.rename.spsr_squashed += 1;
+                // Kept on the renamer's stats so the end-of-run
+                // `stats.rename = renamer.stats()` fold preserves it
+                // (bumping `stats.rename` directly was overwritten by
+                // that fold and always reported zero).
+                sat_inc(&mut self.renamer.stats.spsr_squashed, &mut self.renamer.overflow_events);
             }
             if u.uop.op.is_store() {
                 self.sq.pop_back();
@@ -1163,14 +1294,16 @@ impl Core {
                 self.lq.pop_back();
             }
             self.renamer.rollback(&entry.renamed);
-            self.stats.flush.squashed_uops += 1;
+            squashed_now += 1;
             squash_cursor = Some(entry.idx);
         }
         // Squashed fetch-queue µops are all younger than the ROB tail.
         if let Some(front) = self.fetch_queue.front() {
             squash_cursor.get_or_insert(front.idx);
-            self.stats.flush.squashed_uops += self.fetch_queue.len() as u64;
+            squashed_now += self.fetch_queue.len() as u64;
         }
+        sat_add(&mut self.stats.flush.squashed_uops, squashed_now, &mut self.stats.overflow_events);
+        self.tracer.record(EventKind::Flush, self.cycle, cut, 0, squashed_now);
         self.fetch_queue.clear();
 
         // Roll the trace cursor back to refetch from the squash point.
@@ -1206,6 +1339,15 @@ impl Core {
         self.fetch_wait_branch = None;
         self.fetch_resume = self.cycle + self.cfg.redirect_penalty;
         self.current_line = u64::MAX;
+
+        // CPI attribution: while the ROB refills behind this redirect,
+        // empty-ROB cycles are this flush's fault, not generic
+        // front-end latency.
+        self.flush_shadow_class = match flush.kind {
+            FlushKind::ValueMispredict => SlotClass::VpMispredictFlush,
+            FlushKind::MemOrder => SlotClass::Memory,
+        };
+        self.flush_shadow_until = self.cycle + self.flush_refill;
     }
 
     /// Statistics snapshot (valid after [`Core::run`]).
@@ -1262,6 +1404,117 @@ impl Core {
     #[must_use]
     pub fn throttled(&self) -> bool {
         self.throttled
+    }
+
+    // ----------------------------------------------------------------
+    // observability surface (tvp-obs)
+    // ----------------------------------------------------------------
+
+    /// Enables event tracing into a fresh ring holding the last
+    /// `capacity` events. Call before [`Core::run`]. Recording is
+    /// observation-only: the `obs_neutrality` harness test locks that
+    /// enabling it changes neither the commit fingerprint nor any
+    /// statistic.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Tracer::enabled(capacity);
+    }
+
+    /// Whether event tracing is currently enabled.
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// The CPI stack accumulated so far (complete after [`Core::run`];
+    /// components sum to `cycles × commit_width`).
+    pub fn cpi_stack(&self) -> CpiStack {
+        self.cpi
+    }
+
+    /// Order-sensitive FNV-1a fingerprint of the committed `(seq, pc)`
+    /// stream — the determinism-neutrality witness.
+    #[must_use]
+    pub fn commit_fingerprint(&self) -> u64 {
+        self.commit_fp
+    }
+
+    /// The traced events, oldest first (empty when tracing is
+    /// disabled).
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.tracer.snapshot()
+    }
+
+    /// Events lost to ring overwrite (the exported window is a suffix
+    /// of the run when this is non-zero).
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
+    }
+
+    /// Walks every statistics struct — core, CPI, memory hierarchy,
+    /// TLBs, branch and value predictors — into one flat
+    /// schema-versioned counter [`Registry`] for JSON/Prometheus
+    /// export.
+    #[must_use]
+    pub fn export_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        let s = &self.stats;
+        reg.counter("core.cycles", s.cycles);
+        reg.counter("core.insts_retired", s.insts_retired);
+        reg.counter("core.uops_retired", s.uops_retired);
+        reg.counter("core.overflow_events", s.overflow_events);
+        reg.counter("core.commit_fingerprint", self.commit_fp);
+        reg.counter("rename.arch_insts", s.rename.arch_insts);
+        reg.counter("rename.uops", s.rename.uops);
+        reg.counter("rename.zero_idiom", s.rename.zero_idiom);
+        reg.counter("rename.one_idiom", s.rename.one_idiom);
+        reg.counter("rename.move_elim", s.rename.move_elim);
+        reg.counter("rename.non_me_move", s.rename.non_me_move);
+        reg.counter("rename.nine_bit_idiom", s.rename.nine_bit_idiom);
+        reg.counter("rename.spsr", s.rename.spsr);
+        reg.counter("rename.spsr_squashed", s.rename.spsr_squashed);
+        reg.counter("vp.eligible", s.vp.eligible);
+        reg.counter("vp.used", s.vp.used);
+        reg.counter("vp.correct_used", s.vp.correct_used);
+        reg.counter("vp.incorrect_used", s.vp.incorrect_used);
+        reg.counter("vp.silenced_lookups", s.vp.silenced_lookups);
+        reg.counter("activity.int_prf_reads", s.activity.int_prf_reads);
+        reg.counter("activity.int_prf_writes", s.activity.int_prf_writes);
+        reg.counter("activity.iq_dispatched", s.activity.iq_dispatched);
+        reg.counter("activity.iq_issued", s.activity.iq_issued);
+        reg.counter("flush.branch_mispredicts", s.flush.branch_mispredicts);
+        reg.counter("flush.vp_flushes", s.flush.vp_flushes);
+        reg.counter("flush.mem_order_flushes", s.flush.mem_order_flushes);
+        reg.counter("flush.squashed_uops", s.flush.squashed_uops);
+        reg.counter("flush.vp_replays", s.flush.vp_replays);
+        reg.counter("flush.replayed_uops", s.flush.replayed_uops);
+        reg.counter("chaos.total_faults", s.chaos.total());
+        reg.counter("degrade.throttle_engagements", s.degrade.throttle_engagements);
+        reg.counter("degrade.throttled_cycles", s.degrade.throttled_cycles);
+        reg.counter("degrade.killswitch_suppressed", s.degrade.killswitch_suppressed);
+        reg.counter("degrade.throttle_suppressed", s.degrade.throttle_suppressed);
+        self.cpi.fill_registry(&mut reg);
+        reg.counter("trace.events_dropped", self.tracer.dropped());
+        self.mem.fill_registry(&mut reg);
+        let tage = self.tage.stats();
+        reg.counter("tage.predictions", tage.predictions);
+        reg.counter("tage.mispredictions", tage.mispredictions);
+        reg.counter("tage.overflow_events", tage.overflow_events);
+        if let Some(vp) = self.vtage.as_ref() {
+            let v = vp.stats();
+            reg.counter("vtage.lookups", v.lookups);
+            reg.counter("vtage.hits", v.hits);
+            reg.counter("vtage.correct", v.correct);
+            reg.counter("vtage.incorrect", v.incorrect);
+            reg.counter("vtage.overflow_events", v.overflow_events);
+        }
+        reg.gauge("core.ipc", s.ipc());
+        reg.gauge("core.expansion_ratio", s.expansion_ratio());
+        reg.gauge("vp.coverage", s.vp.coverage());
+        reg.gauge("vp.accuracy", s.vp.accuracy());
+        reg.gauge("cpi.base_fraction", self.cpi.fraction(self.cpi.base));
+        reg
     }
 }
 

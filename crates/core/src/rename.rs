@@ -17,7 +17,7 @@ use crate::config::CoreConfig;
 use crate::inline_vec::{InlineVec, MAX_DST_REGS, MAX_SRC_REGS};
 use crate::physreg::{PhysName, RegFile, PHYS_ONE, PHYS_ZERO};
 use crate::spsr::{is_static_eor_zero, reduce, Known, Reduction};
-use crate::stats::RenameStats;
+use crate::stats::{sat_inc, RenameStats};
 
 /// Register file class.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
@@ -118,6 +118,9 @@ pub struct Renamer {
     spsr: bool,
     inlining: bool,
     pub(crate) stats: RenameStats,
+    /// Saturation sink for the rename counters ([`sat_inc`]); folded
+    /// into `SimStats::overflow_events` at the end of a run.
+    pub(crate) overflow_events: u64,
 }
 
 impl Renamer {
@@ -160,6 +163,7 @@ impl Renamer {
             spsr: cfg.spsr,
             inlining: cfg.nine_bit_idiom || cfg.vp.uses_inlining(),
             stats: RenameStats::default(),
+            overflow_events: 0,
         }
     }
 
@@ -325,7 +329,7 @@ impl Renamer {
                 let name = self.name_of(src);
                 if !self.move_width_ok(uop.width, name) {
                     out.non_me_move = true;
-                    self.stats.non_me_move += 1;
+                    sat_inc(&mut self.stats.non_me_move, &mut self.overflow_events);
                     return None;
                 }
                 if let PhysName::Reg(p) = name {
@@ -368,9 +372,9 @@ impl Renamer {
     ) -> Result<RenamedUop, RenameStall> {
         let mut out = RenamedUop::default();
         self.collect_deps(uop, &mut out);
-        self.stats.uops += 1;
+        sat_inc(&mut self.stats.uops, &mut self.overflow_events);
         if first_uop {
-            self.stats.arch_insts += 1;
+            sat_inc(&mut self.stats.arch_insts, &mut self.overflow_events);
         }
 
         // --- move-immediate idioms -------------------------------------
@@ -383,7 +387,7 @@ impl Renamer {
                     &mut out,
                 );
                 out.eliminated = Some(ElimCategory::ZeroIdiom);
-                self.stats.zero_idiom += 1;
+                sat_inc(&mut self.stats.zero_idiom, &mut self.overflow_events);
                 return Ok(out);
             }
             if self.zero_one_idiom && value == 1 {
@@ -393,14 +397,14 @@ impl Renamer {
                     &mut out,
                 );
                 out.eliminated = Some(ElimCategory::OneIdiom);
-                self.stats.one_idiom += 1;
+                sat_inc(&mut self.stats.one_idiom, &mut self.overflow_events);
                 return Ok(out);
             }
             if self.nine_bit_idiom {
                 if let Some(name) = PhysName::inline_for(value) {
                     self.map_dest(uop.dst.expect("movz has a destination"), name, &mut out);
                     out.eliminated = Some(ElimCategory::NineBit);
-                    self.stats.nine_bit_idiom += 1;
+                    sat_inc(&mut self.stats.nine_bit_idiom, &mut self.overflow_events);
                     return Ok(out);
                 }
             }
@@ -416,11 +420,11 @@ impl Renamer {
                 }
                 self.map_dest(uop.dst.expect("mov has a destination"), name, &mut out);
                 out.eliminated = Some(ElimCategory::MoveElim);
-                self.stats.move_elim += 1;
+                sat_inc(&mut self.stats.move_elim, &mut self.overflow_events);
                 return Ok(out);
             }
             out.non_me_move = true;
-            self.stats.non_me_move += 1;
+            sat_inc(&mut self.stats.non_me_move, &mut self.overflow_events);
         }
 
         // --- static DSR (baseline zero/one-idiom + move idioms) ---------
@@ -449,9 +453,15 @@ impl Renamer {
                 if let Some(applied) = self.apply_reduction(uop, static_red, cat, &mut out) {
                     out.eliminated = Some(applied);
                     match applied {
-                        ElimCategory::ZeroIdiom => self.stats.zero_idiom += 1,
-                        ElimCategory::OneIdiom => self.stats.one_idiom += 1,
-                        ElimCategory::MoveElim => self.stats.move_elim += 1,
+                        ElimCategory::ZeroIdiom => {
+                            sat_inc(&mut self.stats.zero_idiom, &mut self.overflow_events);
+                        }
+                        ElimCategory::OneIdiom => {
+                            sat_inc(&mut self.stats.one_idiom, &mut self.overflow_events);
+                        }
+                        ElimCategory::MoveElim => {
+                            sat_inc(&mut self.stats.move_elim, &mut self.overflow_events);
+                        }
                         _ => {}
                     }
                     return Ok(out);
@@ -478,7 +488,7 @@ impl Renamer {
                         self.apply_reduction(uop, red, ElimCategory::Spsr, &mut out)
                     {
                         out.eliminated = Some(applied);
-                        self.stats.spsr += 1;
+                        sat_inc(&mut self.stats.spsr, &mut self.overflow_events);
                         return Ok(out);
                     }
                 }

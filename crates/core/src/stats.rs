@@ -6,24 +6,11 @@
 //! degrade a counter's precision but never silently corrupt reported
 //! IPC.
 
-/// Saturating counter increment. On overflow the counter pins at
-/// `u64::MAX` and `overflow_events` records the loss.
-#[inline]
-pub fn sat_inc(counter: &mut u64, overflow_events: &mut u64) {
-    sat_add(counter, 1, overflow_events);
-}
-
-/// Saturating counter addition (see [`sat_inc`]).
-#[inline]
-pub fn sat_add(counter: &mut u64, n: u64, overflow_events: &mut u64) {
-    let (v, overflowed) = counter.overflowing_add(n);
-    if overflowed {
-        *counter = u64::MAX;
-        *overflow_events = overflow_events.saturating_add(1);
-    } else {
-        *counter = v;
-    }
-}
+// The saturating primitives moved to the dependency-free observability
+// crate so mem/predictor statistics can share the discipline; the
+// re-export keeps every existing `tvp_core::stats::sat_inc` call site
+// and import working unchanged.
+pub use tvp_obs::counters::{sat_add, sat_inc};
 
 /// Rename-time elimination categories (Fig. 4's stacked bars).
 #[must_use = "rename counters feed Fig. 4; dropping them silently skews the elimination breakdown"]
@@ -239,9 +226,15 @@ impl SimStats {
     }
 
     /// Relative speedup over a baseline run of the same workload.
+    /// Zero simulated cycles (an empty trace) reports parity rather
+    /// than `inf`/`NaN`, matching the other guarded ratio helpers.
     #[must_use]
     pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
-        baseline.cycles as f64 / self.cycles as f64
+        if self.cycles == 0 {
+            1.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
     }
 }
 
@@ -319,5 +312,29 @@ mod tests {
         assert_eq!(s.vp.coverage(), 0.0);
         assert_eq!(s.vp.accuracy(), 1.0);
         assert_eq!(s.rename.fraction(5), 0.0);
+    }
+
+    #[test]
+    fn every_ratio_helper_guards_a_zero_denominator() {
+        // A zero-cycle self (empty trace) must not turn a speedup into
+        // `inf`; parity is the only sane report.
+        let zero = SimStats::default();
+        let base = SimStats { cycles: 1_000, ..Default::default() };
+        let sp = zero.speedup_over(&base);
+        assert!(sp.is_finite(), "speedup_over(cycles=0) must stay finite, got {sp}");
+        assert_eq!(sp, 1.0);
+        // Zero-cycle baseline over a real run: plain ratio, still finite.
+        assert_eq!(base.speedup_over(&zero), 0.0);
+        // Both zero: parity.
+        assert_eq!(zero.speedup_over(&zero), 1.0);
+
+        // The other three ratio families with zero denominators.
+        assert_eq!(zero.ipc(), 0.0);
+        assert_eq!(zero.expansion_ratio(), 1.0);
+        let vp = VpStats::default();
+        assert_eq!(vp.coverage(), 0.0);
+        assert_eq!(vp.accuracy(), 1.0);
+        let rn = RenameStats::default();
+        assert_eq!(rn.fraction(123), 0.0);
     }
 }

@@ -8,6 +8,8 @@
 //! are busy the access stalls until the earliest one frees — the same
 //! first-order behaviour a full event-driven model produces.
 
+use tvp_obs::counters::sat_inc;
+
 /// Configuration of one cache level.
 #[derive(Clone, Debug)]
 pub struct CacheConfig {
@@ -67,6 +69,8 @@ pub struct CacheStats {
     pub prefetch_useful: u64,
     /// Lines evicted.
     pub evictions: u64,
+    /// Counter increments lost to saturation (should stay 0).
+    pub overflow_events: u64,
 }
 
 /// One cache level.
@@ -150,13 +154,13 @@ impl Cache {
                 l.dirty |= write;
                 if l.prefetched {
                     l.prefetched = false;
-                    self.stats.prefetch_useful += 1;
+                    sat_inc(&mut self.stats.prefetch_useful, &mut self.stats.overflow_events);
                 }
-                self.stats.hits += 1;
+                sat_inc(&mut self.stats.hits, &mut self.stats.overflow_events);
                 return Probe::Hit;
             }
         }
-        self.stats.misses += 1;
+        sat_inc(&mut self.stats.misses, &mut self.stats.overflow_events);
         Probe::Miss
     }
 
@@ -170,7 +174,7 @@ impl Cache {
         let clock = self.clock;
         let set_bits = self.set_mask.count_ones();
         if prefetch {
-            self.stats.prefetch_fills += 1;
+            sat_inc(&mut self.stats.prefetch_fills, &mut self.stats.overflow_events);
         }
         let ways = &mut self.sets[set];
         if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
@@ -182,7 +186,7 @@ impl Cache {
         let evicted = (victim.valid && victim.dirty)
             .then(|| ((victim.tag << set_bits) | set as u64) << self.set_shift);
         if victim.valid {
-            self.stats.evictions += 1;
+            sat_inc(&mut self.stats.evictions, &mut self.stats.overflow_events);
         }
         *victim = Line { valid: true, tag, dirty: false, lru: clock, prefetched: prefetch };
         evicted

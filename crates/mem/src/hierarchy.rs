@@ -5,6 +5,8 @@
 use crate::cache::{Cache, CacheConfig, CacheStats, Probe};
 use crate::prefetch::{AmpmPrefetcher, StridePrefetcher};
 use crate::tlb::TlbHierarchy;
+use tvp_obs::counters::sat_inc;
+use tvp_obs::registry::Registry;
 
 /// Tunable hierarchy parameters (defaults are Table 2).
 #[derive(Clone, Debug)]
@@ -105,6 +107,7 @@ pub struct Hierarchy {
     /// is suppressed — the chaos engine's prefetch-drop fault.
     prefetch_suppressed: bool,
     dropped_prefetches: u64,
+    overflow_events: u64,
     // Reusable prefetch-candidate scratch — cleared per use, never
     // reallocated on the per-access path.
     pf_scratch: Vec<u64>,
@@ -125,6 +128,7 @@ impl Hierarchy {
             ampm: AmpmPrefetcher::new(64, 8),
             prefetch_suppressed: false,
             dropped_prefetches: 0,
+            overflow_events: 0,
             // audited: constructor — runs once per simulated hierarchy
             pf_scratch: Vec::new(),
             cfg,
@@ -225,7 +229,7 @@ impl Hierarchy {
 
     fn prefetch_into_l1d(&mut self, addr: u64, cycle: u64) {
         if self.prefetch_suppressed {
-            self.dropped_prefetches += 1;
+            sat_inc(&mut self.dropped_prefetches, &mut self.overflow_events);
             return;
         }
         if self.l1d.peek(addr) == Probe::Miss {
@@ -241,7 +245,7 @@ impl Hierarchy {
     /// a demand fetch arriving early waits for the real completion.
     pub fn inst_prefetch(&mut self, pc: u64, cycle: u64) {
         if self.prefetch_suppressed {
-            self.dropped_prefetches += 1;
+            sat_inc(&mut self.dropped_prefetches, &mut self.overflow_events);
             return;
         }
         if self.l1i.peek(pc) == Probe::Miss {
@@ -279,6 +283,45 @@ impl Hierarchy {
             ampm_issued: self.ampm.issued(),
             dropped_prefetches: self.dropped_prefetches,
         }
+    }
+
+    /// Walks every per-structure counter in the hierarchy into `reg`
+    /// under the `mem.` scope — the memory-side half of the exporter's
+    /// counter registry (the core half lives in `Core::export_registry`).
+    pub fn fill_registry(&self, reg: &mut Registry) {
+        for (name, cache) in
+            [("l1d", &self.l1d), ("l1i", &self.l1i), ("l2", &self.l2), ("l3", &self.l3)]
+        {
+            let s = cache.stats();
+            for (field, value) in [
+                ("hits", s.hits),
+                ("misses", s.misses),
+                ("prefetch_fills", s.prefetch_fills),
+                ("prefetch_useful", s.prefetch_useful),
+                ("evictions", s.evictions),
+                ("overflow_events", s.overflow_events),
+            ] {
+                // audited: exporter path, runs once per simulation
+                reg.counter_scoped(&format!("mem.{name}"), field, value);
+            }
+        }
+        reg.counter("mem.stride_issued", self.stride.issued());
+        reg.counter("mem.ampm_issued", self.ampm.issued());
+        reg.counter("mem.dropped_prefetches", self.dropped_prefetches);
+        for (name, tlb) in [("dtlb", &self.dtlb), ("itlb", &self.itlb)] {
+            let ((l1h, l1m), (l2h, l2m)) = tlb.stats();
+            for (field, value) in [
+                ("l1_hits", l1h),
+                ("l1_misses", l1m),
+                ("l2_hits", l2h),
+                ("l2_misses", l2m),
+                ("overflow_events", tlb.overflow_events()),
+            ] {
+                // audited: exporter path, runs once per simulation
+                reg.counter_scoped(&format!("mem.{name}"), field, value);
+            }
+        }
+        reg.counter("mem.overflow_events", self.overflow_events);
     }
 }
 

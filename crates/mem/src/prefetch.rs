@@ -6,12 +6,15 @@
 //! does not perform well", which is the root cause of the `roms`/TVP
 //! performance anomaly the paper reports.
 
+use tvp_obs::counters::sat_add;
+
 /// A per-PC stride prefetcher [Fu, Patel & Janssens 1992].
 #[derive(Debug)]
 pub struct StridePrefetcher {
     table: Vec<StrideEntry>,
     degree: u32,
     issued: u64,
+    overflow_events: u64,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -34,8 +37,12 @@ impl StridePrefetcher {
     pub fn new(entries: usize, degree: u32) -> Self {
         assert!(entries.is_power_of_two(), "stride table must be a power of two");
         assert!(degree > 0);
-        // audited: constructor
-        StridePrefetcher { table: vec![StrideEntry::default(); entries], degree, issued: 0 }
+        StridePrefetcher {
+            table: vec![StrideEntry::default(); entries], // audited: constructor
+            degree,
+            issued: 0,
+            overflow_events: 0,
+        }
     }
 
     /// Observes a demand load and appends the addresses to prefetch
@@ -64,7 +71,7 @@ impl StridePrefetcher {
             for i in 1..=i64::from(self.degree) {
                 out.push(addr.wrapping_add((stride * i) as u64));
             }
-            self.issued += u64::from(self.degree);
+            sat_add(&mut self.issued, u64::from(self.degree), &mut self.overflow_events);
         }
     }
 
@@ -86,6 +93,7 @@ pub struct AmpmPrefetcher {
     line_shift: u32,
     max_strides: i64,
     issued: u64,
+    overflow_events: u64,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -112,6 +120,7 @@ impl AmpmPrefetcher {
             line_shift: 6,                           // 64B lines
             max_strides,
             issued: 0,
+            overflow_events: 0,
         }
     }
 
@@ -165,7 +174,7 @@ impl AmpmPrefetcher {
                 out.push((zone << self.zone_shift) + ((ntarget as u64) << self.line_shift));
             }
         }
-        self.issued += (out.len() - before) as u64;
+        sat_add(&mut self.issued, (out.len() - before) as u64, &mut self.overflow_events);
     }
 
     /// Number of prefetch requests issued so far.

@@ -6,6 +6,8 @@
 //! walk. The simulator uses a flat virtual address space, so the TLB
 //! only contributes *latency* (and statistics), not translation.
 
+use tvp_obs::counters::sat_inc;
+
 /// One TLB level.
 #[derive(Debug)]
 pub struct Tlb {
@@ -14,6 +16,7 @@ pub struct Tlb {
     clock: u64,
     hits: u64,
     misses: u64,
+    overflow_events: u64,
 }
 
 impl Tlb {
@@ -37,6 +40,7 @@ impl Tlb {
             clock: 0,
             hits: 0,
             misses: 0,
+            overflow_events: 0,
         }
     }
 
@@ -50,11 +54,11 @@ impl Tlb {
         for e in &mut self.entries[set] {
             if e.0 && e.1 == vpn {
                 e.2 = clock;
-                self.hits += 1;
+                sat_inc(&mut self.hits, &mut self.overflow_events);
                 return true;
             }
         }
-        self.misses += 1;
+        sat_inc(&mut self.misses, &mut self.overflow_events);
         let victim = self.entries[set]
             .iter_mut()
             .min_by_key(|e| if e.0 { e.2 } else { 0 })
@@ -67,6 +71,12 @@ impl Tlb {
     #[must_use]
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Counter increments lost to saturation (should stay 0).
+    #[must_use]
+    pub fn overflow_events(&self) -> u64 {
+        self.overflow_events
     }
 }
 
@@ -108,6 +118,12 @@ impl TlbHierarchy {
     #[must_use]
     pub fn stats(&self) -> ((u64, u64), (u64, u64)) {
         (self.l1.stats(), self.l2.stats())
+    }
+
+    /// Counter increments lost to saturation across both levels.
+    #[must_use]
+    pub fn overflow_events(&self) -> u64 {
+        self.l1.overflow_events().saturating_add(self.l2.overflow_events())
     }
 }
 

@@ -1,0 +1,179 @@
+//! CPI-stack accounting: where every cycle's retire slots went.
+//!
+//! The accountant is fed once per simulated cycle: `retired` slots are
+//! credited to [`SlotClass::Base`] and the remaining
+//! `commit_width − retired` slots are charged to exactly one loss
+//! class, chosen deterministically from pipeline state by the core.
+//! Because every slot of every cycle lands in exactly one bucket, the
+//! components always sum to `cycles × commit_width` — the invariant
+//! the `obs_neutrality` harness test locks on every workload.
+
+use crate::registry::Registry;
+
+/// Where one retire-width slot of one cycle went.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotClass {
+    /// A µop retired in this slot (useful work).
+    Base,
+    /// ROB empty and fetch starved for a front-end reason other than a
+    /// resolving branch (i-cache miss, taken-branch bubble, BTB
+    /// mistarget, trace exhausted).
+    Frontend,
+    /// ROB empty while fetch stalls on an unresolved mispredicted
+    /// branch (this trace-driven model stalls instead of fetching the
+    /// wrong path).
+    BranchMispredict,
+    /// ROB empty during the refill shadow of a value-misprediction
+    /// flush (redirect penalty plus the front-end refill depth).
+    VpMispredictFlush,
+    /// ROB head is an unfinished load or store (data-cache / DRAM /
+    /// store-queue latency), or the refill shadow of a memory-ordering
+    /// flush.
+    Memory,
+    /// ROB head is an unfinished non-memory µop: execution latency,
+    /// scheduler or functional-unit contention, dependency chains.
+    BackendStructural,
+}
+
+/// The per-workload CPI stack (absolute slot counts, not ratios).
+#[must_use = "a CPI stack that is dropped was a wasted attribution pass"]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    /// Slots that retired a µop.
+    pub base: u64,
+    /// Slots lost to front-end starvation.
+    pub frontend: u64,
+    /// Slots lost to branch-misprediction fetch stalls.
+    pub branch_mispredict: u64,
+    /// Slots lost to value-misprediction flush recovery.
+    pub vp_mispredict_flush: u64,
+    /// Slots lost to memory latency.
+    pub memory: u64,
+    /// Slots lost to back-end structural/latency limits.
+    pub backend_structural: u64,
+}
+
+impl CpiStack {
+    /// Credits `n` retired slots to the base component.
+    #[inline]
+    pub fn retire(&mut self, n: u64) {
+        self.base = self.base.saturating_add(n);
+    }
+
+    /// Charges `n` lost slots to `class`.
+    ///
+    /// `class` must be a loss class; charging [`SlotClass::Base`] here
+    /// is accepted and equivalent to [`CpiStack::retire`] so the sum
+    /// invariant can never be broken by a caller mix-up.
+    #[inline]
+    pub fn lose(&mut self, class: SlotClass, n: u64) {
+        let slot = match class {
+            SlotClass::Base => &mut self.base,
+            SlotClass::Frontend => &mut self.frontend,
+            SlotClass::BranchMispredict => &mut self.branch_mispredict,
+            SlotClass::VpMispredictFlush => &mut self.vp_mispredict_flush,
+            SlotClass::Memory => &mut self.memory,
+            SlotClass::BackendStructural => &mut self.backend_structural,
+        };
+        *slot = slot.saturating_add(n);
+    }
+
+    /// Every component with its stable registry/report name.
+    #[must_use]
+    pub fn components(&self) -> [(&'static str, u64); 6] {
+        [
+            ("base", self.base),
+            ("frontend", self.frontend),
+            ("branch_mispredict", self.branch_mispredict),
+            ("vp_mispredict_flush", self.vp_mispredict_flush),
+            ("memory", self.memory),
+            ("backend_structural", self.backend_structural),
+        ]
+    }
+
+    /// Total attributed slots; equals `cycles × commit_width` when fed
+    /// once per cycle.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.components().iter().fold(0u64, |acc, (_, v)| acc.saturating_add(*v))
+    }
+
+    /// One component as a fraction of all attributed slots (0 when
+    /// nothing has been attributed yet).
+    #[must_use]
+    pub fn fraction(&self, component: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            component as f64 / total as f64
+        }
+    }
+
+    /// Publishes every component (and the total) as `cpi.*` counters.
+    pub fn fill_registry(&self, reg: &mut Registry) {
+        for (name, value) in self.components() {
+            reg.counter_scoped("cpi", name, value);
+        }
+        reg.counter_scoped("cpi", "total_slots", self.total());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_sum_to_total() {
+        let mut s = CpiStack::default();
+        // 10 cycles of an 8-wide machine: every slot must land.
+        for cycle in 0..10u64 {
+            let retired = cycle % 4;
+            s.retire(retired);
+            s.lose(
+                match cycle % 3 {
+                    0 => SlotClass::Frontend,
+                    1 => SlotClass::Memory,
+                    _ => SlotClass::BackendStructural,
+                },
+                8 - retired,
+            );
+        }
+        assert_eq!(s.total(), 80, "10 cycles x 8 slots all attributed");
+        let by_hand: u64 = s.components().iter().map(|(_, v)| v).sum();
+        assert_eq!(by_hand, s.total());
+    }
+
+    #[test]
+    fn losing_base_is_equivalent_to_retiring() {
+        let mut a = CpiStack::default();
+        let mut b = CpiStack::default();
+        a.retire(3);
+        b.lose(SlotClass::Base, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fractions_are_guarded_and_normalised() {
+        let empty = CpiStack::default();
+        assert_eq!(empty.fraction(empty.base), 0.0, "zero denominator");
+        let mut s = CpiStack::default();
+        s.retire(6);
+        s.lose(SlotClass::Memory, 2);
+        assert!((s.fraction(s.base) - 0.75).abs() < 1e-12);
+        assert!((s.fraction(s.memory) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_names_are_stable() {
+        let mut s = CpiStack::default();
+        s.retire(5);
+        s.lose(SlotClass::VpMispredictFlush, 3);
+        let mut reg = Registry::new();
+        s.fill_registry(&mut reg);
+        let names: Vec<&str> = reg.counters().iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"cpi.base"));
+        assert!(names.contains(&"cpi.vp_mispredict_flush"));
+        assert!(names.contains(&"cpi.total_slots"));
+    }
+}

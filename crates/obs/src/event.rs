@@ -1,0 +1,292 @@
+//! Structured event tracing: a fixed-capacity ring buffer behind a
+//! runtime-gated tracer.
+//!
+//! The ring is allocated once (at enable time) and never grows;
+//! recording overwrites the oldest event when full, so the buffer
+//! always holds the *last* `capacity` pipeline events — exactly what a
+//! post-mortem (chaos divergence, watchdog fire) wants. When tracing
+//! is disabled, [`Tracer::record`] is a single branch on a `None`
+//! discriminant: no allocation, no syscall, no buffer.
+
+/// What happened. `#[repr(u8)]` keeps [`TraceEvent`] small enough that
+/// the ring stays cache-resident at typical capacities.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// µop renamed (left the front end).
+    #[default]
+    Rename,
+    /// µop issued to a functional unit.
+    Issue,
+    /// µop retired.
+    Commit,
+    /// Pipeline flush applied; `arg` = µops squashed.
+    Flush,
+    /// Branch misprediction detected at fetch; `arg` = 1 while the
+    /// verdict stalls fetch.
+    BranchMispredict,
+    /// Value misprediction detected at validation; `arg` = the
+    /// mispredicted value.
+    ValueMispredict,
+    /// Deadlock watchdog fired; `arg` = stalled cycles.
+    Watchdog,
+}
+
+impl EventKind {
+    /// Stable lowercase name (Chrome trace `name` field, docs).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Rename => "rename",
+            EventKind::Issue => "issue",
+            EventKind::Commit => "commit",
+            EventKind::Flush => "flush",
+            EventKind::BranchMispredict => "branch_mispredict",
+            EventKind::ValueMispredict => "value_mispredict",
+            EventKind::Watchdog => "watchdog",
+        }
+    }
+
+    /// Every kind, in lane order (Chrome trace `tid` is the index).
+    #[must_use]
+    pub fn all() -> [EventKind; 7] {
+        [
+            EventKind::Rename,
+            EventKind::Issue,
+            EventKind::Commit,
+            EventKind::Flush,
+            EventKind::BranchMispredict,
+            EventKind::ValueMispredict,
+            EventKind::Watchdog,
+        ]
+    }
+
+    /// The kind's lane index (Chrome trace `tid`).
+    #[must_use]
+    pub fn lane(self) -> u64 {
+        self as u64
+    }
+}
+
+/// One recorded pipeline event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event occurred in.
+    pub cycle: u64,
+    /// Dynamic µop sequence number (0 for machine-level events).
+    pub seq: u64,
+    /// Program counter of the µop (0 for machine-level events).
+    pub pc: u64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub arg: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Fixed-capacity overwrite-oldest ring of [`TraceEvent`]s.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    next: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding the last `capacity.max(1)` events. The single
+    /// allocation of the tracing layer happens here, once.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            buf: vec![TraceEvent::default(); capacity], // audited: one-time ring allocation at enable time
+            next: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, overwriting the oldest when full.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.buf[self.next] = ev;
+        self.next += 1;
+        if self.next == self.buf.len() {
+            self.next = 0;
+        }
+        if self.len < self.buf.len() {
+            self.len += 1;
+        } else {
+            self.dropped = self.dropped.saturating_add(1);
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed capacity chosen at construction.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Events overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The held events, oldest first (diagnostic path; allocates).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.len); // audited: diagnostic/export path, not per-cycle
+        if self.len == self.buf.len() {
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+        } else {
+            out.extend_from_slice(&self.buf[..self.len]);
+        }
+        out
+    }
+}
+
+/// Runtime-gated event recorder. Disabled is the default and costs one
+/// branch per [`Tracer::record`]; the same binary can run traced and
+/// untraced simulations, which is what the determinism-neutrality test
+/// exercises.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    ring: Option<EventRing>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        Tracer { ring: None }
+    }
+
+    /// A tracer recording into a fresh ring of `capacity` events.
+    #[must_use]
+    pub fn enabled(capacity: usize) -> Self {
+        Tracer { ring: Some(EventRing::new(capacity)) }
+    }
+
+    /// Whether events are being kept.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Records one event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, kind: EventKind, cycle: u64, seq: u64, pc: u64, arg: u64) {
+        if let Some(ring) = self.ring.as_mut() {
+            ring.record(TraceEvent { cycle, seq, pc, arg, kind });
+        }
+    }
+
+    /// The held events, oldest first (empty when disabled).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.ring.as_ref().map(EventRing::snapshot).unwrap_or_default()
+    }
+
+    /// Events lost to ring overwrite (0 when disabled).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.as_ref().map_or(0, EventRing::dropped)
+    }
+
+    /// The ring capacity (0 when disabled).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.ring.as_ref().map_or(0, EventRing::capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent { cycle, seq: cycle, pc: 0x1000 + cycle, arg: 0, kind: EventKind::Commit }
+    }
+
+    #[test]
+    fn ring_holds_everything_under_capacity() {
+        let mut r = EventRing::new(8);
+        for c in 0..5 {
+            r.record(ev(c));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap[0].cycle, 0);
+        assert_eq!(snap[4].cycle, 4);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let mut r = EventRing::new(4);
+        for c in 0..10 {
+            r.record(ev(c));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.dropped(), 6);
+        let cycles: Vec<u64> = r.snapshot().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "last N survive, oldest first");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = EventRing::new(0);
+        r.record(ev(1));
+        r.record(ev(2));
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.snapshot().len(), 1);
+        assert_eq!(r.snapshot()[0].cycle, 2);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(EventKind::Rename, 1, 2, 3, 4);
+        assert!(!t.is_enabled());
+        assert!(t.snapshot().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.capacity(), 0);
+    }
+
+    #[test]
+    fn enabled_tracer_snapshots_in_order() {
+        let mut t = Tracer::enabled(16);
+        t.record(EventKind::Rename, 1, 10, 0x40, 0);
+        t.record(EventKind::Issue, 2, 10, 0x40, 0);
+        t.record(EventKind::Commit, 3, 10, 0x40, 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].kind, EventKind::Rename);
+        assert_eq!(snap[2].kind, EventKind::Commit);
+    }
+
+    #[test]
+    fn kind_lanes_are_distinct_and_named() {
+        let all = EventKind::all();
+        for (i, k) in all.iter().enumerate() {
+            assert_eq!(k.lane(), i as u64);
+            assert!(!k.name().is_empty());
+        }
+    }
+}

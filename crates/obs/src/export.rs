@@ -1,0 +1,125 @@
+//! Chrome `trace_event` export of a captured event ring.
+//!
+//! Produces the JSON Object Format understood by `chrome://tracing`
+//! and Perfetto: a top-level object with a `traceEvents` array plus
+//! our own `schema`, `otherData` and `metrics` members (the format
+//! explicitly allows extra top-level keys). Each pipeline event
+//! becomes an instant event (`"ph":"i"`) on a per-[`EventKind`] lane
+//! (`tid`), with the simulated cycle as the timestamp, and lanes are
+//! labelled with `thread_name` metadata records.
+
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::registry::{json_string, Registry};
+
+/// Version of the trace document envelope (the non-`traceEvents`
+/// members). The embedded metrics object carries its own
+/// [`crate::registry::METRICS_SCHEMA_VERSION`].
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Renders `events` (oldest first) and `metrics` as one Chrome trace
+/// JSON document. `dropped` reports ring overwrites so a consumer
+/// knows the window is a suffix of the run.
+#[must_use]
+pub fn chrome_trace(events: &[TraceEvent], dropped: u64, metrics: &Registry) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 1024);
+    let _ = write!(
+        out,
+        "{{\"schema\":{TRACE_SCHEMA_VERSION},\"displayTimeUnit\":\"ns\",\"traceEvents\":["
+    );
+    let mut first = true;
+    for kind in EventKind::all() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+            kind.lane(),
+            json_string(kind.name()),
+        );
+    }
+    for ev in events {
+        out.push(',');
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"pipeline\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\
+             \"tid\":{},\"args\":{{\"seq\":{},\"pc\":\"0x{:x}\",\"arg\":{}}}}}",
+            json_string(ev.kind.name()),
+            ev.cycle,
+            ev.kind.lane(),
+            ev.seq,
+            ev.pc,
+            ev.arg,
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"otherData\":{{\"event_count\":{},\"dropped_events\":{dropped}}},\"metrics\":{}}}",
+        events.len(),
+        metrics.to_json(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent { cycle: 5, seq: 1, pc: 0x400, arg: 0, kind: EventKind::Rename },
+            TraceEvent { cycle: 9, seq: 1, pc: 0x400, arg: 0, kind: EventKind::Commit },
+            TraceEvent { cycle: 12, seq: 2, pc: 0x404, arg: 3, kind: EventKind::Flush },
+        ]
+    }
+
+    #[test]
+    fn document_has_envelope_events_and_metrics() {
+        let mut reg = Registry::new();
+        reg.counter("core.cycles", 13);
+        let doc = chrome_trace(&sample(), 7, &reg);
+        assert!(doc.starts_with(&format!("{{\"schema\":{TRACE_SCHEMA_VERSION},")));
+        assert!(doc.contains("\"traceEvents\":["));
+        assert!(doc.contains("\"name\":\"commit\""));
+        assert!(doc.contains("\"ts\":12"));
+        assert!(doc.contains("\"pc\":\"0x404\""));
+        assert!(doc.contains("\"dropped_events\":7"));
+        assert!(doc.contains("\"event_count\":3"));
+        assert!(doc.contains("\"metrics\":{\"schema\":"));
+        assert!(doc.contains("\"core.cycles\":13"));
+        assert!(doc.ends_with("}"));
+    }
+
+    #[test]
+    fn every_lane_is_labelled_even_with_no_events() {
+        let doc = chrome_trace(&[], 0, &Registry::new());
+        for kind in EventKind::all() {
+            assert!(
+                doc.contains(&format!("\"args\":{{\"name\":\"{}\"}}", kind.name())),
+                "lane {} labelled",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn braces_and_brackets_balance() {
+        let doc = chrome_trace(&sample(), 0, &Registry::new());
+        let depth = |open: char, close: char| {
+            doc.chars().fold(0i64, |d, c| {
+                if c == open {
+                    d + 1
+                } else if c == close {
+                    d - 1
+                } else {
+                    d
+                }
+            })
+        };
+        assert_eq!(depth('{', '}'), 0);
+        assert_eq!(depth('[', ']'), 0);
+    }
+}

@@ -109,6 +109,8 @@ pub struct TageStats {
     pub predictions: u64,
     /// Number of updates whose prediction was wrong.
     pub mispredictions: u64,
+    /// Counter increments lost to saturation (should stay 0).
+    pub overflow_events: u64,
 }
 
 impl TageStats {
@@ -236,7 +238,7 @@ impl Tage {
                 token.taken = base_taken;
             }
         }
-        self.stats.predictions += 1;
+        tvp_obs::counters::sat_inc(&mut self.stats.predictions, &mut self.stats.overflow_events);
         token
     }
 
@@ -263,7 +265,10 @@ impl Tage {
     /// retirement order.
     pub fn update(&mut self, token: &TageToken, taken: bool) {
         if token.taken != taken {
-            self.stats.mispredictions += 1;
+            tvp_obs::counters::sat_inc(
+                &mut self.stats.mispredictions,
+                &mut self.stats.overflow_events,
+            );
         }
 
         // use_alt_on_na bookkeeping: when the provider was freshly

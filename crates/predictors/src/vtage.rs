@@ -195,6 +195,8 @@ pub struct VtageStats {
     pub correct: u64,
     /// Updates where a hit entry's value mismatched the outcome.
     pub incorrect: u64,
+    /// Counter increments lost to saturation (should stay 0).
+    pub overflow_events: u64,
 }
 
 /// The VTAGE value predictor.
@@ -271,7 +273,7 @@ impl Vtage {
     /// Looks up a prediction for the (VP-eligible) instruction at `pc`
     /// using the current speculative branch history.
     pub fn predict(&mut self, pc: u64) -> VtagePred {
-        self.stats.lookups += 1;
+        tvp_obs::counters::sat_inc(&mut self.stats.lookups, &mut self.stats.overflow_events);
         let mut pred = VtagePred {
             value: 0,
             hit: false,
@@ -306,7 +308,7 @@ impl Vtage {
             }
         }
         if pred.hit {
-            self.stats.hits += 1;
+            tvp_obs::counters::sat_inc(&mut self.stats.hits, &mut self.stats.overflow_events);
         }
         pred
     }
@@ -336,10 +338,16 @@ impl Vtage {
         let mut provider_correct = false;
         if pred.hit {
             if pred.value == actual {
-                self.stats.correct += 1;
+                tvp_obs::counters::sat_inc(
+                    &mut self.stats.correct,
+                    &mut self.stats.overflow_events,
+                );
                 provider_correct = true;
             } else {
-                self.stats.incorrect += 1;
+                tvp_obs::counters::sat_inc(
+                    &mut self.stats.incorrect,
+                    &mut self.stats.overflow_events,
+                );
             }
             let entry = if pred.provider == 0 {
                 &mut self.base[pred.base_index as usize]

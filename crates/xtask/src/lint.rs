@@ -28,6 +28,13 @@
 //!    ([`tvp_core::inline_vec`]) or reusable scratch buffers owned by
 //!    the component. One-time construction, reset and diagnostic paths
 //!    are fine — waive them with `// audited: <reason>`.
+//! 6. **no-println-in-sim-crates** — the simulation crates (`core`,
+//!    `mem`, `predictors`, `obs`) must not write to stdout/stderr with
+//!    `println!`/`eprintln!`/`print!`/`eprint!`: ad-hoc prints desync
+//!    parallel bench output and bypass the structured observability
+//!    layer (event trace, CPI stack, counter registry). Reporting
+//!    belongs in the bench/harness crates; genuinely diagnostic prints
+//!    need an `// audited: <reason>` waiver.
 //!
 //! A finding on any line is waived when that line (or the line directly
 //! above it) carries an `// audited: <reason>` comment.
@@ -42,7 +49,11 @@ const WAIVER: &str = "audited:";
 /// Crates whose source the scanner walks. The proptest shim is
 /// vendored third-party-shaped code; xtask itself is host tooling.
 const SCANNED_CRATES: &[&str] =
-    &["bench", "chaos", "core", "harness", "isa", "mem", "predictors", "verif", "workloads"];
+    &["bench", "chaos", "core", "harness", "isa", "mem", "obs", "predictors", "verif", "workloads"];
+
+/// Crates that must stay print-free (rule 6): everything on the
+/// simulation side of the bench/harness boundary.
+const SILENT_CRATES: &[&str] = &["core", "mem", "obs", "predictors"];
 
 /// Per-cycle hot-path modules (rule 2).
 const HOT_PATH_FILES: &[&str] = &[
@@ -59,6 +70,9 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/mem/src/hierarchy.rs",
     "crates/mem/src/prefetch.rs",
     "crates/mem/src/tlb.rs",
+    "crates/obs/src/counters.rs",
+    "crates/obs/src/cpi.rs",
+    "crates/obs/src/event.rs",
     "crates/predictors/src/btb.rs",
     "crates/predictors/src/history.rs",
     "crates/predictors/src/indirect.rs",
@@ -298,28 +312,13 @@ fn check_hot_path_allocs(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>)
         ".to_owned()",
         ".to_string()",
     ];
-    // A pattern starting with an identifier character must not be
-    // preceded by one (`InlineVec::new()` is not `Vec::new()`).
-    let hit = |code: &str, pat: &str| -> bool {
-        let mut start = 0;
-        while let Some(pos) = code[start..].find(pat) {
-            let at = start + pos;
-            let head_is_ident = pat.starts_with(|c: char| c.is_alphanumeric());
-            let glued = head_is_ident
-                && code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
-            if !glued {
-                return true;
-            }
-            start = at + pat.len();
-        }
-        false
-    };
     for (i, l) in lines.iter().enumerate() {
         if waived(lines, i) {
             continue;
         }
         for pat in BANNED {
-            if hit(&l.code, pat) {
+            // `InlineVec::new()` is not `Vec::new()` — see hit_unglued.
+            if hit_unglued(&l.code, pat) {
                 out.push(Finding {
                     file: file.to_owned(),
                     line: l.line_no,
@@ -334,6 +333,49 @@ fn check_hot_path_allocs(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>)
             }
         }
     }
+}
+
+/// Rule 6: stdout/stderr writes in simulation crates.
+fn check_sim_crate_prints(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &["println!(", "eprintln!(", "print!(", "eprint!("];
+    for (i, l) in lines.iter().enumerate() {
+        if waived(lines, i) {
+            continue;
+        }
+        for pat in BANNED {
+            if hit_unglued(&l.code, pat) {
+                out.push(Finding {
+                    file: file.to_owned(),
+                    line: l.line_no,
+                    rule: "no-println-in-sim-crates",
+                    msg: format!(
+                        "`{}` in a simulation crate: route output through the \
+                         observability layer (event trace / counter registry) or the \
+                         bench reporting code, or waive with `// audited:`",
+                        pat.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Occurrence check where a pattern starting with an identifier
+/// character must not be glued to a preceding identifier character
+/// (`my_println!(` is not `println!(`).
+fn hit_unglued(code: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        let at = start + pos;
+        let head_is_ident = pat.starts_with(|c: char| c.is_alphanumeric());
+        let glued = head_is_ident
+            && code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !glued {
+            return true;
+        }
+        start = at + pat.len();
+    }
+    false
 }
 
 /// Rule 3: floating point in architectural-state updates.
@@ -443,6 +485,9 @@ pub fn run(root: &Path) -> Vec<Finding> {
             }
             if ARCH_STATE_FILES.contains(&rel.as_str()) {
                 check_arch_state_floats(&rel, &lines, &mut findings);
+            }
+            if SILENT_CRATES.contains(krate) {
+                check_sim_crate_prints(&rel, &lines, &mut findings);
             }
             if BUDGET_CRATES.contains(krate) {
                 budget_files.push((rel, lines));
@@ -592,6 +637,34 @@ mod tests {
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].msg.contains("MyTable"));
         assert_eq!(out[0].rule, "storage-budget-coverage");
+    }
+
+    #[test]
+    fn seeded_println_violation_is_flagged() {
+        let src = "fn step(&mut self) { println!(\"cycle {}\", self.cycle); }\n";
+        let mut out = Vec::new();
+        check_sim_crate_prints("x.rs", &lines(src), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "no-println-in-sim-crates");
+    }
+
+    #[test]
+    fn audited_eprintln_is_waived_and_tests_are_exempt() {
+        let src = "// audited: one-shot divergence diagnostic\n\
+                   fn dump(&self) { eprintln!(\"{}\", self.report()); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { println!(\"debugging\"); }\n}\n";
+        let mut out = Vec::new();
+        check_sim_crate_prints("x.rs", &lines(src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn custom_macro_ending_in_println_is_not_flagged() {
+        let src = "fn f() { my_println!(\"into a buffer\"); }\n";
+        let mut out = Vec::new();
+        check_sim_crate_prints("x.rs", &lines(src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

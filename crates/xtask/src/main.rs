@@ -5,8 +5,14 @@
 //! The pass is offline and dependency-free: a hand-rolled lexical
 //! scanner over `crates/*/src`, not a `syn` AST walk, which keeps the
 //! workspace free of external build dependencies.
+//!
+//! `cargo xtask validate-trace <file>` checks that a Chrome
+//! `trace_event` JSON document written by `simulate --trace` is
+//! well-formed and carries the fields the schema promises — the CI
+//! trace-smoke step gates on it. The checks live in [`trace_schema`].
 
 mod lint;
+mod trace_schema;
 
 use std::process::ExitCode;
 
@@ -27,8 +33,31 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("validate-trace") => {
+            let Some(path) = args.next() else {
+                eprintln!("usage: cargo xtask validate-trace <trace.json>");
+                return ExitCode::from(2);
+            };
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("xtask validate-trace: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match trace_schema::validate(&src) {
+                Ok(summary) => {
+                    println!("xtask validate-trace: {path} ok ({summary})");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("xtask validate-trace: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint | validate-trace FILE>");
             ExitCode::from(2)
         }
     }
