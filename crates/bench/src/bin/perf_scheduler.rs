@@ -1,0 +1,10 @@
+//! Scheduler hot-loop micro-benchmark (`cargo xtask perf`).
+//!
+//! Times the simulator on the stock workloads with min-of-K std-only
+//! wall timers and writes the schema-versioned `BENCH_scheduler.json`
+//! record. See `tvp_bench::schedbench` for options and the record
+//! format, and DESIGN.md §12 for the methodology.
+
+fn main() {
+    tvp_bench::schedbench::run_main(std::env::args().skip(1));
+}

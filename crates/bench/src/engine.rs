@@ -45,18 +45,26 @@ pub struct RunOptions {
     pub smoke: bool,
     /// Per-job progress lines on stderr.
     pub progress: bool,
+    /// Emit the raw per-job timing array in telemetry (`--per-job`).
+    pub per_job: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { workers: None, insts: DEFAULT_INSTS, smoke: false, progress: false }
+        RunOptions {
+            workers: None,
+            insts: DEFAULT_INSTS,
+            smoke: false,
+            progress: false,
+            per_job: false,
+        }
     }
 }
 
 /// Parses the common experiment CLI: `[--jobs N] [--smoke]
-/// [--insts N] [--progress]`. Budget precedence: `--insts` flag, then
-/// the `TVP_INSTS` environment variable, then the smoke/default
-/// budget.
+/// [--insts N] [--progress] [--per-job]`. Budget precedence: `--insts`
+/// flag, then the `TVP_INSTS` environment variable, then the
+/// smoke/default budget.
 ///
 /// # Panics
 ///
@@ -64,13 +72,14 @@ impl Default for RunOptions {
 #[must_use]
 pub fn parse_run_options(args: impl Iterator<Item = String>) -> RunOptions {
     let usage = || -> ! {
-        eprintln!("usage: <experiment> [--jobs N] [--smoke] [--insts N] [--progress]");
+        eprintln!("usage: <experiment> [--jobs N] [--smoke] [--insts N] [--progress] [--per-job]");
         std::process::exit(2);
     };
     let mut workers = None;
     let mut insts_flag: Option<u64> = None;
     let mut smoke = false;
     let mut progress = false;
+    let mut per_job = false;
     let args: Vec<String> = args.collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -88,13 +97,14 @@ pub fn parse_run_options(args: impl Iterator<Item = String>) -> RunOptions {
                     Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--progress" => progress = true,
+            "--per-job" => per_job = true,
             _ => usage(),
         }
     }
     let insts = insts_flag
         .or_else(|| std::env::var("TVP_INSTS").ok().and_then(|s| s.parse().ok()))
         .unwrap_or(if smoke { SMOKE_INSTS } else { DEFAULT_INSTS });
-    RunOptions { workers, insts, smoke, progress }
+    RunOptions { workers, insts, smoke, progress, per_job }
 }
 
 /// Resolves the results directory (`$TVP_RESULTS_DIR`, default
@@ -213,6 +223,7 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
         cpu_time,
         simulated_cycles,
         per_job: outcome.timings,
+        emit_per_job: opts.per_job,
     };
     let telemetry_path = Telemetry::default_path();
     telemetry.write(&telemetry_path);

@@ -23,6 +23,7 @@ pub mod experiments;
 mod fingerprint_tests;
 pub mod jobs;
 pub mod runner;
+pub mod schedbench;
 pub mod telemetry;
 
 /// Default per-workload instruction budget.

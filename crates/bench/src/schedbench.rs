@@ -1,0 +1,498 @@
+//! Scheduler micro-benchmark — the perf trajectory record.
+//!
+//! `cargo xtask perf` (a thin wrapper over the `perf_scheduler` bin)
+//! times the simulator hot loop on the stock workloads with std-only
+//! timers: each (workload, config) point runs `reps` times and reports
+//! the **min-of-K** wall time, the classic noise-rejection estimator
+//! for a deterministic computation on a shared host. Results land in
+//! `BENCH_scheduler.json` (schema-versioned, see DESIGN.md §12); a
+//! previous record can be folded in with `--baseline FILE` so one file
+//! carries the before/after pair and the speedup.
+//!
+//! The benchmark is also an equivalence probe: every repetition of a
+//! point must simulate the exact same cycle count, and a `--baseline`
+//! record taken at the same instruction budget must agree on every
+//! point's simulated cycles — either disagreement aborts the run.
+
+use std::time::{Duration, Instant};
+
+use tvp_core::config::{CoreConfig, VpMode};
+use tvp_core::pipeline::Core;
+use tvp_workloads::suite::base_suite;
+use tvp_workloads::trace::Trace;
+
+use crate::engine::SMOKE_INSTS;
+use crate::json;
+use crate::DEFAULT_INSTS;
+
+/// `BENCH_scheduler.json` record schema version.
+pub const SCHED_BENCH_SCHEMA: u32 = 1;
+
+/// Default output path (workspace root).
+pub const SCHED_BENCH_FILE: &str = "BENCH_scheduler.json";
+
+/// The configurations each workload is timed under.
+const CONFIGS: [(&str, VpMode, bool); 2] =
+    [("base", VpMode::Off, false), ("tvp_spsr", VpMode::Tvp, true)];
+
+/// Parsed CLI for the scheduler micro-benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchOptions {
+    /// Architectural instructions per workload.
+    pub insts: u64,
+    /// Repetitions per point (min-of-K).
+    pub reps: u32,
+    /// Smoke mode (CI-sized budget unless `--insts` overrides).
+    pub smoke: bool,
+    /// Previous record to embed as the baseline.
+    pub baseline: Option<String>,
+    /// Output path.
+    pub out: String,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            insts: DEFAULT_INSTS,
+            reps: 3,
+            smoke: false,
+            baseline: None,
+            out: SCHED_BENCH_FILE.to_owned(),
+        }
+    }
+}
+
+/// Parses `[--smoke] [--insts N] [--reps K] [--baseline FILE]
+/// [--out FILE]`.
+///
+/// # Panics
+///
+/// Exits the process (code 2) on unknown or malformed arguments.
+#[must_use]
+pub fn parse_bench_options(args: impl Iterator<Item = String>) -> BenchOptions {
+    let usage = || -> ! {
+        eprintln!(
+            "usage: perf_scheduler [--smoke] [--insts N] [--reps K] [--baseline FILE] [--out FILE]"
+        );
+        std::process::exit(2);
+    };
+    let mut opts = BenchOptions::default();
+    let mut insts_flag: Option<u64> = None;
+    let args: Vec<String> = args.collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--insts" => {
+                insts_flag =
+                    Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--reps" => {
+                let k: u32 = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if k == 0 {
+                    usage();
+                }
+                opts.reps = k;
+            }
+            "--baseline" => opts.baseline = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--out" => opts.out = it.next().unwrap_or_else(|| usage()).clone(),
+            _ => usage(),
+        }
+    }
+    opts.insts = insts_flag.unwrap_or(if opts.smoke { SMOKE_INSTS } else { DEFAULT_INSTS });
+    opts
+}
+
+/// One timed (workload, config) point.
+#[derive(Clone, Debug)]
+pub struct BenchPoint {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Configuration label.
+    pub config: &'static str,
+    /// Simulated cycles (identical across repetitions by construction).
+    pub cycles: u64,
+    /// Best (minimum) wall time over the repetitions.
+    pub best_wall: Duration,
+}
+
+impl BenchPoint {
+    /// Simulated cycles per second of host wall time, at the best rep.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.best_wall.as_secs_f64();
+        if secs > 0.0 {
+            self.cycles as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A baseline point recovered from a previous record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselinePoint {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label.
+    pub config: String,
+    /// Its simulated cycle count (absent in hand-edited records).
+    pub cycles: Option<u64>,
+    /// Its recorded throughput.
+    pub cycles_per_sec: f64,
+}
+
+/// Times one point: `reps` full simulations, min-of-K wall time.
+///
+/// # Panics
+///
+/// Panics if repetitions disagree on the simulated cycle count — the
+/// simulator must be deterministic, so disagreement is a bug.
+#[must_use]
+pub fn time_point(
+    workload: &'static str,
+    config: &'static str,
+    cfg: &CoreConfig,
+    trace: &Trace,
+    reps: u32,
+) -> BenchPoint {
+    let mut cycles = 0u64;
+    let mut best = Duration::MAX;
+    for rep in 0..reps {
+        let mut core = Core::new(cfg.clone());
+        let start = Instant::now();
+        let stats = core.run(trace);
+        let wall = start.elapsed();
+        assert!(
+            rep == 0 || stats.cycles == cycles,
+            "{workload}/{config}: rep {rep} simulated {} cycles, rep 0 simulated {cycles}",
+            stats.cycles
+        );
+        cycles = stats.cycles;
+        best = best.min(wall);
+    }
+    BenchPoint { workload, config, cycles, best_wall: best }
+}
+
+/// Runs the full benchmark: every stock workload under every config.
+/// Progress goes to stderr; the record is returned, not yet written.
+#[must_use]
+pub fn run_bench(opts: &BenchOptions) -> Vec<BenchPoint> {
+    let mut points = Vec::new();
+    for workload in base_suite() {
+        let trace = workload.trace(opts.insts);
+        for (label, vp, spsr) in CONFIGS {
+            let mut cfg = CoreConfig::with_vp(vp);
+            cfg.spsr = spsr;
+            let point = time_point(workload.name, label, &cfg, &trace, opts.reps);
+            eprintln!(
+                "[perf] {:<16} {:<9} {:>9} cycles  {:>8.1}ms best-of-{}  {:>6.2}M cyc/s",
+                point.workload,
+                point.config,
+                point.cycles,
+                point.best_wall.as_secs_f64() * 1e3,
+                opts.reps,
+                point.cycles_per_sec() / 1e6,
+            );
+            points.push(point);
+        }
+    }
+    points
+}
+
+/// Geometric mean of per-point throughputs.
+#[must_use]
+pub fn geomean_cps(cps: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for x in cps {
+        if x > 0.0 {
+            log_sum += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / f64::from(n)).exp()
+    }
+}
+
+/// Renders one point as a single-line JSON object. The fixed key order
+/// is load-bearing: [`scan_baseline`] recovers baseline points from a
+/// previous record by scanning these lines.
+fn point_json(p: &BenchPoint, baseline: Option<&BaselinePoint>) -> String {
+    let mut s = format!(
+        "{{\"workload\": \"{}\", \"config\": \"{}\", \"cycles\": {}, \
+         \"best_wall_seconds\": {}, \"cycles_per_sec\": {}",
+        json::escape(p.workload),
+        json::escape(p.config),
+        p.cycles,
+        json::number(p.best_wall.as_secs_f64()),
+        json::number(p.cycles_per_sec()),
+    );
+    if let Some(b) = baseline {
+        let speedup =
+            if b.cycles_per_sec > 0.0 { p.cycles_per_sec() / b.cycles_per_sec } else { 0.0 };
+        s.push_str(&format!(
+            ", \"baseline_cycles_per_sec\": {}, \"speedup\": {}",
+            json::number(b.cycles_per_sec),
+            json::number(speedup),
+        ));
+    }
+    s.push('}');
+    s
+}
+
+/// Recovers baseline points (workload, config, simulated cycles,
+/// cycles/s) from a record
+/// this module wrote earlier. Not a general JSON parser: it relies on
+/// the one-point-per-line layout and fixed key order of [`to_json`],
+/// which is all `--baseline` ever reads.
+#[must_use]
+pub fn scan_baseline(src: &str) -> Vec<BaselinePoint> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim())
+    }
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"workload\":") {
+            continue;
+        }
+        let (Some(w), Some(c), Some(cps)) =
+            (field(line, "workload"), field(line, "config"), field(line, "cycles_per_sec"))
+        else {
+            continue;
+        };
+        let Ok(cycles_per_sec) = cps.parse::<f64>() else { continue };
+        out.push(BaselinePoint {
+            workload: w.trim_matches('"').to_owned(),
+            config: c.trim_matches('"').to_owned(),
+            cycles: field(line, "cycles").and_then(|s| s.parse().ok()),
+            cycles_per_sec,
+        });
+    }
+    out
+}
+
+/// Recovers the root `insts` budget from a previous record (the first
+/// `"insts": N` line that is not inside a point object).
+#[must_use]
+pub fn scan_baseline_insts(src: &str) -> Option<u64> {
+    src.lines()
+        .map(str::trim)
+        .find(|l| l.starts_with("\"insts\":"))
+        .and_then(|l| l["\"insts\":".len()..].trim().trim_end_matches(',').parse().ok())
+}
+
+/// Cross-checks simulated cycle counts against a baseline record taken
+/// at the same instruction budget: behaviour preservation means every
+/// matched (workload, config) point must simulate the *exact* same
+/// cycle count. Returns one description per mismatch.
+#[must_use]
+pub fn equivalence_mismatches(points: &[BenchPoint], baseline: &[BaselinePoint]) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in points {
+        let matched = baseline.iter().find(|b| b.workload == p.workload && b.config == p.config);
+        if let Some(b) = matched {
+            if let Some(bc) = b.cycles {
+                if bc != p.cycles {
+                    out.push(format!(
+                        "{}/{}: baseline simulated {bc} cycles, this run {}",
+                        p.workload, p.config, p.cycles
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Serialises the record. `baseline` points (from a previous record)
+/// are matched to current points by (workload, config); the headline
+/// `speedup` is the ratio of geometric-mean throughputs over the
+/// matched points.
+#[must_use]
+pub fn to_json(opts: &BenchOptions, points: &[BenchPoint], baseline: &[BaselinePoint]) -> String {
+    let rendered: Vec<String> = points
+        .iter()
+        .map(|p| {
+            let b = baseline.iter().find(|b| b.workload == p.workload && b.config == p.config);
+            point_json(p, b)
+        })
+        .collect();
+    let geomean = geomean_cps(points.iter().map(BenchPoint::cycles_per_sec));
+    let mut fields = vec![
+        ("schema", SCHED_BENCH_SCHEMA.to_string()),
+        ("insts", opts.insts.to_string()),
+        ("reps", opts.reps.to_string()),
+        ("smoke", opts.smoke.to_string()),
+        ("points", json::array(&rendered)),
+        ("geomean_cycles_per_sec", json::number(geomean)),
+    ];
+    let matched: Vec<f64> = points
+        .iter()
+        .filter_map(|p| {
+            baseline
+                .iter()
+                .find(|b| b.workload == p.workload && b.config == p.config)
+                .map(|b| b.cycles_per_sec)
+        })
+        .collect();
+    if !matched.is_empty() {
+        let base_geomean = geomean_cps(matched.iter().copied());
+        let speedup = if base_geomean > 0.0 { geomean / base_geomean } else { 0.0 };
+        fields.push(("baseline_geomean_cycles_per_sec", json::number(base_geomean)));
+        fields.push(("speedup", json::number(speedup)));
+    }
+    json::object(&fields.iter().map(|(k, v)| (*k, v.clone())).collect::<Vec<_>>())
+}
+
+/// Full bin body: parse args, run, merge baseline, write the record.
+///
+/// # Panics
+///
+/// Panics if the output file cannot be written, a `--baseline` file
+/// cannot be read (fatal setup errors), or a baseline taken at the
+/// same instruction budget disagrees on any point's simulated cycle
+/// count — a perf comparison is only meaningful between behaviourally
+/// identical simulators, so disagreement is a correctness bug, not a
+/// perf result.
+pub fn run_main(args: impl Iterator<Item = String>) {
+    let opts = parse_bench_options(args);
+    let mut baseline_insts = None;
+    let baseline = opts.baseline.as_deref().map_or_else(Vec::new, |path| {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        baseline_insts = scan_baseline_insts(&src);
+        let points = scan_baseline(&src);
+        assert!(!points.is_empty(), "baseline {path} holds no points");
+        points
+    });
+    eprintln!(
+        "[perf] {} insts/workload, min-of-{}{}",
+        opts.insts,
+        opts.reps,
+        if opts.smoke { " (smoke)" } else { "" }
+    );
+    let points = run_bench(&opts);
+    if !baseline.is_empty() {
+        if baseline_insts == Some(opts.insts) {
+            let mismatches = equivalence_mismatches(&points, &baseline);
+            assert!(
+                mismatches.is_empty(),
+                "simulated-cycle divergence vs baseline:\n  {}",
+                mismatches.join("\n  ")
+            );
+            eprintln!("[perf] equivalence: simulated cycles match the baseline on every point");
+        } else {
+            eprintln!(
+                "[perf] note: baseline budget {:?} != {} insts — cycle cross-check skipped",
+                baseline_insts, opts.insts
+            );
+        }
+    }
+    let json = to_json(&opts, &points, &baseline);
+    std::fs::write(&opts.out, &json).expect("write scheduler benchmark record");
+    let geomean = geomean_cps(points.iter().map(BenchPoint::cycles_per_sec));
+    eprintln!("[perf] geomean {:.2}M simulated cycles/s — written to {}", geomean / 1e6, opts.out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> Vec<BenchPoint> {
+        vec![
+            BenchPoint {
+                workload: "string_match",
+                config: "base",
+                cycles: 1_000_000,
+                best_wall: Duration::from_millis(250),
+            },
+            BenchPoint {
+                workload: "string_match",
+                config: "tvp_spsr",
+                cycles: 900_000,
+                best_wall: Duration::from_millis(300),
+            },
+        ]
+    }
+
+    #[test]
+    fn record_roundtrips_through_baseline_scan() {
+        let opts = BenchOptions { insts: 1000, reps: 2, ..Default::default() };
+        let json = to_json(&opts, &sample_points(), &[]);
+        for field in ["\"schema\": 1", "\"points\"", "\"geomean_cycles_per_sec\""] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        let scanned = scan_baseline(&json);
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(scanned[0].workload, "string_match");
+        assert_eq!(scanned[0].config, "base");
+        assert_eq!(scanned[0].cycles, Some(1_000_000));
+        assert!((scanned[0].cycles_per_sec - 4_000_000.0).abs() < 1.0);
+        assert_eq!(scan_baseline_insts(&json), Some(1000));
+    }
+
+    #[test]
+    fn equivalence_check_flags_cycle_divergence() {
+        let points = sample_points();
+        let agree = scan_baseline(&to_json(
+            &BenchOptions { insts: 1000, reps: 2, ..Default::default() },
+            &points,
+            &[],
+        ));
+        assert!(equivalence_mismatches(&points, &agree).is_empty());
+
+        let mut diverged = agree.clone();
+        diverged[1].cycles = Some(900_001);
+        let mismatches = equivalence_mismatches(&points, &diverged);
+        assert_eq!(mismatches.len(), 1);
+        assert!(mismatches[0].contains("string_match/tvp_spsr"), "{}", mismatches[0]);
+
+        // A baseline without cycle counts (hand-edited) checks nothing.
+        let mut blind = agree;
+        for b in &mut blind {
+            b.cycles = None;
+        }
+        assert!(equivalence_mismatches(&points, &blind).is_empty());
+    }
+
+    #[test]
+    fn baseline_merge_adds_speedup_fields() {
+        let opts = BenchOptions { insts: 1000, reps: 2, ..Default::default() };
+        let baseline = vec![BaselinePoint {
+            workload: "string_match".to_owned(),
+            config: "base".to_owned(),
+            cycles: None,
+            cycles_per_sec: 2_000_000.0,
+        }];
+        let json = to_json(&opts, &sample_points(), &baseline);
+        assert!(json.contains("\"baseline_cycles_per_sec\": 2000000"), "{json}");
+        assert!(json.contains("\"speedup\": 2"), "{json}");
+        assert!(json.contains("\"baseline_geomean_cycles_per_sec\""), "{json}");
+    }
+
+    #[test]
+    fn geomean_ignores_empty_and_zero() {
+        assert!((geomean_cps([4.0, 9.0].into_iter()) - 6.0).abs() < 1e-9);
+        assert!(geomean_cps(std::iter::empty()).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn smoke_bench_runs_and_is_deterministic() {
+        // One tiny point end to end: exercises the determinism assert.
+        let workload = tvp_workloads::suite::by_name("string_match").expect("kernel exists");
+        let trace = workload.trace(2_000);
+        let cfg = CoreConfig::with_vp(VpMode::Off);
+        let p = time_point("string_match", "base", &cfg, &trace, 2);
+        assert!(p.cycles > 0);
+        assert!(p.cycles_per_sec() > 0.0);
+    }
+}

@@ -15,8 +15,12 @@ use crate::runner::JobTiming;
 pub const TELEMETRY_FILE: &str = "BENCH_parallel_runner.json";
 
 /// Telemetry record schema. Version 2 added the per-job `cpi` object
-/// (cycle-attribution stack components).
-pub const TELEMETRY_SCHEMA: u32 = 2;
+/// (cycle-attribution stack components). Version 3 replaced the
+/// always-on `per_job` array (which grew one raw record per unique
+/// simulation point — 725 entries on a full sweep) with bounded
+/// `per_workload` wall-time aggregates (p50/p95/p99/max); the raw
+/// array is still available behind the `--per-job` flag.
+pub const TELEMETRY_SCHEMA: u32 = 3;
 
 /// One engine invocation's performance record.
 #[derive(Clone, Debug)]
@@ -50,8 +54,71 @@ pub struct Telemetry {
     pub cpu_time: Duration,
     /// Total simulated cycles across all unique points.
     pub simulated_cycles: u64,
-    /// Per-job wall-clock timings.
+    /// Per-job wall-clock timings (aggregated per workload in the
+    /// record; serialised raw only when `emit_per_job` is set).
     pub per_job: Vec<JobTiming>,
+    /// Include the raw `per_job` array in the JSON record
+    /// (`--per-job`).
+    pub emit_per_job: bool,
+}
+
+/// Bounded per-workload digest of job wall times: one entry per
+/// workload regardless of how many configurations were swept.
+#[derive(Clone, Debug)]
+pub struct WorkloadAggregate {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Simulation points run for this workload.
+    pub jobs: u64,
+    /// Total simulated cycles across those points.
+    pub cycles: u64,
+    /// Median job wall time, in microseconds.
+    pub p50_micros: u128,
+    /// 95th-percentile job wall time, in microseconds.
+    pub p95_micros: u128,
+    /// 99th-percentile job wall time, in microseconds.
+    pub p99_micros: u128,
+    /// Slowest job wall time, in microseconds.
+    pub max_micros: u128,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample
+/// (`q` in 0..=100; the empty sample yields 0).
+fn percentile(sorted: &[u128], q: u128) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u128;
+    let rank = (q * n).div_ceil(100).max(1);
+    sorted[usize::try_from(rank - 1).expect("rank fits usize")]
+}
+
+/// Folds raw job timings into one [`WorkloadAggregate`] per workload,
+/// sorted by workload name.
+#[must_use]
+pub fn aggregate_per_workload(timings: &[JobTiming]) -> Vec<WorkloadAggregate> {
+    let mut by_workload: std::collections::BTreeMap<&'static str, (u64, Vec<u128>)> =
+        std::collections::BTreeMap::new();
+    for t in timings {
+        let (cycles, walls) = by_workload.entry(t.key.workload).or_default();
+        *cycles += t.cycles;
+        walls.push(t.wall.as_micros());
+    }
+    by_workload
+        .into_iter()
+        .map(|(workload, (cycles, mut walls))| {
+            walls.sort_unstable();
+            WorkloadAggregate {
+                workload,
+                jobs: walls.len() as u64,
+                cycles,
+                p50_micros: percentile(&walls, 50),
+                p95_micros: percentile(&walls, 95),
+                p99_micros: percentile(&walls, 99),
+                max_micros: walls.last().copied().unwrap_or(0),
+            }
+        })
+        .collect()
 }
 
 impl Telemetry {
@@ -71,26 +138,24 @@ impl Telemetry {
     /// Serialises the record as a JSON document.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let per_job: Vec<String> = self
-            .per_job
+        let per_workload: Vec<String> = aggregate_per_workload(&self.per_job)
             .iter()
-            .map(|t| {
-                let cpi: Vec<String> = t
-                    .cpi
-                    .components()
-                    .iter()
-                    .map(|(name, slots)| format!("\"{name}\": {slots}"))
-                    .collect();
+            .map(|w| {
                 format!(
-                    "{{\"point\": \"{}\", \"micros\": {}, \"cycles\": {}, \"cpi\": {{{}}}}}",
-                    json::escape(&t.key.display()),
-                    t.wall.as_micros(),
-                    t.cycles,
-                    cpi.join(", ")
+                    "{{\"workload\": \"{}\", \"jobs\": {}, \"cycles\": {}, \
+                     \"p50_micros\": {}, \"p95_micros\": {}, \"p99_micros\": {}, \
+                     \"max_micros\": {}}}",
+                    json::escape(w.workload),
+                    w.jobs,
+                    w.cycles,
+                    w.p50_micros,
+                    w.p95_micros,
+                    w.p99_micros,
+                    w.max_micros
                 )
             })
             .collect();
-        json::object(&[
+        let mut fields = vec![
             ("schema", self.schema.to_string()),
             ("workers", self.workers.to_string()),
             ("insts", self.insts.to_string()),
@@ -107,8 +172,31 @@ impl Telemetry {
             ("sims_per_sec", json::number(self.sims_per_sec())),
             ("simulated_cycles", self.simulated_cycles.to_string()),
             ("simulated_cycles_per_sec", json::number(self.cycles_per_sec())),
-            ("per_job", json::array(&per_job)),
-        ])
+            ("per_workload", json::array(&per_workload)),
+        ];
+        if self.emit_per_job {
+            let per_job: Vec<String> = self
+                .per_job
+                .iter()
+                .map(|t| {
+                    let cpi: Vec<String> = t
+                        .cpi
+                        .components()
+                        .iter()
+                        .map(|(name, slots)| format!("\"{name}\": {slots}"))
+                        .collect();
+                    format!(
+                        "{{\"point\": \"{}\", \"micros\": {}, \"cycles\": {}, \"cpi\": {{{}}}}}",
+                        json::escape(&t.key.display()),
+                        t.wall.as_micros(),
+                        t.cycles,
+                        cpi.join(", ")
+                    )
+                })
+                .collect();
+            fields.push(("per_job", json::array(&per_job)));
+        }
+        json::object(&fields)
     }
 
     /// Writes the record to `path`.
@@ -161,10 +249,9 @@ mod tests {
     use crate::jobs::ExpKey;
     use tvp_core::config::CoreConfig;
 
-    #[test]
-    fn telemetry_serialises_all_headline_fields() {
+    fn sample(emit_per_job: bool) -> Telemetry {
         let key = ExpKey::new("k", 100, &CoreConfig::table2());
-        let t = Telemetry {
+        Telemetry {
             schema: TELEMETRY_SCHEMA,
             workers: 4,
             insts: 100,
@@ -190,23 +277,74 @@ mod tests {
                     cpi
                 },
             }],
-        };
+            emit_per_job,
+        }
+    }
+
+    #[test]
+    fn telemetry_serialises_all_headline_fields() {
+        let t = sample(false);
         let j = t.to_json();
         for field in [
             "\"sims_per_sec\"",
             "\"cache_hit_rate\"",
             "\"total_wall_seconds\"",
             "\"simulated_cycles_per_sec\"",
-            "\"per_job\"",
+            "\"per_workload\"",
+            "\"workload\": \"k\"",
+            "\"jobs\": 1",
             "\"cycles\": 123",
-            "\"cpi\": {",
-            "\"base\": 7",
-            "\"memory\": 1",
-            "\"schema\": 2",
+            "\"p50_micros\": 80000",
+            "\"p99_micros\": 80000",
+            "\"max_micros\": 80000",
+            "\"schema\": 3",
         ] {
             assert!(j.contains(field), "missing {field} in {j}");
         }
+        assert!(!j.contains("\"per_job\""), "raw array is opt-in: {j}");
         assert!((t.sims_per_sec() - 12.0).abs() < 1e-9);
         assert!(t.summary().contains("sims/s"));
+    }
+
+    #[test]
+    fn per_job_array_is_emitted_only_on_request() {
+        let j = sample(true).to_json();
+        for field in
+            ["\"per_job\"", "\"cpi\": {", "\"base\": 7", "\"memory\": 1", "\"micros\": 80000"]
+        {
+            assert!(j.contains(field), "missing {field} in {j}");
+        }
+    }
+
+    #[test]
+    fn workload_aggregates_fold_configs_and_rank_percentiles() {
+        let mk = |workload, millis, cycles| JobTiming {
+            key: ExpKey::new(workload, 100, &CoreConfig::table2()),
+            wall: Duration::from_millis(millis),
+            cycles,
+            cpi: tvp_obs::cpi::CpiStack::default(),
+        };
+        // 100 jobs for "a" (1ms..=100ms) across "configs", 1 for "b".
+        let mut timings: Vec<JobTiming> = (1..=100).map(|i| mk("a", i, 10)).collect();
+        timings.push(mk("b", 7, 42));
+        let aggs = aggregate_per_workload(&timings);
+        assert_eq!(aggs.len(), 2, "one entry per workload, not per job");
+        let a = &aggs[0];
+        assert_eq!((a.workload, a.jobs, a.cycles), ("a", 100, 1_000));
+        assert_eq!(a.p50_micros, 50_000);
+        assert_eq!(a.p95_micros, 95_000);
+        assert_eq!(a.p99_micros, 99_000);
+        assert_eq!(a.max_micros, 100_000);
+        let b = &aggs[1];
+        assert_eq!((b.jobs, b.p50_micros, b.max_micros), (1, 7_000, 7_000));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[10], 50), 10);
+        assert_eq!(percentile(&[10, 20], 50), 10);
+        assert_eq!(percentile(&[10, 20], 51), 20);
+        assert_eq!(percentile(&[10, 20, 30], 100), 30);
     }
 }

@@ -84,6 +84,80 @@ impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
     }
 }
 
+/// An inline-first vector that spills to the heap past `N` elements.
+///
+/// The scheduler's per-physical-register consumer lists need this
+/// shape: almost every register has zero, one or two waiting
+/// consumers (inline, allocation-free on the per-cycle path), but a
+/// long dependence fan-out can briefly exceed any fixed bound, and a
+/// wakeup must never be dropped. Unlike [`InlineVec`], overflow is not
+/// a bug here — it spills.
+#[derive(Clone, Debug)]
+pub struct SpillVec<T, const N: usize> {
+    inline_len: u8,
+    inline: [T; N],
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SpillVec<T, N> {
+    /// Empty vector (no heap allocation until the inline capacity is
+    /// exceeded).
+    #[must_use]
+    pub fn new() -> Self {
+        // audited: Vec::new is capacity-0 — no heap allocation until spill
+        SpillVec { inline_len: 0, inline: [T::default(); N], spill: Vec::new() }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.inline_len) + self.spill.len()
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inline_len == 0 && self.spill.is_empty()
+    }
+
+    /// Appends an element: inline while there is room, heap beyond.
+    pub fn push(&mut self, value: T) {
+        if usize::from(self.inline_len) < N {
+            self.inline[usize::from(self.inline_len)] = value;
+            self.inline_len += 1;
+        } else {
+            // audited: spill past the inline capacity is the rare fan-out case, amortized
+            self.spill.push(value);
+        }
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline[..usize::from(self.inline_len)].iter().chain(self.spill.iter())
+    }
+
+    /// Moves every element into `out` (in insertion order) and empties
+    /// the vector, retaining both the inline storage and the spill
+    /// buffer's capacity.
+    pub fn drain_into(&mut self, out: &mut Vec<T>) {
+        out.extend_from_slice(&self.inline[..usize::from(self.inline_len)]);
+        out.append(&mut self.spill);
+        self.inline_len = 0;
+    }
+
+    /// Removes all elements, keeping the spill buffer's capacity.
+    pub fn clear(&mut self) {
+        self.inline_len = 0;
+        self.spill.clear();
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SpillVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +182,83 @@ mod tests {
         v.push(1);
         v.push(2);
         v.push(3);
+    }
+
+    fn collected<const N: usize>(v: &SpillVec<u32, N>) -> Vec<u32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn spill_vec_one_under_the_inline_cap_stays_inline() {
+        let mut v: SpillVec<u32, 3> = SpillVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(collected(&v), [1, 2]);
+    }
+
+    #[test]
+    fn spill_vec_exactly_at_the_inline_cap_stays_inline() {
+        let mut v: SpillVec<u32, 3> = SpillVec::new();
+        for x in [1, 2, 3] {
+            v.push(x);
+        }
+        assert_eq!(v.len(), 3);
+        assert_eq!(collected(&v), [1, 2, 3]);
+    }
+
+    #[test]
+    fn spill_vec_one_past_the_inline_cap_spills_in_order() {
+        let mut v: SpillVec<u32, 3> = SpillVec::new();
+        for x in [1, 2, 3, 4] {
+            v.push(x);
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(collected(&v), [1, 2, 3, 4]);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn spill_vec_drain_into_preserves_order_across_the_spill() {
+        let mut v: SpillVec<u32, 2> = SpillVec::new();
+        for x in 1..=5 {
+            v.push(x);
+        }
+        let mut out = vec![0];
+        v.drain_into(&mut out);
+        assert_eq!(out, [0, 1, 2, 3, 4, 5]);
+        assert!(v.is_empty());
+        // Refill after the drain: inline storage is reusable.
+        v.push(9);
+        assert_eq!(collected(&v), [9]);
+    }
+
+    #[test]
+    fn spill_vec_mem_take_after_spill_leaves_a_fresh_empty() {
+        let mut v: SpillVec<u32, 2> = SpillVec::new();
+        for x in 1..=4 {
+            v.push(x);
+        }
+        let taken = std::mem::take(&mut v);
+        assert_eq!(collected(&taken), [1, 2, 3, 4]);
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        v.push(7);
+        v.push(8);
+        v.push(9);
+        assert_eq!(collected(&v), [7, 8, 9]);
+    }
+
+    #[test]
+    fn spill_vec_clear_after_spill_keeps_working() {
+        let mut v: SpillVec<u32, 1> = SpillVec::new();
+        for x in 1..=3 {
+            v.push(x);
+        }
+        v.clear();
+        assert!(v.is_empty());
+        v.push(42);
+        assert_eq!(collected(&v), [42]);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod inline_vec;
 pub mod physreg;
 pub mod pipeline;
 pub mod rename;
+pub mod scheduler;
 pub mod spsr;
 pub mod stats;
 pub mod storesets;

@@ -37,7 +37,8 @@ use tvp_workloads::trace::{Trace, TraceUop};
 use crate::config::{CoreConfig, FuPool, RecoveryPolicy, VpMode};
 use crate::inline_vec::{InlineVec, MAX_DST_REGS};
 use crate::physreg::PhysName;
-use crate::rename::{ElimCategory, PredApply, RenamedUop, Renamer};
+use crate::rename::{Dep, ElimCategory, PredApply, RegClass, RenamedUop, Renamer};
+use crate::scheduler::Scheduler;
 use crate::stats::{sat_add, sat_inc, SimStats};
 use crate::storesets::StoreSets;
 use tvp_workloads::machine::ArchSnapshot;
@@ -60,6 +61,10 @@ struct RobEntry {
     new_names: InlineVec<(usize, PhysName), MAX_DST_REGS>,
     in_iq: bool,
     issued: bool,
+    /// For loads/stores: this entry's position in its LSQ
+    /// (`base + len` at push time), giving O(1) seq→index lookup as
+    /// `lsq_pos - lq_base`/`- sq_base`. Zero for other µops.
+    lsq_pos: u64,
     done_cycle: u64,
     dispatch_ready: u64,
     tage_token: Option<TageToken>,
@@ -117,7 +122,48 @@ struct PendingReplay {
 }
 
 fn overlap(a_addr: u64, a_size: u8, b_addr: u64, b_size: u8) -> bool {
-    a_addr < b_addr + u64::from(b_size) && b_addr < a_addr + u64::from(a_size)
+    // Saturating ends: a range touching the top of the address space
+    // must not wrap to 0 and report disjoint (or panic in debug).
+    a_addr < b_addr.saturating_add(u64::from(b_size))
+        && b_addr < a_addr.saturating_add(u64::from(a_size))
+}
+
+/// Conservative summary of the *issued* entries in one load/store
+/// queue: how many there are, and a bounding address interval
+/// containing all of them. The interval only grows while any issued
+/// entry remains and resets when the count reaches zero, so it is
+/// always a superset — a load/store whose range misses the interval
+/// provably has no issued partner and skips the queue scan entirely.
+#[derive(Clone, Copy, Debug)]
+struct IssuedWindow {
+    count: usize,
+    lo: u64,
+    hi: u64,
+}
+
+impl IssuedWindow {
+    fn new() -> Self {
+        IssuedWindow { count: 0, lo: u64::MAX, hi: 0 }
+    }
+
+    fn add(&mut self, addr: u64, size: u8) {
+        self.count += 1;
+        self.lo = self.lo.min(addr);
+        self.hi = self.hi.max(addr.saturating_add(u64::from(size)));
+    }
+
+    fn remove(&mut self) {
+        debug_assert!(self.count > 0);
+        self.count -= 1;
+        if self.count == 0 {
+            self.lo = u64::MAX;
+            self.hi = 0;
+        }
+    }
+
+    fn may_overlap(&self, addr: u64, size: u8) -> bool {
+        self.count > 0 && addr < self.hi && self.lo < addr.saturating_add(u64::from(size))
+    }
 }
 
 /// Default event-ring capacity when tracing is enabled without an
@@ -163,10 +209,28 @@ pub struct Core {
     iq_count: usize,
     lq: VecDeque<LqEntry>,
     sq: VecDeque<SqEntry>,
+    // LSQ position bases: `*_base` counts every pop_front, so an entry
+    // pushed at position `base + len` currently lives at index
+    // `position - base` (pop_back shrinks from the tail and
+    // invalidates no surviving index or position).
+    lq_base: u64,
+    sq_base: u64,
+    lq_issued: IssuedWindow,
+    sq_issued: IssuedWindow,
+    sched: Scheduler,
+    // Reusable consumer-wakeup scratch — cleared per use, never
+    // reallocated on the per-cycle path.
+    wake_scratch: Vec<u64>,
+    replay_wake_scratch: Vec<u64>,
     checkpoints: VecDeque<Checkpoint>,
     floor: Checkpoint,
     pending_flushes: Vec<PendingFlush>,
     pending_replays: Vec<PendingReplay>,
+    // Next-due watermarks: the minimum `at_cycle` over the pending
+    // flush/replay sets (`u64::MAX` when empty), so quiet cycles skip
+    // the due-filtering entirely instead of re-scanning per cycle.
+    flushes_next_due: u64,
+    replays_next_due: u64,
     // Reusable scratch (replay wavefront) — cleared per use, never
     // reallocated on the per-cycle path.
     replay_due_scratch: Vec<PendingReplay>,
@@ -256,10 +320,19 @@ impl Core {
             iq_count: 0,
             lq: VecDeque::new(),
             sq: VecDeque::new(),
+            lq_base: 0,
+            sq_base: 0,
+            lq_issued: IssuedWindow::new(),
+            sq_issued: IssuedWindow::new(),
+            sched: Scheduler::new(cfg.int_regs, cfg.fp_regs),
+            wake_scratch: Vec::new(),        // audited: constructor
+            replay_wake_scratch: Vec::new(), // audited: constructor
             checkpoints: VecDeque::new(),
             floor,
-            pending_flushes: Vec::new(),       // audited: constructor
-            pending_replays: Vec::new(),       // audited: constructor
+            pending_flushes: Vec::new(), // audited: constructor
+            pending_replays: Vec::new(), // audited: constructor
+            flushes_next_due: u64::MAX,
+            replays_next_due: u64::MAX,
             replay_due_scratch: Vec::new(),    // audited: constructor
             replay_poison_scratch: Vec::new(), // audited: constructor
             silence_until: 0,
@@ -377,7 +450,6 @@ impl Core {
         let retired = self.commit(trace);
         self.account_cycle(retired, trace);
         self.issue(trace);
-        self.drain_issued_iq();
         self.rename(trace);
         self.fetch(trace);
         #[cfg(feature = "verif")]
@@ -528,11 +600,19 @@ impl Core {
                 let _ = self.mem.data_access(u.pc, addr, true, self.cycle);
                 let popped = self.sq.pop_front();
                 debug_assert_eq!(popped.map(|s| s.seq), Some(entry.seq));
+                self.sq_base += 1;
+                if popped.is_some_and(|s| s.issued) {
+                    self.sq_issued.remove();
+                }
                 self.storesets.store_completed(u.pc, entry.seq);
             }
             if u.uop.op.is_load() {
                 let popped = self.lq.pop_front();
                 debug_assert_eq!(popped.map(|l| l.seq), Some(entry.seq));
+                self.lq_base += 1;
+                if popped.is_some_and(|l| l.issued) {
+                    self.lq_issued.remove();
+                }
             }
             self.renamer.commit_with_names(&entry.new_names);
 
@@ -587,11 +667,102 @@ impl Core {
     // issue / execute
     // ----------------------------------------------------------------
 
-    fn deps_ready(&self, renamed: &RenamedUop) -> bool {
-        renamed.deps.iter().all(|d| self.renamer.file(d.class).ready_at(d.p) <= self.cycle)
+    /// O(1) seq→ROB-index. The ROB is seq-contiguous in normal
+    /// operation (the trace assigns consecutive seqs and a flush
+    /// squashes a contiguous suffix), so `seq - front.seq` is the
+    /// index; the `SkipCursorRollback` sabotage deliberately creates
+    /// gaps, and the age-sorted deque then falls back to binary
+    /// search.
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.seq;
+        let idx = usize::try_from(seq.checked_sub(front)?).ok()?;
+        if idx < self.rob.len() && self.rob[idx].seq == seq {
+            return Some(idx);
+        }
+        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
+    /// The µop's first operand whose value is unavailable this cycle
+    /// (`None` means every dependence is ready). This is the old
+    /// per-candidate `deps_ready` poll, now evaluated only on wakeup
+    /// events and at select re-verification — not per IQ entry per
+    /// cycle.
+    fn first_unready_dep(&self, renamed: &RenamedUop) -> Option<Dep> {
+        renamed.deps.iter().copied().find(|d| self.renamer.file(d.class).ready_at(d.p) > self.cycle)
+    }
+
+    /// Evaluates `seq` for wakeup: a live, un-issued IQ entry past its
+    /// dispatch latency either enters the ready set (all operands
+    /// available) or subscribes to its first not-ready operand's
+    /// consumer list. Everything else is a no-op — stale events from
+    /// squashed-and-reused seqs or superseded writebacks re-evaluate
+    /// current truth and die here, which is what makes the event
+    /// machinery equivalence-safe.
+    fn try_wake(&mut self, seq: u64) {
+        let Some(i) = self.rob_index(seq) else { return };
+        let e = &self.rob[i];
+        if !e.in_iq || e.issued || e.dispatch_ready > self.cycle {
+            // Not (yet) a candidate; if the dispatch latency has not
+            // elapsed, the dispatch-FIFO event still covers it.
+            return;
+        }
+        match self.first_unready_dep(&e.renamed) {
+            None => self.sched.insert_ready(seq),
+            Some(d) => self.sched.subscribe(d.class, d.p, seq),
+        }
+    }
+
+    /// Wakes every consumer subscribed to `(class, p)` — called when
+    /// the register's value becomes available.
+    fn wake_consumers(&mut self, class: RegClass, p: u16) {
+        let mut scratch = std::mem::take(&mut self.wake_scratch);
+        scratch.clear();
+        self.sched.drain_consumers(class, p, &mut scratch);
+        for &seq in &scratch {
+            self.try_wake(seq);
+        }
+        self.wake_scratch = scratch;
+    }
+
+    /// Register writeback: `(class, p)` becomes readable at `at`,
+    /// always a future cycle (minimum FU latency is one), so consumers
+    /// are woken by a scheduled event instead of polling.
+    fn write_back(&mut self, class: RegClass, p: u16, at: u64) {
+        debug_assert!(at > self.cycle);
+        self.renamer.file_mut(class).set_ready(p, at);
+        self.sched.schedule_wake(at, class, p);
+    }
+
+    /// Arms a pending flush and maintains the next-due watermark.
+    fn push_flush(&mut self, f: PendingFlush) {
+        self.flushes_next_due = self.flushes_next_due.min(f.at_cycle);
+        self.pending_flushes.push(f);
+    }
+
+    /// Arms a pending replay and maintains the next-due watermark.
+    fn push_replay(&mut self, r: PendingReplay) {
+        self.replays_next_due = self.replays_next_due.min(r.at_cycle);
+        self.pending_replays.push(r);
+    }
+
+    /// Fires this cycle's wakeup events: µops reaching dispatch, and
+    /// register writebacks completing now. A writeback event is stale
+    /// — skipped, keeping its subscribers — unless the register still
+    /// becomes ready at exactly the event's cycle; a replay may have
+    /// un-produced the register after the event was scheduled.
+    fn wake_due(&mut self) {
+        while let Some(seq) = self.sched.pop_due_dispatch(self.cycle) {
+            self.try_wake(seq);
+        }
+        while let Some((at, class, p)) = self.sched.pop_due_wake(self.cycle) {
+            if self.renamer.file(class).ready_at(p) == at {
+                self.wake_consumers(class, p);
+            }
+        }
     }
 
     fn issue(&mut self, trace: &Trace) {
+        self.wake_due();
         let mut issued_total = 0usize;
         let mut class_counts = [0usize; 12];
         let class_slot = |c: ExecClass| -> usize {
@@ -620,13 +791,27 @@ impl Core {
             }
         };
 
-        let rob_len = self.rob.len();
-        for i in 0..rob_len {
-            if issued_total >= self.cfg.issue_width {
-                break;
-            }
+        // Select: walk the ready set oldest-first, re-verifying the
+        // full issue predicate per candidate. The set is a *superset*
+        // of the issuable µops (wakeup inserts optimistically, and a
+        // replay can un-ready an operand after insertion), so
+        // verification failures evict and re-subscribe, while
+        // structural rejections — FU caps, busy dividers, store-set
+        // gates — keep the entry for later cycles exactly as the old
+        // O(ROB) scan's `continue` did. Every candidate is visited in
+        // seq (= age) order under the same width and per-slot caps, so
+        // the selected set each cycle is identical to the scan's.
+        let mut next_seq = 0u64;
+        while issued_total < self.cfg.issue_width {
+            let Some(seq) = self.sched.first_ready_at_or_after(next_seq) else { break };
+            next_seq = seq + 1;
+            let Some(i) = self.rob_index(seq) else {
+                self.sched.remove_ready(seq);
+                continue;
+            };
             let entry = &self.rob[i];
             if !entry.in_iq || entry.issued || entry.dispatch_ready > self.cycle {
+                self.sched.remove_ready(seq);
                 continue;
             }
             let u = &trace.uops[entry.idx];
@@ -635,7 +820,11 @@ impl Core {
             if class_counts[slot] >= fu_cap(&self.fu, slot) {
                 continue;
             }
-            if !self.deps_ready(&entry.renamed) {
+            if let Some(d) = self.first_unready_dep(&entry.renamed) {
+                // An operand was un-produced after this µop woke
+                // (poisoned VP replay); wait on it like any other.
+                self.sched.remove_ready(seq);
+                self.sched.subscribe(d.class, d.p, seq);
                 continue;
             }
             // Non-pipelined dividers.
@@ -645,35 +834,36 @@ impl Core {
                 _ => {}
             }
             // Load/store queue constraints.
-            let seq = entry.seq;
             let mut completion = self.cycle + self.cfg.latency(class);
             match class {
                 ExecClass::Load => {
-                    let (lq_idx, lq_entry) = self
-                        .lq
-                        .iter()
-                        .enumerate()
-                        .find(|(_, l)| l.seq == seq)
-                        .map(|(i, l)| (i, *l))
-                        .expect("load has an LQ entry");
-                    // Store-set gate: wait for the predicted store.
+                    let lq_idx = (entry.lsq_pos - self.lq_base) as usize;
+                    let lq_entry = self.lq[lq_idx];
+                    debug_assert_eq!(lq_entry.seq, seq);
+                    // Store-set gate: wait for the predicted store
+                    // (O(log SQ) on the seq-sorted queue).
                     if let Some(dep) = lq_entry.wait_store {
-                        if self.sq.iter().any(|s| s.seq == dep && !s.issued) {
+                        let gated = match self.sq.binary_search_by_key(&dep, |s| s.seq) {
+                            Ok(si) => !self.sq[si].issued,
+                            Err(_) => false,
+                        };
+                        if gated {
                             continue;
                         }
                     }
-                    // Store-to-load forwarding from the youngest older
-                    // matching store that has executed.
-                    let forward = self
-                        .sq
-                        .iter()
-                        .rev()
-                        .find(|s| {
-                            s.seq < seq
-                                && s.issued
-                                && overlap(s.addr, s.size, lq_entry.addr, lq_entry.size)
+                    // Store-to-load forwarding from an older executed
+                    // matching store. Only existence matters (the
+                    // youngest-first orientation of the old scan chose
+                    // among equals, but any match forwards), so the
+                    // scan is bounded to older stores and skipped
+                    // outright when the load's range misses the
+                    // issued-store address window.
+                    let forward = self.sq_issued.may_overlap(lq_entry.addr, lq_entry.size) && {
+                        let older = self.sq.partition_point(|s| s.seq < seq);
+                        self.sq.iter().take(older).any(|s| {
+                            s.issued && overlap(s.addr, s.size, lq_entry.addr, lq_entry.size)
                         })
-                        .is_some();
+                    };
                     if forward {
                         completion = self.cycle + 4;
                     } else {
@@ -690,32 +880,38 @@ impl Core {
                         }
                     }
                     self.lq[lq_idx].issued = true;
+                    self.lq_issued.add(lq_entry.addr, lq_entry.size);
                 }
                 ExecClass::Store => {
-                    let sq_entry =
-                        self.sq.iter_mut().find(|s| s.seq == seq).expect("store has an SQ entry");
+                    let sq_idx = (entry.lsq_pos - self.sq_base) as usize;
+                    let sq_entry = &mut self.sq[sq_idx];
+                    debug_assert_eq!(sq_entry.seq, seq);
                     sq_entry.issued = true;
                     let (s_addr, s_size, s_pc) = (sq_entry.addr, sq_entry.size, sq_entry.pc);
+                    self.sq_issued.add(s_addr, s_size);
                     // Memory-ordering violation: a younger load already
-                    // issued with an overlapping address.
-                    let violating = self
-                        .lq
-                        .iter()
-                        .filter(|l| {
-                            l.seq > seq && l.issued && overlap(l.addr, l.size, s_addr, s_size)
-                        })
-                        .map(|l| l.seq)
-                        .min();
+                    // issued with an overlapping address. The LQ is
+                    // seq-sorted, so the first younger match *is* the
+                    // minimum; the scan is skipped when the store's
+                    // range misses the issued-load address window.
+                    let violating = if self.lq_issued.may_overlap(s_addr, s_size) {
+                        let younger = self.lq.partition_point(|l| l.seq <= seq);
+                        self.lq
+                            .iter()
+                            .skip(younger)
+                            .find(|l| l.issued && overlap(l.addr, l.size, s_addr, s_size))
+                            .map(|l| l.seq)
+                    } else {
+                        None
+                    };
                     if let Some(load_seq) = violating {
                         let load_idx = self
-                            .rob
-                            .iter()
-                            .find(|e| e.seq == load_seq)
-                            .map(|e| e.idx)
+                            .rob_index(load_seq)
+                            .map(|li| self.rob[li].idx)
                             .expect("violating load is in the ROB");
                         let load_pc = trace.uops[load_idx].pc;
                         self.storesets.violation(load_pc, s_pc);
-                        self.pending_flushes.push(PendingFlush {
+                        self.push_flush(PendingFlush {
                             at_cycle: completion,
                             first_squashed_seq: load_seq,
                             kind: FlushKind::MemOrder,
@@ -748,9 +944,9 @@ impl Core {
                         .then_some(wide_reg)
                         .flatten();
                     if let Some(reg) = replay_reg {
-                        self.pending_replays.push(PendingReplay { at_cycle: completion, seq, reg });
+                        self.push_replay(PendingReplay { at_cycle: completion, seq, reg });
                     } else {
-                        self.pending_flushes.push(PendingFlush {
+                        self.push_flush(PendingFlush {
                             at_cycle: completion,
                             first_squashed_seq: if include_self { seq } else { seq + 1 },
                             kind: FlushKind::ValueMispredict,
@@ -772,32 +968,41 @@ impl Core {
                 }
             }
 
-            // Register writeback scheduling.
+            // Register writeback scheduling. The µop also frees its
+            // scheduler slot here (this was a separate per-cycle
+            // `drain_issued_iq` ROB walk; nothing reads `in_iq`
+            // between issue and that walk, so folding it in is
+            // behavior-identical).
             let entry = &mut self.rob[i];
             entry.issued = true;
             entry.done_cycle = completion;
-            let renamed = &entry.renamed;
-            if let Some((class, p)) = renamed.dest_alloc {
+            entry.in_iq = false;
+            self.iq_count -= 1;
+            let dest_alloc = entry.renamed.dest_alloc;
+            let flags_alloc = entry.renamed.flags_alloc;
+            let unpredicted = entry.renamed.predicted.is_none();
+            let prf_reads = u64::from(entry.renamed.prf_reads);
+            self.sched.remove_ready(seq);
+            if let Some((class, p)) = dest_alloc {
                 // GVP wide predictions were made ready at rename; the
                 // µop still performs its datapath write at execute
                 // (validation is a compare at the FU, §3.3), so the
                 // write port is exercised either way.
-                if renamed.predicted.is_none() {
-                    self.renamer.file_mut(class).set_ready(p, completion);
+                if unpredicted {
+                    self.write_back(class, p, completion);
                 }
-                if class == crate::rename::RegClass::Int {
+                if class == RegClass::Int {
                     sat_inc(
                         &mut self.stats.activity.int_prf_writes,
                         &mut self.stats.overflow_events,
                     );
                 }
             }
-            if let Some(p) = renamed.flags_alloc {
-                self.renamer.file_mut(crate::rename::RegClass::Int).set_ready(p, completion);
+            if let Some(p) = flags_alloc {
+                self.write_back(RegClass::Int, p, completion);
                 sat_inc(&mut self.stats.activity.int_prf_writes, &mut self.stats.overflow_events);
             }
             // Predicted µops with named destinations write no register.
-            let prf_reads = u64::from(renamed.prf_reads);
             sat_add(
                 &mut self.stats.activity.int_prf_reads,
                 prf_reads,
@@ -929,7 +1134,19 @@ impl Core {
                 new_names.push((dense, self.renamer.rat_entry(dense)));
             }
 
+            // A freshly allocated register has no live consumers; drop
+            // wakeup subscriptions left over from a squashed previous
+            // lifetime of the same physical register.
+            if let Some((class, p)) = renamed.dest_alloc {
+                self.sched.clear_consumers(class, p);
+            }
+            if let Some(p) = renamed.flags_alloc {
+                self.sched.clear_consumers(RegClass::Int, p);
+            }
+
+            let mut lsq_pos = 0u64;
             if u.uop.op.is_load() {
+                lsq_pos = self.lq_base + self.lq.len() as u64;
                 self.lq.push_back(LqEntry {
                     seq: u.seq,
                     addr: u.mem_addr.expect("load has an address"),
@@ -945,6 +1162,7 @@ impl Core {
             if u.uop.op.is_store() {
                 // audited: guarded by is_store() on the µop above
                 let Op::Store { size } = u.uop.op else { unreachable!() };
+                lsq_pos = self.sq_base + self.sq.len() as u64;
                 self.sq.push_back(SqEntry {
                     seq: u.seq,
                     addr: u.mem_addr.expect("store has an address"),
@@ -974,6 +1192,7 @@ impl Core {
                 sat_inc(&mut self.stats.activity.iq_dispatched, &mut self.stats.overflow_events);
             }
             self.tracer.record(EventKind::Rename, self.cycle, u.seq, u.pc, 0);
+            let dispatch_ready = self.cycle + self.cfg.rename_to_dispatch;
             self.rob.push_back(RobEntry {
                 idx,
                 seq: u.seq,
@@ -981,23 +1200,20 @@ impl Core {
                 new_names,
                 in_iq: needs_iq,
                 issued: false,
+                lsq_pos,
                 done_cycle: if eliminated { self.cycle + 1 } else { u64::MAX },
-                dispatch_ready: self.cycle + self.cfg.rename_to_dispatch,
+                dispatch_ready,
                 tage_token: fetched.tage_token,
                 vp_token,
                 fetch_wait: fetched.fetch_wait,
                 first_uop: u.first_uop,
                 itc_path_at_predict: fetched.itc_path_at_predict,
             });
-        }
-    }
-
-    /// Issued µops free their scheduler entry.
-    fn drain_issued_iq(&mut self) {
-        for e in &mut self.rob {
-            if e.in_iq && e.issued {
-                e.in_iq = false;
-                self.iq_count -= 1;
+            if needs_iq {
+                // Wakeup evaluation fires when the dispatch latency
+                // elapses (the FIFO is pushed in rename order with a
+                // constant offset, so due cycles stay sorted).
+                self.sched.push_dispatch(dispatch_ready, u.seq);
             }
         }
     }
@@ -1142,22 +1358,23 @@ impl Core {
     /// transitively (paper §2.2's "replay wavefront"). Falls back to a
     /// flush when the scheduler cannot reabsorb the wavefront.
     fn apply_pending_replays(&mut self, trace: &Trace) {
-        if self.pending_replays.is_empty() {
+        // Next-due watermark: quiet cycles (the overwhelmingly common
+        // case) skip the due filter entirely.
+        if self.pending_replays.is_empty() || self.cycle < self.replays_next_due {
             return;
         }
         let mut due = std::mem::take(&mut self.replay_due_scratch);
         due.clear();
         due.extend(self.pending_replays.iter().copied().filter(|r| r.at_cycle <= self.cycle));
-        if due.is_empty() {
-            self.replay_due_scratch = due;
-            return;
-        }
         self.pending_replays.retain(|r| r.at_cycle > self.cycle);
+        self.replays_next_due =
+            self.pending_replays.iter().map(|r| r.at_cycle).min().unwrap_or(u64::MAX);
         let mut poisoned = std::mem::take(&mut self.replay_poison_scratch);
+        let mut rewake = std::mem::take(&mut self.replay_wake_scratch);
         for &replay in &due {
             // The mispredicted µop may have been squashed by an older
             // flush in the meantime; its repair is then moot.
-            let Some(start) = self.rob.iter().position(|e| e.seq == replay.seq) else {
+            let Some(start) = self.rob_index(replay.seq) else {
                 continue;
             };
             // Guard against the replay tornado: silence the predictor
@@ -1165,12 +1382,15 @@ impl Core {
             self.silence_until = self.cycle + self.silence_len;
             sat_inc(&mut self.stats.flush.vp_replays, &mut self.stats.overflow_events);
 
-            // The repaired value becomes available now.
-            self.renamer.file_mut(crate::rename::RegClass::Int).set_ready(replay.reg, self.cycle);
+            // The repaired value becomes available now — wake anything
+            // already waiting on it (this replaces the old per-cycle
+            // readiness poll noticing the repair).
+            self.renamer.file_mut(RegClass::Int).set_ready(replay.reg, self.cycle);
+            self.wake_consumers(RegClass::Int, replay.reg);
 
             poisoned.clear();
-            poisoned
-                .push(crate::rename::Dep { class: crate::rename::RegClass::Int, p: replay.reg });
+            poisoned.push(Dep { class: RegClass::Int, p: replay.reg });
+            rewake.clear();
             let mut fallback_flush = false;
             for i in (start + 1)..self.rob.len() {
                 let entry = &self.rob[i];
@@ -1187,6 +1407,7 @@ impl Core {
                     break;
                 }
                 let seq = entry.seq;
+                let lsq_pos = entry.lsq_pos;
                 let entry = &mut self.rob[i];
                 entry.issued = false;
                 entry.done_cycle = u64::MAX;
@@ -1194,30 +1415,51 @@ impl Core {
                     entry.in_iq = true;
                     self.iq_count += 1;
                 }
-                // Un-produce its outputs and extend the wavefront.
+                // Un-produce its outputs and extend the wavefront. Any
+                // writeback wake event still in flight for these
+                // registers is now stale: it will fail the `ready_at`
+                // validation and die without waking anyone.
                 if let Some((class, p)) = entry.renamed.dest_alloc {
                     self.renamer.file_mut(class).set_ready(p, u64::MAX);
-                    poisoned.push(crate::rename::Dep { class, p });
+                    poisoned.push(Dep { class, p });
                 }
                 if let Some(p) = entry.renamed.flags_alloc {
-                    self.renamer.file_mut(crate::rename::RegClass::Int).set_ready(p, u64::MAX);
-                    poisoned.push(crate::rename::Dep { class: crate::rename::RegClass::Int, p });
+                    self.renamer.file_mut(RegClass::Int).set_ready(p, u64::MAX);
+                    poisoned.push(Dep { class: RegClass::Int, p });
                 }
                 let u = &trace.uops[self.rob[i].idx];
                 if u.uop.op.is_load() {
-                    if let Some(l) = self.lq.iter_mut().find(|l| l.seq == seq) {
-                        l.issued = false;
+                    let lq_idx = (lsq_pos - self.lq_base) as usize;
+                    if let Some(l) = self.lq.get_mut(lq_idx) {
+                        debug_assert_eq!(l.seq, seq);
+                        if l.issued {
+                            l.issued = false;
+                            self.lq_issued.remove();
+                        }
                     }
                 }
                 if u.uop.op.is_store() {
-                    if let Some(s) = self.sq.iter_mut().find(|s| s.seq == seq) {
-                        s.issued = false;
+                    let sq_idx = (lsq_pos - self.sq_base) as usize;
+                    if let Some(s) = self.sq.get_mut(sq_idx) {
+                        debug_assert_eq!(s.seq, seq);
+                        if s.issued {
+                            s.issued = false;
+                            self.sq_issued.remove();
+                        }
                     }
                 }
+                rewake.push(seq);
                 sat_inc(&mut self.stats.flush.replayed_uops, &mut self.stats.overflow_events);
             }
+            // Re-enter the reset µops into the wakeup machinery after
+            // the whole wavefront is poisoned (issue runs later this
+            // cycle and re-verifies, so evaluation order within the
+            // cycle is immaterial).
+            for &seq in &rewake {
+                self.try_wake(seq);
+            }
             if fallback_flush {
-                self.pending_flushes.push(PendingFlush {
+                self.push_flush(PendingFlush {
                     at_cycle: self.cycle,
                     first_squashed_seq: replay.seq + 1,
                     kind: FlushKind::ValueMispredict,
@@ -1226,6 +1468,7 @@ impl Core {
         }
         self.replay_due_scratch = due;
         self.replay_poison_scratch = poisoned;
+        self.replay_wake_scratch = rewake;
     }
 
     // ----------------------------------------------------------------
@@ -1233,8 +1476,16 @@ impl Core {
     // ----------------------------------------------------------------
 
     fn apply_pending_flush(&mut self, trace: &Trace) {
+        // Next-due watermark: quiet cycles (the overwhelmingly common
+        // case) skip the due scan entirely.
+        if self.pending_flushes.is_empty() || self.cycle < self.flushes_next_due {
+            return;
+        }
         let due = self.pending_flushes.iter().filter(|f| f.at_cycle <= self.cycle);
         let Some(flush) = due.min_by_key(|f| f.first_squashed_seq).copied() else {
+            // The watermark was conservative (stale-low); tighten it.
+            self.flushes_next_due =
+                self.pending_flushes.iter().map(|f| f.at_cycle).min().unwrap_or(u64::MAX);
             return;
         };
         // The chosen flush supersedes any pending flush of a younger
@@ -1243,6 +1494,10 @@ impl Core {
         self.pending_flushes
             .retain(|f| f.at_cycle > self.cycle && f.first_squashed_seq < flush.first_squashed_seq);
         self.pending_replays.retain(|r| r.seq < flush.first_squashed_seq);
+        self.flushes_next_due =
+            self.pending_flushes.iter().map(|f| f.at_cycle).min().unwrap_or(u64::MAX);
+        self.replays_next_due =
+            self.pending_replays.iter().map(|r| r.at_cycle).min().unwrap_or(u64::MAX);
 
         let cut = flush.first_squashed_seq;
         match flush.kind {
@@ -1279,6 +1534,11 @@ impl Core {
             if entry.in_iq {
                 self.iq_count -= 1;
             }
+            // Squashed µops leave the ready set; their sequence number
+            // may be reused after refetch and must not carry a stale
+            // candidacy. (Dispatch-FIFO and wake-heap events for them
+            // are re-verified on delivery, so they can stay.)
+            self.sched.remove_ready(entry.seq);
             if entry.renamed.eliminated == Some(ElimCategory::Spsr) {
                 // Kept on the renamer's stats so the end-of-run
                 // `stats.rename = renamer.stats()` fold preserves it
@@ -1287,11 +1547,13 @@ impl Core {
                 sat_inc(&mut self.renamer.stats.spsr_squashed, &mut self.renamer.overflow_events);
             }
             if u.uop.op.is_store() {
-                self.sq.pop_back();
+                if self.sq.pop_back().is_some_and(|s| s.issued) {
+                    self.sq_issued.remove();
+                }
                 self.storesets.store_completed(u.pc, entry.seq);
             }
-            if u.uop.op.is_load() {
-                self.lq.pop_back();
+            if u.uop.op.is_load() && self.lq.pop_back().is_some_and(|l| l.issued) {
+                self.lq_issued.remove();
             }
             self.renamer.rollback(&entry.renamed);
             squashed_now += 1;
@@ -1576,6 +1838,18 @@ impl Core {
             .map(|e| tvp_verif::RobSnapshot {
                 seq: e.seq,
                 in_iq: e.in_iq,
+                issued: e.issued,
+                // Ground-truth issue predicate, computed by polling
+                // operand `ready_at` — deliberately independent of the
+                // event-driven scheduler it cross-checks. An entry
+                // renamed *this* cycle is excluded: rename runs after
+                // issue, so no scheduler (event-driven or polling)
+                // could have considered it yet.
+                issuable: e.in_iq
+                    && !e.issued
+                    && e.dispatch_ready <= self.cycle
+                    && e.dispatch_ready < self.cycle + self.cfg.rename_to_dispatch.max(1)
+                    && self.first_unready_dep(&e.renamed).is_none(),
                 new_names: e.new_names.iter().map(|&(d, n)| map_entry(d, n)).collect(), // audited: verif snapshot, off the per-cycle loop
             })
             .collect(); // audited: verif snapshot, off the per-cycle loop
@@ -1587,6 +1861,7 @@ impl Core {
             rat,
             rob,
             iq_count: self.iq_count,
+            ready_seqs: self.sched.ready_seqs(),
             lq_seqs: self.lq.iter().map(|l| l.seq).collect(), // audited: verif snapshot, off the per-cycle loop
             sq_seqs: self.sq.iter().map(|s| s.seq).collect(), // audited: verif snapshot, off the per-cycle loop
             limits: tvp_verif::QueueLimits {
@@ -1867,6 +2142,86 @@ mod tests {
         let trace = Machine::new(a.assemble().unwrap()).run(30_000);
         let stats = simulate(CoreConfig::table2(), &trace);
         assert_eq!(stats.insts_retired, trace.arch_insts);
+    }
+
+    #[test]
+    fn forwarding_with_multiple_older_overlapping_stores() {
+        // Two older stores cover the loaded range (one exactly, one
+        // overlapping): the existence scan over older issued stores
+        // must forward, and retirement must stay exact. This is the
+        // shape where a youngest-first `rev().find()` and an
+        // oldest-first `any()` see different *witnesses* but must
+        // agree on the answer.
+        let mut a = Asm::new();
+        a.i(movz(x(0), 0x8000));
+        a.i(movz(x(9), 2_000));
+        a.label("loop");
+        a.i(add(x(1), x(1), 1i64));
+        a.i(str(x(1), AddrMode::BaseDisp { base: x(0), disp: 0 }));
+        a.i(str(x(1), AddrMode::BaseDisp { base: x(0), disp: 4 }));
+        a.i(ldr(x(2), AddrMode::BaseDisp { base: x(0), disp: 0 }));
+        a.i(add(x(3), x(3), x(2)));
+        a.i(subs(x(9), x(9), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let trace = Machine::new(a.assemble().unwrap()).run(30_000);
+        let stats = simulate(CoreConfig::table2(), &trace);
+        assert_eq!(stats.insts_retired, trace.arch_insts);
+        let again = simulate(CoreConfig::table2(), &trace);
+        assert_eq!(stats.cycles, again.cycles);
+    }
+
+    #[test]
+    fn overlap_edges() {
+        // Adjacent ranges share no byte.
+        assert!(!overlap(0x100, 8, 0x108, 8));
+        assert!(!overlap(0x108, 8, 0x100, 8));
+        // One shared byte.
+        assert!(overlap(0x100, 9, 0x108, 8));
+        // Containment and identity.
+        assert!(overlap(0x100, 8, 0x102, 2));
+        assert!(overlap(0x100, 8, 0x100, 8));
+        // Zero-size ranges at the edge of (or outside) the other
+        // range never overlap; strictly *inside*, the half-open
+        // formula conservatively reports contact. No µop issues a
+        // zero-size access, so only the conservative direction could
+        // ever matter.
+        assert!(!overlap(0x100, 0, 0x100, 8));
+        assert!(!overlap(0x108, 0, 0x100, 8));
+        assert!(!overlap(0x100, 0, 0x100, 0));
+        assert!(overlap(0x102, 8, 0x104, 0));
+        // Top of the address space: the end saturates at `u64::MAX`
+        // instead of wrapping to 0 (wrap would make a range touching
+        // the top compare disjoint with everything, or panic in
+        // debug). Saturation consistently treats the exclusive end as
+        // capped, so byte MAX itself is never covered by a saturated
+        // range — the same on both operands.
+        assert!(overlap(u64::MAX - 3, 8, u64::MAX - 1, 8));
+        assert!(!overlap(u64::MAX, 1, u64::MAX - 1, 8), "end is capped below byte MAX");
+        assert!(!overlap(u64::MAX, 1, u64::MAX - 8, 8));
+    }
+
+    #[test]
+    fn issued_window_is_a_conservative_interval() {
+        let mut w = IssuedWindow::new();
+        assert!(!w.may_overlap(0, u8::MAX), "empty window overlaps nothing");
+        w.add(0x100, 8);
+        w.add(0x200, 8);
+        assert!(w.may_overlap(0x104, 4));
+        assert!(w.may_overlap(0x1F0, 0x20), "gap between members still hits the interval");
+        assert!(!w.may_overlap(0x0F8, 8), "below lo");
+        assert!(!w.may_overlap(0x208, 8), "at hi (exclusive end)");
+        // The interval never shrinks while occupied...
+        w.remove();
+        assert!(w.may_overlap(0x104, 4) && w.may_overlap(0x204, 4));
+        // ...and resets once the last member leaves.
+        w.remove();
+        assert!(!w.may_overlap(0x104, 4));
+        // Saturating end at the top of the address space: the window
+        // mirrors `overlap`'s capped exclusive end, so it stays a
+        // superset of the true answers right up to the boundary.
+        w.add(u64::MAX - 1, 8);
+        assert!(w.may_overlap(u64::MAX - 1, 1));
+        assert!(!w.may_overlap(u64::MAX, 1), "capped end excludes byte MAX, like overlap()");
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Event-driven wakeup/select bookkeeping for the issue stage.
+//!
+//! The issue loop used to re-scan the whole ROB every cycle and
+//! re-poll every candidate's operand `ready_at` — the polling-wakeup
+//! anti-pattern. This module holds the three event structures that
+//! replace it (see DESIGN.md §12 for the equivalence argument):
+//!
+//! - a **ready set** (`BTreeSet` keyed by sequence number, i.e. age)
+//!   of µops believed issuable — the select stage walks it oldest
+//!   first and re-verifies the full issue predicate, so the set only
+//!   ever has to be a *superset* of the truly issuable µops;
+//! - a **dispatch FIFO** of `(due_cycle, seq)` events that evaluate a
+//!   µop for wakeup when its rename→dispatch latency elapses (due
+//!   cycles are pushed in rename order with a constant offset, so the
+//!   queue is naturally sorted);
+//! - a **writeback wake heap** of `(cycle, class, preg)` events fired
+//!   when a register's value becomes available, waking the register's
+//!   **consumer list** (inline-first [`SpillVec`]s, one per physical
+//!   register — no per-cycle allocation).
+//!
+//! Every structure is deliberately tolerant of stale events: squashes
+//! reuse sequence numbers and replays un-produce registers, so an
+//! event proves nothing by itself. The pipeline re-evaluates current
+//! truth on every wakeup and every select, which makes duplicate or
+//! stale events harmless no-ops instead of correctness hazards.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+use crate::inline_vec::SpillVec;
+use crate::rename::RegClass;
+
+/// Inline consumer-list capacity per physical register. Two covers
+/// the common fan-out (a value feeding an op and a compare) without
+/// heap traffic; wider fan-out spills.
+const INLINE_CONSUMERS: usize = 2;
+
+fn class_index(class: RegClass) -> usize {
+    match class {
+        RegClass::Int => 0,
+        RegClass::Fp => 1,
+    }
+}
+
+/// The issue stage's event state. Owned by the core; all policy
+/// (what a wakeup means, when events are stale) lives in the
+/// pipeline — this type is pure mechanism.
+pub struct Scheduler {
+    ready: BTreeSet<u64>,
+    dispatch: VecDeque<(u64, u64)>,
+    wake_heap: BinaryHeap<Reverse<(u64, u8, u16)>>,
+    consumers: [Vec<SpillVec<u64, INLINE_CONSUMERS>>; 2],
+}
+
+impl Scheduler {
+    /// Builds the scheduler for physical register files of the given
+    /// sizes (consumer lists are per physical register).
+    #[must_use]
+    pub fn new(int_regs: usize, fp_regs: usize) -> Self {
+        Scheduler {
+            ready: BTreeSet::new(),
+            dispatch: VecDeque::new(),    // audited: constructor
+            wake_heap: BinaryHeap::new(), // audited: constructor
+            consumers: [
+                vec![SpillVec::new(); int_regs], // audited: constructor
+                vec![SpillVec::new(); fp_regs],  // audited: constructor
+            ],
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // ready set (select)
+    // ---------------------------------------------------------------
+
+    /// Marks `seq` as an issue candidate. Idempotent.
+    pub fn insert_ready(&mut self, seq: u64) {
+        self.ready.insert(seq);
+    }
+
+    /// Drops `seq` as a candidate (issued, squashed, or failed
+    /// re-verification). Idempotent.
+    pub fn remove_ready(&mut self, seq: u64) {
+        self.ready.remove(&seq);
+    }
+
+    /// The oldest candidate with sequence number ≥ `seq` — the select
+    /// stage's age-ordered iteration primitive.
+    #[must_use]
+    pub fn first_ready_at_or_after(&self, seq: u64) -> Option<u64> {
+        self.ready.range(seq..).next().copied()
+    }
+
+    /// Current candidates, oldest first (verification snapshots).
+    #[must_use]
+    pub fn ready_seqs(&self) -> Vec<u64> {
+        self.ready.iter().copied().collect() // audited: verif snapshot, off the per-cycle loop
+    }
+
+    // ---------------------------------------------------------------
+    // dispatch FIFO
+    // ---------------------------------------------------------------
+
+    /// Enqueues a dispatch-latency event: evaluate `seq` for wakeup at
+    /// `due`. Callers push in rename order with a constant latency, so
+    /// `due` is non-decreasing and a FIFO stays sorted.
+    pub fn push_dispatch(&mut self, due: u64, seq: u64) {
+        debug_assert!(self.dispatch.back().is_none_or(|&(d, _)| d <= due));
+        self.dispatch.push_back((due, seq));
+    }
+
+    /// Pops the next dispatch event due at or before `now`, if any.
+    pub fn pop_due_dispatch(&mut self, now: u64) -> Option<u64> {
+        if self.dispatch.front().is_some_and(|&(due, _)| due <= now) {
+            self.dispatch.pop_front().map(|(_, seq)| seq)
+        } else {
+            None
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // writeback wake events + consumer lists
+    // ---------------------------------------------------------------
+
+    /// Schedules a wake of `(class, p)`'s consumers at cycle `at`
+    /// (a register writeback completing in the future).
+    pub fn schedule_wake(&mut self, at: u64, class: RegClass, p: u16) {
+        self.wake_heap.push(Reverse((at, class_index(class) as u8, p)));
+    }
+
+    /// Pops the next wake event due at or before `now`, returning the
+    /// cycle it was scheduled for (the pipeline validates the event
+    /// against the register's current `ready_at` — a mismatch means
+    /// the writeback was superseded and the event is stale).
+    pub fn pop_due_wake(&mut self, now: u64) -> Option<(u64, RegClass, u16)> {
+        let &Reverse((at, class, p)) = self.wake_heap.peek()?;
+        if at > now {
+            return None;
+        }
+        self.wake_heap.pop();
+        Some((at, if class == 0 { RegClass::Int } else { RegClass::Fp }, p))
+    }
+
+    /// Subscribes `seq` to the next wake of `(class, p)` — called when
+    /// a wakeup evaluation finds `p` to be the µop's first not-ready
+    /// operand. A µop subscribes to at most one register at a time,
+    /// which bounds total list growth to one entry per evaluation.
+    pub fn subscribe(&mut self, class: RegClass, p: u16, seq: u64) {
+        self.consumers[class_index(class)][usize::from(p)].push(seq);
+    }
+
+    /// Moves `(class, p)`'s waiting consumers into `out` (a reusable
+    /// scratch buffer) and empties the list.
+    pub fn drain_consumers(&mut self, class: RegClass, p: u16, out: &mut Vec<u64>) {
+        self.consumers[class_index(class)][usize::from(p)].drain_into(out);
+    }
+
+    /// Empties `(class, p)`'s consumer list without waking anyone —
+    /// called when `p` is (re)allocated, so subscriptions from a
+    /// squashed previous lifetime cannot accumulate.
+    pub fn clear_consumers(&mut self, class: RegClass, p: u16) {
+        self.consumers[class_index(class)][usize::from(p)].clear();
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("ready", &self.ready.len())
+            .field("dispatch", &self.dispatch.len())
+            .field("wake_heap", &self.wake_heap.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_set_iterates_in_age_order() {
+        let mut s = Scheduler::new(4, 4);
+        for seq in [9, 3, 7] {
+            s.insert_ready(seq);
+        }
+        s.insert_ready(7); // idempotent
+        assert_eq!(s.first_ready_at_or_after(0), Some(3));
+        assert_eq!(s.first_ready_at_or_after(4), Some(7));
+        s.remove_ready(7);
+        assert_eq!(s.first_ready_at_or_after(4), Some(9));
+        assert_eq!(s.first_ready_at_or_after(10), None);
+        assert_eq!(s.ready_seqs(), [3, 9]);
+    }
+
+    #[test]
+    fn dispatch_fifo_releases_in_due_order() {
+        let mut s = Scheduler::new(1, 1);
+        s.push_dispatch(5, 100);
+        s.push_dispatch(5, 101);
+        s.push_dispatch(8, 102);
+        assert_eq!(s.pop_due_dispatch(4), None);
+        assert_eq!(s.pop_due_dispatch(5), Some(100));
+        assert_eq!(s.pop_due_dispatch(5), Some(101));
+        assert_eq!(s.pop_due_dispatch(5), None);
+        assert_eq!(s.pop_due_dispatch(9), Some(102));
+        assert_eq!(s.pop_due_dispatch(9), None);
+    }
+
+    #[test]
+    fn wake_heap_orders_by_cycle_and_reports_the_scheduled_cycle() {
+        let mut s = Scheduler::new(8, 8);
+        s.schedule_wake(7, RegClass::Int, 3);
+        s.schedule_wake(4, RegClass::Fp, 5);
+        s.schedule_wake(4, RegClass::Int, 2);
+        assert_eq!(s.pop_due_wake(3), None);
+        // Same-cycle events drain in (class, preg) order.
+        assert_eq!(s.pop_due_wake(4), Some((4, RegClass::Int, 2)));
+        assert_eq!(s.pop_due_wake(4), Some((4, RegClass::Fp, 5)));
+        assert_eq!(s.pop_due_wake(6), None);
+        assert_eq!(s.pop_due_wake(7), Some((7, RegClass::Int, 3)));
+    }
+
+    #[test]
+    fn consumer_lists_drain_and_clear() {
+        let mut s = Scheduler::new(4, 4);
+        s.subscribe(RegClass::Int, 2, 10);
+        s.subscribe(RegClass::Int, 2, 11);
+        s.subscribe(RegClass::Int, 2, 12); // spills past the inline pair
+        s.subscribe(RegClass::Fp, 2, 99);
+        let mut out = Vec::new();
+        s.drain_consumers(RegClass::Int, 2, &mut out);
+        assert_eq!(out, [10, 11, 12]);
+        out.clear();
+        s.drain_consumers(RegClass::Int, 2, &mut out);
+        assert!(out.is_empty(), "drained list stays empty");
+        s.clear_consumers(RegClass::Fp, 2);
+        s.drain_consumers(RegClass::Fp, 2, &mut out);
+        assert!(out.is_empty(), "cleared list wakes no one");
+    }
+}

@@ -61,7 +61,7 @@ impl AuditReport {
 
 /// The standard auditor suite the pipeline runs under the `verif`
 /// feature: register conservation, rename-map consistency, occupancy
-/// bounds and commit monotonicity.
+/// bounds, commit monotonicity and scheduler wakeup consistency.
 #[must_use]
 pub fn standard_suite() -> Vec<Box<dyn PipelineAuditor>> {
     vec![
@@ -69,6 +69,7 @@ pub fn standard_suite() -> Vec<Box<dyn PipelineAuditor>> {
         Box::new(RenameConsistency),
         Box::new(OccupancyBounds),
         Box::new(CommitMonotonicity::default()),
+        Box::new(SchedulerConsistency),
     ]
 }
 
@@ -279,6 +280,39 @@ impl PipelineAuditor for OccupancyBounds {
     }
 }
 
+/// Scheduler wakeup consistency: the event-driven ready set must be a
+/// *tight-enough* superset of the truth. Every µop whose full issue
+/// predicate holds (computed by the pipeline from operand `ready_at`
+/// ground truth, not from the event machinery) must be in the ready
+/// set — a miss is a lost wakeup, the failure mode event-driven
+/// schedulers add over polling ones. Conversely every ready-set entry
+/// must correspond to a live, still-waiting ROB entry — stale
+/// candidates are tolerated *within* a cycle but select retires them,
+/// so at audit boundaries a leftover is a leak.
+pub struct SchedulerConsistency;
+
+impl PipelineAuditor for SchedulerConsistency {
+    fn name(&self) -> &'static str {
+        "scheduler-consistency"
+    }
+
+    fn audit(&mut self, snap: &PipelineSnapshot) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for e in &snap.rob {
+            if e.issuable && !snap.ready_seqs.contains(&e.seq) {
+                out.push(Violation::MissedWakeup { seq: e.seq });
+            }
+        }
+        for &seq in &snap.ready_seqs {
+            let live = snap.rob.iter().any(|e| e.seq == seq && e.in_iq && !e.issued);
+            if !live {
+                out.push(Violation::GhostReady { seq });
+            }
+        }
+        out
+    }
+}
+
 /// Commit monotonicity: retirement only moves forward, and nothing in
 /// flight is at or behind the commit frontier.
 #[derive(Default)]
@@ -353,6 +387,8 @@ mod tests {
         let rob = vec![RobSnapshot {
             seq: 10,
             in_iq: true,
+            issued: false,
+            issuable: true,
             new_names: vec![MapEntry { dense: 0, class: RegClass::Int, name: SnapName::Reg(3) }],
         }];
         let mut fp = class_snap(RegClass::Fp);
@@ -366,6 +402,7 @@ mod tests {
             rat,
             rob,
             iq_count: 1,
+            ready_seqs: vec![10],
             lq_seqs: vec![10],
             sq_seqs: vec![],
             limits: QueueLimits { rob: 8, iq: 4, lq: 4, sq: 4 },
@@ -471,6 +508,7 @@ mod tests {
             seq: 11,
             in_iq: false,
             new_names: vec![MapEntry { dense: 1, class: RegClass::Int, name: SnapName::Inline(0) }],
+            ..RobSnapshot::default()
         });
         let violations = audit_all(&snap);
         assert!(violations.is_empty(), "inline names are legal: {violations:?}");
@@ -488,6 +526,7 @@ mod tests {
                 class: RegClass::Int,
                 name: SnapName::Inline(400),
             }],
+            ..RobSnapshot::default()
         });
         let violations = audit_all(&snap);
         assert!(violations.iter().any(|v| matches!(v, Violation::BadName { .. })));
@@ -517,6 +556,34 @@ mod tests {
         snap.lq_seqs.push(99);
         let violations = audit_all(&snap);
         assert!(violations.contains(&Violation::OrphanQueueEntry { resource: "lq", seq: 99 }));
+    }
+
+    #[test]
+    fn missed_wakeup_is_flagged() {
+        let mut snap = healthy();
+        // Seq 10 is issuable but the scheduler never heard about it.
+        snap.ready_seqs.clear();
+        let violations = audit_all(&snap);
+        assert!(violations.contains(&Violation::MissedWakeup { seq: 10 }));
+    }
+
+    #[test]
+    fn ghost_ready_entry_is_flagged() {
+        let mut snap = healthy();
+        // Seq 99 has no ROB entry; seq 10 is waiting legitimately.
+        snap.ready_seqs.push(99);
+        let violations = audit_all(&snap);
+        assert!(violations.contains(&Violation::GhostReady { seq: 99 }));
+        assert!(!violations.contains(&Violation::GhostReady { seq: 10 }));
+    }
+
+    #[test]
+    fn issued_entry_in_ready_set_is_a_ghost() {
+        let mut snap = healthy();
+        snap.rob[0].issued = true;
+        snap.rob[0].issuable = false;
+        let violations = audit_all(&snap);
+        assert!(violations.contains(&Violation::GhostReady { seq: 10 }));
     }
 
     #[test]

@@ -85,6 +85,14 @@ pub struct RobSnapshot {
     pub seq: u64,
     /// The entry is still waiting in the issue queue.
     pub in_iq: bool,
+    /// The entry has issued (execution started or finished).
+    pub issued: bool,
+    /// The full issue predicate holds right now: in the IQ, not yet
+    /// issued, past its dispatch latency, and every operand ready. The
+    /// pipeline computes this from ground truth (operand `ready_at`
+    /// polls), independent of its event-driven wakeup machinery — the
+    /// scheduler-consistency auditor cross-checks the two.
+    pub issuable: bool,
     /// Destination mappings this µop will install into the committed
     /// map when it retires.
     pub new_names: Vec<MapEntry>,
@@ -121,6 +129,10 @@ pub struct PipelineSnapshot {
     pub rob: Vec<RobSnapshot>,
     /// The pipeline's cached issue-queue occupancy counter.
     pub iq_count: usize,
+    /// Sequence numbers in the event-driven scheduler's ready set,
+    /// oldest first. The set may conservatively hold stale candidates
+    /// (select re-verifies), but must never miss an issuable µop.
+    pub ready_seqs: Vec<u64>,
     /// Sequence numbers of in-flight loads, oldest first.
     pub lq_seqs: Vec<u64>,
     /// Sequence numbers of in-flight stores, oldest first.

@@ -135,6 +135,20 @@ pub enum Violation {
         /// Sequence number found at the ROB head.
         rob_front: u64,
     },
+    /// An issuable µop (in the IQ, past dispatch, all operands ready)
+    /// is missing from the scheduler's ready set: a lost wakeup that
+    /// the old polling issue loop could never suffer.
+    MissedWakeup {
+        /// The issuable-but-not-ready sequence number.
+        seq: u64,
+    },
+    /// The scheduler's ready set holds a sequence number with no live
+    /// waiting ROB entry behind it (squashed or already issued): stale
+    /// candidacy that select must have failed to retire.
+    GhostReady {
+        /// The ready-set entry with no waiting µop.
+        seq: u64,
+    },
     /// A hardware structure exceeds its Table 2 storage budget.
     BudgetOverrun {
         /// Structure name.
@@ -198,6 +212,12 @@ impl fmt::Display for Violation {
             }
             Violation::CommitOverlap { committed, rob_front } => {
                 write!(f, "ROB head seq {rob_front} is not younger than committed seq {committed}")
+            }
+            Violation::MissedWakeup { seq } => {
+                write!(f, "seq {seq} is issuable but absent from the scheduler ready set")
+            }
+            Violation::GhostReady { seq } => {
+                write!(f, "ready set holds seq {seq} with no waiting ROB entry")
             }
             Violation::BudgetOverrun { name, bits, max_bits } => {
                 write!(f, "{name} uses {bits} bits, over its {max_bits}-bit Table 2 budget")

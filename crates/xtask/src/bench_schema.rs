@@ -1,0 +1,189 @@
+//! Schema validation for `cargo xtask perf` output
+//! (`BENCH_scheduler.json`).
+//!
+//! Reuses [`trace_schema`]'s dependency-free JSON parser and gates the
+//! CI perf-smoke step on the structural promises DESIGN.md §12 makes:
+//!
+//! * the document is one well-formed JSON object with a numeric
+//!   `schema` version, `insts`, `reps` and a boolean `smoke` marker;
+//! * `points` is a non-empty array whose entries each carry the
+//!   workload/config identity, the simulated `cycles`, the
+//!   `best_wall_seconds` timer and the derived `cycles_per_sec`;
+//! * the headline `geomean_cycles_per_sec` is a positive number;
+//! * baseline comparison fields, when present, are numeric and come as
+//!   a pair (`baseline_cycles_per_sec` with `speedup` per point;
+//!   `baseline_geomean_cycles_per_sec` with `speedup` at the root).
+
+use crate::trace_schema::{parse, SchemaError, Value};
+use std::collections::BTreeMap;
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SchemaError> {
+    Err(SchemaError::new(msg))
+}
+
+fn get<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, SchemaError> {
+    match obj.get(key) {
+        Some(v) => Ok(v),
+        None => err(format!("missing required member `{key}`")),
+    }
+}
+
+fn as_object<'v>(v: &'v Value, what: &str) -> Result<&'v BTreeMap<String, Value>, SchemaError> {
+    match v {
+        Value::Object(m) => Ok(m),
+        other => err(format!("{what} must be an object, found {}", other.type_name())),
+    }
+}
+
+fn as_number(v: &Value, what: &str) -> Result<f64, SchemaError> {
+    match v {
+        Value::Number(n) => Ok(*n),
+        other => err(format!("{what} must be a number, found {}", other.type_name())),
+    }
+}
+
+fn as_string<'v>(v: &'v Value, what: &str) -> Result<&'v str, SchemaError> {
+    match v {
+        Value::String(s) => Ok(s),
+        other => err(format!("{what} must be a string, found {}", other.type_name())),
+    }
+}
+
+/// Validates a scheduler-benchmark record. Returns a one-line summary
+/// (point count, geomean, speedup when present) on success.
+pub fn validate(src: &str) -> Result<String, SchemaError> {
+    let doc = parse(src)?;
+    let root = as_object(&doc, "document root")?;
+    let schema = as_number(get(root, "schema")?, "`schema`")?;
+    as_number(get(root, "insts")?, "`insts`")?;
+    as_number(get(root, "reps")?, "`reps`")?;
+    if !matches!(get(root, "smoke")?, Value::Bool(_)) {
+        return err("`smoke` must be a bool");
+    }
+    let points = match get(root, "points")? {
+        Value::Array(points) => points,
+        other => return err(format!("`points` must be an array, found {}", other.type_name())),
+    };
+    if points.is_empty() {
+        return err("`points` must not be empty");
+    }
+    let mut compared = 0usize;
+    for (i, point) in points.iter().enumerate() {
+        let p = as_object(point, &format!("points[{i}]"))?;
+        as_string(get(p, "workload")?, &format!("points[{i}].workload"))?;
+        as_string(get(p, "config")?, &format!("points[{i}].config"))?;
+        for key in ["cycles", "best_wall_seconds", "cycles_per_sec"] {
+            let n = as_number(get(p, key)?, &format!("points[{i}].{key}"))?;
+            if n <= 0.0 {
+                return err(format!("points[{i}].{key} must be positive, found {n}"));
+            }
+        }
+        match (p.get("baseline_cycles_per_sec"), p.get("speedup")) {
+            (Some(b), Some(s)) => {
+                as_number(b, &format!("points[{i}].baseline_cycles_per_sec"))?;
+                as_number(s, &format!("points[{i}].speedup"))?;
+                compared += 1;
+            }
+            (None, None) => {}
+            _ => {
+                return err(format!(
+                    "points[{i}] must carry `baseline_cycles_per_sec` and `speedup` together"
+                ));
+            }
+        }
+    }
+    let geomean = as_number(get(root, "geomean_cycles_per_sec")?, "`geomean_cycles_per_sec`")?;
+    if geomean <= 0.0 {
+        return err(format!("`geomean_cycles_per_sec` must be positive, found {geomean}"));
+    }
+    let speedup = match (root.get("baseline_geomean_cycles_per_sec"), root.get("speedup")) {
+        (Some(b), Some(s)) => {
+            as_number(b, "`baseline_geomean_cycles_per_sec`")?;
+            Some(as_number(s, "`speedup`")?)
+        }
+        (None, None) => None,
+        _ => {
+            return err("`baseline_geomean_cycles_per_sec` and `speedup` must be present together");
+        }
+    };
+    let mut summary = format!(
+        "{} point(s) ({compared} with baseline), schema {schema}, geomean {:.2}M cyc/s",
+        points.len(),
+        geomean / 1e6
+    );
+    if let Some(s) = speedup {
+        summary.push_str(&format!(", speedup {s:.2}x"));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(extra: &str) -> String {
+        format!(
+            "{{\"workload\":\"w\",\"config\":\"base\",\"cycles\":100,\
+             \"best_wall_seconds\":0.5,\"cycles_per_sec\":200.0{extra}}}"
+        )
+    }
+
+    fn record(points: &[String], extra: &str) -> String {
+        format!(
+            "{{\"schema\":1,\"insts\":300000,\"reps\":3,\"smoke\":false,\
+             \"points\":[{}],\"geomean_cycles_per_sec\":200.0{extra}}}",
+            points.join(",")
+        )
+    }
+
+    #[test]
+    fn plain_record_validates() {
+        let r = record(&[point("")], "");
+        let summary = validate(&r).expect("valid");
+        assert!(summary.contains("1 point(s)"), "{summary}");
+        assert!(!summary.contains("speedup"), "{summary}");
+    }
+
+    #[test]
+    fn baseline_record_reports_speedup() {
+        let p = point(",\"baseline_cycles_per_sec\":100.0,\"speedup\":2.0");
+        let r = record(&[p], ",\"baseline_geomean_cycles_per_sec\":100.0,\"speedup\":2.0");
+        let summary = validate(&r).expect("valid");
+        assert!(summary.contains("(1 with baseline)"), "{summary}");
+        assert!(summary.contains("speedup 2.00x"), "{summary}");
+    }
+
+    #[test]
+    fn missing_members_are_rejected() {
+        for key in ["schema", "insts", "reps", "smoke", "points", "geomean_cycles_per_sec"] {
+            let r = record(&[point("")], "");
+            let broken = r.replacen(&format!("\"{key}\""), &format!("\"_{key}\""), 1);
+            let e = validate(&broken).expect_err(key).to_string();
+            assert!(e.contains(key), "{key}: {e}");
+        }
+    }
+
+    #[test]
+    fn empty_points_are_rejected() {
+        let e = validate(&record(&[], "")).expect_err("empty").to_string();
+        assert!(e.contains("empty"), "{e}");
+    }
+
+    #[test]
+    fn non_positive_metrics_are_rejected() {
+        let r = record(&[point("")], "").replace("\"cycles\":100", "\"cycles\":0");
+        let e = validate(&r).expect_err("zero cycles").to_string();
+        assert!(e.contains("positive"), "{e}");
+    }
+
+    #[test]
+    fn unpaired_baseline_fields_are_rejected() {
+        let p = point(",\"baseline_cycles_per_sec\":100.0");
+        let e = validate(&record(&[p], "")).expect_err("unpaired").to_string();
+        assert!(e.contains("together"), "{e}");
+
+        let r = record(&[point("")], ",\"speedup\":2.0");
+        let e = validate(&r).expect_err("unpaired root").to_string();
+        assert!(e.contains("together"), "{e}");
+    }
+}

@@ -65,6 +65,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/physreg.rs",
     "crates/core/src/pipeline.rs",
     "crates/core/src/rename.rs",
+    "crates/core/src/scheduler.rs",
     "crates/core/src/storesets.rs",
     "crates/mem/src/cache.rs",
     "crates/mem/src/hierarchy.rs",

@@ -10,7 +10,14 @@
 //! `trace_event` JSON document written by `simulate --trace` is
 //! well-formed and carries the fields the schema promises — the CI
 //! trace-smoke step gates on it. The checks live in [`trace_schema`].
+//!
+//! `cargo xtask perf [...]` runs the scheduler hot-loop
+//! micro-benchmark (the `perf_scheduler` bin in `tvp-bench`, release
+//! profile) and `cargo xtask validate-bench <file>` checks the
+//! `BENCH_scheduler.json` record it writes — the CI perf-smoke step
+//! gates on both. The checks live in [`bench_schema`].
 
+mod bench_schema;
 mod lint;
 mod trace_schema;
 
@@ -56,8 +63,48 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("perf") => {
+            // Delegate to the benchmark binary under the release
+            // profile (debug timings would be meaningless); remaining
+            // arguments pass through (`--smoke`, `--baseline`, ...).
+            let status = std::process::Command::new(env!("CARGO"))
+                .args(["run", "--release", "-p", "tvp-bench", "--bin", "perf_scheduler", "--"])
+                .args(args)
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(_) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("xtask perf: cannot run cargo: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("validate-bench") => {
+            let Some(path) = args.next() else {
+                eprintln!("usage: cargo xtask validate-bench <BENCH_scheduler.json>");
+                return ExitCode::from(2);
+            };
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("xtask validate-bench: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match bench_schema::validate(&src) {
+                Ok(summary) => {
+                    println!("xtask validate-bench: {path} ok ({summary})");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("xtask validate-bench: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask <lint | validate-trace FILE>");
+            eprintln!("usage: cargo xtask <lint | validate-trace FILE | perf [ARGS] | validate-bench FILE>");
             ExitCode::from(2)
         }
     }

@@ -34,7 +34,7 @@ pub enum Value {
 }
 
 impl Value {
-    fn type_name(&self) -> &'static str {
+    pub(crate) fn type_name(&self) -> &'static str {
         match self {
             Value::Null => "null",
             Value::Bool(_) => "bool",
@@ -49,6 +49,13 @@ impl Value {
 /// A parse or validation failure, with enough context to locate it.
 #[derive(Debug)]
 pub struct SchemaError(String);
+
+impl SchemaError {
+    /// Wraps a message (shared with the other schema validators).
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        SchemaError(msg.into())
+    }
+}
 
 impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -64,7 +64,13 @@ fn failed_job_is_reported_and_the_rest_of_the_run_completes() {
     std::env::set_var("TVP_BENCH_TELEMETRY", &telemetry);
 
     let experiments: Vec<Box<dyn Experiment>> = vec![Box::new(Poisoned), Box::new(Healthy)];
-    let opts = RunOptions { workers: Some(2), insts: 2_000, smoke: false, progress: false };
+    let opts = RunOptions {
+        workers: Some(2),
+        insts: 2_000,
+        smoke: false,
+        progress: false,
+        per_job: false,
+    };
     let report = engine::run(&experiments, &opts);
 
     // The poisoned point failed, with its key, and its panic payload
