@@ -122,7 +122,7 @@ pub fn run_jobs<'t>(
                         let mut core = Core::new(cfg);
                         let stats = core.run(trace);
                         if let Some(diag) = core.watchdog_diagnostic() {
-                            // audited: deliberate fail-loud path — a tripped watchdog is a simulator bug
+                            // deliberate fail-loud path — a tripped watchdog is a simulator bug
                             panic!("pipeline deadlock:\n{diag}");
                         }
                         (SimPoint { stats }, core.cpi_stack())

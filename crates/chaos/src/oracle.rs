@@ -266,7 +266,7 @@ impl CommitOracle {
                     pc: u.pc,
                     kind,
                     chaos_seed: None,
-                    // audited: divergence construction — error path, runs at most once
+                    // audited(no-alloc-in-hot-path): divergence construction — error path, runs at most once
                     history: Vec::new(),
                 })
             }
@@ -283,7 +283,7 @@ impl CommitOracle {
             return None;
         }
         let wrap = |what: String, expected: u64, got: u64| Divergence {
-            // audited: divergence construction — error path, runs at most once
+            // audited(no-alloc-in-hot-path): divergence construction — error path, runs at most once
             history: Vec::new(),
             seq: self.next_seq.saturating_sub(1),
             pc: self.cur_pc,
@@ -292,27 +292,27 @@ impl CommitOracle {
         };
         for i in 0..self.int.len() {
             if self.int[i] != golden.int[i] {
-                return Some(wrap(format!("x{i}"), golden.int[i], self.int[i])); // audited: mismatch report, fires at most once per run
+                return Some(wrap(format!("x{i}"), golden.int[i], self.int[i])); // audited(no-alloc-in-hot-path): mismatch report, fires at most once per run
             }
         }
         for i in 0..self.fp.len() {
             if self.fp[i] != golden.fp[i] {
-                return Some(wrap(format!("v{i}"), golden.fp[i], self.fp[i])); // audited: mismatch report, fires at most once per run
+                return Some(wrap(format!("v{i}"), golden.fp[i], self.fp[i])); // audited(no-alloc-in-hot-path): mismatch report, fires at most once per run
             }
         }
         if self.flags.pack() != golden.flags.pack() {
             return Some(wrap(
-                "flags".to_owned(), // audited: mismatch report, fires at most once per run
+                "flags".to_owned(), // audited(no-alloc-in-hot-path): mismatch report, fires at most once per run
                 u64::from(golden.flags.pack()),
                 u64::from(self.flags.pack()),
             ));
         }
         if self.next_pc != golden.pc {
-            return Some(wrap("pc".to_owned(), golden.pc, self.next_pc)); // audited: mismatch report, fires at most once per run
+            return Some(wrap("pc".to_owned(), golden.pc, self.next_pc)); // audited(no-alloc-in-hot-path): mismatch report, fires at most once per run
         }
         let (want, got) = (golden.mem.digest(), self.mem.digest());
         if want != got {
-            return Some(wrap("memory digest".to_owned(), want, got)); // audited: mismatch report, fires at most once per run
+            return Some(wrap("memory digest".to_owned(), want, got)); // audited(no-alloc-in-hot-path): mismatch report, fires at most once per run
         }
         None
     }

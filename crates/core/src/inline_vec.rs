@@ -41,7 +41,7 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     /// Panics if the vector is full — per-µop cardinalities are
     /// architecturally bounded, so overflow is a simulator bug.
     pub fn push(&mut self, value: T) {
-        // audited: capacity overflow is an architectural-invariant violation — fail loud
+        // capacity overflow is an architectural-invariant violation — fail loud
         assert!((self.len as usize) < N, "InlineVec capacity {N} exceeded");
         self.buf[self.len as usize] = value;
         self.len += 1;
@@ -104,7 +104,7 @@ impl<T: Copy + Default, const N: usize> SpillVec<T, N> {
     /// exceeded).
     #[must_use]
     pub fn new() -> Self {
-        // audited: Vec::new is capacity-0 — no heap allocation until spill
+        // audited(no-alloc-in-hot-path): Vec::new is capacity-0 — no heap allocation until spill
         SpillVec { inline_len: 0, inline: [T::default(); N], spill: Vec::new() }
     }
 
@@ -126,7 +126,7 @@ impl<T: Copy + Default, const N: usize> SpillVec<T, N> {
             self.inline[usize::from(self.inline_len)] = value;
             self.inline_len += 1;
         } else {
-            // audited: spill past the inline capacity is the rare fan-out case, amortized
+            // spill past the inline capacity is the rare fan-out case, amortized
             self.spill.push(value);
         }
     }

@@ -114,10 +114,10 @@ impl RegFile {
     pub fn new(total: usize, hardwired: u16) -> Self {
         assert!(usize::from(hardwired) <= total);
         RegFile {
-            free: (hardwired..total as u16).collect(), // audited: constructor
-            ref_count: vec![0; total],                 // audited: constructor
-            ready_at: vec![0; total],                  // audited: constructor
-            is32: vec![false; total],                  // audited: constructor
+            free: (hardwired..total as u16).collect(), // audited(no-alloc-in-hot-path): constructor
+            ref_count: vec![0; total],                 // audited(no-alloc-in-hot-path): constructor
+            ready_at: vec![0; total],                  // audited(no-alloc-in-hot-path): constructor
+            is32: vec![false; total],                  // audited(no-alloc-in-hot-path): constructor
             hardwired,
         }
     }
@@ -225,7 +225,7 @@ impl RegFile {
     /// the rename maps).
     #[must_use]
     pub fn free_regs(&self) -> Vec<u16> {
-        self.free.iter().copied().collect() // audited: diagnostics, off the per-cycle loop
+        self.free.iter().copied().collect() // audited(no-alloc-in-hot-path): diagnostics, off the per-cycle loop
     }
 
     /// All reference counts, indexed by physical register id

@@ -285,8 +285,8 @@ impl Core {
         // a number picks the ring capacity, any other value takes the
         // default. Kept out of CoreConfig so experiment fingerprints
         // (ExpKey) are untouched; tests use [`Core::enable_tracing`].
+        // audited(determinism-audit): one env read per core construction
         let tracer = match std::env::var("TVP_TRACE_EVENTS") {
-            // audited: constructor — one env read per core construction
             Ok(v) => Tracer::enabled(match v.parse::<usize>() {
                 Ok(n) => n,
                 Err(_) => DEFAULT_TRACE_CAPACITY,
@@ -325,16 +325,16 @@ impl Core {
             lq_issued: IssuedWindow::new(),
             sq_issued: IssuedWindow::new(),
             sched: Scheduler::new(cfg.int_regs, cfg.fp_regs),
-            wake_scratch: Vec::new(),        // audited: constructor
-            replay_wake_scratch: Vec::new(), // audited: constructor
+            wake_scratch: Vec::new(), // audited(no-alloc-in-hot-path): constructor
+            replay_wake_scratch: Vec::new(), // audited(no-alloc-in-hot-path): constructor
             checkpoints: VecDeque::new(),
             floor,
-            pending_flushes: Vec::new(), // audited: constructor
-            pending_replays: Vec::new(), // audited: constructor
+            pending_flushes: Vec::new(), // audited(no-alloc-in-hot-path): constructor
+            pending_replays: Vec::new(), // audited(no-alloc-in-hot-path): constructor
             flushes_next_due: u64::MAX,
             replays_next_due: u64::MAX,
-            replay_due_scratch: Vec::new(),    // audited: constructor
-            replay_poison_scratch: Vec::new(), // audited: constructor
+            replay_due_scratch: Vec::new(), // audited(no-alloc-in-hot-path): constructor
+            replay_poison_scratch: Vec::new(), // audited(no-alloc-in-hot-path): constructor
             silence_until: 0,
             silence_len: cfg.silence_cycles,
             last_vp_flush: 0,
@@ -1100,6 +1100,7 @@ impl Core {
                 // Out of physical registers; retry next cycle (the
                 // retry will re-count eligibility, so back it out).
                 if vp_token.is_some() {
+                    // audited(saturating-counter): backs out this cycle's increment
                     self.stats.vp.eligible -= 1;
                 }
                 break;
@@ -1114,15 +1115,21 @@ impl Core {
             let needs_iq = renamed.eliminated.is_none();
             if needs_iq && self.iq_count >= self.cfg.iq_size {
                 self.renamer.rollback(&renamed);
-                // Back out the optimistic rename statistics.
+                // Back out the optimistic rename statistics (each
+                // decrement reverses an increment made this cycle, so
+                // underflow is impossible).
+                // audited(saturating-counter): backs out this cycle's increment
                 self.renamer.stats.uops -= 1;
                 if u.first_uop {
+                    // audited(saturating-counter): backs out this cycle's increment
                     self.renamer.stats.arch_insts -= 1;
                 }
                 if prediction.is_some() {
+                    // audited(saturating-counter): backs out this cycle's increment
                     self.stats.vp.used -= 1;
                 }
                 if vp_token.is_some() {
+                    // audited(saturating-counter): backs out this cycle's increment
                     self.stats.vp.eligible -= 1;
                 }
                 break;
@@ -1152,7 +1159,7 @@ impl Core {
                     addr: u.mem_addr.expect("load has an address"),
                     size: match u.uop.op {
                         Op::Load { size, .. } => size,
-                        // audited: guarded by is_load() on the µop above
+                        // audited(no-panic-in-hot-path): guarded by is_load() on the µop above
                         _ => unreachable!(),
                     },
                     issued: false,
@@ -1160,7 +1167,7 @@ impl Core {
                 });
             }
             if u.uop.op.is_store() {
-                // audited: guarded by is_store() on the µop above
+                // audited(no-panic-in-hot-path): guarded by is_store() on the µop above
                 let Op::Store { size } = u.uop.op else { unreachable!() };
                 lsq_pos = self.sq_base + self.sq.len() as u64;
                 self.sq.push_back(SqEntry {
@@ -1763,6 +1770,10 @@ impl Core {
         reg.counter("tage.predictions", tage.predictions);
         reg.counter("tage.mispredictions", tage.mispredictions);
         reg.counter("tage.overflow_events", tage.overflow_events);
+        let btb = self.btb.stats();
+        reg.counter("btb.hits", btb.hits);
+        reg.counter("btb.misses", btb.misses);
+        reg.counter("btb.overflow_events", btb.overflow_events);
         if let Some(vp) = self.vtage.as_ref() {
             let v = vp.stats();
             reg.counter("vtage.lookups", v.lookups);
@@ -1830,8 +1841,8 @@ impl Core {
             class: Self::snap_class(dense),
             name: Self::snap_name(name),
         };
-        let crat = (0..NUM_DENSE_REGS).map(|d| map_entry(d, self.renamer.crat_entry(d))).collect(); // audited: verif snapshot, off the per-cycle loop
-        let rat = (0..NUM_DENSE_REGS).map(|d| map_entry(d, self.renamer.rat_entry(d))).collect(); // audited: verif snapshot, off the per-cycle loop
+        let crat = (0..NUM_DENSE_REGS).map(|d| map_entry(d, self.renamer.crat_entry(d))).collect(); // audited(no-alloc-in-hot-path): verif snapshot, off the per-cycle loop
+        let rat = (0..NUM_DENSE_REGS).map(|d| map_entry(d, self.renamer.rat_entry(d))).collect(); // audited(no-alloc-in-hot-path): verif snapshot, off the per-cycle loop
         let rob = self
             .rob
             .iter()
@@ -1850,9 +1861,9 @@ impl Core {
                     && e.dispatch_ready <= self.cycle
                     && e.dispatch_ready < self.cycle + self.cfg.rename_to_dispatch.max(1)
                     && self.first_unready_dep(&e.renamed).is_none(),
-                new_names: e.new_names.iter().map(|&(d, n)| map_entry(d, n)).collect(), // audited: verif snapshot, off the per-cycle loop
+                new_names: e.new_names.iter().map(|&(d, n)| map_entry(d, n)).collect(), // audited(no-alloc-in-hot-path): verif snapshot, off the per-cycle loop
             })
-            .collect(); // audited: verif snapshot, off the per-cycle loop
+            .collect(); // audited(no-alloc-in-hot-path): verif snapshot, off the per-cycle loop
         tvp_verif::PipelineSnapshot {
             cycle: self.cycle,
             int: self.class_snapshot(crate::rename::RegClass::Int),
@@ -1862,8 +1873,8 @@ impl Core {
             rob,
             iq_count: self.iq_count,
             ready_seqs: self.sched.ready_seqs(),
-            lq_seqs: self.lq.iter().map(|l| l.seq).collect(), // audited: verif snapshot, off the per-cycle loop
-            sq_seqs: self.sq.iter().map(|s| s.seq).collect(), // audited: verif snapshot, off the per-cycle loop
+            lq_seqs: self.lq.iter().map(|l| l.seq).collect(), // audited(no-alloc-in-hot-path): verif snapshot, off the per-cycle loop
+            sq_seqs: self.sq.iter().map(|s| s.seq).collect(), // audited(no-alloc-in-hot-path): verif snapshot, off the per-cycle loop
             limits: tvp_verif::QueueLimits {
                 rob: self.cfg.rob_size,
                 iq: self.cfg.iq_size,
@@ -1904,15 +1915,15 @@ impl Core {
     #[must_use]
     pub fn storage_report(&self) -> Vec<(String, u64)> {
         use tvp_verif::StorageBudget;
-        // audited: storage report, runs once per config
+        // audited(no-alloc-in-hot-path): storage report, runs once per config
         let mut out = vec![
-            (self.tage.storage_name().to_owned(), self.tage.storage_bits()), // audited: storage report, runs once per config
-            (self.btb.storage_name().to_owned(), self.btb.storage_bits()), // audited: storage report, runs once per config
-            (self.ras.storage_name().to_owned(), self.ras.storage_bits()), // audited: storage report, runs once per config
-            (self.itc.storage_name().to_owned(), self.itc.storage_bits()), // audited: storage report, runs once per config
+            (self.tage.storage_name().to_owned(), self.tage.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
+            (self.btb.storage_name().to_owned(), self.btb.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
+            (self.ras.storage_name().to_owned(), self.ras.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
+            (self.itc.storage_name().to_owned(), self.itc.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
         ];
         if let Some(vp) = self.vtage.as_ref() {
-            out.push((vp.storage_name().to_owned(), vp.storage_bits())); // audited: storage report, runs once per config
+            out.push((vp.storage_name().to_owned(), vp.storage_bits())); // audited(no-alloc-in-hot-path): storage report, runs once per config
         }
         out.extend(self.mem.storage_report());
         out
@@ -1947,7 +1958,7 @@ pub fn simulate(cfg: CoreConfig, trace: &Trace) -> SimStats {
     let mut core = Core::new(cfg);
     let stats = core.run(trace);
     if let Some(diag) = core.watchdog_diagnostic() {
-        // audited: deliberate fail-loud path — a tripped watchdog is a simulator bug
+        // audited(no-panic-in-hot-path): deliberate fail-loud path — a tripped watchdog is a simulator bug
         panic!("pipeline deadlock:\n{diag}");
     }
     stats

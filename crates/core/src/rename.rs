@@ -131,7 +131,7 @@ impl Renamer {
     pub fn new(cfg: &CoreConfig) -> Self {
         let mut int = RegFile::new(cfg.int_regs, 2);
         let mut fp = RegFile::new(cfg.fp_regs, 0);
-        let mut rat = Vec::with_capacity(NUM_DENSE_REGS); // audited: constructor
+        let mut rat = Vec::with_capacity(NUM_DENSE_REGS); // audited(no-alloc-in-hot-path): constructor
         for dense in 0..NUM_DENSE_REGS {
             let name = if dense == Reg::Int(tvp_isa::reg::ZERO_REG_INDEX).dense_index() {
                 PhysName::Reg(PHYS_ZERO)
@@ -561,8 +561,10 @@ impl Renamer {
     /// Backs out the statistics counted optimistically at the top of
     /// [`Renamer::rename_uop`] when the µop stalls.
     fn unwind_stall(&mut self, first_uop: bool) -> RenameStall {
+        // audited(saturating-counter): backs out this call's increment
         self.stats.uops -= 1;
         if first_uop {
+            // audited(saturating-counter): backs out this call's increment
             self.stats.arch_insts -= 1;
         }
         RenameStall

@@ -59,11 +59,11 @@ impl Scheduler {
     pub fn new(int_regs: usize, fp_regs: usize) -> Self {
         Scheduler {
             ready: BTreeSet::new(),
-            dispatch: VecDeque::new(),    // audited: constructor
-            wake_heap: BinaryHeap::new(), // audited: constructor
+            dispatch: VecDeque::new(),
+            wake_heap: BinaryHeap::new(),
             consumers: [
-                vec![SpillVec::new(); int_regs], // audited: constructor
-                vec![SpillVec::new(); fp_regs],  // audited: constructor
+                vec![SpillVec::new(); int_regs], // audited(no-alloc-in-hot-path): constructor
+                vec![SpillVec::new(); fp_regs],  // audited(no-alloc-in-hot-path): constructor
             ],
         }
     }
@@ -93,7 +93,7 @@ impl Scheduler {
     /// Current candidates, oldest first (verification snapshots).
     #[must_use]
     pub fn ready_seqs(&self) -> Vec<u64> {
-        self.ready.iter().copied().collect() // audited: verif snapshot, off the per-cycle loop
+        self.ready.iter().copied().collect() // audited(no-alloc-in-hot-path): verif snapshot, off the per-cycle loop
     }
 
     // ---------------------------------------------------------------

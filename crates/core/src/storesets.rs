@@ -29,8 +29,8 @@ impl StoreSets {
     pub fn new(ssit_entries: usize, lfst_entries: usize) -> Self {
         assert!(ssit_entries.is_power_of_two() && lfst_entries.is_power_of_two());
         StoreSets {
-            ssit: vec![None; ssit_entries], // audited: constructor
-            lfst: vec![None; lfst_entries], // audited: constructor
+            ssit: vec![None; ssit_entries], // audited(no-alloc-in-hot-path): constructor
+            lfst: vec![None; lfst_entries], // audited(no-alloc-in-hot-path): constructor
             next_set: 0,
             ssit_mask: ssit_entries - 1,
         }

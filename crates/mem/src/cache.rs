@@ -102,8 +102,8 @@ impl Cache {
         Cache {
             set_shift: cfg.line_size.trailing_zeros(),
             set_mask: sets as u64 - 1,
-            sets: vec![vec![Line::default(); cfg.ways]; sets], // audited: constructor
-            mshrs: Vec::with_capacity(cfg.mshrs),              // audited: constructor
+            sets: vec![vec![Line::default(); cfg.ways]; sets], // audited(no-alloc-in-hot-path): constructor
+            mshrs: Vec::with_capacity(cfg.mshrs), // audited(no-alloc-in-hot-path): constructor
             clock: 0,
             stats: CacheStats::default(),
             cfg,

@@ -129,7 +129,7 @@ impl Hierarchy {
             prefetch_suppressed: false,
             dropped_prefetches: 0,
             overflow_events: 0,
-            // audited: constructor — runs once per simulated hierarchy
+            // audited(no-alloc-in-hot-path): constructor — runs once per simulated hierarchy
             pf_scratch: Vec::new(),
             cfg,
         }
@@ -301,7 +301,7 @@ impl Hierarchy {
                 ("evictions", s.evictions),
                 ("overflow_events", s.overflow_events),
             ] {
-                // audited: exporter path, runs once per simulation
+                // audited(no-alloc-in-hot-path): exporter path, runs once per simulation
                 reg.counter_scoped(&format!("mem.{name}"), field, value);
             }
         }
@@ -317,7 +317,7 @@ impl Hierarchy {
                 ("l2_misses", l2m),
                 ("overflow_events", tlb.overflow_events()),
             ] {
-                // audited: exporter path, runs once per simulation
+                // audited(no-alloc-in-hot-path): exporter path, runs once per simulation
                 reg.counter_scoped(&format!("mem.{name}"), field, value);
             }
         }
@@ -342,16 +342,16 @@ impl Hierarchy {
     #[must_use]
     pub fn storage_report(&self) -> Vec<(String, u64)> {
         use tvp_verif::StorageBudget;
-        // audited: storage report, runs once per config
+        // audited(no-alloc-in-hot-path): storage report, runs once per config
         vec![
-            (self.l1d.storage_name().to_owned(), self.l1d.storage_bits()), // audited: storage report, runs once per config
-            (self.l1i.storage_name().to_owned(), self.l1i.storage_bits()), // audited: storage report, runs once per config
-            (self.l2.storage_name().to_owned(), self.l2.storage_bits()), // audited: storage report, runs once per config
-            (self.l3.storage_name().to_owned(), self.l3.storage_bits()), // audited: storage report, runs once per config
-            ("dtlb".to_owned(), self.dtlb.storage_bits()), // audited: storage report, runs once per config
-            ("itlb".to_owned(), self.itlb.storage_bits()), // audited: storage report, runs once per config
-            (self.stride.storage_name().to_owned(), self.stride.storage_bits()), // audited: storage report, runs once per config
-            (self.ampm.storage_name().to_owned(), self.ampm.storage_bits()), // audited: storage report, runs once per config
+            (self.l1d.storage_name().to_owned(), self.l1d.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
+            (self.l1i.storage_name().to_owned(), self.l1i.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
+            (self.l2.storage_name().to_owned(), self.l2.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
+            (self.l3.storage_name().to_owned(), self.l3.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
+            ("dtlb".to_owned(), self.dtlb.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
+            ("itlb".to_owned(), self.itlb.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
+            (self.stride.storage_name().to_owned(), self.stride.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
+            (self.ampm.storage_name().to_owned(), self.ampm.storage_bits()), // audited(no-alloc-in-hot-path): storage report, runs once per config
         ]
     }
 }

@@ -38,7 +38,7 @@ impl StridePrefetcher {
         assert!(entries.is_power_of_two(), "stride table must be a power of two");
         assert!(degree > 0);
         StridePrefetcher {
-            table: vec![StrideEntry::default(); entries], // audited: constructor
+            table: vec![StrideEntry::default(); entries], // audited(no-alloc-in-hot-path): constructor
             degree,
             issued: 0,
             overflow_events: 0,
@@ -115,7 +115,7 @@ impl AmpmPrefetcher {
     pub fn new(zones: usize, max_strides: i64) -> Self {
         assert!(zones > 0);
         AmpmPrefetcher {
-            zones: vec![AmpmZone::default(); zones], // audited: constructor
+            zones: vec![AmpmZone::default(); zones], // audited(no-alloc-in-hot-path): constructor
             zone_shift: 12,                          // 4KB zones
             line_shift: 6,                           // 64B lines
             max_strides,

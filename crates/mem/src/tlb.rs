@@ -35,7 +35,7 @@ impl Tlb {
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "TLB set count must be a power of two");
         Tlb {
-            entries: vec![vec![(false, 0, 0); ways]; sets], // audited: constructor
+            entries: vec![vec![(false, 0, 0); ways]; sets], // audited(no-alloc-in-hot-path): constructor
             set_mask: sets as u64 - 1,
             clock: 0,
             hits: 0,

@@ -99,7 +99,7 @@ impl EventRing {
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         EventRing {
-            buf: vec![TraceEvent::default(); capacity], // audited: one-time ring allocation at enable time
+            buf: vec![TraceEvent::default(); capacity], // audited(no-alloc-in-hot-path): one-time ring allocation at enable time
             next: 0,
             len: 0,
             dropped: 0,
@@ -148,7 +148,7 @@ impl EventRing {
     /// The held events, oldest first (diagnostic path; allocates).
     #[must_use]
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        let mut out = Vec::with_capacity(self.len); // audited: diagnostic/export path, not per-cycle
+        let mut out = Vec::with_capacity(self.len); // audited(no-alloc-in-hot-path): diagnostic/export path, not per-cycle
         if self.len == self.buf.len() {
             out.extend_from_slice(&self.buf[self.next..]);
             out.extend_from_slice(&self.buf[..self.next]);

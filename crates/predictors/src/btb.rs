@@ -34,8 +34,18 @@ pub struct Btb {
     sets: Vec<Vec<BtbEntry>>,
     set_mask: u64,
     clock: u64,
-    hits: u64,
-    misses: u64,
+    stats: BtbStats,
+}
+
+/// Lookup statistics (exported through the counter registry).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BtbStats {
+    /// Lookups that found a valid entry for the PC.
+    pub hits: u64,
+    /// Lookups that missed (decode takes the mistarget bubble).
+    pub misses: u64,
+    /// Counter increments lost to saturation (should stay 0).
+    pub overflow_events: u64,
 }
 
 /// A BTB hit: the stored target and the kind of branch that installed it.
@@ -61,11 +71,11 @@ impl Btb {
         let num_sets = entries / ways;
         assert!(num_sets.is_power_of_two(), "BTB set count must be a power of two");
         Btb {
-            sets: vec![vec![BtbEntry::default(); ways]; num_sets], // audited: constructor
+            // audited(no-alloc-in-hot-path): constructor
+            sets: vec![vec![BtbEntry::default(); ways]; num_sets],
             set_mask: num_sets as u64 - 1,
             clock: 0,
-            hits: 0,
-            misses: 0,
+            stats: BtbStats::default(),
         }
     }
 
@@ -85,11 +95,11 @@ impl Btb {
         for e in &mut self.sets[set] {
             if e.valid && e.tag == tag {
                 e.lru = clock;
-                self.hits += 1;
+                tvp_obs::counters::sat_inc(&mut self.stats.hits, &mut self.stats.overflow_events);
                 return e.kind.map(|kind| BtbHit { target: e.target, kind });
             }
         }
-        self.misses += 1;
+        tvp_obs::counters::sat_inc(&mut self.stats.misses, &mut self.stats.overflow_events);
         None
     }
 
@@ -112,10 +122,10 @@ impl Btb {
         *victim = BtbEntry { valid: true, tag, target, kind: Some(kind), lru: clock };
     }
 
-    /// (hits, misses) counters.
+    /// Lookup counters.
     #[must_use]
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    pub fn stats(&self) -> BtbStats {
+        self.stats
     }
 
     /// Fault-injection hook: invalidates one valid entry chosen by the

@@ -84,7 +84,7 @@ impl BranchHistory {
         BranchHistory {
             bits: [0; WORDS],
             pushed: 0,
-            folded: specs.iter().copied().map(Folded::new).collect(), // audited: constructor
+            folded: specs.iter().copied().map(Folded::new).collect(), // audited(no-alloc-in-hot-path): constructor
         }
     }
 

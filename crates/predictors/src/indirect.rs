@@ -37,7 +37,7 @@ impl IndirectTargetCache {
     pub fn new(entries: usize, history_bits: u32) -> Self {
         assert!(entries.is_power_of_two(), "ITC entries must be a power of two");
         IndirectTargetCache {
-            entries: vec![ItcEntry::default(); entries], // audited: constructor
+            entries: vec![ItcEntry::default(); entries], // audited(no-alloc-in-hot-path): constructor
             index_mask: entries as u64 - 1,
             tag_bits: 9,
             history_bits,

@@ -35,7 +35,7 @@ impl Ras {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "RAS capacity must be non-zero");
-        Ras { entries: vec![0; capacity], top: 0, depth: 0 } // audited: constructor
+        Ras { entries: vec![0; capacity], top: 0, depth: 0 } // audited(no-alloc-in-hot-path): constructor
     }
 
     /// Pushes a return address (on a predicted call). Overflow wraps,

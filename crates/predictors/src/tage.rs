@@ -48,7 +48,7 @@ impl Default for TageConfig {
             max_hist: 640,
             base_log2: 13,
             tagged_log2: 10,
-            tag_bits: (0..15).map(|i| 8 + (i as u32) / 2).collect(), // audited: constructor
+            tag_bits: (0..15).map(|i| 8 + (i as u32) / 2).collect(), // audited(no-alloc-in-hot-path): constructor
             u_reset_period: 256 * 1024,
             seed: 0x7A6E_5EED,
         }
@@ -148,7 +148,7 @@ impl Tage {
     pub fn new(cfg: TageConfig) -> Self {
         assert!(cfg.num_tables <= MAX_TAGGED_TABLES, "too many tagged tables");
         assert_eq!(cfg.tag_bits.len(), cfg.num_tables, "tag_bits length mismatch");
-        let mut specs = Vec::new(); // audited: constructor
+        let mut specs = Vec::new(); // audited(no-alloc-in-hot-path): constructor
         for i in 0..cfg.num_tables {
             let len = cfg.history_length(i);
             specs.push(FoldedSpec { hist_len: len, width: cfg.tagged_log2 });
@@ -157,10 +157,10 @@ impl Tage {
         }
         let history = BranchHistory::new(&specs);
         Tage {
-            base: vec![1; 1 << cfg.base_log2], // weakly not-taken // audited: constructor
+            base: vec![1; 1 << cfg.base_log2], // weakly not-taken // audited(no-alloc-in-hot-path): constructor
             tables: (0..cfg.num_tables)
-                .map(|_| vec![TaggedEntry::default(); 1 << cfg.tagged_log2]) // audited: constructor
-                .collect(), // audited: constructor
+                .map(|_| vec![TaggedEntry::default(); 1 << cfg.tagged_log2]) // audited(no-alloc-in-hot-path): constructor
+                .collect(), // audited(no-alloc-in-hot-path): constructor
             history,
             use_alt_on_na: 0,
             rng: XorShift64::new(cfg.seed),

@@ -93,8 +93,8 @@ impl VtageConfig {
             mode,
             min_hist: 2,
             max_hist: 128,
-            entries: [12u32, 9, 9, 8, 8, 8, 7, 7].iter().map(|&l| 1 << l).collect(), // audited: constructor
-            tag_bits: vec![4, 9, 9, 10, 10, 11, 11, 12], // audited: constructor
+            entries: [12u32, 9, 9, 8, 8, 8, 7, 7].iter().map(|&l| 1 << l).collect(), // audited(no-alloc-in-hot-path): constructor
+            tag_bits: vec![4, 9, 9, 10, 10, 11, 11, 12], // audited(no-alloc-in-hot-path): constructor
             conf_bits: 3,
             conf_inv_prob: 16,
             useful_bits: 2,
@@ -229,7 +229,7 @@ impl Vtage {
             conf: Fpc::new(cfg.conf_bits, cfg.conf_inv_prob),
             useful: 0,
         };
-        let mut specs = Vec::new(); // audited: constructor
+        let mut specs = Vec::new(); // audited(no-alloc-in-hot-path): constructor
         for i in 0..cfg.num_tagged() {
             let len = cfg.history_length(i);
             // Fold history to ~log2(entries) bits for the index and to
@@ -240,10 +240,10 @@ impl Vtage {
             specs.push(FoldedSpec { hist_len: len, width: (cfg.tag_bits[i + 1] - 1).max(1) });
         }
         Vtage {
-            base: vec![empty.clone(); cfg.entries[0] as usize], // audited: constructor
+            base: vec![empty.clone(); cfg.entries[0] as usize], // audited(no-alloc-in-hot-path): constructor
             tables: (1..cfg.entries.len())
-                .map(|i| vec![empty.clone(); cfg.entries[i] as usize]) // audited: constructor
-                .collect(), // audited: constructor
+                .map(|i| vec![empty.clone(); cfg.entries[i] as usize]) // audited(no-alloc-in-hot-path): constructor
+                .collect(), // audited(no-alloc-in-hot-path): constructor
             history: BranchHistory::new(&specs),
             rng: XorShift64::new(cfg.seed),
             stats: VtageStats::default(),

@@ -1,0 +1,440 @@
+//! A hand-rolled, dependency-free Rust lexer for the `tvp-analyzer`
+//! static-analysis engine (`cargo xtask lint`).
+//!
+//! Produces a flat, line-spanned token stream good enough for lint
+//! analysis: identifiers, lifetimes, literals and punctuation are
+//! distinguished from string/char literal *content* and from comments,
+//! which is exactly what the old regex line scanner could not do. The
+//! tricky lexical corners are handled faithfully:
+//!
+//! - raw strings `r"…"` / `r#"…"#` (any hash depth) and their byte
+//!   variants `br#"…"#`;
+//! - nested block comments `/* /* */ */`;
+//! - `'a` lifetimes vs `'a'` char literals (including escapes);
+//! - doc comments (`///`, `//!`, `/** */`) — lexed as comments, so a
+//!   stray quote inside one never opens a phantom string.
+//!
+//! Comments are kept in the stream (the waiver scanner reads them);
+//! rules iterate over the code-token subsequence.
+
+/// The lexical class of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `f64`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`), quote included in the text.
+    Lifetime,
+    /// A char or byte-char literal (`'a'`, `b'\n'`), quotes included.
+    Char,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`),
+    /// delimiters included in the text.
+    Str,
+    /// A numeric literal, suffix included (`0xFF`, `2.5_f64`).
+    Num,
+    /// Punctuation; multi-char operators (`::`, `+=`, `..=`) are one
+    /// token.
+    Punct,
+    /// A `//` comment (doc or not), newline excluded.
+    LineComment,
+    /// A `/* … */` comment, nesting handled, delimiters included.
+    BlockComment,
+}
+
+/// One token: kind, 1-based line of its first character, and its byte
+/// span in the source (`text = &src[lo..hi]`).
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+    /// Byte offset of the first character.
+    pub lo: usize,
+    /// Byte offset one past the last character.
+    pub hi: usize,
+}
+
+impl Tok {
+    /// Is this token a comment (line or block)?
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-char operators, longest first so the greedy match is correct.
+const COMPOUND: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Character-level cursor with line tracking.
+struct Cursor<'s> {
+    chars: Vec<(usize, char)>,
+    src: &'s str,
+    i: usize,
+    line: usize,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(src: &'s str) -> Self {
+        Cursor { chars: src.char_indices().collect(), src, i: 0, line: 1 }
+    }
+
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).map(|&(_, c)| c)
+    }
+
+    fn pos(&self) -> usize {
+        self.chars.get(self.i).map_or(self.src.len(), |&(p, _)| p)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.i)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes `[A-Za-z0-9_]`* (plus non-ASCII identifier chars).
+    fn eat_ident_tail(&mut self) {
+        while self.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Unterminated literals and comments
+/// run to end-of-file rather than erroring: a lint pass must stay total
+/// on any input.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (lo, line) = (cur.pos(), cur.line);
+        let kind = match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+                continue;
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                while cur.peek(0).is_some_and(|c| c != '\n') {
+                    cur.bump();
+                }
+                TokKind::LineComment
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            cur.bump_n(2);
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            cur.bump_n(2);
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                TokKind::BlockComment
+            }
+            '"' => {
+                lex_string_body(&mut cur);
+                TokKind::Str
+            }
+            '\'' => lex_quote(&mut cur),
+            c if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                TokKind::Num
+            }
+            c if is_ident_start(c) => {
+                cur.bump();
+                cur.eat_ident_tail();
+                let text = &src[lo..cur.pos()];
+                match raw_string_follows(&mut cur, text) {
+                    RawPrefix::Str => TokKind::Str,
+                    RawPrefix::Char => TokKind::Char,
+                    RawPrefix::No => TokKind::Ident,
+                }
+            }
+            _ => {
+                let rest = &src[cur.pos()..];
+                let op = COMPOUND.iter().find(|op| rest.starts_with(**op));
+                match op {
+                    Some(op) => cur.bump_n(op.chars().count()),
+                    None => {
+                        cur.bump();
+                    }
+                }
+                TokKind::Punct
+            }
+        };
+        out.push(Tok { kind, line, lo, hi: cur.pos() });
+    }
+    out
+}
+
+/// What a just-lexed identifier turned out to prefix.
+enum RawPrefix {
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` — a string literal.
+    Str,
+    /// `b'x'` — a byte-char literal.
+    Char,
+    /// A plain identifier.
+    No,
+}
+
+/// If `ident` is a string/char literal prefix and the cursor stands on
+/// the literal's opening delimiter, consumes the literal body.
+fn raw_string_follows(cur: &mut Cursor<'_>, ident: &str) -> RawPrefix {
+    let raw = matches!(ident, "r" | "br");
+    let bytes = matches!(ident, "b" | "br");
+    if raw {
+        // Count `#`s, then require `"`.
+        let mut hashes = 0;
+        while cur.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if cur.peek(hashes) == Some('"') {
+            cur.bump_n(hashes + 1);
+            // Raw body: no escapes; closes on `"` + same hash count.
+            'body: while let Some(c) = cur.bump() {
+                if c == '"' {
+                    for k in 0..hashes {
+                        if cur.peek(k) != Some('#') {
+                            continue 'body;
+                        }
+                    }
+                    cur.bump_n(hashes);
+                    break;
+                }
+            }
+            return RawPrefix::Str;
+        }
+    }
+    if bytes {
+        if cur.peek(0) == Some('"') {
+            cur.bump();
+            lex_string_body(cur);
+            return RawPrefix::Str;
+        }
+        if cur.peek(0) == Some('\'') {
+            cur.bump();
+            lex_char_body(cur);
+            return RawPrefix::Char;
+        }
+    }
+    RawPrefix::No
+}
+
+/// Consumes a non-raw string body, opening `"` included (the cursor may
+/// stand on it or just past it — both call sites differ), through the
+/// closing quote, honouring `\"` and `\\` escapes.
+fn lex_string_body(cur: &mut Cursor<'_>) {
+    if cur.peek(0) == Some('"') {
+        cur.bump();
+    }
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a char-literal body after the opening `'`, through the
+/// closing quote, honouring escapes (`'\''`, `'\u{1F980}'`).
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguates `'` between a char literal and a lifetime. Called with
+/// the cursor on the quote.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // the quote
+    match (cur.peek(0), cur.peek(1)) {
+        // `'\n'`, `'\''` — an escape is always a char literal.
+        (Some('\\'), _) => {
+            lex_char_body(cur);
+            TokKind::Char
+        }
+        // `'x'` for any single char (identifier-ish or not): closing
+        // quote right after one char means char literal.
+        (Some(_), Some('\'')) => {
+            cur.bump_n(2);
+            TokKind::Char
+        }
+        // `'a`, `'static`, `'_` — a lifetime: identifier with no
+        // closing quote after its first char.
+        (Some(c), _) if is_ident_start(c) => {
+            cur.bump();
+            cur.eat_ident_tail();
+            TokKind::Lifetime
+        }
+        // Degenerate (`'🦀x` is not valid Rust); consume the next char
+        // as a best-effort char literal so the lexer stays total.
+        _ => {
+            cur.bump();
+            TokKind::Char
+        }
+    }
+}
+
+/// Consumes a numeric literal: integer/float bodies, `_` separators,
+/// radix prefixes and type suffixes (`0xFF`, `1_000u64`, `2.5_f64`).
+/// `1..n` stops before the range operator; `x.0` field access never
+/// reaches here (the `.` lexes as punctuation first).
+fn lex_number(cur: &mut Cursor<'_>) {
+    cur.bump();
+    cur.eat_ident_tail(); // digits, hex letters, `_`, suffix letters
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump(); // the decimal point
+        cur.eat_ident_tail(); // fraction digits + suffix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds_and_texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).iter().map(|t| (t.kind, src[t.lo..t.hi].to_owned())).collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<String> {
+        lex(src).iter().filter(|t| !t.is_comment()).map(|t| src[t.lo..t.hi].to_owned()).collect()
+    }
+
+    #[test]
+    fn idents_strings_and_comments_are_distinct() {
+        let src = "let s = \"HashMap inside\"; // HashMap in comment\nHashMap";
+        let toks = kinds_and_texts(src);
+        let idents: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Ident).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, ["let", "s", "HashMap"]);
+        assert_eq!(lex(src).last().unwrap().line, 2, "line numbers advance");
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_content() {
+        let src = r####"let x = r#"quote " and // slash"# ; panic"####;
+        let texts = code_texts(src);
+        assert_eq!(texts, ["let", "x", "=", r###"r#"quote " and // slash"#"###, ";", "panic"]);
+        let kinds: Vec<TokKind> = lex(src).iter().map(|t| t.kind).collect();
+        assert_eq!(kinds[3], TokKind::Str);
+    }
+
+    #[test]
+    fn raw_string_hash_depth_must_match() {
+        // `"#` inside an `r##"…"##` literal does not close it.
+        let src = r#####"r##"inner "# still inside"## after"#####;
+        let texts = code_texts(src);
+        assert_eq!(texts.len(), 2, "{texts:?}");
+        assert_eq!(texts[1], "after");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = r##"b"bytes" b'x' br#"raw bytes"# plain"##;
+        let toks = kinds_and_texts(src);
+        assert_eq!(
+            toks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            [TokKind::Str, TokKind::Char, TokKind::Str, TokKind::Ident]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "before /* outer /* inner */ still outer */ after";
+        let texts = code_texts(src);
+        assert_eq!(texts, ["before", "after"]);
+        let all = kinds_and_texts(src);
+        assert_eq!(all[1].0, TokKind::BlockComment);
+        assert!(all[1].1.contains("inner"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'a u8) { let c = 'a'; let n = '\\n'; let s: &'static str; }";
+        let toks = kinds_and_texts(src);
+        let lifetimes: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.as_str()).collect();
+        let chars: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        assert_eq!(chars, ["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn doc_comments_do_not_open_strings() {
+        let src = "/// has a stray \" quote\nfn ok() {}\n//! inner \" doc\nmore";
+        let texts = code_texts(src);
+        assert_eq!(texts, ["fn", "ok", "(", ")", "{", "}", "more"]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let src = "0xFF 1_000u64 2.5_f64 1..n 3..=4";
+        let texts = code_texts(src);
+        assert_eq!(texts, ["0xFF", "1_000u64", "2.5_f64", "1", "..", "n", "3", "..=", "4"]);
+        assert_eq!(lex("2.5_f64")[0].kind, TokKind::Num);
+    }
+
+    #[test]
+    fn compound_operators_are_single_tokens() {
+        let src = "a += 1; b :: c; d ..= e; f <<= 2";
+        let texts = code_texts(src);
+        assert!(texts.contains(&"+=".to_owned()));
+        assert!(texts.contains(&"::".to_owned()));
+        assert!(texts.contains(&"..=".to_owned()));
+        assert!(texts.contains(&"<<=".to_owned()));
+    }
+
+    #[test]
+    fn escaped_quote_in_string_does_not_close_it() {
+        let src = r#"let s = "with \" escaped"; next"#;
+        let texts = code_texts(src);
+        assert_eq!(texts.last().unwrap(), "next");
+        assert_eq!(texts.len(), 6);
+    }
+
+    #[test]
+    fn unterminated_literals_stay_total() {
+        // Lexing must terminate and keep line counts sane even on
+        // pathological input.
+        for src in ["\"never closed", "/* never closed", "r#\"never closed", "'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+        }
+    }
+}

@@ -1,6 +1,14 @@
-//! The simulator-specific lint rules.
+//! The `tvp-analyzer` static-analysis engine behind `cargo xtask lint`.
 //!
-//! Four rules, each a property a cycle-level simulator must keep but no
+//! A token-level analysis pass (see [`crate::lex`] and [`crate::items`])
+//! over the workspace, replacing the original regex line scanner: rules
+//! operate on a spanned token stream with `#[cfg(test)]` /
+//! `#[cfg(feature = "verif")]` region tracking, so string literals, doc
+//! comments and test code can never produce false positives, and
+//! cross-file facts (trait coverage, export reachability) are first
+//! class.
+//!
+//! Ten rules, each a property a cycle-level simulator must keep but no
 //! off-the-shelf linter checks:
 //!
 //! 1. **no-default-hashmap** — simulator-state code must not use
@@ -16,7 +24,8 @@
 //! 3. **no-float-in-arch-state** — modules that update architectural
 //!    state (register files, rename maps, memory, predictor tables)
 //!    must stay in integer arithmetic; floats belong in reporting code
-//!    and the FP datapath only.
+//!    and the FP datapath only. Float *literal suffixes* (`2.5_f64`)
+//!    count too.
 //! 4. **storage-budget-coverage** — every public struct modelling a
 //!    hardware table in `crates/predictors` and `crates/mem` must
 //!    implement `tvp_verif::StorageBudget`, so the Table 2 budget
@@ -27,26 +36,66 @@
 //!    architecturally bounded cardinality and belong in inline arrays
 //!    ([`tvp_core::inline_vec`]) or reusable scratch buffers owned by
 //!    the component. One-time construction, reset and diagnostic paths
-//!    are fine — waive them with `// audited: <reason>`.
+//!    are fine — waive them.
 //! 6. **no-println-in-sim-crates** — the simulation crates (`core`,
 //!    `mem`, `predictors`, `obs`) must not write to stdout/stderr with
 //!    `println!`/`eprintln!`/`print!`/`eprint!`: ad-hoc prints desync
 //!    parallel bench output and bypass the structured observability
-//!    layer (event trace, CPI stack, counter registry). Reporting
-//!    belongs in the bench/harness crates; genuinely diagnostic prints
-//!    need an `// audited: <reason>` waiver.
+//!    layer. Reporting belongs in the bench/harness crates.
+//! 7. **determinism-audit** — the simulation crates (`core`, `mem`,
+//!    `predictors`, `isa`, `obs`) must not observe anything outside the
+//!    simulated machine: no wall-clock time (`Instant`/`SystemTime`),
+//!    no environment reads (`std::env::var` & friends), no randomized
+//!    hashing (`RandomState`/`DefaultHasher`), no pointer-value
+//!    observation (`.as_ptr() as usize`, `.addr()`, `expose_addr`).
+//!    Any of these makes serial≡parallel and golden-fingerprint
+//!    equivalence silently false. `#[cfg(feature = "verif")]`
+//!    diagnostic regions are exempt.
+//! 8. **counter-export-coverage** — every public counter field on a
+//!    `*Stats` struct in the simulation crates must be reachable from
+//!    the registry exporters (`Core::export_registry` /
+//!    `Hierarchy::fill_registry`), directly or through helper methods;
+//!    an unexported counter silently vanishes from every report (the
+//!    static form of the `spsr_squashed` clobber bug).
+//! 9. **saturating-counter** — statistics counters never wrap: raw
+//!    `+=`/`-=` or `wrapping_add`/`wrapping_sub` on a `*Stats` field is
+//!    a violation; use `sat_inc`/`sat_add` from `tvp_obs::counters`.
+//! 10. **stale-waiver** — every waiver comment must name the rule it
+//!     suppresses (`// audited(<rule>): <reason>`) and must actually
+//!     suppress a finding on its own line or the next; a ruleless,
+//!     unknown-rule or no-op waiver is itself an error, so waivers can
+//!     never silently outlive the code they excused. Stale-waiver
+//!     findings cannot themselves be waived.
 //!
-//! A finding on any line is waived when that line (or the line directly
-//! above it) carries an `// audited: <reason>` comment.
+//! ## Waiver contract
+//!
+//! A finding on line *N* is suppressed exactly when line *N* or line
+//! *N − 1* carries a line comment `// audited(<rule>): <reason>` naming
+//! that finding's rule. Doc comments are never waivers. Rule 10 audits
+//! every waiver in the tree.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The waiver token: a line (or its predecessor) containing this marker
-/// suppresses findings on it.
-const WAIVER: &str = "audited:";
+use crate::items::{self, FileItems};
+use crate::lex::{lex, Tok, TokKind};
 
-/// Crates whose source the scanner walks. The proptest shim is
+/// Every rule name the engine knows; a waiver must name one of these.
+pub const RULES: &[&str] = &[
+    "no-default-hashmap",
+    "no-panic-in-hot-path",
+    "no-float-in-arch-state",
+    "storage-budget-coverage",
+    "no-alloc-in-hot-path",
+    "no-println-in-sim-crates",
+    "determinism-audit",
+    "counter-export-coverage",
+    "saturating-counter",
+    "stale-waiver",
+];
+
+/// Crates whose source the analyzer walks. The proptest shim is
 /// vendored third-party-shaped code; xtask itself is host tooling.
 const SCANNED_CRATES: &[&str] =
     &["bench", "chaos", "core", "harness", "isa", "mem", "obs", "predictors", "verif", "workloads"];
@@ -55,7 +104,17 @@ const SCANNED_CRATES: &[&str] =
 /// simulation side of the bench/harness boundary.
 const SILENT_CRATES: &[&str] = &["core", "mem", "obs", "predictors"];
 
-/// Per-cycle hot-path modules (rule 2).
+/// Crates bound by the determinism audit (rule 7): everything that can
+/// influence or observe simulated state.
+const DETERMINISM_CRATES: &[&str] = &["core", "isa", "mem", "obs", "predictors"];
+
+/// Crates whose `*Stats` structs must be export-reachable (rule 8).
+const EXPORT_CRATES: &[&str] = &["core", "mem", "obs", "predictors"];
+
+/// Crates bound by the saturating-counter rule (rule 9).
+const SATURATING_CRATES: &[&str] = &["chaos", "core", "mem", "obs", "predictors"];
+
+/// Per-cycle hot-path modules (rules 2 and 5).
 const HOT_PATH_FILES: &[&str] = &[
     "crates/chaos/src/engine.rs",
     "crates/chaos/src/oracle.rs",
@@ -108,13 +167,21 @@ const BUDGET_EXEMPT_SUFFIXES: &[&str] =
 /// Named rule-4 exemptions: helper types that are not hardware tables.
 const BUDGET_EXEMPT_NAMES: &[&str] = &["XorShift64"];
 
+/// The registry exporter functions whose bodies root the rule-8
+/// reachability closure.
+const EXPORT_ROOTS: &[&str] = &["export_registry", "fill_registry"];
+
 /// One lint violation.
 #[derive(Debug)]
 pub struct Finding {
-    file: String,
-    line: usize,
-    rule: &'static str,
-    msg: String,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
 }
 
 impl fmt::Display for Finding {
@@ -123,326 +190,656 @@ impl fmt::Display for Finding {
     }
 }
 
-/// A source line that survived test-module stripping: its 1-based
-/// number, the raw text (for waiver detection) and the text with
-/// comments removed (for pattern matching).
-struct CodeLine {
-    line_no: usize,
-    raw: String,
-    code: String,
+/// One source file handed to [`analyze`]: workspace-relative path
+/// (which selects the rules that apply) and contents.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated
+    /// (`crates/core/src/pipeline.rs`).
+    pub rel: String,
+    /// File contents.
+    pub src: String,
 }
 
-/// Removes `//`-comments, respecting string and char literals well
-/// enough for lint purposes.
-fn strip_comment(line: &str) -> String {
-    let bytes = line.as_bytes();
-    let mut in_string = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_string => i += 1, // skip the escaped byte
-            b'"' => in_string = !in_string,
-            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return line[..i].to_owned();
-            }
-            _ => {}
-        }
-        i += 1;
+/// A lexed and item-parsed file plus the cursor helpers rules use.
+struct Fa {
+    rel: String,
+    krate: String,
+    src: String,
+    toks: Vec<Tok>,
+    items: FileItems,
+}
+
+impl Fa {
+    fn new(f: SourceFile) -> Fa {
+        let toks = lex(&f.src);
+        let items = items::parse(&f.src, &toks);
+        let krate = f
+            .rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_owned();
+        Fa { rel: f.rel, krate, src: f.src, toks, items }
     }
-    line.to_owned()
-}
 
-fn brace_delta(code: &str) -> i64 {
-    let mut delta = 0i64;
-    let mut in_string = false;
-    let mut prev = ' ';
-    for c in code.chars() {
-        match c {
-            '"' if prev != '\\' => in_string = !in_string,
-            '{' if !in_string => delta += 1,
-            '}' if !in_string => delta -= 1,
-            _ => {}
-        }
-        prev = if prev == '\\' && c == '\\' { ' ' } else { c };
+    fn text(&self, ti: usize) -> &str {
+        &self.src[self.toks[ti].lo..self.toks[ti].hi]
     }
-    delta
-}
 
-/// The lines of `src` outside `#[cfg(test)]` modules. Test code is free
-/// to unwrap, hash and float; the rules only bind simulation code.
-fn code_lines(src: &str) -> Vec<CodeLine> {
-    let mut out = Vec::new();
-    let mut pending_test_attr = false;
-    // While skipping a test module: (brace depth, whether its `{` has
-    // been seen yet).
-    let mut skipping: Option<(i64, bool)> = None;
-    for (idx, raw) in src.lines().enumerate() {
-        let code = strip_comment(raw);
-        if let Some((depth, entered)) = skipping.as_mut() {
-            *depth += brace_delta(&code);
-            if code.contains('{') {
-                *entered = true;
-            }
-            if *entered && *depth <= 0 {
-                skipping = None;
-            }
-            continue;
+    /// Text of code token `ci` (empty past end — safe lookahead).
+    fn ct(&self, ci: usize) -> &str {
+        match self.items.code.get(ci) {
+            Some(&ti) => self.text(ti),
+            None => "",
         }
-        let trimmed = code.trim_start();
-        if trimmed.starts_with("#[cfg(") && trimmed.contains("test") {
-            pending_test_attr = true;
-            continue;
-        }
-        if pending_test_attr {
-            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
-                let delta = brace_delta(&code);
-                let entered = code.contains('{');
-                if !(entered && delta <= 0) {
-                    skipping = Some((delta, entered));
-                }
-                pending_test_attr = false;
-                continue;
-            }
-            if trimmed.starts_with("#[") || trimmed.is_empty() {
-                continue; // stacked attributes on the test module
-            }
-            // `#[cfg(test)]` on a non-module item: skip just that line.
-            pending_test_attr = false;
-            continue;
-        }
-        out.push(CodeLine { line_no: idx + 1, raw: raw.to_owned(), code });
     }
-    out
-}
 
-/// Is the finding on `lines[i]` waived by an `audited:` comment on the
-/// same or preceding line?
-fn waived(lines: &[CodeLine], i: usize) -> bool {
-    lines[i].raw.contains(WAIVER)
-        || (i > 0
-            && lines[i].line_no == lines[i - 1].line_no + 1
-            && lines[i - 1].raw.contains(WAIVER))
-}
-
-/// Whole-word occurrence check: `needle` in `hay` not glued to an
-/// identifier character on either side.
-fn has_word(hay: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = hay[start..].find(needle) {
-        let at = start + pos;
-        let before_ok = at == 0
-            || !hay[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + needle.len();
-        let after_ok = after >= hay.len()
-            || !hay[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + needle.len();
+    fn ckind(&self, ci: usize) -> Option<TokKind> {
+        self.items.code.get(ci).map(|&ti| self.toks[ti].kind)
     }
-    false
+
+    fn cline(&self, ci: usize) -> usize {
+        self.items.code.get(ci).map_or(0, |&ti| self.toks[ti].line)
+    }
+
+    /// Outside `#[cfg(test)]` regions.
+    fn live(&self, ci: usize) -> bool {
+        self.items.code.get(ci).is_some_and(|&ti| !self.items.flags[ti].in_test)
+    }
+
+    /// Outside both test and `verif` diagnostic regions.
+    fn live_strict(&self, ci: usize) -> bool {
+        self.items
+            .code
+            .get(ci)
+            .is_some_and(|&ti| !self.items.flags[ti].in_test && !self.items.flags[ti].in_verif)
+    }
+
+    fn finding(&self, out: &mut Vec<Finding>, ci: usize, rule: &'static str, msg: String) {
+        out.push(Finding { file: self.rel.clone(), line: self.cline(ci), rule, msg });
+    }
 }
 
 /// Rule 1: default-hashed collections in simulator-state code.
-fn check_default_hashmap(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
-    for (i, l) in lines.iter().enumerate() {
-        let uses_hash = has_word(&l.code, "HashMap") || has_word(&l.code, "HashSet");
-        if !uses_hash || waived(lines, i) {
+fn rule_default_hashmap(fa: &Fa, out: &mut Vec<Finding>) {
+    let n = fa.items.code.len();
+    for ci in 0..n {
+        if !fa.live(ci) || fa.ckind(ci) != Some(TokKind::Ident) {
+            continue;
+        }
+        let t = fa.ct(ci);
+        if t != "HashMap" && t != "HashSet" {
             continue;
         }
         // An explicit hasher is fine; the rule targets RandomState.
-        if l.code.contains("BuildHasher") || l.code.contains("with_hasher") {
-            continue;
+        // "Explicit" = the same source line names one.
+        let line = fa.cline(ci);
+        let mut j = ci;
+        while j > 0 && fa.cline(j - 1) == line {
+            j -= 1;
         }
-        out.push(Finding {
-            file: file.to_owned(),
-            line: l.line_no,
-            rule: "no-default-hashmap",
-            msg: "HashMap/HashSet iteration order is randomized and breaks simulator \
-                  determinism; use BTreeMap/BTreeSet or a seeded hasher"
-                .to_owned(),
-        });
+        let mut excused = false;
+        while j < n && fa.cline(j) == line {
+            if fa.ct(j).starts_with("BuildHasher") || fa.ct(j) == "with_hasher" {
+                excused = true;
+            }
+            j += 1;
+        }
+        if !excused {
+            fa.finding(
+                out,
+                ci,
+                "no-default-hashmap",
+                "HashMap/HashSet iteration order is randomized and breaks simulator \
+                 determinism; use BTreeMap/BTreeSet or a seeded hasher"
+                    .to_owned(),
+            );
+        }
     }
 }
 
 /// Rule 2: panics in per-cycle hot-path modules.
-fn check_hot_path_panics(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
-    const BANNED: &[&str] = &[".unwrap()", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
-    for (i, l) in lines.iter().enumerate() {
-        if waived(lines, i) {
+fn rule_hot_path_panics(fa: &Fa, out: &mut Vec<Finding>) {
+    for ci in 0..fa.items.code.len() {
+        if !fa.live(ci) || fa.ckind(ci) != Some(TokKind::Ident) {
             continue;
         }
-        for pat in BANNED {
-            if l.code.contains(pat) {
-                out.push(Finding {
-                    file: file.to_owned(),
-                    line: l.line_no,
-                    rule: "no-panic-in-hot-path",
-                    msg: format!(
-                        "`{}` in a per-cycle module: stall or saturate instead, or \
-                         document the invariant with `.expect(\"...\")` / `// audited:`",
-                        pat.trim_start_matches('.')
+        let t = fa.ct(ci);
+        let dotted = ci > 0 && fa.ct(ci - 1) == ".";
+        match t {
+            "panic" | "unreachable" | "todo" | "unimplemented" if fa.ct(ci + 1) == "!" => {
+                fa.finding(
+                    out,
+                    ci,
+                    "no-panic-in-hot-path",
+                    format!(
+                        "`{t}!(` in a per-cycle module: stall or saturate instead, or \
+                         document the invariant with `.expect(\"...\")` / \
+                         `// audited(no-panic-in-hot-path):`"
                     ),
-                });
+                );
             }
-        }
-        if l.code.contains(".expect(\"\")") || l.code.contains(".expect()") {
-            out.push(Finding {
-                file: file.to_owned(),
-                line: l.line_no,
-                rule: "no-panic-in-hot-path",
-                msg: "`.expect` without an invariant message; state why this cannot fire"
-                    .to_owned(),
-            });
+            "unwrap" if dotted && fa.ct(ci + 1) == "(" && fa.ct(ci + 2) == ")" => {
+                fa.finding(
+                    out,
+                    ci,
+                    "no-panic-in-hot-path",
+                    "`unwrap()` in a per-cycle module: stall or saturate instead, or \
+                     document the invariant with `.expect(\"...\")` / \
+                     `// audited(no-panic-in-hot-path):`"
+                        .to_owned(),
+                );
+            }
+            "expect"
+                if dotted
+                    && fa.ct(ci + 1) == "("
+                    && (fa.ct(ci + 2) == ")" || fa.ct(ci + 2) == "\"\"") =>
+            {
+                fa.finding(
+                    out,
+                    ci,
+                    "no-panic-in-hot-path",
+                    "`.expect` without an invariant message; state why this cannot fire".to_owned(),
+                );
+            }
+            _ => {}
         }
     }
 }
 
 /// Rule 5: heap allocation in per-cycle hot-path modules.
-fn check_hot_path_allocs(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
-    const BANNED: &[&str] = &[
-        "Vec::new()",
-        "Vec::with_capacity(",
-        "vec![",
-        ".collect()",
-        ".to_vec()",
-        "Box::new(",
-        "String::new()",
-        "String::from(",
-        "format!(",
-        ".to_owned()",
-        ".to_string()",
-    ];
-    for (i, l) in lines.iter().enumerate() {
-        if waived(lines, i) {
+fn rule_hot_path_allocs(fa: &Fa, out: &mut Vec<Finding>) {
+    let msg = |what: &str| {
+        format!(
+            "`{what}` in a per-cycle module: per-µop state is architecturally \
+             bounded — use an inline array or a reusable scratch buffer, or \
+             waive construction/diagnostic paths with `// audited(no-alloc-in-hot-path):`"
+        )
+    };
+    for ci in 0..fa.items.code.len() {
+        if !fa.live(ci) || fa.ckind(ci) != Some(TokKind::Ident) {
             continue;
         }
-        for pat in BANNED {
-            // `InlineVec::new()` is not `Vec::new()` — see hit_unglued.
-            if hit_unglued(&l.code, pat) {
-                out.push(Finding {
-                    file: file.to_owned(),
-                    line: l.line_no,
-                    rule: "no-alloc-in-hot-path",
-                    msg: format!(
-                        "`{}` in a per-cycle module: per-µop state is architecturally \
-                         bounded — use an inline array or a reusable scratch buffer, or \
-                         waive construction/diagnostic paths with `// audited:`",
-                        pat.trim_start_matches('.')
-                    ),
-                });
+        let t = fa.ct(ci);
+        let dotted = ci > 0 && fa.ct(ci - 1) == ".";
+        match t {
+            "vec" | "format" if fa.ct(ci + 1) == "!" => {
+                fa.finding(out, ci, "no-alloc-in-hot-path", msg(&format!("{t}!(")));
             }
+            "Vec" | "Box" | "String" if fa.ct(ci + 1) == "::" => {
+                let m = fa.ct(ci + 2);
+                let banned = matches!(
+                    (t, m),
+                    ("Vec", "new")
+                        | ("Vec", "with_capacity")
+                        | ("Box", "new")
+                        | ("String", "new")
+                        | ("String", "from")
+                );
+                if banned {
+                    fa.finding(out, ci, "no-alloc-in-hot-path", msg(&format!("{t}::{m}(")));
+                }
+            }
+            "collect" | "to_vec" | "to_owned" | "to_string"
+                if dotted && (fa.ct(ci + 1) == "(" || fa.ct(ci + 1) == "::") =>
+            {
+                fa.finding(out, ci, "no-alloc-in-hot-path", msg(&format!("{t}()")));
+            }
+            _ => {}
         }
     }
 }
 
 /// Rule 6: stdout/stderr writes in simulation crates.
-fn check_sim_crate_prints(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
-    const BANNED: &[&str] = &["println!(", "eprintln!(", "print!(", "eprint!("];
-    for (i, l) in lines.iter().enumerate() {
-        if waived(lines, i) {
+fn rule_sim_crate_prints(fa: &Fa, out: &mut Vec<Finding>) {
+    for ci in 0..fa.items.code.len() {
+        if !fa.live(ci) || fa.ckind(ci) != Some(TokKind::Ident) {
             continue;
         }
-        for pat in BANNED {
-            if hit_unglued(&l.code, pat) {
-                out.push(Finding {
-                    file: file.to_owned(),
-                    line: l.line_no,
-                    rule: "no-println-in-sim-crates",
-                    msg: format!(
-                        "`{}` in a simulation crate: route output through the \
-                         observability layer (event trace / counter registry) or the \
-                         bench reporting code, or waive with `// audited:`",
-                        pat.trim_end_matches('(')
-                    ),
-                });
-            }
+        let t = fa.ct(ci);
+        if matches!(t, "println" | "eprintln" | "print" | "eprint") && fa.ct(ci + 1) == "!" {
+            fa.finding(
+                out,
+                ci,
+                "no-println-in-sim-crates",
+                format!(
+                    "`{t}!` in a simulation crate: route output through the \
+                     observability layer (event trace / counter registry) or the \
+                     bench reporting code, or waive with \
+                     `// audited(no-println-in-sim-crates):`"
+                ),
+            );
         }
     }
-}
-
-/// Occurrence check where a pattern starting with an identifier
-/// character must not be glued to a preceding identifier character
-/// (`my_println!(` is not `println!(`).
-fn hit_unglued(code: &str, pat: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(pat) {
-        let at = start + pos;
-        let head_is_ident = pat.starts_with(|c: char| c.is_alphanumeric());
-        let glued = head_is_ident
-            && code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if !glued {
-            return true;
-        }
-        start = at + pat.len();
-    }
-    false
 }
 
 /// Rule 3: floating point in architectural-state updates.
-fn check_arch_state_floats(file: &str, lines: &[CodeLine], out: &mut Vec<Finding>) {
-    for (i, l) in lines.iter().enumerate() {
-        if waived(lines, i) {
+fn rule_arch_state_floats(fa: &Fa, out: &mut Vec<Finding>) {
+    for ci in 0..fa.items.code.len() {
+        if !fa.live(ci) {
             continue;
         }
-        for ty in ["f64", "f32"] {
-            if has_word(&l.code, ty) {
-                out.push(Finding {
-                    file: file.to_owned(),
-                    line: l.line_no,
-                    rule: "no-float-in-arch-state",
-                    msg: format!(
-                        "`{ty}` in an architectural-state module: architectural updates \
-                         must be bit-exact integer operations"
-                    ),
-                });
+        let t = fa.ct(ci);
+        let hit = match fa.ckind(ci) {
+            Some(TokKind::Ident) => t == "f64" || t == "f32",
+            // A float-suffixed literal (`2.5_f64`) is just as much a
+            // float; hex literals like `0x1f64` are digits, not a
+            // suffix.
+            Some(TokKind::Num) => {
+                (t.ends_with("f64") || t.ends_with("f32"))
+                    && !t.starts_with("0x")
+                    && !t.starts_with("0X")
             }
+            _ => false,
+        };
+        if hit {
+            fa.finding(
+                out,
+                ci,
+                "no-float-in-arch-state",
+                format!(
+                    "`{t}` in an architectural-state module: architectural updates \
+                     must be bit-exact integer operations"
+                ),
+            );
         }
     }
 }
 
 /// Rule 4: every public struct in the hardware-table crates implements
 /// `StorageBudget` (or is an exempted plain-data type).
-fn check_budget_coverage(files: &[(String, Vec<CodeLine>)], out: &mut Vec<Finding>) {
-    let mut structs: Vec<(String, usize, String)> = Vec::new(); // (file, line, name)
-    let mut implemented: Vec<String> = Vec::new();
-    let ident = |s: &str| -> String {
-        s.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect()
-    };
-    for (file, lines) in files {
-        for l in lines {
-            let t = l.code.trim_start();
-            if let Some(rest) = t.strip_prefix("pub struct ") {
-                let name = ident(rest);
-                if !name.is_empty() {
-                    structs.push((file.clone(), l.line_no, name));
-                }
-            }
-            if let Some(pos) = l.code.find("StorageBudget for ") {
-                let name = ident(&l.code[pos + "StorageBudget for ".len()..]);
-                if !name.is_empty() {
-                    implemented.push(name);
-                }
+fn rule_budget_coverage(fas: &[Fa], out: &mut Vec<Finding>) {
+    let mut implemented: BTreeSet<&str> = BTreeSet::new();
+    for fa in fas.iter().filter(|fa| BUDGET_CRATES.contains(&fa.krate.as_str())) {
+        for imp in &fa.items.impls {
+            if imp.trait_name.as_deref() == Some("StorageBudget") {
+                implemented.insert(imp.self_ty.as_str());
             }
         }
     }
-    for (file, line, name) in structs {
-        let exempt = BUDGET_EXEMPT_NAMES.contains(&name.as_str())
-            || BUDGET_EXEMPT_SUFFIXES.iter().any(|s| name.ends_with(s));
-        if exempt || implemented.contains(&name) {
+    for fa in fas.iter().filter(|fa| BUDGET_CRATES.contains(&fa.krate.as_str())) {
+        for s in &fa.items.structs {
+            let exempt = !s.is_pub
+                || s.in_test
+                || BUDGET_EXEMPT_NAMES.contains(&s.name.as_str())
+                || BUDGET_EXEMPT_SUFFIXES.iter().any(|suf| s.name.ends_with(suf));
+            if exempt || implemented.contains(s.name.as_str()) {
+                continue;
+            }
+            out.push(Finding {
+                file: fa.rel.clone(),
+                line: s.line,
+                rule: "storage-budget-coverage",
+                msg: format!(
+                    "pub struct `{}` implements no `StorageBudget`: hardware tables \
+                     must report their bits for the Table 2 budget assertion \
+                     (or add an exemption if it models no storage)",
+                    s.name
+                ),
+            });
+        }
+    }
+}
+
+/// Integer type names a pointer may be cast to (rule 7).
+fn is_int_ty(t: &str) -> bool {
+    matches!(
+        t,
+        "usize"
+            | "u8"
+            | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "isize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+    )
+}
+
+/// Rule 7: nondeterminism sources in simulation crates.
+fn rule_determinism(fa: &Fa, out: &mut Vec<Finding>) {
+    for ci in 0..fa.items.code.len() {
+        if !fa.live_strict(ci) || fa.ckind(ci) != Some(TokKind::Ident) {
             continue;
         }
-        out.push(Finding {
-            file,
-            line,
-            rule: "storage-budget-coverage",
-            msg: format!(
-                "pub struct `{name}` implements no `StorageBudget`: hardware tables \
-                 must report their bits for the Table 2 budget assertion \
-                 (or add an exemption if it models no storage)"
-            ),
-        });
+        let t = fa.ct(ci);
+        let dotted = ci > 0 && fa.ct(ci - 1) == ".";
+        match t {
+            "Instant" | "SystemTime" => {
+                fa.finding(
+                    out,
+                    ci,
+                    "determinism-audit",
+                    format!(
+                        "wall-clock time source `{t}` in a simulation crate: simulated \
+                         time is `cycles`; host time breaks run-to-run equivalence"
+                    ),
+                );
+            }
+            "RandomState" | "DefaultHasher" => {
+                fa.finding(
+                    out,
+                    ci,
+                    "determinism-audit",
+                    format!(
+                        "randomized hasher `{t}` in a simulation crate: per-process \
+                         hash seeds leak into iteration order and hash values"
+                    ),
+                );
+            }
+            "env"
+                if fa.ct(ci + 1) == "::"
+                    && matches!(
+                        fa.ct(ci + 2),
+                        "var" | "var_os" | "vars" | "vars_os" | "args" | "args_os"
+                    ) =>
+            {
+                fa.finding(
+                    out,
+                    ci,
+                    "determinism-audit",
+                    format!(
+                        "`std::env::{}` read in a simulation crate: behaviour must be a \
+                         function of the config and trace only — plumb it through \
+                         `Config` instead",
+                        fa.ct(ci + 2)
+                    ),
+                );
+            }
+            "as_ptr" | "as_mut_ptr"
+                if dotted
+                    && fa.ct(ci + 1) == "("
+                    && fa.ct(ci + 2) == ")"
+                    && fa.ct(ci + 3) == "as"
+                    && is_int_ty(fa.ct(ci + 4)) =>
+            {
+                fa.finding(
+                    out,
+                    ci,
+                    "determinism-audit",
+                    "pointer-value observation (`.as_ptr() as <int>`): allocator \
+                     addresses differ run to run and must never feed simulated state"
+                        .to_owned(),
+                );
+            }
+            "addr" if dotted && fa.ct(ci + 1) == "(" && fa.ct(ci + 2) == ")" => {
+                fa.finding(
+                    out,
+                    ci,
+                    "determinism-audit",
+                    "pointer-value observation (`.addr()`): allocator addresses differ \
+                     run to run and must never feed simulated state"
+                        .to_owned(),
+                );
+            }
+            "expose_addr" | "expose_provenance" => {
+                fa.finding(
+                    out,
+                    ci,
+                    "determinism-audit",
+                    format!(
+                        "pointer-value observation (`{t}`): allocator addresses differ \
+                         run to run and must never feed simulated state"
+                    ),
+                );
+            }
+            _ => {}
+        }
     }
+}
+
+/// Rule 8: every public counter on a `*Stats` struct in the simulation
+/// crates is reachable from the registry exporters.
+///
+/// Reachability is a fixpoint over function names: start from the
+/// bodies of [`EXPORT_ROOTS`]; any function whose name is mentioned in
+/// a reachable body contributes its own body. A counter is covered when
+/// its field name is mentioned anywhere in that closure — deliberately
+/// name-coarse (no type resolution), which errs toward fewer false
+/// positives.
+fn rule_export_coverage(fas: &[Fa], out: &mut Vec<Finding>) {
+    let scope: Vec<&Fa> =
+        fas.iter().filter(|fa| EXPORT_CRATES.contains(&fa.krate.as_str())).collect();
+    // (name, body ident set) for every fn in scope.
+    let mut fns: Vec<(&str, BTreeSet<&str>)> = Vec::new();
+    for fa in &scope {
+        for f in &fa.items.fns {
+            let mut idents = BTreeSet::new();
+            for ci in f.body.0..f.body.1 {
+                if fa.ckind(ci) == Some(TokKind::Ident) {
+                    idents.insert(fa.ct(ci));
+                }
+            }
+            fns.push((f.name.as_str(), idents));
+        }
+    }
+    if !fns.iter().any(|(name, _)| EXPORT_ROOTS.contains(name)) {
+        // No exporter in the analyzed set: reachability is undefined,
+        // so stay silent rather than flagging every counter.
+        return;
+    }
+    let mut mentioned: BTreeSet<&str> = EXPORT_ROOTS.iter().copied().collect();
+    let mut expanded = vec![false; fns.len()];
+    loop {
+        let mut changed = false;
+        for (i, (name, idents)) in fns.iter().enumerate() {
+            if !expanded[i] && mentioned.contains(name) {
+                expanded[i] = true;
+                mentioned.extend(idents.iter().copied());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for fa in &scope {
+        for s in &fa.items.structs {
+            if !s.is_pub || s.in_test || !s.name.ends_with("Stats") {
+                continue;
+            }
+            for f in s.fields.iter().filter(|f| f.is_pub) {
+                if !mentioned.contains(f.name.as_str()) {
+                    out.push(Finding {
+                        file: fa.rel.clone(),
+                        line: f.line,
+                        rule: "counter-export-coverage",
+                        msg: format!(
+                            "counter `{}.{}` is unreachable from the registry exporters \
+                             ({}): it will silently vanish from every report — export \
+                             it or waive with `// audited(counter-export-coverage):`",
+                            s.name,
+                            f.name,
+                            EXPORT_ROOTS.join("/"),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rule 9: raw arithmetic on statistics counters.
+fn rule_saturating_counters(fas: &[Fa], out: &mut Vec<Finding>) {
+    // All `*Stats` field names, workspace-wide.
+    let mut fields: BTreeSet<&str> = BTreeSet::new();
+    for fa in fas {
+        for s in &fa.items.structs {
+            if s.name.ends_with("Stats") && !s.in_test {
+                fields.extend(s.fields.iter().map(|f| f.name.as_str()));
+            }
+        }
+    }
+    for fa in fas.iter().filter(|fa| SATURATING_CRATES.contains(&fa.krate.as_str())) {
+        for ci in 0..fa.items.code.len() {
+            if !fa.live(ci) || fa.ct(ci) != "." {
+                continue;
+            }
+            let f = fa.ct(ci + 1);
+            if fa.ckind(ci + 1) != Some(TokKind::Ident) || !fields.contains(f) {
+                continue;
+            }
+            match fa.ct(ci + 2) {
+                op @ ("+=" | "-=") => {
+                    fa.finding(
+                        out,
+                        ci + 1,
+                        "saturating-counter",
+                        format!(
+                            "raw `{op}` on stats counter `{f}`: counters must saturate, \
+                             not wrap — use `sat_inc`/`sat_add` from `tvp_obs::counters`"
+                        ),
+                    );
+                }
+                "=" => {
+                    // `.f = <expr involving wrapping arithmetic>;`
+                    let mut j = ci + 3;
+                    while !fa.ct(j).is_empty() && fa.ct(j) != ";" {
+                        if matches!(fa.ct(j), "wrapping_add" | "wrapping_sub") {
+                            fa.finding(
+                                out,
+                                ci + 1,
+                                "saturating-counter",
+                                format!(
+                                    "wrapping arithmetic assigned to stats counter `{f}`: \
+                                     counters must saturate — use `sat_inc`/`sat_add`"
+                                ),
+                            );
+                            break;
+                        }
+                        j += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A waiver comment: `// audited(<rule>): <reason>` (or the legacy
+/// ruleless `// audited: <reason>`, which rule 10 rejects).
+struct Waiver {
+    line: usize,
+    rule: Option<String>,
+}
+
+/// Extracts waiver comments from a file. Doc comments are
+/// documentation, not waivers — prose *about* the waiver syntax never
+/// counts.
+fn collect_waivers(fa: &Fa) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (ti, tok) in fa.toks.iter().enumerate() {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = fa.text(ti);
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = text.find("audited") else { continue };
+        let rest = &text[pos + "audited".len()..];
+        let (rule, after) = match rest.strip_prefix('(') {
+            Some(r) => match r.split_once(')') {
+                Some((name, tail)) => (Some(name.trim().to_owned()), tail),
+                None => (None, rest),
+            },
+            None => (None, rest),
+        };
+        // The marker must be followed by `:` — otherwise this is prose
+        // mentioning the word, not a waiver.
+        if !after.trim_start().starts_with(':') {
+            continue;
+        }
+        out.push(Waiver { line: tok.line, rule });
+    }
+    out
+}
+
+/// Applies the waiver contract to the raw findings and appends rule-10
+/// stale-waiver findings for every waiver that is ruleless, names an
+/// unknown rule, or suppressed nothing.
+fn apply_waivers(raw: Vec<Finding>, fas: &[Fa]) -> Vec<Finding> {
+    let mut waivers: BTreeMap<&str, Vec<Waiver>> = BTreeMap::new();
+    for fa in fas {
+        waivers.insert(fa.rel.as_str(), collect_waivers(fa));
+    }
+    let mut used: BTreeSet<(String, usize)> = BTreeSet::new();
+    let mut kept = Vec::new();
+    for f in raw {
+        let ws = waivers.get(f.file.as_str()).map_or(&[][..], Vec::as_slice);
+        let mut suppressed = false;
+        for (i, w) in ws.iter().enumerate() {
+            let anchored = w.line == f.line || w.line + 1 == f.line;
+            if anchored && w.rule.as_deref() == Some(f.rule) {
+                used.insert((f.file.clone(), i));
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            kept.push(f);
+        }
+    }
+    for (file, ws) in &waivers {
+        for (i, w) in ws.iter().enumerate() {
+            let msg = match &w.rule {
+                None => "waiver names no rule: write `// audited(<rule>): <reason>` so the \
+                         audit knows what it excuses"
+                    .to_owned(),
+                Some(r) if !RULES.contains(&r.as_str()) => {
+                    format!("waiver names unknown rule `{r}`")
+                }
+                Some(r) => {
+                    if used.contains(&((*file).to_owned(), i)) {
+                        continue;
+                    }
+                    format!(
+                        "stale waiver: no `{r}` finding on this line or the next — the \
+                         code it excused is gone; remove or re-anchor it"
+                    )
+                }
+            };
+            kept.push(Finding {
+                file: (*file).to_owned(),
+                line: w.line,
+                rule: "stale-waiver",
+                msg,
+            });
+        }
+    }
+    kept.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    kept
+}
+
+/// Runs every rule over an explicit file set (the unit-test entry
+/// point; [`run`] feeds it the workspace).
+#[must_use]
+pub fn analyze(files: Vec<SourceFile>) -> Vec<Finding> {
+    let fas: Vec<Fa> = files.into_iter().map(Fa::new).collect();
+    let mut raw = Vec::new();
+    for fa in &fas {
+        rule_default_hashmap(fa, &mut raw);
+        if HOT_PATH_FILES.contains(&fa.rel.as_str()) {
+            rule_hot_path_panics(fa, &mut raw);
+            rule_hot_path_allocs(fa, &mut raw);
+        }
+        if ARCH_STATE_FILES.contains(&fa.rel.as_str()) {
+            rule_arch_state_floats(fa, &mut raw);
+        }
+        if SILENT_CRATES.contains(&fa.krate.as_str()) {
+            rule_sim_crate_prints(fa, &mut raw);
+        }
+        if DETERMINISM_CRATES.contains(&fa.krate.as_str()) {
+            rule_determinism(fa, &mut raw);
+        }
+    }
+    rule_budget_coverage(&fas, &mut raw);
+    rule_export_coverage(&fas, &mut raw);
+    rule_saturating_counters(&fas, &mut raw);
+    apply_waivers(raw, &fas)
 }
 
 /// The workspace root, derived from this crate's manifest directory.
@@ -469,8 +866,7 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
 /// findings (empty = clean tree).
 #[must_use]
 pub fn run(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut budget_files: Vec<(String, Vec<CodeLine>)> = Vec::new();
+    let mut files = Vec::new();
     for krate in SCANNED_CRATES {
         let src_dir = root.join("crates").join(krate).join("src");
         let mut sources = Vec::new();
@@ -478,195 +874,533 @@ pub fn run(root: &Path) -> Vec<Finding> {
         for path in sources {
             let Ok(src) = std::fs::read_to_string(&path) else { continue };
             let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
-            let lines = code_lines(&src);
-            check_default_hashmap(&rel, &lines, &mut findings);
-            if HOT_PATH_FILES.contains(&rel.as_str()) {
-                check_hot_path_panics(&rel, &lines, &mut findings);
-                check_hot_path_allocs(&rel, &lines, &mut findings);
-            }
-            if ARCH_STATE_FILES.contains(&rel.as_str()) {
-                check_arch_state_floats(&rel, &lines, &mut findings);
-            }
-            if SILENT_CRATES.contains(krate) {
-                check_sim_crate_prints(&rel, &lines, &mut findings);
-            }
-            if BUDGET_CRATES.contains(krate) {
-                budget_files.push((rel, lines));
-            }
+            files.push(SourceFile { rel, src });
         }
     }
-    check_budget_coverage(&budget_files, &mut findings);
-    findings
+    analyze(files)
+}
+
+/// JSON string escaping for [`to_json`].
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as the machine-readable document behind
+/// `cargo xtask lint --json` (parseable by [`crate::trace_schema`]'s
+/// JSON parser — CI validates this round trip).
+#[must_use]
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"count\": {},\n  \"findings\": [", findings.len()));
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"msg\": \"{}\"}}",
+            esc(&f.file),
+            f.line,
+            esc(f.rule),
+            esc(&f.msg)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders one finding as a GitHub Actions workflow annotation
+/// (`::error file=…`), so findings surface inline on the PR diff.
+#[must_use]
+pub fn github_annotation(f: &Finding) -> String {
+    // Property values escape `%`, CR, LF, `:` and `,`; message data
+    // escapes `%`, CR and LF.
+    let prop = |s: &str| {
+        s.replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A")
+            .replace(':', "%3A")
+            .replace(',', "%2C")
+    };
+    let data = |s: &str| s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A");
+    format!(
+        "::error file={},line={},title={}::{}",
+        prop(&f.file),
+        f.line,
+        prop(&format!("xtask lint [{}]", f.rule)),
+        data(&f.msg)
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn lines(src: &str) -> Vec<CodeLine> {
-        code_lines(src)
+    /// Analyzes one fixture file at the given workspace-relative path
+    /// (the path selects which rules apply).
+    fn check(rel: &str, src: &str) -> Vec<Finding> {
+        analyze(vec![SourceFile { rel: rel.to_owned(), src: src.to_owned() }])
     }
 
-    #[test]
-    fn comments_are_stripped_but_strings_survive() {
-        assert_eq!(strip_comment("let x = 1; // HashMap"), "let x = 1; ");
-        assert_eq!(strip_comment(r#"let s = "no // comment";"#), r#"let s = "no // comment";"#);
-        assert_eq!(strip_comment("// all comment"), "");
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
     }
 
-    #[test]
-    fn test_modules_are_skipped() {
-        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_hot() {}\n";
-        let ls = lines(src);
-        let kept: Vec<&str> = ls.iter().map(|l| l.raw.as_str()).collect();
-        assert_eq!(kept, ["fn hot() {}", "fn also_hot() {}"]);
-    }
+    // ---- rule 1: no-default-hashmap --------------------------------
 
     #[test]
-    fn seeded_hashmap_violation_is_flagged() {
-        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u64> }\n";
-        let mut out = Vec::new();
-        check_default_hashmap("x.rs", &lines(src), &mut out);
-        assert_eq!(out.len(), 2);
-        assert_eq!(out[0].rule, "no-default-hashmap");
+    fn hashmap_violation_is_flagged() {
+        let out = check(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\npub struct S { m: HashMap<u64, u64> }\n",
+        );
+        assert_eq!(rules_of(&out), ["no-default-hashmap", "no-default-hashmap"]);
+        assert_eq!(out[0].line, 1);
+        assert_eq!(out[1].line, 2);
     }
 
     #[test]
     fn hashmap_in_test_module_is_ignored() {
-        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
-        let mut out = Vec::new();
-        check_default_hashmap("x.rs", &lines(src), &mut out);
-        assert!(out.is_empty());
+        let out = check(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn hashmap_in_string_or_comment_is_ignored() {
+        // The regex engine's blind spot: these are not code.
+        let out = check(
+            "crates/core/src/x.rs",
+            "// a HashMap would be wrong here\nfn f() -> &'static str { \"HashMap\" }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
     fn hashmap_waiver_is_honored() {
-        let src = "// audited: seeded hasher wrapper\nuse std::collections::HashMap;\n";
-        let mut out = Vec::new();
-        check_default_hashmap("x.rs", &lines(src), &mut out);
+        let out = check(
+            "crates/core/src/x.rs",
+            "// audited(no-default-hashmap): seeded hasher wrapper\nuse std::collections::HashMap;\n",
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
-    fn identifier_containing_hashmap_is_not_a_word_match() {
-        assert!(!has_word("let my_hashmap_like = 1;", "HashMap"));
-        assert!(has_word("let m: HashMap<u8, u8>;", "HashMap"));
+    fn explicit_hasher_is_allowed() {
+        let out = check(
+            "crates/core/src/x.rs",
+            "pub struct S { m: HashMap<u64, u64, BuildHasherDefault<Fnv>> }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
-    fn seeded_unwrap_violation_is_flagged() {
-        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
-        let mut out = Vec::new();
-        check_hot_path_panics("x.rs", &lines(src), &mut out);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].rule, "no-panic-in-hot-path");
+    fn identifier_containing_hashmap_is_not_a_match() {
+        let out = check("crates/core/src/x.rs", "fn f() { let my_hashmap_like = 1; }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    // ---- rule 2: no-panic-in-hot-path ------------------------------
+
+    #[test]
+    fn unwrap_violation_is_flagged() {
+        let out =
+            check("crates/core/src/scheduler.rs", "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n");
+        assert_eq!(rules_of(&out), ["no-panic-in-hot-path"]);
     }
 
     #[test]
     fn documented_expect_is_allowed_but_empty_message_is_not() {
-        let ok = "let x = v.expect(\"ROB head exists: checked above\");\n";
-        let bad = "let x = v.expect(\"\");\n";
-        let mut out = Vec::new();
-        check_hot_path_panics("x.rs", &lines(ok), &mut out);
-        assert!(out.is_empty(), "{out:?}");
-        check_hot_path_panics("x.rs", &lines(bad), &mut out);
-        assert_eq!(out.len(), 1);
+        let ok = check(
+            "crates/core/src/scheduler.rs",
+            "fn f() { let x = v.expect(\"ROB head exists: checked above\"); }\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = check("crates/core/src/scheduler.rs", "fn f() { let x = v.expect(\"\"); }\n");
+        assert_eq!(rules_of(&bad), ["no-panic-in-hot-path"]);
     }
 
     #[test]
     fn audited_unreachable_is_waived() {
-        let src = "match op {\n    A => 1,\n    // audited: decoder emits only A here\n    _ => unreachable!(),\n}\n";
-        let mut out = Vec::new();
-        check_hot_path_panics("x.rs", &lines(src), &mut out);
+        let out = check(
+            "crates/core/src/scheduler.rs",
+            "fn f() { match op {\n    A => 1,\n    // audited(no-panic-in-hot-path): decoder emits only A here\n    _ => unreachable!(),\n} }\n",
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
-    fn unwrap_in_comment_is_not_flagged() {
-        let src = "let x = 1; // previously v.unwrap()\n";
-        let mut out = Vec::new();
-        check_hot_path_panics("x.rs", &lines(src), &mut out);
+    fn unwrap_in_comment_or_string_is_not_flagged() {
+        let out = check(
+            "crates/core/src/scheduler.rs",
+            "fn f() { let x = 1; } // previously v.unwrap()\nfn g() -> &'static str { \".unwrap()\" }\n",
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
-    fn seeded_alloc_violation_is_flagged() {
-        let src = "fn rename(&mut self) { let deps: Vec<Dep> = uop.srcs().iter().collect(); }\n";
-        let mut out = Vec::new();
-        check_hot_path_allocs("x.rs", &lines(src), &mut out);
-        assert_eq!(out.len(), 1, "{out:?}");
-        assert_eq!(out[0].rule, "no-alloc-in-hot-path");
+    fn panic_outside_hot_path_files_is_allowed() {
+        let out = check("crates/core/src/config.rs", "fn f() { panic!(\"bad config\"); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    // ---- rule 5: no-alloc-in-hot-path ------------------------------
+
+    #[test]
+    fn alloc_violation_is_flagged() {
+        let out = check(
+            "crates/core/src/rename.rs",
+            "fn rename(&mut self) { let deps: Vec<Dep> = uop.srcs().iter().collect(); }\n",
+        );
+        assert_eq!(rules_of(&out), ["no-alloc-in-hot-path"]);
+    }
+
+    #[test]
+    fn turbofish_collect_is_flagged_too() {
+        // `.collect::<Vec<_>>()` — invisible to the old `.collect()`
+        // substring match.
+        let out =
+            check("crates/core/src/rename.rs", "fn f() { let v = it.collect::<Vec<_>>(); }\n");
+        assert_eq!(rules_of(&out), ["no-alloc-in-hot-path"]);
     }
 
     #[test]
     fn inline_vec_new_is_not_vec_new() {
-        let src = "let names: InlineVec<PhysName, 2> = InlineVec::new();\n";
-        let mut out = Vec::new();
-        check_hot_path_allocs("x.rs", &lines(src), &mut out);
+        let out = check(
+            "crates/core/src/rename.rs",
+            "fn f() { let names: InlineVec<PhysName, 2> = InlineVec::new(); }\n",
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
     fn audited_alloc_is_waived_and_tests_are_exempt() {
-        let src = "// audited: constructor, runs once per simulation\n\
-                   fn new() -> Self { Self { rob: Vec::new() } }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n    fn t() { let v = vec![1]; }\n}\n";
-        let mut out = Vec::new();
-        check_hot_path_allocs("x.rs", &lines(src), &mut out);
+        let out = check(
+            "crates/core/src/rename.rs",
+            "// audited(no-alloc-in-hot-path): constructor, runs once per simulation\n\
+             fn new() -> Self { Self { rob: Vec::new() } }\n\
+             #[cfg(test)]\n\
+             mod tests {\n    fn t() { let v = vec![1]; }\n}\n",
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 
+    // ---- rule 3: no-float-in-arch-state ----------------------------
+
     #[test]
-    fn seeded_float_violation_is_flagged() {
-        let src = "fn update(&mut self) { self.value += 0.5_f64 as f64 as u64 as f64; }\n";
-        let mut out = Vec::new();
-        check_arch_state_floats("x.rs", &lines(src), &mut out);
-        assert!(!out.is_empty());
-        assert_eq!(out[0].rule, "no-float-in-arch-state");
+    fn float_violation_is_flagged() {
+        let out =
+            check("crates/core/src/rename.rs", "fn update(&mut self) { let x: f64 = 0.0; }\n");
+        assert_eq!(rules_of(&out), ["no-float-in-arch-state"]);
     }
+
+    #[test]
+    fn float_literal_suffix_is_flagged_but_hex_is_not() {
+        let out = check("crates/core/src/rename.rs", "fn f() { let x = 2.5_f64; }\n");
+        assert_eq!(rules_of(&out), ["no-float-in-arch-state"]);
+        let hex = check("crates/core/src/rename.rs", "fn f() { let x = 0x1f64; }\n");
+        assert!(hex.is_empty(), "{hex:?}");
+    }
+
+    // ---- rule 4: storage-budget-coverage ---------------------------
 
     #[test]
     fn budget_coverage_flags_uncovered_tables_only() {
-        let src = "pub struct MyTable { bits: u64 }\n\
-                   pub struct MyTableConfig { n: usize }\n\
-                   pub struct Covered;\n\
-                   impl tvp_verif::StorageBudget for Covered {\n}\n";
-        let files = vec![("t.rs".to_owned(), code_lines(src))];
-        let mut out = Vec::new();
-        check_budget_coverage(&files, &mut out);
-        assert_eq!(out.len(), 1, "{out:?}");
+        let out = check(
+            "crates/predictors/src/t.rs",
+            "pub struct MyTable { bits: u64 }\n\
+             pub struct MyTableConfig { n: usize }\n\
+             pub struct Covered;\n\
+             impl tvp_verif::StorageBudget for Covered {\n}\n",
+        );
+        assert_eq!(rules_of(&out), ["storage-budget-coverage"]);
         assert!(out[0].msg.contains("MyTable"));
-        assert_eq!(out[0].rule, "storage-budget-coverage");
+        assert_eq!(out[0].line, 1);
     }
 
     #[test]
-    fn seeded_println_violation_is_flagged() {
-        let src = "fn step(&mut self) { println!(\"cycle {}\", self.cycle); }\n";
-        let mut out = Vec::new();
-        check_sim_crate_prints("x.rs", &lines(src), &mut out);
-        assert_eq!(out.len(), 1, "{out:?}");
-        assert_eq!(out[0].rule, "no-println-in-sim-crates");
-    }
-
-    #[test]
-    fn audited_eprintln_is_waived_and_tests_are_exempt() {
-        let src = "// audited: one-shot divergence diagnostic\n\
-                   fn dump(&self) { eprintln!(\"{}\", self.report()); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n    fn t() { println!(\"debugging\"); }\n}\n";
-        let mut out = Vec::new();
-        check_sim_crate_prints("x.rs", &lines(src), &mut out);
+    fn budget_coverage_sees_impls_across_files() {
+        let out = analyze(vec![
+            SourceFile {
+                rel: "crates/mem/src/table.rs".to_owned(),
+                src: "pub struct Far { bits: u64 }\n".to_owned(),
+            },
+            SourceFile {
+                rel: "crates/mem/src/budget.rs".to_owned(),
+                src: "impl tvp_verif::StorageBudget for Far {}\n".to_owned(),
+            },
+        ]);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    // ---- rule 6: no-println-in-sim-crates --------------------------
+
+    #[test]
+    fn println_violation_is_flagged() {
+        let out = check(
+            "crates/mem/src/x.rs",
+            "fn step(&mut self) { println!(\"cycle {}\", self.cycle); }\n",
+        );
+        assert_eq!(rules_of(&out), ["no-println-in-sim-crates"]);
     }
 
     #[test]
     fn custom_macro_ending_in_println_is_not_flagged() {
-        let src = "fn f() { my_println!(\"into a buffer\"); }\n";
-        let mut out = Vec::new();
-        check_sim_crate_prints("x.rs", &lines(src), &mut out);
+        let out = check("crates/mem/src/x.rs", "fn f() { my_println!(\"into a buffer\"); }\n");
         assert!(out.is_empty(), "{out:?}");
     }
+
+    #[test]
+    fn println_in_harness_crate_is_allowed() {
+        let out = check("crates/harness/src/x.rs", "fn f() { println!(\"report\"); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    // ---- rule 7: determinism-audit ---------------------------------
+
+    #[test]
+    fn wall_clock_in_sim_crate_is_flagged() {
+        let out = check("crates/core/src/x.rs", "fn f() { let t = std::time::Instant::now(); }\n");
+        assert_eq!(rules_of(&out), ["determinism-audit"]);
+        assert!(out[0].msg.contains("Instant"));
+    }
+
+    #[test]
+    fn env_read_in_sim_crate_is_flagged() {
+        let out =
+            check("crates/core/src/x.rs", "fn f() -> bool { std::env::var(\"TVP_X\").is_ok() }\n");
+        assert_eq!(rules_of(&out), ["determinism-audit"]);
+        assert!(out[0].msg.contains("env::var"));
+    }
+
+    #[test]
+    fn randomized_hasher_is_flagged() {
+        let out =
+            check("crates/predictors/src/x.rs", "use std::collections::hash_map::RandomState;\n");
+        assert_eq!(rules_of(&out), ["determinism-audit"]);
+    }
+
+    #[test]
+    fn pointer_value_observation_is_flagged() {
+        let out = check("crates/mem/src/x.rs", "fn f(v: &[u8]) -> usize { v.as_ptr() as usize }\n");
+        assert_eq!(rules_of(&out), ["determinism-audit"]);
+        // A plain `.as_ptr()` handed to a slice op is fine.
+        let ok = check("crates/mem/src/x.rs", "fn f(v: &[u8]) { g(v.as_ptr()); }\n");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn verif_regions_are_exempt_from_determinism() {
+        let out = check(
+            "crates/core/src/x.rs",
+            "#[cfg(feature = \"verif\")]\nfn snapshot_age() { let t = Instant::now(); }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn determinism_does_not_bind_harness() {
+        let out = check("crates/harness/src/x.rs", "fn f() { let t = Instant::now(); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    // ---- rule 8: counter-export-coverage ---------------------------
+
+    #[test]
+    fn unexported_counter_is_flagged() {
+        let out = check(
+            "crates/core/src/x.rs",
+            "pub struct FooStats { pub hits: u64, pub misses: u64 }\n\
+             impl Core { fn export_registry(&self) { reg(\"hits\", self.stats.hits); } }\n",
+        );
+        assert_eq!(rules_of(&out), ["counter-export-coverage"]);
+        assert!(out[0].msg.contains("FooStats.misses"));
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn counter_reached_through_helper_fn_is_covered() {
+        // `total()` mentions the fields; `export_registry` mentions
+        // `total` — the closure connects them.
+        let out = check(
+            "crates/core/src/x.rs",
+            "pub struct FooStats { pub a: u64, pub b: u64 }\n\
+             impl FooStats { fn total(&self) -> u64 { self.a + self.b } }\n\
+             impl Core { fn export_registry(&self) { reg(self.stats.total()); } }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn private_fields_and_non_stats_structs_are_ignored() {
+        let out = check(
+            "crates/core/src/x.rs",
+            "pub struct FooStats { secret: u64 }\npub struct Plain { pub x: u64 }\n\
+             fn export_registry() {}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn no_exporter_in_scope_means_silence() {
+        // A fixture set with no exporter at all cannot assess
+        // reachability and must not drown everything in findings.
+        let out = check("crates/core/src/x.rs", "pub struct FooStats { pub hits: u64 }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    // ---- rule 9: saturating-counter --------------------------------
+
+    #[test]
+    fn raw_increment_on_stats_field_is_flagged() {
+        let out = check(
+            "crates/predictors/src/x.rs",
+            "pub struct BtbStats { pub hits: u64 }\n\
+             impl Btb { fn lookup(&mut self) { self.stats.hits += 1; } }\n\
+             fn export_registry() { stats hits }\n",
+        );
+        assert_eq!(rules_of(&out), ["saturating-counter"]);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn wrapping_add_assignment_is_flagged() {
+        let out = check(
+            "crates/core/src/x.rs",
+            "pub struct FooStats { pub hits: u64 }\n\
+             fn f(s: &mut FooStats) { s.hits = s.hits.wrapping_add(1); }\n\
+             fn export_registry() { hits }\n",
+        );
+        assert_eq!(rules_of(&out), ["saturating-counter"]);
+    }
+
+    #[test]
+    fn sat_inc_and_unrelated_fields_are_fine() {
+        let out = check(
+            "crates/core/src/x.rs",
+            "pub struct FooStats { pub hits: u64 }\n\
+             fn f(s: &mut FooStats, c: &mut Clock) { sat_inc(&mut s.hits); c.now += 1; }\n\
+             fn export_registry() { hits }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    // ---- rule 10: stale-waiver -------------------------------------
+
+    #[test]
+    fn ruleless_waiver_is_flagged() {
+        let out = check("crates/core/src/x.rs", "// audited: some old reason\nfn f() {}\n");
+        assert_eq!(rules_of(&out), ["stale-waiver"]);
+        assert!(out[0].msg.contains("names no rule"));
+    }
+
+    #[test]
+    fn unknown_rule_waiver_is_flagged() {
+        let out = check("crates/core/src/x.rs", "// audited(no-such-rule): reason\nfn f() {}\n");
+        assert_eq!(rules_of(&out), ["stale-waiver"]);
+        assert!(out[0].msg.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn unused_waiver_is_flagged() {
+        let out = check(
+            "crates/core/src/x.rs",
+            "// audited(no-default-hashmap): long-gone map\nfn f() { let x = 1; }\n",
+        );
+        assert_eq!(rules_of(&out), ["stale-waiver"]);
+        assert!(out[0].msg.contains("stale waiver"));
+    }
+
+    #[test]
+    fn used_waiver_is_not_stale_and_doc_comments_never_are() {
+        let out = check(
+            "crates/core/src/x.rs",
+            "/// Use `// audited(<rule>): reason` to waive findings.\n\
+             // audited(no-default-hashmap): interned, iteration-order-free\n\
+             use std::collections::HashMap;\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn waiver_only_suppresses_its_named_rule() {
+        // The waiver names the wrong rule: the finding survives AND the
+        // waiver is stale.
+        let out = check(
+            "crates/core/src/x.rs",
+            "// audited(no-alloc-in-hot-path): wrong rule\nuse std::collections::HashMap;\n",
+        );
+        assert_eq!(rules_of(&out), ["stale-waiver", "no-default-hashmap"]);
+    }
+
+    // ---- output formats --------------------------------------------
+
+    #[test]
+    fn json_output_parses_with_the_trace_schema_parser() {
+        let findings = vec![
+            Finding {
+                file: "crates/core/src/x.rs".to_owned(),
+                line: 3,
+                rule: "no-default-hashmap",
+                msg: "quote \" and backslash \\ survive".to_owned(),
+            },
+            Finding {
+                file: "crates/mem/src/y.rs".to_owned(),
+                line: 9,
+                rule: "stale-waiver",
+                msg: "second".to_owned(),
+            },
+        ];
+        use crate::trace_schema::Value;
+        let doc = to_json(&findings);
+        let v = crate::trace_schema::parse(&doc).expect("lint JSON must be valid JSON");
+        let Value::Object(obj) = v else { panic!("top-level object") };
+        assert_eq!(obj.get("count"), Some(&Value::Number(2.0)));
+        let Some(Value::Array(arr)) = obj.get("findings") else { panic!("findings array") };
+        assert_eq!(arr.len(), 2);
+        let Value::Object(first) = &arr[0] else { panic!("finding object") };
+        assert_eq!(first.get("rule"), Some(&Value::String("no-default-hashmap".to_owned())));
+        assert_eq!(
+            first.get("msg"),
+            Some(&Value::String("quote \" and backslash \\ survive".to_owned()))
+        );
+        // Empty findings are valid too.
+        assert!(crate::trace_schema::parse(&to_json(&[])).is_ok());
+    }
+
+    #[test]
+    fn github_annotations_are_single_line_and_escaped() {
+        let f = Finding {
+            file: "crates/core/src/x.rs".to_owned(),
+            line: 7,
+            rule: "determinism-audit",
+            msg: "bad\nmultiline: msg".to_owned(),
+        };
+        let a = github_annotation(&f);
+        assert!(a.starts_with("::error file=crates/core/src/x.rs,line=7,"), "{a}");
+        assert!(!a.contains('\n'), "{a}");
+        assert!(a.contains("%0A"), "{a}");
+    }
+
+    // ---- the shipped tree ------------------------------------------
 
     #[test]
     fn shipped_tree_is_clean() {
