@@ -19,6 +19,7 @@ pub struct ResultCache {
     scheduled: BTreeMap<ExpKey, Job>,
     hits: u64,
     misses: u64,
+    conflicts: u64,
 }
 
 impl ResultCache {
@@ -47,8 +48,26 @@ impl ResultCache {
         std::mem::take(&mut self.scheduled).into_values().collect()
     }
 
-    /// Stores one simulated point.
+    /// Stores one simulated point. Double-inserting the *same* value
+    /// for a key is harmless (warm store + fresh simulation can race
+    /// to the same answer); double-inserting a *different* value means
+    /// two sources disagree about a deterministic point — a
+    /// determinism bug. Conflicts are counted (and debug-asserted) and
+    /// the first value wins, so a verified store blob is never
+    /// silently displaced.
     pub fn insert(&mut self, key: ExpKey, point: SimPoint) {
+        if let Some(existing) = self.points.get(&key) {
+            if *existing != point {
+                self.conflicts += 1;
+                debug_assert_eq!(
+                    *existing,
+                    point,
+                    "cache conflict: two values for one key {}",
+                    key.display()
+                );
+            }
+            return;
+        }
         self.points.insert(key, point);
     }
 
@@ -69,6 +88,22 @@ impl ResultCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Double-inserts that disagreed on a key's value (determinism
+    /// bugs; always 0 on a healthy run).
+    #[must_use]
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Publishes the cache's counters into an observability registry
+    /// under the `bench.cache` scope.
+    pub fn fill_registry(&self, registry: &mut tvp_obs::registry::Registry) {
+        registry.counter_scoped("bench.cache", "hits", self.hits);
+        registry.counter_scoped("bench.cache", "misses", self.misses);
+        registry.counter_scoped("bench.cache", "conflicts", self.conflicts);
+        registry.counter_scoped("bench.cache", "points", self.points.len() as u64);
     }
 
     /// `hits / (hits + misses)`, or 0 for an untouched cache.
@@ -130,6 +165,49 @@ mod tests {
         assert_eq!(cache.hits(), 2);
         assert!(cache.take_scheduled().is_empty());
         assert!(cache.get(&key).is_some());
+    }
+
+    #[test]
+    fn same_value_double_insert_is_not_a_conflict() {
+        let mut cache = ResultCache::new();
+        let key = job("k", VpMode::Tvp).key;
+        let point = SimPoint { stats: SimStats { cycles: 9, ..Default::default() } };
+        cache.insert(key.clone(), point);
+        cache.insert(key.clone(), point);
+        assert_eq!(cache.conflicts(), 0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key), Some(&point));
+    }
+
+    #[test]
+    fn disagreeing_double_insert_counts_a_conflict_and_keeps_first() {
+        let mut cache = ResultCache::new();
+        let key = job("k", VpMode::Tvp).key;
+        let first = SimPoint { stats: SimStats { cycles: 9, ..Default::default() } };
+        let second = SimPoint { stats: SimStats { cycles: 10, ..Default::default() } };
+        cache.insert(key.clone(), first);
+        // In debug builds the conflict also debug-asserts; swallow the
+        // panic so the counter behaviour stays testable.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.insert(key.clone(), second);
+        }));
+        assert_eq!(cache.conflicts(), 1);
+        assert_eq!(cache.get(&key), Some(&first), "first value wins");
+    }
+
+    #[test]
+    fn registry_export_carries_cache_counters() {
+        let mut cache = ResultCache::new();
+        cache.request(&job("k", VpMode::Off));
+        cache.request(&job("k", VpMode::Off));
+        let mut registry = tvp_obs::registry::Registry::new();
+        cache.fill_registry(&mut registry);
+        let find =
+            |name: &str| registry.counters().iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(find("bench.cache.hits"), Some(1));
+        assert_eq!(find("bench.cache.misses"), Some(1));
+        assert_eq!(find("bench.cache.conflicts"), Some(0));
+        assert_eq!(find("bench.cache.points"), Some(0));
     }
 
     #[test]

@@ -6,8 +6,12 @@
 //! 2. **enumerate** — collect each experiment's [`Job`]s and push them
 //!    through the [`ResultCache`], which dedupes shared points (the
 //!    VP-off baseline appears in most experiments but simulates once);
-//! 3. **simulate** — run the deduplicated schedule on the
-//!    work-stealing pool ([`runner::run_jobs`]);
+//!    with a durable store attached (`--store` / `$TVP_STORE_DIR`),
+//!    already-published points load warm — fully re-verified — and
+//!    leave the schedule, so a killed campaign resumes where it died;
+//! 3. **simulate** — run the deduplicated cold schedule on the
+//!    work-stealing pool ([`runner::run_jobs`]), retrying each
+//!    panicked job once, then publish every fresh point durably;
 //! 4. **assemble** — single-threaded, in fixed experiment order: print
 //!    each experiment's tables and write its `results/*.json` from
 //!    cached points only.
@@ -22,12 +26,14 @@
 //! `--jobs N` produce byte-identical results files.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use crate::cache::ResultCache;
 use crate::experiments::{ExpContext, Experiment, ResultSet};
 use crate::jobs::ExpKey;
 use crate::runner::{self, JobFailure};
+use crate::store::{LoadOutcome, ResultStore, StoreConfig, StoreCounters};
 use crate::telemetry::{Telemetry, TELEMETRY_SCHEMA};
 use crate::{prepare_suite, DEFAULT_INSTS};
 
@@ -47,6 +53,19 @@ pub struct RunOptions {
     pub progress: bool,
     /// Emit the raw per-job timing array in telemetry (`--per-job`).
     pub per_job: bool,
+    /// Durable result store directory (`--store DIR` /
+    /// `$TVP_STORE_DIR`); `None` runs without a store.
+    pub store_dir: Option<PathBuf>,
+    /// Chaos knob (`$TVP_STORE_KILL_AFTER`): deliberately exit with
+    /// [`crate::store::KILL_EXIT_CODE`] after N blob publications.
+    pub store_kill_after: Option<u64>,
+    /// Results directory override; `None` resolves [`results_dir`]
+    /// (env / default). Tests use the override to avoid mutating
+    /// process-wide environment from parallel test threads.
+    pub results_dir: Option<String>,
+    /// Telemetry path override; `None` resolves
+    /// [`Telemetry::default_path`].
+    pub telemetry_path: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -57,14 +76,20 @@ impl Default for RunOptions {
             smoke: false,
             progress: false,
             per_job: false,
+            store_dir: None,
+            store_kill_after: None,
+            results_dir: None,
+            telemetry_path: None,
         }
     }
 }
 
 /// Parses the common experiment CLI: `[--jobs N] [--smoke]
-/// [--insts N] [--progress] [--per-job]`. Budget precedence: `--insts`
-/// flag, then the `TVP_INSTS` environment variable, then the
-/// smoke/default budget.
+/// [--insts N] [--progress] [--per-job] [--store DIR]`. Budget
+/// precedence: `--insts` flag, then the `TVP_INSTS` environment
+/// variable, then the smoke/default budget. Store precedence:
+/// `--store` flag, then `$TVP_STORE_DIR`; the kill-resume chaos knob
+/// is environment-only (`$TVP_STORE_KILL_AFTER`).
 ///
 /// # Panics
 ///
@@ -72,7 +97,10 @@ impl Default for RunOptions {
 #[must_use]
 pub fn parse_run_options(args: impl Iterator<Item = String>) -> RunOptions {
     let usage = || -> ! {
-        eprintln!("usage: <experiment> [--jobs N] [--smoke] [--insts N] [--progress] [--per-job]");
+        eprintln!(
+            "usage: <experiment> [--jobs N] [--smoke] [--insts N] [--progress] [--per-job] \
+             [--store DIR]"
+        );
         std::process::exit(2);
     };
     let mut workers = None;
@@ -80,6 +108,7 @@ pub fn parse_run_options(args: impl Iterator<Item = String>) -> RunOptions {
     let mut smoke = false;
     let mut progress = false;
     let mut per_job = false;
+    let mut store_flag: Option<PathBuf> = None;
     let args: Vec<String> = args.collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -98,13 +127,28 @@ pub fn parse_run_options(args: impl Iterator<Item = String>) -> RunOptions {
             }
             "--progress" => progress = true,
             "--per-job" => per_job = true,
+            "--store" => {
+                store_flag = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
             _ => usage(),
         }
     }
     let insts = insts_flag
         .or_else(|| std::env::var("TVP_INSTS").ok().and_then(|s| s.parse().ok()))
         .unwrap_or(if smoke { SMOKE_INSTS } else { DEFAULT_INSTS });
-    RunOptions { workers, insts, smoke, progress, per_job }
+    let store_dir = store_flag.or_else(|| std::env::var_os("TVP_STORE_DIR").map(PathBuf::from));
+    let store_kill_after = std::env::var("TVP_STORE_KILL_AFTER").ok().and_then(|s| s.parse().ok());
+    RunOptions {
+        workers,
+        insts,
+        smoke,
+        progress,
+        per_job,
+        store_dir,
+        store_kill_after,
+        results_dir: None,
+        telemetry_path: None,
+    }
 }
 
 /// Resolves the results directory (`$TVP_RESULTS_DIR`, default
@@ -163,6 +207,42 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
         workers
     );
 
+    // 2b. warm-load from the durable store ———————————————————————————
+    // Every reloaded blob is re-verified (checksum, schema, echoed
+    // key); corrupt blobs are quarantined and stay in the cold
+    // schedule to be re-simulated.
+    let mut store = opts.store_dir.as_ref().map(|dir| {
+        let cfg = StoreConfig { dir: dir.clone(), kill_after: opts.store_kill_after };
+        ResultStore::open(cfg).expect("open result store")
+    });
+    let schedule = if let Some(store) = store.as_mut() {
+        let total = schedule.len();
+        let mut cold = Vec::with_capacity(total);
+        for job in schedule {
+            match store.load(&job.key) {
+                LoadOutcome::Hit(point) => cache.insert(job.key.clone(), *point),
+                LoadOutcome::Miss => cold.push(job),
+                LoadOutcome::Quarantined(err) => {
+                    eprintln!(
+                        "[engine] store: QUARANTINED corrupt blob for {} ({err}); re-simulating",
+                        job.key.display()
+                    );
+                    cold.push(job);
+                }
+            }
+        }
+        store.lease_all(cold.iter().map(|j| &j.key)).expect("journal campaign leases");
+        eprintln!(
+            "[engine] store {}: {} of {total} point(s) loaded warm, {} to simulate",
+            store.dir().display(),
+            total - cold.len(),
+            cold.len()
+        );
+        cold
+    } else {
+        schedule
+    };
+
     // 3. simulate ————————————————————————————————————————————————————
     let traces: BTreeMap<&str, &tvp_workloads::trace::Trace> =
         ctx.prepared.iter().map(|p| (p.workload.name, &p.trace)).collect();
@@ -174,12 +254,27 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
         opts.progress,
     );
     let sim_wall = sim_start.elapsed();
+    // Publish in slot (schedule) order — single-threaded and
+    // deterministic, which is what makes the kill_after chaos knob
+    // reproducible for a given seed/schedule.
     for (key, point) in outcome.points {
+        if let Some(store) = store.as_mut() {
+            store.publish(&key, &point).expect("publish result blob");
+        }
         cache.insert(key, point);
+    }
+    for f in &outcome.failures {
+        if let Some(store) = store.as_mut() {
+            store.record_failure(&f.key, f.attempts).expect("journal job failure");
+        }
+    }
+    let store_counters: StoreCounters = store.as_ref().map(|s| *s.counters()).unwrap_or_default();
+    if let Some(store) = store.as_ref() {
+        eprintln!("[engine] store: {}", store.summary());
     }
 
     // 4. assemble ————————————————————————————————————————————————————
-    let dir = results_dir();
+    let dir = opts.results_dir.clone().unwrap_or_else(results_dir);
     std::fs::create_dir_all(&dir).expect("create results directory");
     let mut skipped = Vec::new();
     let results = ResultSet::new(&cache);
@@ -217,6 +312,11 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
         cache_hits: cache.hits(),
         cache_hit_rate: cache.hit_rate(),
         jobs_failed: outcome.failures.len() as u64,
+        retries: outcome.retries,
+        quarantined: store_counters.quarantined,
+        store_warm_hits: store_counters.warm_hits,
+        store_enabled: store.is_some(),
+        cache_conflicts: cache.conflicts(),
         prepare,
         sim_wall,
         total_wall: total_start.elapsed(),
@@ -225,7 +325,7 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
         per_job: outcome.timings,
         emit_per_job: opts.per_job,
     };
-    let telemetry_path = Telemetry::default_path();
+    let telemetry_path = opts.telemetry_path.clone().unwrap_or_else(Telemetry::default_path);
     telemetry.write(&telemetry_path);
     eprintln!("[engine] {}", telemetry.summary());
     eprintln!("[engine] telemetry written to {telemetry_path}");

@@ -24,6 +24,7 @@ mod fingerprint_tests;
 pub mod jobs;
 pub mod runner;
 pub mod schedbench;
+pub mod store;
 pub mod telemetry;
 
 /// Default per-workload instruction budget.

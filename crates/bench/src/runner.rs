@@ -30,14 +30,29 @@ use tvp_workloads::trace::Trace;
 
 use crate::jobs::{ExpKey, Job, SimPoint};
 
-/// A job that panicked instead of producing a [`SimPoint`].
+/// A job that panicked instead of producing a [`SimPoint`] — on every
+/// attempt (a panic healed by the retry is not a failure).
 #[derive(Clone, Debug)]
 pub struct JobFailure {
     /// The failed point's identity.
     pub key: ExpKey,
-    /// Rendered panic payload.
+    /// Rendered panic payload of the final attempt.
     pub panic: String,
+    /// How many attempts were made (always [`MAX_ATTEMPTS`] for a
+    /// reported failure).
+    pub attempts: u32,
 }
+
+/// Attempts per job: the first run plus one bounded retry. The
+/// simulator is deterministic, so a *logic* panic will simply repeat —
+/// the retry exists for transient environmental failures (OOM-killed
+/// sibling, resource spikes) and costs nothing when the first attempt
+/// succeeds.
+pub const MAX_ATTEMPTS: u32 = 2;
+
+/// Fixed pause before the retry attempt, giving a transient condition
+/// (memory pressure, scheduler spike) time to clear.
+pub const RETRY_BACKOFF: Duration = Duration::from_millis(25);
 
 /// Wall-clock timing of one completed job (telemetry only; never part
 /// of the cached result).
@@ -58,16 +73,18 @@ pub struct JobTiming {
 pub struct RunOutcome {
     /// Successfully simulated points.
     pub points: Vec<(ExpKey, SimPoint)>,
-    /// Panicked jobs, with their keys.
+    /// Jobs that panicked on every attempt, with their keys.
     pub failures: Vec<JobFailure>,
     /// Per-job wall-clock timings (successful jobs only).
     pub timings: Vec<JobTiming>,
+    /// Jobs that needed a second attempt (healed or not).
+    pub retries: u64,
 }
 
 /// One job's outcome slot, written exactly once by whichever worker
-/// ran the job: the simulated point and its wall time, or the
-/// rendered panic payload.
-type ResultSlot = Mutex<Option<Result<(SimPoint, CpiStack, Duration), String>>>;
+/// ran the job: the simulated point and its wall time (or the rendered
+/// panic payload of the final attempt), plus the attempt count.
+type ResultSlot = Mutex<Option<(Result<(SimPoint, CpiStack, Duration), String>, u32)>>;
 
 /// Resolves the worker count: an explicit `--jobs N` wins, otherwise
 /// the pool is sized to the machine's available cores.
@@ -81,13 +98,39 @@ pub fn resolve_workers(requested: Option<usize>) -> usize {
 
 /// Runs `jobs` on `workers` threads, looking up each job's trace with
 /// `trace_of` (keyed by workload name). Returns all results, failures
-/// and timings; panics in jobs are contained, panics in `trace_of`
-/// (unknown workload) are a harness bug and propagate.
+/// and timings; panics in jobs are contained (and retried once, see
+/// [`MAX_ATTEMPTS`]), panics in `trace_of` (unknown workload) are a
+/// harness bug and propagate.
 pub fn run_jobs<'t>(
     jobs: &[Job],
     trace_of: impl Fn(&'static str) -> &'t Trace + Sync,
     workers: usize,
     progress: bool,
+) -> RunOutcome {
+    run_jobs_with(jobs, workers, progress, |job| {
+        let trace = trace_of(job.key.workload);
+        // Drive the core directly (rather than through `simulate`) so
+        // the CPI stack can be captured for per-job telemetry; the
+        // watchdog fail-loud behaviour of `simulate` is preserved.
+        let cfg = job.cfg.clone();
+        let mut core = Core::new(cfg);
+        let stats = core.run(trace);
+        if let Some(diag) = core.watchdog_diagnostic() {
+            // deliberate fail-loud path — a tripped watchdog is a simulator bug
+            panic!("pipeline deadlock:\n{diag}");
+        }
+        (SimPoint { stats }, core.cpi_stack())
+    })
+}
+
+/// The pool with an injectable simulation function — the production
+/// path goes through [`run_jobs`]; tests inject flaky `sim` closures
+/// to exercise the retry machinery deterministically.
+pub fn run_jobs_with(
+    jobs: &[Job],
+    workers: usize,
+    progress: bool,
+    sim: impl Fn(&Job) -> (SimPoint, CpiStack) + Sync,
 ) -> RunOutcome {
     let workers = workers.max(1).min(jobs.len().max(1));
     // Round-robin seeding gives every worker a balanced starting deque;
@@ -107,35 +150,38 @@ pub fn run_jobs<'t>(
             let deques = &deques;
             let slots = &slots;
             let done = &done;
-            let trace_of = &trace_of;
+            let sim = &sim;
             scope.spawn(move || {
                 while let Some(idx) = next_job(deques, me) {
                     let job = &jobs[idx];
-                    let trace = trace_of(job.key.workload);
-                    let start = Instant::now();
-                    // Drive the core directly (rather than through
-                    // `simulate`) so the CPI stack can be captured for
-                    // per-job telemetry; the watchdog fail-loud
-                    // behaviour of `simulate` is preserved.
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        let cfg = job.cfg.clone();
-                        let mut core = Core::new(cfg);
-                        let stats = core.run(trace);
-                        if let Some(diag) = core.watchdog_diagnostic() {
-                            // deliberate fail-loud path — a tripped watchdog is a simulator bug
-                            panic!("pipeline deadlock:\n{diag}");
+                    let mut attempts = 0;
+                    let result = loop {
+                        attempts += 1;
+                        let start = Instant::now();
+                        let result = catch_unwind(AssertUnwindSafe(|| sim(job)));
+                        let wall = start.elapsed();
+                        match result {
+                            Ok((point, cpi)) => break Ok((point, cpi, wall)),
+                            Err(payload) => {
+                                let text = panic_text(payload.as_ref());
+                                if attempts >= MAX_ATTEMPTS {
+                                    break Err(text);
+                                }
+                                if progress {
+                                    eprintln!(
+                                        "  [retry {attempts}/{MAX_ATTEMPTS}] {}",
+                                        job.key.display()
+                                    );
+                                }
+                                std::thread::sleep(RETRY_BACKOFF);
+                            }
                         }
-                        (SimPoint { stats }, core.cpi_stack())
-                    }));
-                    let wall = start.elapsed();
+                    };
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if progress {
                         eprintln!("  [{finished:>4}/{total}] {}", job.key.display());
                     }
-                    *slots[idx].lock().expect("result slot") = Some(match result {
-                        Ok((point, cpi)) => Ok((point, cpi, wall)),
-                        Err(payload) => Err(panic_text(payload.as_ref())),
-                    });
+                    *slots[idx].lock().expect("result slot") = Some((result, attempts));
                 }
             });
         }
@@ -143,7 +189,11 @@ pub fn run_jobs<'t>(
 
     let mut outcome = RunOutcome::default();
     for (job, slot) in jobs.iter().zip(slots) {
-        let result = slot.into_inner().expect("slot lock").expect("pool drained every job");
+        let (result, attempts) =
+            slot.into_inner().expect("slot lock").expect("pool drained every job");
+        if attempts > 1 {
+            outcome.retries += 1;
+        }
         match result {
             Ok((point, cpi, wall)) => {
                 outcome.timings.push(JobTiming {
@@ -154,7 +204,9 @@ pub fn run_jobs<'t>(
                 });
                 outcome.points.push((job.key.clone(), point));
             }
-            Err(panic) => outcome.failures.push(JobFailure { key: job.key.clone(), panic }),
+            Err(panic) => {
+                outcome.failures.push(JobFailure { key: job.key.clone(), panic, attempts });
+            }
         }
     }
     outcome
@@ -236,5 +288,46 @@ mod tests {
         assert_eq!(outcome.failures.len(), 1);
         assert_eq!(outcome.failures[0].key, jobs[1].key, "failure names the poisoned key");
         assert!(!outcome.failures[0].panic.is_empty());
+        assert_eq!(
+            outcome.failures[0].attempts, MAX_ATTEMPTS,
+            "a deterministic panic is retried once before being reported"
+        );
+        assert_eq!(outcome.retries, 1, "only the poisoned job needed a retry");
+    }
+
+    #[test]
+    fn transient_panic_is_healed_by_the_single_retry() {
+        use std::sync::atomic::AtomicBool;
+        let jobs = vec![
+            Job::new("a", 1_000, CoreConfig::table2()),
+            Job::new("b", 1_000, CoreConfig::table2()),
+        ];
+        let flaked = AtomicBool::new(false);
+        let outcome = run_jobs_with(&jobs, 1, false, |job| {
+            if job.key.workload == "b" && !flaked.swap(true, Ordering::Relaxed) {
+                panic!("transient failure");
+            }
+            (SimPoint { stats: Default::default() }, CpiStack::default())
+        });
+        assert!(outcome.failures.is_empty(), "the retry healed the flake");
+        assert_eq!(outcome.points.len(), 2);
+        assert_eq!(outcome.retries, 1);
+        assert_eq!(outcome.timings.len(), 2);
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_both_attempts() {
+        use std::sync::atomic::AtomicU32;
+        let jobs = vec![Job::new("a", 1_000, CoreConfig::table2())];
+        let calls = AtomicU32::new(0);
+        let outcome = run_jobs_with(&jobs, 1, false, |_job| -> (SimPoint, CpiStack) {
+            calls.fetch_add(1, Ordering::Relaxed);
+            panic!("always fails");
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), MAX_ATTEMPTS);
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].attempts, MAX_ATTEMPTS);
+        assert!(outcome.failures[0].panic.contains("always fails"));
+        assert_eq!(outcome.retries, 1);
     }
 }

@@ -1,0 +1,372 @@
+//! Campaign journal: an append-only, torn-tail-tolerant progress log.
+//!
+//! The blobs are the authoritative store — every load re-verifies the
+//! blob itself — so the journal's job is *bookkeeping*: it records
+//! which points a campaign leased (scheduled), completed, and failed,
+//! which lets a resumed run and `fsck-store` distinguish "killed
+//! mid-campaign" (leases with no completion) from "orphan blob"
+//! (a blob no journal line accounts for).
+//!
+//! Format: one record per line, each sealed with its own FNV-1a
+//! checksum so a crash mid-append (the classic torn tail) is detected
+//! and dropped on replay instead of corrupting the whole log:
+//!
+//! ```text
+//! tvp-journal 1
+//! lease 00d8c8e57e06cbad string_match@20000#00d8c8e57e06cbad #5b3c…
+//! done 00d8c8e57e06cbad #9a17…
+//! fail 00d8c8e57e06cbad attempts 2 #c2f0…
+//! ```
+//!
+//! A checksum-failing *last* line is a torn tail (normal after a
+//! kill); a checksum-failing line *mid-file* is corruption and is
+//! counted so fsck can report it. Replay never panics on any input.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use super::blob::fnv1a;
+
+/// Journal file name inside the store directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// Header line identifying the journal format version.
+pub const JOURNAL_HEADER: &str = "tvp-journal 1";
+
+/// Everything replaying a journal recovers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JournalState {
+    /// Digests with a `done` record (a blob was published).
+    pub completed: BTreeSet<u64>,
+    /// Digests with a `fail` record, with the attempt count of the
+    /// most recent failure.
+    pub failed: BTreeMap<u64, u32>,
+    /// Digests leased but never completed or failed — the points a
+    /// killed campaign died holding.
+    pub pending: BTreeSet<u64>,
+    /// The final line failed its checksum and was dropped (the
+    /// expected signature of a crash mid-append).
+    pub torn_tail: bool,
+    /// Checksum-failing or unparseable lines *before* the tail —
+    /// genuine corruption, surfaced by fsck.
+    pub skipped_lines: u64,
+    /// The file existed but its header was missing or wrong (treated
+    /// as an empty journal; fsck reports it).
+    pub bad_header: bool,
+}
+
+/// Append handle plus the state replayed at open.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    state: JournalState,
+}
+
+/// Seals `body` with its FNV-1a checksum: `"<body> #<16 hex>"`.
+fn seal(body: &str) -> String {
+    format!("{body} #{:016x}", fnv1a(body.as_bytes()))
+}
+
+/// Splits a sealed line back into its body, verifying the checksum.
+fn unseal(line: &str) -> Option<&str> {
+    let (body, sum) = line.rsplit_once(" #")?;
+    let stored = u64::from_str_radix(sum, 16).ok()?;
+    (sum.len() == 16 && stored == fnv1a(body.as_bytes())).then_some(body)
+}
+
+/// One parsed journal record.
+enum Record {
+    Lease(u64),
+    Done(u64),
+    Fail(u64, u32),
+}
+
+fn parse_record(body: &str) -> Option<Record> {
+    let mut parts = body.split(' ');
+    let kind = parts.next()?;
+    let digest = u64::from_str_radix(parts.next()?, 16).ok()?;
+    match kind {
+        "lease" => Some(Record::Lease(digest)),
+        "done" if parts.next().is_none() => Some(Record::Done(digest)),
+        "fail" => {
+            if parts.next()? != "attempts" {
+                return None;
+            }
+            let attempts = parts.next()?.parse().ok()?;
+            parts.next().is_none().then_some(Record::Fail(digest, attempts))
+        }
+        _ => None,
+    }
+}
+
+/// Replays journal text into a [`JournalState`]. Total: tolerates any
+/// byte soup without panicking.
+#[must_use]
+pub fn replay(text: &str) -> JournalState {
+    let mut state = JournalState::default();
+    let mut lines = text.lines();
+    match lines.next() {
+        None => return state,
+        Some(JOURNAL_HEADER) => {}
+        Some(_) => {
+            state.bad_header = true;
+            return state;
+        }
+    }
+    let rest: Vec<&str> = lines.collect();
+    let n = rest.len();
+    for (i, line) in rest.iter().enumerate() {
+        let record = unseal(line).and_then(parse_record);
+        match record {
+            Some(Record::Lease(d)) => {
+                if !state.completed.contains(&d) && !state.failed.contains_key(&d) {
+                    state.pending.insert(d);
+                }
+            }
+            Some(Record::Done(d)) => {
+                state.pending.remove(&d);
+                state.failed.remove(&d);
+                state.completed.insert(d);
+            }
+            Some(Record::Fail(d, attempts)) => {
+                state.pending.remove(&d);
+                state.failed.insert(d, attempts);
+            }
+            None => {
+                if i + 1 == n {
+                    state.torn_tail = true;
+                } else {
+                    state.skipped_lines += 1;
+                }
+            }
+        }
+    }
+    state
+}
+
+impl Journal {
+    /// Opens (or creates) the journal under `store_dir`, replaying any
+    /// existing records first. A fresh journal gets its header line
+    /// immediately. A torn final record (the signature of a crash
+    /// mid-append — checksum-failing or missing its newline) is
+    /// *truncated away* so new appends start on a clean line boundary;
+    /// without that repair the first resumed record would concatenate
+    /// onto the torn bytes and become permanent mid-file corruption.
+    pub fn open(store_dir: &Path) -> std::io::Result<Journal> {
+        let path = store_dir.join(JOURNAL_FILE);
+        let (state, text) = match std::fs::read_to_string(&path) {
+            Ok(text) => (replay(&text), text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                (JournalState::default(), String::new())
+            }
+            Err(e) => return Err(e),
+        };
+        // An existing-but-empty file (crash between create and header
+        // write) needs its header just like a missing one.
+        let needs_header = text.is_empty();
+        let mut keep = text.len();
+        let mut needs_newline = false;
+        if !needs_header && !state.bad_header {
+            let end = text.strip_suffix('\n').map_or(text.len(), str::len);
+            let last_start = text[..end].rfind('\n').map_or(0, |i| i + 1);
+            let last_line = &text[last_start..end];
+            let last_is_good = if last_start == 0 {
+                last_line == JOURNAL_HEADER
+            } else {
+                unseal(last_line).and_then(parse_record).is_some()
+            };
+            if !last_is_good {
+                keep = last_start;
+            } else if end == text.len() {
+                // Complete record, missing only its terminator.
+                needs_newline = true;
+            }
+        }
+        if keep < text.len() {
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(keep as u64)?;
+            f.sync_all()?;
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if needs_header {
+            writeln!(file, "{JOURNAL_HEADER}")?;
+            file.sync_all()?;
+        } else if needs_newline {
+            writeln!(file)?;
+            file.sync_all()?;
+        }
+        Ok(Journal { path, file, state })
+    }
+
+    /// The state replayed when the journal was opened.
+    #[must_use]
+    pub fn state(&self) -> &JournalState {
+        &self.state
+    }
+
+    /// Path of the journal file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records a batch of leases (the cold schedule), fsyncing once at
+    /// the end of the batch.
+    pub fn lease_all<'k>(
+        &mut self,
+        keys: impl Iterator<Item = (u64, &'k str)>,
+    ) -> std::io::Result<()> {
+        let mut wrote = false;
+        for (digest, label) in keys {
+            writeln!(self.file, "{}", seal(&format!("lease {digest:016x} {label}")))?;
+            self.state.pending.insert(digest);
+            wrote = true;
+        }
+        if wrote {
+            self.file.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Records a completed publication. Fsynced per record: a `done`
+    /// line must never claim a blob that a crash then loses.
+    pub fn done(&mut self, digest: u64) -> std::io::Result<()> {
+        writeln!(self.file, "{}", seal(&format!("done {digest:016x}")))?;
+        self.file.sync_all()?;
+        self.state.pending.remove(&digest);
+        self.state.completed.insert(digest);
+        Ok(())
+    }
+
+    /// Records a terminal job failure (after retries).
+    pub fn fail(&mut self, digest: u64, attempts: u32) -> std::io::Result<()> {
+        writeln!(self.file, "{}", seal(&format!("fail {digest:016x} attempts {attempts}")))?;
+        self.file.sync_all()?;
+        self.state.pending.remove(&digest);
+        self.state.failed.insert(digest, attempts);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_and_unseal_roundtrip() {
+        let line = seal("done 00000000000000ff");
+        assert_eq!(unseal(&line), Some("done 00000000000000ff"));
+        assert_eq!(unseal("done 00000000000000ff #0000000000000000"), None, "bad checksum");
+        assert_eq!(unseal("no separator"), None);
+    }
+
+    #[test]
+    fn replay_tracks_lease_done_fail_lifecycle() {
+        let text = format!(
+            "{JOURNAL_HEADER}\n{}\n{}\n{}\n{}\n",
+            seal("lease 0000000000000001 a@1#x"),
+            seal("lease 0000000000000002 b@1#y"),
+            seal("done 0000000000000001"),
+            seal("fail 0000000000000002 attempts 2"),
+        );
+        let s = replay(&text);
+        assert!(s.completed.contains(&1));
+        assert_eq!(s.failed.get(&2), Some(&2));
+        assert!(s.pending.is_empty());
+        assert!(!s.torn_tail && s.skipped_lines == 0 && !s.bad_header);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_midfile_garbage_is_counted() {
+        let good = seal("lease 0000000000000003 c@1#z");
+        let torn = &good[..good.len() - 5];
+        let text = format!("{JOURNAL_HEADER}\n{good}\nnot a sealed line\n{good}\n{torn}\n");
+        let s = replay(&text);
+        assert!(s.torn_tail, "checksum-failing last line is a torn tail");
+        assert_eq!(s.skipped_lines, 1, "mid-file garbage counted");
+        assert!(s.pending.contains(&3));
+    }
+
+    #[test]
+    fn missing_or_wrong_header_is_flagged() {
+        assert_eq!(replay(""), JournalState::default());
+        let s = replay("something else\n");
+        assert!(s.bad_header);
+    }
+
+    #[test]
+    fn done_after_fail_wins_and_lease_after_done_stays_complete() {
+        let text = format!(
+            "{JOURNAL_HEADER}\n{}\n{}\n{}\n{}\n",
+            seal("lease 0000000000000007 w@1#d"),
+            seal("fail 0000000000000007 attempts 2"),
+            seal("done 0000000000000007"),
+            seal("lease 0000000000000007 w@1#d"),
+        );
+        let s = replay(&text);
+        assert!(s.completed.contains(&7));
+        assert!(s.failed.is_empty());
+        assert!(s.pending.is_empty(), "a completed point re-leased is not pending");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_open_so_appends_stay_clean() {
+        let dir = std::env::temp_dir().join(format!("tvp_journal_torn_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let good = seal("lease 0000000000000009 w@1#a");
+        // Unterminated garbage tail — the classic kill-mid-append.
+        std::fs::write(dir.join(JOURNAL_FILE), format!("{JOURNAL_HEADER}\n{good}\ndone 00000000"))
+            .expect("write torn journal");
+        {
+            let mut j = Journal::open(&dir).expect("open torn");
+            assert!(j.state().pending.contains(&9), "good prefix replayed");
+            j.done(9).expect("append after torn tail");
+        }
+        let replayed = replay(&std::fs::read_to_string(dir.join(JOURNAL_FILE)).expect("read"));
+        assert!(replayed.completed.contains(&9), "appended record parses");
+        assert_eq!(replayed.skipped_lines, 0, "torn bytes did not poison the next record");
+        assert!(!replayed.torn_tail, "torn tail was truncated away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unterminated_good_record_gets_its_newline_at_open() {
+        let dir = std::env::temp_dir().join(format!("tvp_journal_noeol_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let good = seal("lease 000000000000000a w@1#b");
+        std::fs::write(dir.join(JOURNAL_FILE), format!("{JOURNAL_HEADER}\n{good}"))
+            .expect("write journal sans newline");
+        {
+            let mut j = Journal::open(&dir).expect("open");
+            assert!(j.state().pending.contains(&0xA));
+            j.done(0xA).expect("append");
+        }
+        let replayed = replay(&std::fs::read_to_string(dir.join(JOURNAL_FILE)).expect("read"));
+        assert!(replayed.completed.contains(&0xA));
+        assert!(replayed.pending.is_empty());
+        assert_eq!(replayed.skipped_lines, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_open_append_replay_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("tvp_journal_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        {
+            let mut j = Journal::open(&dir).expect("open fresh");
+            j.lease_all([(0xAB, "a@1#ab"), (0xCD, "c@1#cd")].into_iter()).expect("lease");
+            j.done(0xAB).expect("done");
+            j.fail(0xCD, 2).expect("fail");
+        }
+        let j = Journal::open(&dir).expect("reopen");
+        assert!(j.state().completed.contains(&0xAB));
+        assert_eq!(j.state().failed.get(&0xCD), Some(&2));
+        assert!(j.state().pending.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,420 @@
+//! Durable content-addressed result store — crash-safe resumable
+//! campaigns.
+//!
+//! The in-process [`ResultCache`](crate::cache::ResultCache) dedups
+//! points *within* one `run_all`; this store dedups them *across*
+//! runs and across crashes. Every simulated point is published as a
+//! self-verifying blob (see [`blob`]) under its key's content address,
+//! and a campaign journal (see [`manifest`]) records leases,
+//! completions and failures, so a killed campaign resumes exactly
+//! where it died and a corrupted blob is quarantined and re-simulated
+//! instead of poisoning the results.
+//!
+//! On-disk layout (`--store DIR` / `$TVP_STORE_DIR`):
+//!
+//! ```text
+//! <dir>/
+//!   blobs/<digest:016x>.blob      one verified point per file
+//!   quarantine/<digest>.<reason>.<n>.blob   corrupt blobs, set aside
+//!   tmp/                          scratch for atomic publication
+//!   journal.log                   append-only campaign journal
+//! ```
+//!
+//! Guarantees:
+//!
+//! - **Atomic publication.** A blob is written to `tmp/`, fsynced,
+//!   renamed into `blobs/`, and the directory is fsynced. A reader
+//!   (or a resumed campaign) can observe a blob fully or not at all —
+//!   never torn. A crash can at worst leave scratch files in `tmp/`,
+//!   which the next open sweeps.
+//! - **Verified loads.** [`ResultStore::load`] re-verifies everything:
+//!   magic, schema, lengths, checksum, and that the key echoed inside
+//!   the blob is field-for-field the key that was asked for. A blob
+//!   that fails is renamed into `quarantine/` (evidence preserved),
+//!   counted, and reported as a miss so the engine re-simulates it.
+//! - **Determinism.** The store holds only deterministic simulation
+//!   results keyed by deterministic fingerprints; blob bytes are a
+//!   pure function of (key, point). This module is bound by the
+//!   `determinism-audit` lint rule: no wall clocks, no environment
+//!   reads — the kill knob and directory arrive via [`StoreConfig`].
+
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::jobs::{ExpKey, SimPoint};
+
+pub mod blob;
+pub mod fsck;
+pub mod manifest;
+
+use blob::BlobError;
+use manifest::Journal;
+
+/// Exit code of a campaign deliberately killed by the
+/// [`StoreConfig::kill_after`] chaos knob (CI's resume-smoke asserts
+/// on it to distinguish the staged kill from a real failure).
+pub const KILL_EXIT_CODE: i32 = 42;
+
+/// Blob subdirectory name.
+pub const BLOBS_DIR: &str = "blobs";
+/// Quarantine subdirectory name.
+pub const QUARANTINE_DIR: &str = "quarantine";
+/// Scratch subdirectory for atomic publication.
+pub const TMP_DIR: &str = "tmp";
+
+/// How the store is opened. No environment is read here — the engine
+/// resolves `$TVP_STORE_DIR` / `$TVP_STORE_KILL_AFTER` and passes the
+/// results in, keeping this module a pure function of its inputs.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Store root directory (created if missing).
+    pub dir: PathBuf,
+    /// Chaos knob: after this many successful blob publications the
+    /// process exits with [`KILL_EXIT_CODE`] *before* writing the
+    /// journal completion record — an honest mid-manifest death for
+    /// kill-resume testing.
+    pub kill_after: Option<u64>,
+}
+
+impl StoreConfig {
+    /// A plain store at `dir` with no kill knob armed.
+    #[must_use]
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig { dir: dir.into(), kill_after: None }
+    }
+}
+
+/// Store activity counters for telemetry and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Loads served by a verified on-disk blob.
+    pub warm_hits: u64,
+    /// Loads that found no blob.
+    pub misses: u64,
+    /// Corrupt / torn / version-skewed blobs moved to quarantine.
+    pub quarantined: u64,
+    /// Blobs published this run.
+    pub published: u64,
+    /// Valid blobs whose echoed key was a *different* key under the
+    /// same 64-bit content address (astronomically rare; counted so it
+    /// is observable rather than silent).
+    pub digest_collisions: u64,
+    /// Scratch files left by a crashed run, swept at open.
+    pub tmp_swept: u64,
+}
+
+/// What [`ResultStore::load`] found for a key.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// A fully verified point.
+    Hit(Box<SimPoint>),
+    /// No blob at this content address.
+    Miss,
+    /// A blob existed but failed verification; it has been quarantined
+    /// and the key must be re-simulated.
+    Quarantined(BlobError),
+}
+
+/// The durable store: directories, journal, counters.
+#[derive(Debug)]
+pub struct ResultStore {
+    cfg: StoreConfig,
+    journal: Journal,
+    counters: StoreCounters,
+    /// Digests already quarantined this run, to derive unique
+    /// quarantine file names without re-listing the directory.
+    quarantine_seq: BTreeSet<(u64, u32)>,
+}
+
+/// Fsyncs a directory so a just-renamed entry survives power loss
+/// (POSIX requires the parent directory's metadata to be durable).
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store at `cfg.dir`: lays out the
+    /// subdirectories, sweeps stale scratch files from a previous
+    /// crash, and replays the campaign journal.
+    pub fn open(cfg: StoreConfig) -> io::Result<ResultStore> {
+        std::fs::create_dir_all(cfg.dir.join(BLOBS_DIR))?;
+        std::fs::create_dir_all(cfg.dir.join(QUARANTINE_DIR))?;
+        std::fs::create_dir_all(cfg.dir.join(TMP_DIR))?;
+        let mut tmp_swept = 0;
+        for entry in std::fs::read_dir(cfg.dir.join(TMP_DIR))?.flatten() {
+            if entry.path().is_file() && std::fs::remove_file(entry.path()).is_ok() {
+                tmp_swept += 1;
+            }
+        }
+        let journal = Journal::open(&cfg.dir)?;
+        Ok(ResultStore {
+            cfg,
+            journal,
+            counters: StoreCounters { tmp_swept, ..Default::default() },
+            quarantine_seq: BTreeSet::new(),
+        })
+    }
+
+    /// The store root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    /// Activity counters so far.
+    #[must_use]
+    pub fn counters(&self) -> &StoreCounters {
+        &self.counters
+    }
+
+    /// The journal state replayed at open (completed / failed /
+    /// pending digests of earlier runs against this store).
+    #[must_use]
+    pub fn journal_state(&self) -> &manifest::JournalState {
+        self.journal.state()
+    }
+
+    fn blob_path(&self, digest: u64) -> PathBuf {
+        self.cfg.dir.join(BLOBS_DIR).join(format!("{digest:016x}.blob"))
+    }
+
+    /// Loads and fully re-verifies the point for `key`. Corrupt blobs
+    /// are moved aside into `quarantine/` and reported as
+    /// [`LoadOutcome::Quarantined`]; the caller re-simulates.
+    pub fn load(&mut self, key: &ExpKey) -> LoadOutcome {
+        let digest = key.digest();
+        let path = self.blob_path(digest);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.counters.misses += 1;
+                return LoadOutcome::Miss;
+            }
+            Err(_) => {
+                // Unreadable blob (permissions, I/O error): treat as a
+                // miss rather than aborting the campaign.
+                self.counters.misses += 1;
+                return LoadOutcome::Miss;
+            }
+        };
+        match blob::decode(&bytes) {
+            Ok((stored_key, point)) => {
+                if stored_key.matches(key) {
+                    self.counters.warm_hits += 1;
+                    LoadOutcome::Hit(Box::new(point))
+                } else {
+                    // A valid blob for a *different* key under the same
+                    // content address. Don't quarantine a good blob;
+                    // count the collision and re-simulate (the publish
+                    // will overwrite — acceptable at 2^-64 odds, and
+                    // observable through the counter).
+                    self.counters.digest_collisions += 1;
+                    self.counters.misses += 1;
+                    LoadOutcome::Miss
+                }
+            }
+            Err(err) => {
+                self.quarantine(digest, &path, &err);
+                self.counters.quarantined += 1;
+                LoadOutcome::Quarantined(err)
+            }
+        }
+    }
+
+    /// Moves a failed blob into `quarantine/` under a unique name that
+    /// records why it was pulled.
+    fn quarantine(&mut self, digest: u64, path: &Path, err: &BlobError) {
+        let qdir = self.cfg.dir.join(QUARANTINE_DIR);
+        let mut seq: u32 = 0;
+        let dest = loop {
+            let candidate = qdir.join(format!("{digest:016x}.{}.{seq}.blob", err.tag()));
+            if !candidate.exists() && !self.quarantine_seq.contains(&(digest, seq)) {
+                break candidate;
+            }
+            seq += 1;
+        };
+        self.quarantine_seq.insert((digest, seq));
+        // Rename is same-filesystem and atomic; if it fails (e.g. the
+        // blob vanished underneath us) deleting is the fallback so the
+        // bad bytes can never be loaded again.
+        if std::fs::rename(path, &dest).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Journals a batch of leases for the points this campaign is
+    /// about to simulate.
+    pub fn lease_all<'j>(&mut self, keys: impl Iterator<Item = &'j ExpKey>) -> io::Result<()> {
+        let leases: Vec<(u64, String)> = keys.map(|k| (k.digest(), k.display())).collect();
+        self.journal.lease_all(leases.iter().map(|(d, l)| (*d, l.as_str())))
+    }
+
+    /// Publishes one simulated point durably: encode → write to
+    /// scratch → fsync → rename into `blobs/` → fsync the directory →
+    /// journal `done`. A torn publication is impossible to observe;
+    /// a crash between rename and journal leaves an orphan blob that
+    /// still verifies (and warms the next run).
+    ///
+    /// When the [`StoreConfig::kill_after`] chaos knob is armed, the
+    /// process exits with [`KILL_EXIT_CODE`] after the N-th blob is
+    /// durable but *before* its journal record — the exact
+    /// mid-manifest state a real kill produces.
+    pub fn publish(&mut self, key: &ExpKey, point: &SimPoint) -> io::Result<()> {
+        let digest = key.digest();
+        let bytes = blob::encode(key, point);
+        let tmp =
+            self.cfg.dir.join(TMP_DIR).join(format!("{digest:016x}.{}.tmp", std::process::id()));
+        {
+            let mut f = File::create(&tmp)?;
+            io::Write::write_all(&mut f, &bytes)?;
+            f.sync_all()?;
+        }
+        let dest = self.blob_path(digest);
+        std::fs::rename(&tmp, &dest)?;
+        fsync_dir(&self.cfg.dir.join(BLOBS_DIR))?;
+        self.counters.published += 1;
+        if let Some(kill_after) = self.cfg.kill_after {
+            if self.counters.published >= kill_after {
+                eprintln!(
+                    "[store] TVP_STORE_KILL_AFTER: exiting after {kill_after} publication(s) \
+                     (blob durable, journal record withheld)"
+                );
+                std::process::exit(KILL_EXIT_CODE);
+            }
+        }
+        self.journal.done(digest)
+    }
+
+    /// Journals a terminal job failure (after retries).
+    pub fn record_failure(&mut self, key: &ExpKey, attempts: u32) -> io::Result<()> {
+        self.journal.fail(key.digest(), attempts)
+    }
+
+    /// One-line summary for the engine's stderr reporting.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let c = &self.counters;
+        format!(
+            "{} warm hit(s), {} miss(es), {} quarantined, {} published",
+            c.warm_hits, c.misses, c.quarantined, c.published
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_core::config::{CoreConfig, VpMode};
+    use tvp_core::stats::SimStats;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tvp_store_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(workload: &'static str) -> ExpKey {
+        ExpKey::new(workload, 5_000, &CoreConfig::with_vp(VpMode::Tvp))
+    }
+
+    fn point(cycles: u64) -> SimPoint {
+        SimPoint { stats: SimStats { cycles, insts_retired: 5_000, ..Default::default() } }
+    }
+
+    #[test]
+    fn publish_then_load_roundtrip_and_counters() {
+        let dir = scratch("roundtrip");
+        let mut store = ResultStore::open(StoreConfig::at(&dir)).expect("open");
+        let k = key("string_match");
+        assert!(matches!(store.load(&k), LoadOutcome::Miss));
+        store.publish(&k, &point(123)).expect("publish");
+        match store.load(&k) {
+            LoadOutcome::Hit(p) => assert_eq!(*p, point(123)),
+            other => panic!("expected warm hit, got {other:?}"),
+        }
+        assert_eq!(store.counters().warm_hits, 1);
+        assert_eq!(store.counters().misses, 1);
+        assert_eq!(store.counters().published, 1);
+        // The blob is also visible to a *fresh* store handle (the
+        // cross-run resume path), which re-verifies it from scratch.
+        let mut reopened = ResultStore::open(StoreConfig::at(&dir)).expect("reopen");
+        assert!(matches!(reopened.load(&k), LoadOutcome::Hit(_)));
+        assert!(reopened.journal_state().completed.contains(&k.digest()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_blob_is_quarantined_and_republishable() {
+        let dir = scratch("quarantine");
+        let mut store = ResultStore::open(StoreConfig::at(&dir)).expect("open");
+        let k = key("mc_playout");
+        store.publish(&k, &point(9)).expect("publish");
+        // Flip one byte in the stored blob.
+        let path = dir.join(BLOBS_DIR).join(format!("{:016x}.blob", k.digest()));
+        let mut bytes = std::fs::read(&path).expect("read blob");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite corrupted");
+
+        let mut resumed = ResultStore::open(StoreConfig::at(&dir)).expect("reopen");
+        match resumed.load(&k) {
+            LoadOutcome::Quarantined(err) => {
+                assert!(matches!(
+                    err,
+                    BlobError::ChecksumMismatch { .. } | BlobError::MalformedKey
+                ));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(!path.exists(), "bad blob removed from blobs/");
+        let quarantined: Vec<_> = std::fs::read_dir(dir.join(QUARANTINE_DIR))
+            .expect("quarantine dir")
+            .flatten()
+            .collect();
+        assert_eq!(quarantined.len(), 1, "evidence preserved in quarantine/");
+        // Re-simulating and re-publishing heals the store.
+        resumed.publish(&k, &point(9)).expect("republish");
+        assert!(matches!(resumed.load(&k), LoadOutcome::Hit(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tmp_files_are_swept_at_open() {
+        let dir = scratch("sweep");
+        std::fs::create_dir_all(dir.join(TMP_DIR)).expect("mk tmp");
+        std::fs::write(dir.join(TMP_DIR).join("dead.tmp"), b"partial").expect("write");
+        let store = ResultStore::open(StoreConfig::at(&dir)).expect("open");
+        assert_eq!(store.counters().tmp_swept, 1);
+        assert!(std::fs::read_dir(dir.join(TMP_DIR)).expect("tmp").next().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_keys_never_share_a_blob() {
+        let dir = scratch("distinct");
+        let mut store = ResultStore::open(StoreConfig::at(&dir)).expect("open");
+        let a = key("string_match");
+        let b = ExpKey::new("string_match", 5_000, &CoreConfig::with_vp(VpMode::Gvp));
+        store.publish(&a, &point(1)).expect("publish a");
+        store.publish(&b, &point(2)).expect("publish b");
+        match (store.load(&a), store.load(&b)) {
+            (LoadOutcome::Hit(pa), LoadOutcome::Hit(pb)) => {
+                assert_eq!(*pa, point(1));
+                assert_eq!(*pb, point(2));
+            }
+            other => panic!("expected two hits, got {other:?}"),
+        }
+        assert_eq!(store.counters().digest_collisions, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

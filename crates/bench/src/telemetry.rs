@@ -19,8 +19,13 @@ pub const TELEMETRY_FILE: &str = "BENCH_parallel_runner.json";
 /// always-on `per_job` array (which grew one raw record per unique
 /// simulation point — 725 entries on a full sweep) with bounded
 /// `per_workload` wall-time aggregates (p50/p95/p99/max); the raw
-/// array is still available behind the `--per-job` flag.
-pub const TELEMETRY_SCHEMA: u32 = 3;
+/// array is still available behind the `--per-job` flag. Version 4
+/// added the robustness counters: `retries` (jobs that needed the
+/// pool's second attempt), `quarantined` (corrupt store blobs set
+/// aside and re-simulated), `store_warm_hits` / `store_enabled`
+/// (durable result-store activity) and `cache_conflicts`
+/// (disagreeing double-inserts — determinism violations).
+pub const TELEMETRY_SCHEMA: u32 = 4;
 
 /// One engine invocation's performance record.
 #[derive(Clone, Debug)]
@@ -41,8 +46,19 @@ pub struct Telemetry {
     pub cache_hits: u64,
     /// `cache_hits / jobs_requested`.
     pub cache_hit_rate: f64,
-    /// Jobs that panicked.
+    /// Jobs that panicked on every attempt.
     pub jobs_failed: u64,
+    /// Jobs that needed the pool's single bounded retry.
+    pub retries: u64,
+    /// Corrupt store blobs quarantined (then re-simulated).
+    pub quarantined: u64,
+    /// Points served from the durable result store.
+    pub store_warm_hits: u64,
+    /// Whether a durable result store was attached to this run.
+    pub store_enabled: bool,
+    /// Disagreeing cache double-inserts (determinism violations;
+    /// always 0 on a healthy run).
+    pub cache_conflicts: u64,
     /// Trace-generation wall time.
     pub prepare: Duration,
     /// Pool wall time (simulation phase only).
@@ -165,6 +181,11 @@ impl Telemetry {
             ("cache_hits", self.cache_hits.to_string()),
             ("cache_hit_rate", json::number(self.cache_hit_rate)),
             ("jobs_failed", self.jobs_failed.to_string()),
+            ("retries", self.retries.to_string()),
+            ("quarantined", self.quarantined.to_string()),
+            ("store_warm_hits", self.store_warm_hits.to_string()),
+            ("store_enabled", self.store_enabled.to_string()),
+            ("cache_conflicts", self.cache_conflicts.to_string()),
             ("prepare_seconds", json::number(self.prepare.as_secs_f64())),
             ("sim_wall_seconds", json::number(self.sim_wall.as_secs_f64())),
             ("total_wall_seconds", json::number(self.total_wall.as_secs_f64())),
@@ -261,6 +282,11 @@ mod tests {
             cache_hits: 4,
             cache_hit_rate: 0.4,
             jobs_failed: 0,
+            retries: 1,
+            quarantined: 2,
+            store_warm_hits: 3,
+            store_enabled: true,
+            cache_conflicts: 0,
             prepare: Duration::from_millis(10),
             sim_wall: Duration::from_millis(500),
             total_wall: Duration::from_millis(600),
@@ -297,7 +323,12 @@ mod tests {
             "\"p50_micros\": 80000",
             "\"p99_micros\": 80000",
             "\"max_micros\": 80000",
-            "\"schema\": 3",
+            "\"schema\": 4",
+            "\"retries\": 1",
+            "\"quarantined\": 2",
+            "\"store_warm_hits\": 3",
+            "\"store_enabled\": true",
+            "\"cache_conflicts\": 0",
         ] {
             assert!(j.contains(field), "missing {field} in {j}");
         }

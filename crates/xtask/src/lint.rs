@@ -50,7 +50,11 @@
 //!    observation (`.as_ptr() as usize`, `.addr()`, `expose_addr`).
 //!    Any of these makes serial≡parallel and golden-fingerprint
 //!    equivalence silently false. `#[cfg(feature = "verif")]`
-//!    diagnostic regions are exempt.
+//!    diagnostic regions are exempt. The durable result store under
+//!    `crates/bench/src/store/` opts in file-by-file
+//!    ([`DETERMINISM_FILES`]) even though the rest of `tvp-bench` is
+//!    exempt: its blob bytes and journal records feed the cold ≡ warm
+//!    ≡ kill-resume byte-identity guarantee.
 //! 8. **counter-export-coverage** — every public counter field on a
 //!    `*Stats` struct in the simulation crates must be reachable from
 //!    the registry exporters (`Core::export_registry` /
@@ -107,6 +111,19 @@ const SILENT_CRATES: &[&str] = &["core", "mem", "obs", "predictors"];
 /// Crates bound by the determinism audit (rule 7): everything that can
 /// influence or observe simulated state.
 const DETERMINISM_CRATES: &[&str] = &["core", "isa", "mem", "obs", "predictors"];
+
+/// Individual files bound by the determinism audit in crates that are
+/// otherwise exempt. `tvp-bench` legitimately reads wall clocks and
+/// the environment (telemetry, CLI resolution), but its durable result
+/// store must stay a pure function of its inputs — blob bytes and
+/// journal records feed the byte-identity guarantee — so the store
+/// module opts in file-by-file instead of waiving rule-by-rule.
+const DETERMINISM_FILES: &[&str] = &[
+    "crates/bench/src/store/blob.rs",
+    "crates/bench/src/store/fsck.rs",
+    "crates/bench/src/store/manifest.rs",
+    "crates/bench/src/store/mod.rs",
+];
 
 /// Crates whose `*Stats` structs must be export-reachable (rule 8).
 const EXPORT_CRATES: &[&str] = &["core", "mem", "obs", "predictors"];
@@ -832,7 +849,9 @@ pub fn analyze(files: Vec<SourceFile>) -> Vec<Finding> {
         if SILENT_CRATES.contains(&fa.krate.as_str()) {
             rule_sim_crate_prints(fa, &mut raw);
         }
-        if DETERMINISM_CRATES.contains(&fa.krate.as_str()) {
+        if DETERMINISM_CRATES.contains(&fa.krate.as_str())
+            || DETERMINISM_FILES.contains(&fa.rel.as_str())
+        {
             rule_determinism(fa, &mut raw);
         }
     }
@@ -1220,6 +1239,24 @@ mod tests {
     fn determinism_does_not_bind_harness() {
         let out = check("crates/harness/src/x.rs", "fn f() { let t = Instant::now(); }\n");
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn determinism_binds_the_store_files_but_not_the_rest_of_bench() {
+        // The bench crate is exempt as a whole (telemetry reads wall
+        // clocks, option parsing reads the environment)...
+        let engine =
+            check("crates/bench/src/engine.rs", "fn f() { let t = std::time::Instant::now(); }\n");
+        assert!(engine.is_empty(), "{engine:?}");
+        // ...but every durable-store file is individually bound: blob
+        // bytes and journal records must be pure functions of their
+        // inputs.
+        for rel in super::DETERMINISM_FILES {
+            let clock = check(rel, "fn f() { let t = std::time::Instant::now(); }\n");
+            assert_eq!(rules_of(&clock), ["determinism-audit"], "{rel} must reject wall clocks");
+            let env = check(rel, "fn f() -> bool { std::env::var(\"TVP_X\").is_ok() }\n");
+            assert_eq!(rules_of(&env), ["determinism-audit"], "{rel} must reject env reads");
+        }
     }
 
     // ---- rule 8: counter-export-coverage ---------------------------

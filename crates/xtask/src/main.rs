@@ -40,6 +40,12 @@
 //! profile) and `cargo xtask validate-bench <file>` checks the
 //! `BENCH_scheduler.json` record it writes — the CI perf-smoke step
 //! gates on both. The checks live in [`bench_schema`].
+//!
+//! `cargo xtask fsck-store <dir> [--json FILE]` validates a durable
+//! result store (the `fsck_store` bin in `tvp-bench`): every blob's
+//! magic/schema/length/checksum/content-address, the campaign
+//! journal, and the cross-check between them (orphans, missing blobs,
+//! quarantines). The CI resume-smoke job gates on it.
 
 mod bench_schema;
 mod items;
@@ -146,6 +152,23 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("fsck-store") => {
+            // Delegate to the store checker binary (release: the walk
+            // re-checksums every blob); remaining arguments pass
+            // through (`<STORE_DIR> [--json FILE]`).
+            let status = std::process::Command::new(env!("CARGO"))
+                .args(["run", "--release", "-p", "tvp-bench", "--bin", "fsck_store", "--"])
+                .args(args)
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(s) => ExitCode::from(u8::try_from(s.code().unwrap_or(1)).unwrap_or(1)),
+                Err(e) => {
+                    eprintln!("xtask fsck-store: cannot run cargo: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         Some("validate-bench") => {
             let Some(path) = args.next() else {
                 eprintln!("usage: cargo xtask validate-bench <BENCH_scheduler.json>");
@@ -172,7 +195,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: cargo xtask <lint [--json FILE|-] [--github] | validate-trace FILE | \
-                 perf [ARGS] | validate-bench FILE>"
+                 perf [ARGS] | validate-bench FILE | fsck-store DIR [--json FILE]>"
             );
             ExitCode::from(2)
         }

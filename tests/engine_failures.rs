@@ -64,13 +64,7 @@ fn failed_job_is_reported_and_the_rest_of_the_run_completes() {
     std::env::set_var("TVP_BENCH_TELEMETRY", &telemetry);
 
     let experiments: Vec<Box<dyn Experiment>> = vec![Box::new(Poisoned), Box::new(Healthy)];
-    let opts = RunOptions {
-        workers: Some(2),
-        insts: 2_000,
-        smoke: false,
-        progress: false,
-        per_job: false,
-    };
+    let opts = RunOptions { workers: Some(2), insts: 2_000, ..RunOptions::default() };
     let report = engine::run(&experiments, &opts);
 
     // The poisoned point failed, with its key, and its panic payload
@@ -83,6 +77,12 @@ fn failed_job_is_reported_and_the_rest_of_the_run_completes() {
         "panic payload should carry the watchdog deadlock diagnostic, got: {}",
         failure.panic
     );
+    assert_eq!(
+        failure.attempts,
+        tvp_bench::runner::MAX_ATTEMPTS,
+        "a deterministic panic burns its single bounded retry before being reported"
+    );
+    assert_eq!(report.telemetry.retries, 1, "telemetry counts the retried job");
 
     // Only the poisoned experiment was skipped; the healthy one
     // assembled and wrote its artefact.
