@@ -1,0 +1,419 @@
+//! Sampled-simulation campaign driver: run the whole suite sampled in
+//! parallel, validate sampled-vs-full error bounds, or benchmark the
+//! sampling speedup on a long stream.
+//!
+//! ```text
+//! sample_campaign run      [--insts N] [--spec P:W:M] [--jobs N] [--store DIR] [--telemetry FILE]
+//! sample_campaign validate [--insts N] [--spec P:W:M] [--jobs N] [--report FILE]
+//! sample_campaign bench    [--out FILE]
+//! ```
+//!
+//! `run` executes every suite workload under interval sampling on a
+//! worker pool and prints one weighted-reconstruction row per workload
+//! plus the campaign fingerprint (byte-identical across `--jobs`
+//! widths and across kill/resume). With `--store DIR` each interval is
+//! checkpointed through the durable store (honouring
+//! `$TVP_STORE_KILL_AFTER`) so a killed campaign resumes mid-trace.
+//!
+//! `validate` simulates each workload both ways — full detail and
+//! sampled — and holds the headline stats (IPC, branch MPKI, VP MPKI,
+//! SpSR coverage) to the declared error bounds, writing a
+//! machine-readable report and exiting non-zero on any violation.
+//!
+//! `bench` measures the effective simulated-instructions/s of a
+//! 100M-instruction sampled run against the full-detail baseline rate
+//! and records peak-RSS flatness in `BENCH_sampling.json`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tvp_bench::json;
+use tvp_bench::sampling::{
+    campaign_fingerprint, run_sampled, run_suite_sampled, SampleRunOptions, SampleSpec, SampledRun,
+    StatErrors, DEFAULT_BOUNDS,
+};
+use tvp_bench::store::{ResultStore, StoreConfig};
+use tvp_bench::telemetry::{SamplingTelemetry, Telemetry, TELEMETRY_SCHEMA};
+use tvp_core::config::{CoreConfig, VpMode};
+use tvp_core::pipeline::Core;
+use tvp_core::stats::SimStats;
+use tvp_workloads::Workload;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sample_campaign run      [--insts N] [--spec P:W:M] [--jobs N] \
+         [--store DIR] [--telemetry FILE]\n       \
+         sample_campaign validate [--insts N] [--spec P:W:M] [--jobs N] [--report FILE]\n       \
+         sample_campaign bench    [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(flag: &str, v: Option<String>) -> u64 {
+    v.and_then(|s| s.replace('_', "").parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs an unsigned integer");
+        usage()
+    })
+}
+
+fn parse_spec(v: Option<String>) -> SampleSpec {
+    let s = v.unwrap_or_else(|| {
+        eprintln!("--spec needs PERIOD:WARMUP:MEASURED");
+        usage()
+    });
+    SampleSpec::parse(&s).unwrap_or_else(|e| {
+        eprintln!("bad --spec: {e}");
+        usage()
+    })
+}
+
+fn parse_vp(v: Option<String>) -> VpMode {
+    match v.as_deref() {
+        Some("off") => VpMode::Off,
+        Some("mvp") => VpMode::Mvp,
+        Some("tvp") => VpMode::Tvp,
+        Some("gvp") => VpMode::Gvp,
+        _ => {
+            eprintln!("--vp needs off|mvp|tvp|gvp");
+            usage()
+        }
+    }
+}
+
+fn open_store(dir: &str) -> ResultStore {
+    let kill_after = std::env::var("TVP_STORE_KILL_AFTER").ok().and_then(|s| s.parse().ok());
+    ResultStore::open(StoreConfig { dir: dir.into(), kill_after }).unwrap_or_else(|e| {
+        eprintln!("FATAL: cannot open checkpoint store {dir}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(mode) = args.next() else { usage() };
+    match mode.as_str() {
+        "run" => cmd_run(args),
+        "validate" => cmd_validate(args),
+        "bench" => cmd_bench(args),
+        _ => usage(),
+    }
+}
+
+fn cmd_run(mut args: impl Iterator<Item = String>) {
+    let mut insts: u64 = 1_000_000;
+    let mut spec = SampleSpec::new(100_000, 10_000, 10_000).expect("default spec is valid");
+    let mut jobs: usize = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut store_dir: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
+    let mut cfg = CoreConfig::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--insts" => insts = parse_u64("--insts", args.next()),
+            "--spec" => spec = parse_spec(args.next()),
+            "--jobs" => jobs = usize::try_from(parse_u64("--jobs", args.next())).unwrap_or(1),
+            "--store" => store_dir = args.next(),
+            "--telemetry" => telemetry_path = args.next(),
+            "--vp" => {
+                cfg.vp = parse_vp(args.next());
+                cfg.nine_bit_idiom = cfg.vp.uses_inlining();
+            }
+            "--spsr" => cfg.spsr = true,
+            _ => usage(),
+        }
+    }
+    let workloads = tvp_workloads::suite::suite();
+    let store = store_dir.as_deref().map(|d| Mutex::new(open_store(d)));
+    eprintln!(
+        "sampled campaign: {} workloads, {insts} arch insts each, spec {}, {} job(s)",
+        workloads.len(),
+        spec.display(),
+        jobs
+    );
+
+    let t0 = Instant::now();
+    let runs = run_suite_sampled(&workloads, &cfg, insts, spec, jobs, store.as_ref());
+    let wall = t0.elapsed();
+
+    println!(
+        "{:<16} {:>9} {:>7} {:>8} {:>12} {:>8} {:>8} {:>8}  fp",
+        "workload", "intervals", "resumed", "ipc", "cycles", "br_mpki", "vp_mpki", "spsr"
+    );
+    for (w, run) in workloads.iter().zip(&runs) {
+        let est = run.estimate();
+        println!(
+            "{:<16} {:>9} {:>7} {:>8.4} {:>12.0} {:>8.3} {:>8.3} {:>8.4}  {:016x}",
+            w.name,
+            run.intervals.len(),
+            run.resumed_intervals,
+            est.ipc(),
+            est.cycles,
+            est.branch_mpki(),
+            est.vp_mpki(),
+            est.spsr_coverage(),
+            run.fingerprint()
+        );
+    }
+    let fp = campaign_fingerprint(&runs);
+    println!("campaign fingerprint   {fp:016x}");
+
+    let agg = |f: fn(&SampledRun) -> u64| runs.iter().map(f).sum::<u64>();
+    let total_insts = agg(|r| r.total_insts);
+    let detailed = agg(|r| r.warmup_insts) + agg(|r| r.measured_insts);
+    #[allow(clippy::cast_precision_loss)]
+    let detail_fraction = if total_insts == 0 { 0.0 } else { detailed as f64 / total_insts as f64 };
+    let telemetry = Telemetry {
+        schema: TELEMETRY_SCHEMA,
+        workers: jobs,
+        insts,
+        smoke: false,
+        jobs_requested: workloads.len() as u64,
+        jobs_unique: workloads.len() as u64,
+        cache_hits: 0,
+        cache_hit_rate: 0.0,
+        jobs_failed: 0,
+        retries: 0,
+        quarantined: 0,
+        store_warm_hits: runs.iter().filter(|r| r.resumed_intervals > 0).count() as u64,
+        store_enabled: store.is_some(),
+        cache_conflicts: 0,
+        prepare: std::time::Duration::ZERO,
+        sim_wall: wall,
+        total_wall: wall,
+        cpu_time: wall,
+        simulated_cycles: runs
+            .iter()
+            .flat_map(|r| r.intervals.iter())
+            .map(|i| i.stats.cycles)
+            .sum(),
+        per_job: Vec::new(),
+        emit_per_job: false,
+        sampling: Some(SamplingTelemetry {
+            period: spec.period,
+            warmup: spec.warmup,
+            measured: spec.measured,
+            intervals: runs.iter().map(|r| r.intervals.len() as u64).sum(),
+            resumed_intervals: agg(|r| u64::from(r.resumed_intervals)),
+            total_insts,
+            skipped_insts: agg(|r| r.skipped_insts),
+            warmup_insts: agg(|r| r.warmup_insts),
+            measured_insts: agg(|r| r.measured_insts),
+            detail_fraction,
+            fingerprint: fp,
+        }),
+    };
+    if let Some(path) = telemetry_path {
+        telemetry.write(&path);
+        eprintln!("telemetry written: {path}");
+    }
+    eprintln!("[campaign] {:.2}s wall, detail fraction {:.4}", wall.as_secs_f64(), detail_fraction);
+    if let Some(s) = &store {
+        eprintln!("[store] {}", s.lock().expect("store lock poisoned").summary());
+    }
+}
+
+/// Simulates `workload` in full detail (no sampling) and returns the
+/// stats — the reference the sampled reconstruction is held against.
+fn full_reference(workload: &Workload, cfg: &CoreConfig, insts: u64) -> SimStats {
+    let trace = workload.machine().run(insts);
+    let mut core = Core::new(cfg.clone());
+    core.run(&trace)
+}
+
+fn cmd_validate(mut args: impl Iterator<Item = String>) {
+    let mut insts: u64 = 60_000;
+    // The spec DEFAULT_BOUNDS was calibrated at — changing one without
+    // re-deriving the other turns the bounds into fiction.
+    let mut spec = SampleSpec::new(20_000, 8_000, 2_000).expect("default spec is valid");
+    let mut jobs: usize = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut report_path = "sampling_error_report.json".to_owned();
+    // Validation runs the paper's headline configuration (TVP + SpSR)
+    // so the VP-MPKI and SpSR-coverage bounds are exercised for real.
+    let mut cfg = CoreConfig::with_vp(VpMode::Tvp).with_spsr();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--insts" => insts = parse_u64("--insts", args.next()),
+            "--spec" => spec = parse_spec(args.next()),
+            "--jobs" => jobs = usize::try_from(parse_u64("--jobs", args.next())).unwrap_or(1),
+            "--report" => report_path = args.next().unwrap_or_else(|| usage()),
+            "--vp" => {
+                cfg.vp = parse_vp(args.next());
+                cfg.nine_bit_idiom = cfg.vp.uses_inlining();
+            }
+            "--spsr" => cfg.spsr = true,
+            _ => usage(),
+        }
+    }
+    let workloads = tvp_workloads::suite::suite();
+    eprintln!(
+        "validating sampled accuracy: {} workloads, {insts} arch insts, spec {}, {} job(s)",
+        workloads.len(),
+        spec.display(),
+        jobs
+    );
+
+    // Full and sampled runs of every workload on a shared worker pool;
+    // results land in per-workload slots so the report order (and the
+    // exit code) is independent of scheduling.
+    let jobs = jobs.max(1).min(workloads.len().max(1));
+    let slots: Vec<Mutex<Option<StatErrors>>> =
+        workloads.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(w) = workloads.get(i) else { break };
+                let full = full_reference(w, &cfg, insts);
+                let run = run_sampled(w, &cfg, insts, spec, SampleRunOptions::default());
+                let errors = StatErrors::compare(w.name, &full, &run.estimate());
+                *slots[i].lock().expect("slot lock poisoned") = Some(errors);
+            });
+        }
+    });
+    let results: Vec<StatErrors> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot lock poisoned").expect("worker filled every slot"))
+        .collect();
+
+    let mut failures = 0u32;
+    for e in &results {
+        let violations = e.violations(&DEFAULT_BOUNDS);
+        if violations.is_empty() {
+            println!(
+                "PASS {:<16} ipc {:.4} vs {:.4} (rel err {:.4})",
+                e.workload,
+                e.sampled.ipc(),
+                e.full.ipc(),
+                e.ipc_rel_err
+            );
+        } else {
+            failures += 1;
+            println!("FAIL {:<16} {}", e.workload, violations.join("; "));
+        }
+    }
+
+    let rows: Vec<String> = results.iter().map(|e| e.to_json(&DEFAULT_BOUNDS)).collect();
+    let report = json::object(&[
+        ("insts", insts.to_string()),
+        ("spec", format!("\"{}\"", spec.display())),
+        ("bounds_ipc_rel", json::number(DEFAULT_BOUNDS.ipc_rel)),
+        ("bounds_branch_mpki_abs", json::number(DEFAULT_BOUNDS.branch_mpki_abs)),
+        ("bounds_vp_mpki_abs", json::number(DEFAULT_BOUNDS.vp_mpki_abs)),
+        ("bounds_spsr_coverage_abs", json::number(DEFAULT_BOUNDS.spsr_coverage_abs)),
+        ("failures", failures.to_string()),
+        ("workloads", json::array(&rows)),
+    ]);
+    if let Err(e) = std::fs::write(&report_path, report) {
+        eprintln!("FATAL: cannot write error report {report_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("error report written: {report_path}");
+    if failures > 0 {
+        eprintln!("{failures} workload(s) out of bounds");
+        std::process::exit(1);
+    }
+    eprintln!("all {} workloads within bounds", results.len());
+}
+
+/// Peak resident-set size (`VmHWM`) of this process, in kilobytes.
+/// Returns 0 on platforms without `/proc` (the RSS check degrades to a
+/// no-op rather than failing the benchmark).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn cmd_bench(mut args: impl Iterator<Item = String>) {
+    let mut out = "BENCH_sampling.json".to_owned();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let cfg = CoreConfig::default();
+    // stream_triad iterates over fixed arrays, so its architectural
+    // footprint is independent of trace length — exactly the property
+    // the RSS-flatness check needs to isolate the streaming decoder.
+    let workload = tvp_workloads::suite::by_name("stream_triad").expect("suite workload");
+
+    const FULL_INSTS: u64 = 2_000_000;
+    const SHORT_INSTS: u64 = 10_000_000;
+    const LONG_INSTS: u64 = 100_000_000;
+    let spec = SampleSpec::new(1_000_000, 20_000, 20_000).expect("bench spec is valid");
+
+    eprintln!("full-detail reference: {} ({FULL_INSTS} insts)...", workload.name);
+    let t0 = Instant::now();
+    let _ = full_reference(&workload, &cfg, FULL_INSTS);
+    let full_wall = t0.elapsed();
+    #[allow(clippy::cast_precision_loss)]
+    let full_rate = FULL_INSTS as f64 / full_wall.as_secs_f64();
+
+    eprintln!("sampled warm-up run: {SHORT_INSTS} insts, spec {}...", spec.display());
+    let t0 = Instant::now();
+    let short = run_sampled(&workload, &cfg, SHORT_INSTS, spec, SampleRunOptions::default());
+    let short_wall = t0.elapsed();
+    let rss_short_kb = peak_rss_kb();
+
+    eprintln!("sampled long run: {LONG_INSTS} insts, spec {}...", spec.display());
+    let t0 = Instant::now();
+    let long = run_sampled(&workload, &cfg, LONG_INSTS, spec, SampleRunOptions::default());
+    let long_wall = t0.elapsed();
+    let rss_long_kb = peak_rss_kb();
+
+    #[allow(clippy::cast_precision_loss)]
+    let sampled_rate = LONG_INSTS as f64 / long_wall.as_secs_f64();
+    let speedup = sampled_rate / full_rate;
+    // Peak RSS after the 10x-longer stream, relative to the short run.
+    // `VmHWM` is monotonic, so flat decoding shows up as a ratio near
+    // 1.0; a decoder that buffered the whole trace would scale ~10x.
+    #[allow(clippy::cast_precision_loss)]
+    let rss_ratio = if rss_short_kb == 0 { 1.0 } else { rss_long_kb as f64 / rss_short_kb as f64 };
+
+    let est = long.estimate();
+    let report = json::object(&[
+        ("workload", format!("\"{}\"", json::escape(workload.name))),
+        ("spec", format!("\"{}\"", spec.display())),
+        ("full_insts", FULL_INSTS.to_string()),
+        ("full_wall_seconds", json::number(full_wall.as_secs_f64())),
+        ("full_insts_per_sec", json::number(full_rate)),
+        ("sampled_insts", LONG_INSTS.to_string()),
+        ("sampled_wall_seconds", json::number(long_wall.as_secs_f64())),
+        ("sampled_effective_insts_per_sec", json::number(sampled_rate)),
+        ("speedup", json::number(speedup)),
+        ("speedup_target", json::number(10.0)),
+        ("speedup_pass", (speedup >= 10.0).to_string()),
+        ("short_insts", SHORT_INSTS.to_string()),
+        ("short_wall_seconds", json::number(short_wall.as_secs_f64())),
+        ("short_intervals", short.intervals.len().to_string()),
+        ("long_intervals", long.intervals.len().to_string()),
+        ("peak_rss_short_kb", rss_short_kb.to_string()),
+        ("peak_rss_long_kb", rss_long_kb.to_string()),
+        ("peak_rss_ratio", json::number(rss_ratio)),
+        ("rss_flat_pass", (rss_ratio <= 1.5).to_string()),
+        ("sampled_ipc", json::number(est.ipc())),
+        ("run_fingerprint", format!("\"{:016x}\"", long.fingerprint())),
+    ]);
+    if let Err(e) = std::fs::write(&out, &report) {
+        eprintln!("FATAL: cannot write benchmark record {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("{report}");
+    eprintln!(
+        "[bench] full {:.2}M insts/s, sampled effective {:.2}M insts/s, speedup {speedup:.1}x, \
+         peak RSS {rss_short_kb} kB -> {rss_long_kb} kB (ratio {rss_ratio:.2})",
+        full_rate / 1e6,
+        sampled_rate / 1e6,
+    );
+    if speedup < 10.0 || rss_ratio > 1.5 {
+        eprintln!("benchmark targets missed");
+        std::process::exit(1);
+    }
+    eprintln!("benchmark targets met: {out}");
+}

@@ -31,9 +31,66 @@ fn usage() -> ! {
          [--sabotage] [--oracle] [--watchdog CYCLES]\n       \
          degradation: [--vp-kill-switch] [--spsr-kill-switch] \
          [--auto-throttle]\n       \
+         sampling: [--sample PERIOD:WARMUP:MEASURED] [--checkpoint DIR]\n       \
          simulate --list"
     );
     std::process::exit(2);
+}
+
+/// Sampled-simulation mode (`--sample P:W:M`): fast-forward between
+/// intervals, simulate warmup + measured windows in detail, print the
+/// weighted whole-trace reconstruction. With `--checkpoint DIR`, the
+/// machine state and finished intervals are published through the
+/// durable store after every interval (honouring
+/// `$TVP_STORE_KILL_AFTER`), and a later invocation resumes mid-trace.
+fn run_sampled_mode(
+    workload: &tvp_workloads::Workload,
+    cfg: &CoreConfig,
+    insts: u64,
+    spec: tvp_bench::sampling::SampleSpec,
+    checkpoint_dir: Option<&str>,
+) {
+    use tvp_bench::sampling::{run_sampled, SampleRunOptions};
+    use tvp_bench::store::{ResultStore, StoreConfig};
+
+    let store = checkpoint_dir.map(|dir| {
+        let kill_after = std::env::var("TVP_STORE_KILL_AFTER").ok().and_then(|s| s.parse().ok());
+        let s =
+            ResultStore::open(StoreConfig { dir: dir.into(), kill_after }).unwrap_or_else(|e| {
+                eprintln!("FATAL: cannot open checkpoint store {dir}: {e}");
+                std::process::exit(2);
+            });
+        std::sync::Mutex::new(s)
+    });
+    eprintln!(
+        "sampled simulation: {} ({insts} arch insts, spec {}, {:.2}% detail)...",
+        workload.name,
+        spec.display(),
+        spec.detail_fraction() * 100.0
+    );
+    let opts = SampleRunOptions { store: store.as_ref(), stop_after_intervals: None };
+    let run = run_sampled(workload, cfg, insts, spec, opts);
+    let est = run.estimate();
+
+    println!("---------- {} ({}) [sampled] ----------", workload.name, workload.proxy);
+    println!("sample spec            {:>12}", spec.display());
+    println!("intervals              {:>12}", run.intervals.len());
+    println!("resumed intervals      {:>12}", run.resumed_intervals);
+    println!("insts consumed         {:>12}", run.total_insts);
+    println!("insts fast-forwarded   {:>12}", run.skipped_insts);
+    println!("insts warmed up        {:>12}", run.warmup_insts);
+    println!("insts measured         {:>12}", run.measured_insts);
+    println!("halted early           {:>12}", run.halted);
+    println!("run fingerprint        {:>12}", format!("{:016x}", run.fingerprint()));
+    println!("-- reconstructed whole-trace estimates");
+    println!("est. cycles            {:>12.0}", est.cycles);
+    println!("est. IPC               {:>12.4}", est.ipc());
+    println!("est. branch MPKI       {:>12.4}", est.branch_mpki());
+    println!("est. VP MPKI           {:>12.4}", est.vp_mpki());
+    println!("est. SpSR coverage     {:>12.4}", est.spsr_coverage());
+    if let Some(s) = &store {
+        eprintln!("[store] {}", s.lock().expect("store lock poisoned").summary());
+    }
 }
 
 fn main() {
@@ -57,6 +114,8 @@ fn main() {
     let mut sabotage = false;
     let mut oracle = false;
     let mut trace_out: Option<String> = None;
+    let mut sample: Option<tvp_bench::sampling::SampleSpec> = None;
+    let mut checkpoint_dir: Option<String> = None;
     let mut it = args.iter().skip(1);
     let parse_num =
         |s: Option<&String>| -> u64 { s.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()) };
@@ -98,6 +157,14 @@ fn main() {
             "--sabotage" => sabotage = true,
             "--oracle" => oracle = true,
             "--trace" => trace_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--sample" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                sample = Some(tvp_bench::sampling::SampleSpec::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                }));
+            }
+            "--checkpoint" => checkpoint_dir = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--watchdog" => cfg.watchdog_cycles = parse_num(it.next()),
             "--vp-kill-switch" => cfg.vp_kill_switch = true,
             "--spsr-kill-switch" => cfg.spsr_kill_switch = true,
@@ -115,6 +182,12 @@ fn main() {
         eprintln!("unknown workload `{name}` (try --list)");
         std::process::exit(1);
     };
+
+    if let Some(spec) = sample {
+        run_sampled_mode(&workload, &cfg, insts, spec, checkpoint_dir.as_deref());
+        return;
+    }
+
     eprintln!("generating trace: {name} ({insts} arch insts)...");
     let mut machine = workload.machine();
     let init = machine.arch_snapshot();

@@ -1,0 +1,80 @@
+//! Offline validator (and encoder) for streamed `DynInst` trace files
+//! — the trace-file counterpart of `fsck_store`.
+//!
+//! ```text
+//! validate_trace_file <file.trace>
+//! validate_trace_file --encode <workload> <insts> <file.trace>
+//! ```
+//!
+//! Validation walks the whole container: file header magic/schema,
+//! every chunk's frame and FNV-1a checksum, record decode, strictly
+//! monotonic sequence numbers, the terminator frame, the declared
+//! totals, and the absence of trailing bytes. Exit code 0 means every
+//! byte of the file is accounted for; 1 means corruption (the first
+//! error is printed); 2 means usage or I/O setup failure.
+//!
+//! `--encode` streams a suite workload's dynamic trace into the file
+//! first (flat memory: one chunk in flight), then validates what was
+//! written — the encode half of the CI sampling-smoke round-trip.
+
+use std::path::Path;
+
+use tvp_workloads::stream::{stream_machine_trace, validate_file};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: validate_trace_file <file.trace>\n       \
+         validate_trace_file --encode <workload> <insts> <file.trace>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [path] => path.clone(),
+        [flag, workload, insts, path] if flag == "--encode" => {
+            let Some(w) = tvp_workloads::suite::by_name(workload) else {
+                eprintln!("unknown workload `{workload}`");
+                std::process::exit(2);
+            };
+            let insts: u64 = match insts.replace('_', "").parse() {
+                Ok(n) => n,
+                Err(_) => usage(),
+            };
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let mut machine = w.machine();
+            match stream_machine_trace(&mut machine, insts, std::io::BufWriter::new(file)) {
+                Ok(totals) => eprintln!(
+                    "encoded {path}: {} arch insts, {} records, {} chunks",
+                    totals.arch_insts, totals.records, totals.chunks
+                ),
+                Err(e) => {
+                    eprintln!("cannot encode {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            path.clone()
+        }
+        _ => usage(),
+    };
+
+    match validate_file(Path::new(&path)) {
+        Ok(totals) => {
+            println!(
+                "validate_trace_file: {path} ok ({} arch insts, {} records, {} chunks)",
+                totals.arch_insts, totals.records, totals.chunks
+            );
+        }
+        Err(e) => {
+            eprintln!("validate_trace_file: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

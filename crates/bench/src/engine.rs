@@ -324,6 +324,7 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
         simulated_cycles,
         per_job: outcome.timings,
         emit_per_job: opts.per_job,
+        sampling: None,
     };
     let telemetry_path = opts.telemetry_path.clone().unwrap_or_else(Telemetry::default_path);
     telemetry.write(&telemetry_path);

@@ -23,6 +23,7 @@ pub mod experiments;
 mod fingerprint_tests;
 pub mod jobs;
 pub mod runner;
+pub mod sampling;
 pub mod schedbench;
 pub mod store;
 pub mod telemetry;

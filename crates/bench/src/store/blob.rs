@@ -181,58 +181,58 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn push_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn push_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn push_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn push_str(out: &mut Vec<u8>, s: &str) {
     push_u32(out, u32::try_from(s.len()).expect("key field fits u32"));
     out.extend_from_slice(s.as_bytes());
 }
 
 /// Byte-cursor over a section; every read is bounds-checked.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Cursor { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         let s = self.bytes.get(self.pos..end)?;
         self.pos = end;
         Some(s)
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take(4).map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8).map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
-    fn str(&mut self) -> Option<String> {
+    pub(crate) fn str(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).ok()
     }
 
-    fn exhausted(&self) -> bool {
+    pub(crate) fn exhausted(&self) -> bool {
         self.pos == self.bytes.len()
     }
 }
 
 /// Encodes the key section.
-fn encode_key(key: &ExpKey) -> Vec<u8> {
+pub(crate) fn encode_key(key: &ExpKey) -> Vec<u8> {
     let mut out = Vec::with_capacity(32 + key.config_fp.len());
     push_str(&mut out, key.workload);
     push_u64(&mut out, key.insts);
@@ -242,7 +242,7 @@ fn encode_key(key: &ExpKey) -> Vec<u8> {
     out
 }
 
-fn decode_key(bytes: &[u8]) -> Option<BlobKey> {
+pub(crate) fn decode_key(bytes: &[u8]) -> Option<BlobKey> {
     let mut c = Cursor::new(bytes);
     let workload = c.str()?;
     let insts = c.u64()?;
@@ -267,7 +267,7 @@ fn decode_key(bytes: &[u8]) -> Option<BlobKey> {
 /// exhaustive destructuring (no `..`) is the completeness guarantee:
 /// a new stats field fails to compile here until it is added to the
 /// wire order and [`BLOB_SCHEMA`] is bumped.
-fn stats_to_counters(s: &SimStats) -> Vec<u64> {
+pub(crate) fn stats_to_counters(s: &SimStats) -> Vec<u64> {
     let SimStats {
         cycles,
         insts_retired,
@@ -363,7 +363,7 @@ fn stats_to_counters(s: &SimStats) -> Vec<u64> {
 
 /// Rebuilds a [`SimStats`] from wire-order counters (inverse of
 /// [`stats_to_counters`]).
-fn counters_to_stats(v: &[u64]) -> Option<SimStats> {
+pub(crate) fn counters_to_stats(v: &[u64]) -> Option<SimStats> {
     let mut it = v.iter().copied();
     let mut next = || it.next();
     let stats = SimStats {

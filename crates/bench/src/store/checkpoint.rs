@@ -1,0 +1,448 @@
+//! Checkpoint wire format: one mid-trace sampled-campaign state on
+//! disk.
+//!
+//! A checkpoint is the durable form of a *partially completed* sampled
+//! run: the functional machine's complete architectural state
+//! (registers, flags, PC, nonzero memory pages) plus every finished
+//! interval's measured statistics. A campaign killed between intervals
+//! resumes from the newest checkpoint without re-executing the prefix,
+//! and the resumed run is byte-identical to an uninterrupted one (the
+//! interval fingerprints prove it).
+//!
+//! Trust model matches [`super::blob`]: nothing on the way back in is
+//! believed. Fixed header with magic + schema + section lengths, the
+//! full [`SampleKey`] echoed inside (experiment key *and* sampling
+//! spec — a checkpoint can never resume the wrong run), and a trailing
+//! FNV-1a checksum over everything before it. Any failure decodes to a
+//! [`BlobError`] class; the store quarantines and the campaign starts
+//! cold.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      8 bytes   b"TVPCKPT\x01"
+//! schema     u32       CKPT_SCHEMA
+//! key_len    u32       length of the key section
+//! body_len   u32       length of the body section
+//! key        key_len   blob key encoding of the ExpKey, then the
+//!                      sampling spec (period, warmup, measured u64s)
+//! body       body_len  stream position, run totals, interval list,
+//!                      architectural snapshot (see below)
+//! checksum   u64       FNV-1a over every preceding byte
+//! ```
+
+use tvp_workloads::machine::{ArchSnapshot, SparseMem, PAGE_BYTES};
+
+use crate::sampling::{IntervalResult, SampleKey, SampleSpec};
+use crate::store::blob::{self, BlobError, Cursor};
+
+/// Magic prefix of every checkpoint file.
+pub const CKPT_MAGIC: [u8; 8] = *b"TVPCKPT\x01";
+
+/// Checkpoint wire-format version. Bump whenever any section changes
+/// shape; decoders reject every other version (the campaign then
+/// simply starts cold — checkpoints are a cache, not a source of
+/// truth).
+pub const CKPT_SCHEMA: u32 = 1;
+
+/// Size of the fixed header (magic + schema + two section lengths).
+pub const HEADER_LEN: usize = 8 + 4 + 4 + 4;
+
+/// Size of the trailing checksum.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// The resumable state of a sampled campaign after its most recent
+/// finished interval.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Global µop sequence position of the machine.
+    pub seq: u64,
+    /// Complete architectural state at that position.
+    pub snapshot: ArchSnapshot,
+    /// Every interval measured so far, in stream order.
+    pub intervals: Vec<IntervalResult>,
+    /// Architectural instructions consumed from the stream so far.
+    pub total_insts: u64,
+    /// Instructions functionally fast-forwarded so far.
+    pub skipped_insts: u64,
+    /// Instructions simulated as unmeasured warmup so far.
+    pub warmup_insts: u64,
+    /// Instructions simulated and measured so far.
+    pub measured_insts: u64,
+}
+
+/// The key as decoded back out of a checkpoint: the blob key plus the
+/// sampling spec, field-for-field comparable with the requested
+/// [`SampleKey`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CkptKey {
+    /// The underlying experiment key (owned form).
+    pub exp: blob::BlobKey,
+    /// The sampling spec.
+    pub spec: SampleSpec,
+}
+
+impl CkptKey {
+    /// True when this stored key is exactly the requested key.
+    #[must_use]
+    pub fn matches(&self, key: &SampleKey) -> bool {
+        self.exp.matches(&key.exp) && self.spec == key.spec
+    }
+}
+
+fn encode_key(key: &SampleKey) -> Vec<u8> {
+    let mut out = blob::encode_key(&key.exp);
+    blob::push_u64(&mut out, key.spec.period);
+    blob::push_u64(&mut out, key.spec.warmup);
+    blob::push_u64(&mut out, key.spec.measured);
+    out
+}
+
+fn decode_key(bytes: &[u8]) -> Option<CkptKey> {
+    // The ExpKey section is self-delimiting only via its own field
+    // lengths, so re-parse it in place and continue with the spec.
+    let mut c = Cursor::new(bytes);
+    let workload = c.str()?;
+    let insts = c.u64()?;
+    let flag = *c.take(1)?.first()?;
+    if flag > 1 {
+        return None;
+    }
+    let seed = c.u64()?;
+    let config_fp = c.str()?;
+    let period = c.u64()?;
+    let warmup = c.u64()?;
+    let measured = c.u64()?;
+    if !c.exhausted() {
+        return None;
+    }
+    Some(CkptKey {
+        exp: blob::BlobKey {
+            workload,
+            insts,
+            chaos_seed: if flag == 1 { Some(seed) } else { None },
+            config_fp,
+        },
+        spec: SampleSpec::new(period, warmup, measured).ok()?,
+    })
+}
+
+fn encode_interval(iv: &IntervalResult, out: &mut Vec<u8>) {
+    blob::push_u32(out, iv.index);
+    blob::push_u64(out, iv.start_seq);
+    blob::push_u64(out, iv.represented_insts);
+    blob::push_u64(out, iv.measured_insts);
+    blob::push_u64(out, iv.measured_uops);
+    blob::push_u64(out, iv.fingerprint);
+    let counters = blob::stats_to_counters(&iv.stats);
+    blob::push_u32(out, u32::try_from(counters.len()).expect("counter count fits u32"));
+    for c in counters {
+        blob::push_u64(out, c);
+    }
+}
+
+fn decode_interval(c: &mut Cursor<'_>) -> Option<IntervalResult> {
+    let index = c.u32()?;
+    let start_seq = c.u64()?;
+    let represented_insts = c.u64()?;
+    let measured_insts = c.u64()?;
+    let measured_uops = c.u64()?;
+    let fingerprint = c.u64()?;
+    let count = c.u32()? as usize;
+    let mut counters = Vec::with_capacity(count);
+    for _ in 0..count {
+        counters.push(c.u64()?);
+    }
+    Some(IntervalResult {
+        index,
+        start_seq,
+        represented_insts,
+        measured_insts,
+        measured_uops,
+        stats: blob::counters_to_stats(&counters)?,
+        fingerprint,
+    })
+}
+
+fn encode_snapshot(snap: &ArchSnapshot, out: &mut Vec<u8>) {
+    out.push(snap.flags.pack());
+    blob::push_u64(out, snap.pc);
+    blob::push_u32(out, u32::try_from(snap.int.len()).expect("regfile fits u32"));
+    for &r in &snap.int {
+        blob::push_u64(out, r);
+    }
+    blob::push_u32(out, u32::try_from(snap.fp.len()).expect("regfile fits u32"));
+    for &r in &snap.fp {
+        blob::push_u64(out, r);
+    }
+    let pages: Vec<(u64, &[u8])> = snap.mem.nonzero_pages().collect();
+    blob::push_u32(out, u32::try_from(pages.len()).expect("page count fits u32"));
+    for (idx, bytes) in pages {
+        blob::push_u64(out, idx);
+        out.extend_from_slice(bytes);
+    }
+}
+
+fn decode_snapshot(c: &mut Cursor<'_>) -> Option<ArchSnapshot> {
+    let flags = tvp_isa::flags::Nzcv::unpack(*c.take(1)?.first()?);
+    let pc = c.u64()?;
+    let mut snap = ArchSnapshot {
+        int: [0; tvp_isa::reg::NUM_INT_REGS as usize],
+        fp: [0; tvp_isa::reg::NUM_FP_REGS as usize],
+        flags,
+        pc,
+        mem: SparseMem::default(),
+    };
+    let n_int = c.u32()? as usize;
+    if n_int != snap.int.len() {
+        return None;
+    }
+    for r in &mut snap.int {
+        *r = c.u64()?;
+    }
+    let n_fp = c.u32()? as usize;
+    if n_fp != snap.fp.len() {
+        return None;
+    }
+    for r in &mut snap.fp {
+        *r = c.u64()?;
+    }
+    let n_pages = c.u32()? as usize;
+    let mut prev_page: Option<u64> = None;
+    for _ in 0..n_pages {
+        let idx = c.u64()?;
+        // Page indices are strictly increasing on the wire (BTreeMap
+        // iteration order); enforcing it rejects hand-crafted dupes.
+        if prev_page.is_some_and(|p| idx <= p) {
+            return None;
+        }
+        prev_page = Some(idx);
+        let bytes = c.take(PAGE_BYTES)?;
+        snap.mem.install_page(idx, bytes);
+    }
+    Some(snap)
+}
+
+/// Encodes one (key, checkpoint) pair as a complete self-verifying
+/// file, checksum included. Pure: identical inputs yield identical
+/// bytes.
+#[must_use]
+pub fn encode(key: &SampleKey, ckpt: &Checkpoint) -> Vec<u8> {
+    let key_bytes = encode_key(key);
+    let mut body = Vec::with_capacity(256);
+    blob::push_u64(&mut body, ckpt.seq);
+    blob::push_u64(&mut body, ckpt.total_insts);
+    blob::push_u64(&mut body, ckpt.skipped_insts);
+    blob::push_u64(&mut body, ckpt.warmup_insts);
+    blob::push_u64(&mut body, ckpt.measured_insts);
+    blob::push_u32(&mut body, u32::try_from(ckpt.intervals.len()).expect("intervals fit u32"));
+    for iv in &ckpt.intervals {
+        encode_interval(iv, &mut body);
+    }
+    encode_snapshot(&ckpt.snapshot, &mut body);
+
+    let mut out = Vec::with_capacity(HEADER_LEN + key_bytes.len() + body.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&CKPT_MAGIC);
+    blob::push_u32(&mut out, CKPT_SCHEMA);
+    blob::push_u32(&mut out, u32::try_from(key_bytes.len()).expect("key fits u32"));
+    blob::push_u32(&mut out, u32::try_from(body.len()).expect("body fits u32"));
+    out.extend_from_slice(&key_bytes);
+    out.extend_from_slice(&body);
+    let checksum = blob::fnv1a(&out);
+    blob::push_u64(&mut out, checksum);
+    out
+}
+
+/// Decodes and fully verifies a checkpoint: magic, schema, section
+/// lengths, checksum, then both sections. Returns the echoed key and
+/// the state.
+pub fn decode(bytes: &[u8]) -> Result<(CkptKey, Checkpoint), BlobError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(BlobError::TooShort { len: bytes.len() });
+    }
+    if bytes[..8] != CKPT_MAGIC {
+        return Err(BlobError::BadMagic);
+    }
+    let schema = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    if schema != CKPT_SCHEMA {
+        return Err(BlobError::SchemaMismatch { found: schema });
+    }
+    let key_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4-byte slice")) as usize;
+    let body_len = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice")) as usize;
+    let declared = HEADER_LEN
+        .checked_add(key_len)
+        .and_then(|n| n.checked_add(body_len))
+        .and_then(|n| n.checked_add(CHECKSUM_LEN))
+        .ok_or(BlobError::LengthMismatch { declared: usize::MAX, actual: bytes.len() })?;
+    if declared != bytes.len() {
+        return Err(BlobError::LengthMismatch { declared, actual: bytes.len() });
+    }
+    let content = &bytes[..bytes.len() - CHECKSUM_LEN];
+    let stored =
+        u64::from_le_bytes(bytes[bytes.len() - CHECKSUM_LEN..].try_into().expect("8-byte slice"));
+    let computed = blob::fnv1a(content);
+    if stored != computed {
+        return Err(BlobError::ChecksumMismatch { stored, computed });
+    }
+
+    let key =
+        decode_key(&bytes[HEADER_LEN..HEADER_LEN + key_len]).ok_or(BlobError::MalformedKey)?;
+    let body = &bytes[HEADER_LEN + key_len..HEADER_LEN + key_len + body_len];
+    let mut c = Cursor::new(body);
+    let parse = || -> Option<Checkpoint> {
+        let seq = c.u64()?;
+        let total_insts = c.u64()?;
+        let skipped_insts = c.u64()?;
+        let warmup_insts = c.u64()?;
+        let measured_insts = c.u64()?;
+        let n_intervals = c.u32()? as usize;
+        let mut intervals = Vec::with_capacity(n_intervals);
+        for _ in 0..n_intervals {
+            intervals.push(decode_interval(&mut c)?);
+        }
+        let snapshot = decode_snapshot(&mut c)?;
+        if !c.exhausted() {
+            return None;
+        }
+        Some(Checkpoint {
+            seq,
+            snapshot,
+            intervals,
+            total_insts,
+            skipped_insts,
+            warmup_insts,
+            measured_insts,
+        })
+    }();
+    let ckpt = parse.ok_or(BlobError::MalformedPayload)?;
+    Ok((key, ckpt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvp_core::config::{CoreConfig, VpMode};
+    use tvp_core::stats::SimStats;
+    use tvp_workloads::suite::by_name;
+
+    fn sample() -> (SampleKey, Checkpoint) {
+        let cfg = CoreConfig::with_vp(VpMode::Tvp);
+        let spec = SampleSpec::new(4_000, 500, 500).expect("valid spec");
+        let key = SampleKey::new("pointer_chase", 20_000, &cfg, spec);
+        let w = by_name("pointer_chase").expect("workload");
+        let mut m = w.machine();
+        m.fast_forward(4_000);
+        let mut stats = SimStats { cycles: 777, insts_retired: 500, ..Default::default() };
+        stats.rename.spsr = 13;
+        let ckpt = Checkpoint {
+            seq: m.seq(),
+            snapshot: m.arch_snapshot(),
+            intervals: vec![IntervalResult {
+                index: 0,
+                start_seq: 4_100,
+                represented_insts: 4_000,
+                measured_insts: 500,
+                measured_uops: 520,
+                stats,
+                fingerprint: 0xDEAD_BEEF,
+            }],
+            total_insts: 4_000,
+            skipped_insts: 3_000,
+            warmup_insts: 500,
+            measured_insts: 500,
+        };
+        (key, ckpt)
+    }
+
+    #[test]
+    fn roundtrip_preserves_key_intervals_and_machine_state() {
+        let (key, ckpt) = sample();
+        let bytes = encode(&key, &ckpt);
+        let (got_key, got) = decode(&bytes).expect("clean checkpoint decodes");
+        assert!(got_key.matches(&key));
+        assert_eq!(got.seq, ckpt.seq);
+        assert_eq!(got.intervals, ckpt.intervals);
+        assert_eq!(got.total_insts, ckpt.total_insts);
+        assert_eq!(got.snapshot.digest(), ckpt.snapshot.digest(), "arch state byte-identical");
+    }
+
+    #[test]
+    fn restored_machine_continues_the_identical_stream() {
+        let (key, ckpt) = sample();
+        let bytes = encode(&key, &ckpt);
+        let (_, got) = decode(&bytes).expect("decodes");
+        let w = by_name("pointer_chase").expect("workload");
+        let mut resumed = w.machine_restored(&got.snapshot, got.seq);
+        let mut reference = w.machine();
+        reference.fast_forward(4_000);
+        let a = resumed.run(1_000);
+        let b = reference.run(1_000);
+        assert_eq!(a.uops, b.uops, "resumed stream diverged from uninterrupted stream");
+    }
+
+    #[test]
+    fn spec_mismatch_is_a_key_mismatch_not_a_hit() {
+        let (key, ckpt) = sample();
+        let bytes = encode(&key, &ckpt);
+        let (got_key, _) = decode(&bytes).expect("decodes");
+        let other = SampleKey {
+            exp: key.exp.clone(),
+            spec: SampleSpec::new(8_000, 500, 500).expect("valid"),
+        };
+        assert!(!got_key.matches(&other), "different spec must never resume this checkpoint");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let (key, ckpt) = sample();
+        let bytes = encode(&key, &ckpt);
+        // Checkpoints are big (memory pages); step rather than testing
+        // every prefix, but always include the boundary cuts.
+        let mut cuts: Vec<usize> = (0..bytes.len()).step_by(97).collect();
+        cuts.extend([0, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1]);
+        for cut in cuts {
+            let err = decode(&bytes[..cut]).expect_err("truncated checkpoint must not decode");
+            assert!(
+                matches!(
+                    err,
+                    BlobError::TooShort { .. }
+                        | BlobError::BadMagic
+                        | BlobError::LengthMismatch { .. }
+                        | BlobError::SchemaMismatch { .. }
+                ),
+                "cut at {cut}: unexpected error class {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_flipped_bit_fails_the_checksum() {
+        let (key, ckpt) = sample();
+        let bytes = encode(&key, &ckpt);
+        for pos in [20, bytes.len() / 3, bytes.len() / 2, bytes.len() - CHECKSUM_LEN - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(decode(&bad).is_err(), "flip at {pos} must be caught");
+        }
+    }
+
+    #[test]
+    fn schema_skew_is_its_own_error() {
+        let (key, ckpt) = sample();
+        let mut bytes = encode(&key, &ckpt);
+        bytes[8..12].copy_from_slice(&(CKPT_SCHEMA + 1).to_le_bytes());
+        let len = bytes.len();
+        let fixed = blob::fnv1a(&bytes[..len - CHECKSUM_LEN]);
+        bytes[len - CHECKSUM_LEN..].copy_from_slice(&fixed.to_le_bytes());
+        match decode(&bytes) {
+            Err(BlobError::SchemaMismatch { found }) => assert_eq!(found, CKPT_SCHEMA + 1),
+            other => panic!("expected schema mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let (key, ckpt) = sample();
+        assert_eq!(encode(&key, &ckpt), encode(&key, &ckpt));
+    }
+}

@@ -46,6 +46,7 @@ use std::path::{Path, PathBuf};
 use crate::jobs::{ExpKey, SimPoint};
 
 pub mod blob;
+pub mod checkpoint;
 pub mod fsck;
 pub mod manifest;
 
@@ -59,6 +60,8 @@ pub const KILL_EXIT_CODE: i32 = 42;
 
 /// Blob subdirectory name.
 pub const BLOBS_DIR: &str = "blobs";
+/// Checkpoint subdirectory name (sampled-campaign resume state).
+pub const CHECKPOINTS_DIR: &str = "checkpoints";
 /// Quarantine subdirectory name.
 pub const QUARANTINE_DIR: &str = "quarantine";
 /// Scratch subdirectory for atomic publication.
@@ -117,6 +120,18 @@ pub enum LoadOutcome {
     Quarantined(BlobError),
 }
 
+/// What [`ResultStore::load_checkpoint`] found for a sample key.
+#[derive(Debug)]
+pub enum CheckpointOutcome {
+    /// A fully verified, key-matching checkpoint.
+    Hit(Box<checkpoint::Checkpoint>),
+    /// No checkpoint at this content address.
+    Miss,
+    /// A checkpoint existed but failed verification; it has been
+    /// quarantined and the campaign starts cold.
+    Quarantined(BlobError),
+}
+
 /// The durable store: directories, journal, counters.
 #[derive(Debug)]
 pub struct ResultStore {
@@ -148,6 +163,7 @@ impl ResultStore {
     /// crash, and replays the campaign journal.
     pub fn open(cfg: StoreConfig) -> io::Result<ResultStore> {
         std::fs::create_dir_all(cfg.dir.join(BLOBS_DIR))?;
+        std::fs::create_dir_all(cfg.dir.join(CHECKPOINTS_DIR))?;
         std::fs::create_dir_all(cfg.dir.join(QUARANTINE_DIR))?;
         std::fs::create_dir_all(cfg.dir.join(TMP_DIR))?;
         let mut tmp_swept = 0;
@@ -293,6 +309,89 @@ impl ResultStore {
             }
         }
         self.journal.done(digest)
+    }
+
+    fn checkpoint_path(&self, digest: u64) -> PathBuf {
+        self.cfg.dir.join(CHECKPOINTS_DIR).join(format!("{digest:016x}.ckpt"))
+    }
+
+    /// Loads and fully re-verifies the sampled-campaign checkpoint for
+    /// `key`. Corrupt checkpoints are moved into `quarantine/` and
+    /// reported as [`CheckpointOutcome::Quarantined`]; the campaign
+    /// starts cold (checkpoints are a cache, never a source of truth).
+    pub fn load_checkpoint(&mut self, key: &crate::sampling::SampleKey) -> CheckpointOutcome {
+        let digest = key.digest();
+        let path = self.checkpoint_path(digest);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.counters.misses += 1;
+                return CheckpointOutcome::Miss;
+            }
+            Err(_) => {
+                self.counters.misses += 1;
+                return CheckpointOutcome::Miss;
+            }
+        };
+        match checkpoint::decode(&bytes) {
+            Ok((stored_key, ckpt)) => {
+                if stored_key.matches(key) {
+                    self.counters.warm_hits += 1;
+                    CheckpointOutcome::Hit(Box::new(ckpt))
+                } else {
+                    self.counters.digest_collisions += 1;
+                    self.counters.misses += 1;
+                    CheckpointOutcome::Miss
+                }
+            }
+            Err(err) => {
+                self.quarantine(digest, &path, &err);
+                self.counters.quarantined += 1;
+                CheckpointOutcome::Quarantined(err)
+            }
+        }
+    }
+
+    /// Publishes a sampled-campaign checkpoint durably, with the same
+    /// atomic scratch → fsync → rename → directory-fsync discipline as
+    /// [`ResultStore::publish`]. Later checkpoints for the same key
+    /// overwrite earlier ones (only the newest matters for resume).
+    ///
+    /// Checkpoint publications share the [`StoreConfig::kill_after`]
+    /// counter with blob publications, so the chaos knob can kill a
+    /// sampled campaign mid-trace — the state the kill-resume tests
+    /// need.
+    pub fn publish_checkpoint(
+        &mut self,
+        key: &crate::sampling::SampleKey,
+        ckpt: &checkpoint::Checkpoint,
+    ) -> io::Result<()> {
+        let digest = key.digest();
+        let bytes = checkpoint::encode(key, ckpt);
+        let tmp = self
+            .cfg
+            .dir
+            .join(TMP_DIR)
+            .join(format!("{digest:016x}.{}.ckpt.tmp", std::process::id()));
+        {
+            let mut f = File::create(&tmp)?;
+            io::Write::write_all(&mut f, &bytes)?;
+            f.sync_all()?;
+        }
+        let dest = self.checkpoint_path(digest);
+        std::fs::rename(&tmp, &dest)?;
+        fsync_dir(&self.cfg.dir.join(CHECKPOINTS_DIR))?;
+        self.counters.published += 1;
+        if let Some(kill_after) = self.cfg.kill_after {
+            if self.counters.published >= kill_after {
+                eprintln!(
+                    "[store] TVP_STORE_KILL_AFTER: exiting after {kill_after} publication(s) \
+                     (checkpoint durable)"
+                );
+                std::process::exit(KILL_EXIT_CODE);
+            }
+        }
+        Ok(())
     }
 
     /// Journals a terminal job failure (after retries).

@@ -24,8 +24,63 @@ pub const TELEMETRY_FILE: &str = "BENCH_parallel_runner.json";
 /// pool's second attempt), `quarantined` (corrupt store blobs set
 /// aside and re-simulated), `store_warm_hits` / `store_enabled`
 /// (durable result-store activity) and `cache_conflicts`
-/// (disagreeing double-inserts — determinism violations).
-pub const TELEMETRY_SCHEMA: u32 = 4;
+/// (disagreeing double-inserts — determinism violations). Version 5
+/// added the optional `sampling` object emitted by sampled campaigns:
+/// the sampling spec (`period`/`warmup`/`measured`), stream coverage
+/// counters (`total_insts`, `skipped_insts`, `warmup_insts`,
+/// `measured_insts`, `intervals`), `resumed_intervals` (served from a
+/// checkpoint instead of re-simulated), the detail fraction actually
+/// simulated, and the run fingerprint (the cross-jobs/kill-resume
+/// byte-identity witness).
+pub const TELEMETRY_SCHEMA: u32 = 5;
+
+/// Sampled-campaign section of the telemetry record (schema 5).
+#[derive(Clone, Debug)]
+pub struct SamplingTelemetry {
+    /// Sampling period (architectural instructions per interval).
+    pub period: u64,
+    /// Warmup instructions per interval.
+    pub warmup: u64,
+    /// Measured instructions per interval.
+    pub measured: u64,
+    /// Measured intervals across all workloads.
+    pub intervals: u64,
+    /// Intervals served from resume checkpoints.
+    pub resumed_intervals: u64,
+    /// Architectural instructions consumed across all workloads.
+    pub total_insts: u64,
+    /// Instructions functionally fast-forwarded.
+    pub skipped_insts: u64,
+    /// Instructions simulated as unmeasured warmup.
+    pub warmup_insts: u64,
+    /// Instructions simulated and measured.
+    pub measured_insts: u64,
+    /// Fraction of the stream simulated in detail (warmup + measured).
+    pub detail_fraction: f64,
+    /// Order-sensitive fingerprint folded over every workload's
+    /// sampled-run fingerprint, in campaign order.
+    pub fingerprint: u64,
+}
+
+impl SamplingTelemetry {
+    /// Serialises the section as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        json::object(&[
+            ("period", self.period.to_string()),
+            ("warmup", self.warmup.to_string()),
+            ("measured", self.measured.to_string()),
+            ("intervals", self.intervals.to_string()),
+            ("resumed_intervals", self.resumed_intervals.to_string()),
+            ("total_insts", self.total_insts.to_string()),
+            ("skipped_insts", self.skipped_insts.to_string()),
+            ("warmup_insts", self.warmup_insts.to_string()),
+            ("measured_insts", self.measured_insts.to_string()),
+            ("detail_fraction", json::number(self.detail_fraction)),
+            ("fingerprint", format!("\"{:016x}\"", self.fingerprint)),
+        ])
+    }
+}
 
 /// One engine invocation's performance record.
 #[derive(Clone, Debug)]
@@ -76,6 +131,8 @@ pub struct Telemetry {
     /// Include the raw `per_job` array in the JSON record
     /// (`--per-job`).
     pub emit_per_job: bool,
+    /// Sampled-campaign section (schema 5); `None` for full runs.
+    pub sampling: Option<SamplingTelemetry>,
 }
 
 /// Bounded per-workload digest of job wall times: one entry per
@@ -195,6 +252,9 @@ impl Telemetry {
             ("simulated_cycles_per_sec", json::number(self.cycles_per_sec())),
             ("per_workload", json::array(&per_workload)),
         ];
+        if let Some(sampling) = &self.sampling {
+            fields.push(("sampling", sampling.to_json()));
+        }
         if self.emit_per_job {
             let per_job: Vec<String> = self
                 .per_job
@@ -304,6 +364,7 @@ mod tests {
                 },
             }],
             emit_per_job,
+            sampling: None,
         }
     }
 
@@ -323,7 +384,7 @@ mod tests {
             "\"p50_micros\": 80000",
             "\"p99_micros\": 80000",
             "\"max_micros\": 80000",
-            "\"schema\": 4",
+            "\"schema\": 5",
             "\"retries\": 1",
             "\"quarantined\": 2",
             "\"store_warm_hits\": 3",
@@ -333,8 +394,41 @@ mod tests {
             assert!(j.contains(field), "missing {field} in {j}");
         }
         assert!(!j.contains("\"per_job\""), "raw array is opt-in: {j}");
+        assert!(!j.contains("\"sampling\""), "sampling section only for sampled runs: {j}");
         assert!((t.sims_per_sec() - 12.0).abs() < 1e-9);
         assert!(t.summary().contains("sims/s"));
+    }
+
+    #[test]
+    fn sampling_section_is_emitted_for_sampled_runs() {
+        let mut t = sample(false);
+        t.sampling = Some(SamplingTelemetry {
+            period: 1_000_000,
+            warmup: 20_000,
+            measured: 20_000,
+            intervals: 100,
+            resumed_intervals: 40,
+            total_insts: 100_000_000,
+            skipped_insts: 96_000_000,
+            warmup_insts: 2_000_000,
+            measured_insts: 2_000_000,
+            detail_fraction: 0.04,
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+        });
+        let j = t.to_json();
+        for field in [
+            "\"sampling\"",
+            "\"period\": 1000000",
+            "\"warmup\": 20000",
+            "\"measured\": 20000",
+            "\"intervals\": 100",
+            "\"resumed_intervals\": 40",
+            "\"skipped_insts\": 96000000",
+            "\"detail_fraction\"",
+            "\"fingerprint\": \"deadbeefcafef00d\"",
+        ] {
+            assert!(j.contains(field), "missing {field} in {j}");
+        }
     }
 
     #[test]

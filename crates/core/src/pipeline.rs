@@ -200,6 +200,10 @@ pub struct Core {
     storesets: StoreSets,
 
     cycle: u64,
+    /// Cycle count at the start of the current measurement segment:
+    /// [`Core::run`] reports `cycle - cycle_base` so warmup segments
+    /// (see [`Core::begin_measurement`]) are never charged to stats.
+    cycle_base: u64,
     cursor: usize,
     fetch_queue: VecDeque<Fetched>,
     fetch_resume: u64,
@@ -311,6 +315,7 @@ impl Core {
             itc,
             vtage,
             cycle: 0,
+            cycle_base: 0,
             cursor: 0,
             fetch_queue: VecDeque::new(),
             fetch_resume: 0,
@@ -394,7 +399,7 @@ impl Core {
                 break;
             }
         }
-        self.stats.cycles = self.cycle;
+        self.stats.cycles = self.cycle - self.cycle_base;
         self.stats.rename = self.renamer.stats();
         // The renamer keeps its own saturation sink; fold it into the
         // headline overflow count so one number still answers "did any
@@ -404,6 +409,126 @@ impl Core {
         #[cfg(feature = "verif")]
         self.final_audit();
         self.stats
+    }
+
+    /// Runs one trace *segment* on a core that may already be warm.
+    ///
+    /// Identical to [`Core::run`] except that the replay cursor is
+    /// rewound for the new trace: sampled simulation feeds the warmup
+    /// and measured windows of an interval as separate bounded traces,
+    /// and every microarchitectural structure (caches, TLBs, branch
+    /// and value predictors, store sets) carries its warm state across
+    /// the boundary. Sequence numbers must keep increasing across
+    /// segments — the functional machine's global µop numbering
+    /// guarantees this.
+    pub fn run_segment(&mut self, trace: &Trace) -> SimStats {
+        self.cursor = 0;
+        self.current_line = u64::MAX;
+        self.run(trace)
+    }
+
+    /// Marks the warmup → measured transition of a sampled interval.
+    ///
+    /// Call between two [`Core::run_segment`] calls, when the pipeline
+    /// has drained (which `run` guarantees on return): every statistic
+    /// accumulated so far — counters, CPI stack, rename stats, the
+    /// commit fingerprint — is discarded, and subsequent stats are
+    /// charged from the current cycle. Warm predictor/cache state is
+    /// deliberately kept; that is the entire point of warmup.
+    pub fn begin_measurement(&mut self) {
+        self.stats = SimStats::default();
+        self.renamer.stats = crate::stats::RenameStats::default();
+        self.renamer.overflow_events = 0;
+        self.cpi = CpiStack::default();
+        self.commit_fp = FNV_OFFSET;
+        self.cycle_base = self.cycle;
+    }
+
+    /// Functionally warms long-horizon microarchitectural state —
+    /// caches, TLBs, branch predictors, the value predictor — from a
+    /// trace segment *without* cycle-accurate simulation and without
+    /// charging any statistics.
+    ///
+    /// Sampled simulation fast-forwards between measured intervals; a
+    /// measurement window started on a cold core under-reports IPC for
+    /// any workload whose working set or predictor training horizon
+    /// exceeds the detailed warmup window (the classic cold-start bias
+    /// of sampling). This walks each record in architectural order and
+    /// performs only the training side of the pipeline: instruction
+    /// and data accesses touch the memory hierarchy, branches run the
+    /// predict→history→update sequence the detailed path performs at
+    /// fetch + retire, and VP-eligible µops train the value predictor
+    /// on their actual results. One pseudo-cycle elapses per µop so
+    /// in-flight miss latencies expire naturally.
+    ///
+    /// Costs a few table lookups per µop — orders of magnitude cheaper
+    /// than detailed simulation — and is deterministic: the warmed
+    /// state is a pure function of the core's prior state and the
+    /// segment's records.
+    pub fn functional_warm(&mut self, trace: &Trace) {
+        for u in &trace.uops {
+            // Instruction-side: line fill plus the same degree-4
+            // next-line prefetch the fetch stage issues.
+            let line = u.pc >> 6;
+            if line != self.current_line {
+                let _ = self.mem.inst_access(u.pc, self.cycle);
+                for i in 1..=4u64 {
+                    self.mem.inst_prefetch(u.pc + i * 64, self.cycle);
+                }
+                self.current_line = line;
+            }
+
+            if let Some(outcome) = u.branch {
+                let kind = u.uop.op.branch_kind().expect("branch outcome implies branch");
+                match kind {
+                    BranchKind::CondDirect => {
+                        // Predict-then-update with the same token the
+                        // detailed path would carry from fetch to
+                        // retire; architectural order makes the two
+                        // adjacent here.
+                        let token = self.tage.predict(u.pc);
+                        self.tage.push_history(outcome.taken);
+                        if let Some(vp) = self.vtage.as_mut() {
+                            vp.push_history(outcome.taken);
+                        }
+                        self.tage.update(&token, outcome.taken);
+                    }
+                    BranchKind::UncondDirect => {}
+                    BranchKind::Call => self.ras.push(u.pc + 4),
+                    BranchKind::Return => {
+                        let _ = self.ras.pop();
+                    }
+                    BranchKind::Indirect | BranchKind::IndirectCall => {
+                        let path = self.itc.path_checkpoint();
+                        let _ = self.itc.predict(u.pc);
+                        if kind == BranchKind::IndirectCall {
+                            self.ras.push(u.pc + 4);
+                        }
+                        self.itc.update_with_path(u.pc, outcome.target, path);
+                    }
+                }
+                if outcome.taken {
+                    self.btb.insert(u.pc, outcome.target, kind);
+                    self.itc.push_path(outcome.target);
+                    self.current_line = outcome.target >> 6;
+                }
+            }
+
+            if let Some(addr) = u.mem_addr {
+                let _ = self.mem.data_access(u.pc, addr, u.uop.op.is_store(), self.cycle);
+            }
+
+            if u.vp_eligible() {
+                if let Some(vp) = self.vtage.as_mut() {
+                    let pred = vp.predict(Self::vp_key(u));
+                    if let Some(actual) = u.result {
+                        vp.update(&pred, actual);
+                    }
+                }
+            }
+
+            self.cycle += 1;
+        }
     }
 
     /// Assembles the watchdog's structured dump of the stalled

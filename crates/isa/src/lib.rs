@@ -39,6 +39,7 @@ pub mod flags;
 pub mod inst;
 pub mod op;
 pub mod reg;
+pub mod stream;
 
 pub use exec::{exec_alu, AluResult, Operands};
 pub use flags::{Cond, Nzcv};

@@ -24,12 +24,14 @@
 pub mod kernels;
 pub mod machine;
 pub mod program;
+pub mod stream;
 pub mod suite;
 pub mod trace;
 pub mod value_dist;
 
 pub use machine::{ArchSnapshot, Machine};
 pub use program::{Asm, Program};
+pub use stream::{FileSource, MachineSource, TraceFileReader, TraceFileWriter, TraceSource};
 pub use suite::{suite, Workload};
 pub use trace::{BranchOutcome, Trace, TraceUop};
 pub use value_dist::ValueDistribution;

@@ -20,6 +20,10 @@ use crate::trace::{BranchOutcome, Trace, TraceUop};
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
+/// Bytes per sparse-memory page (the checkpoint format serializes
+/// whole pages).
+pub const PAGE_BYTES: usize = PAGE_SIZE;
+
 /// Sparse byte-addressed memory. Untouched bytes read as zero.
 #[derive(Default, Debug, Clone)]
 pub struct SparseMem {
@@ -82,6 +86,27 @@ impl SparseMem {
             }
         }
         h
+    }
+
+    /// Iterates pages that hold at least one non-zero byte, in
+    /// ascending page-index order. All-zero pages are skipped so the
+    /// serialized image matches what [`SparseMem::digest`] observes.
+    pub fn nonzero_pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.pages
+            .iter()
+            .filter(|(_, data)| data.iter().any(|&b| b != 0))
+            .map(|(&page, data)| (page, &data[..]))
+    }
+
+    /// Installs a full page image at `page_index` (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is not exactly one page long.
+    pub fn install_page(&mut self, page_index: u64, bytes: &[u8]) {
+        assert_eq!(bytes.len(), PAGE_SIZE, "page image must be {PAGE_SIZE} bytes");
+        let page = self.pages.entry(page_index).or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page.copy_from_slice(bytes);
     }
 }
 
@@ -208,6 +233,30 @@ impl Machine {
         self.pc
     }
 
+    /// Global sequence number of the *next* µop this machine will
+    /// execute — the machine's position in the dynamic µop stream.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Reconstructs a machine from an architectural snapshot plus its
+    /// µop sequence position — the checkpoint-resume path. The restored
+    /// machine continues the dynamic instruction stream exactly where
+    /// the snapshotted one left off.
+    #[must_use]
+    pub fn restore(program: Program, snap: &ArchSnapshot, seq: u64) -> Self {
+        Machine {
+            program,
+            int: snap.int,
+            fp: snap.fp,
+            flags: snap.flags,
+            pc: snap.pc,
+            mem: snap.mem.clone(),
+            seq,
+        }
+    }
+
     /// Snapshots the complete architectural state (registers, flags,
     /// PC, memory).
     #[must_use]
@@ -245,6 +294,36 @@ impl Machine {
     /// `out`. Returns `false` when the machine has halted (PC left the
     /// text segment).
     pub fn step_into(&mut self, out: &mut Trace) -> bool {
+        if !self.step_exec(|rec| out.uops.push(rec)) {
+            return false;
+        }
+        out.arch_insts += 1;
+        true
+    }
+
+    /// Executes one architectural instruction *without* recording it —
+    /// the functional fast-forward used between sampled intervals.
+    /// Sequence numbers still advance so every µop keeps its global
+    /// position in the dynamic instruction stream.
+    pub fn step_quiet(&mut self) -> bool {
+        self.step_exec(|_| ())
+    }
+
+    /// Functionally executes up to `max_arch_insts` instructions
+    /// without emitting a trace; returns how many actually ran before
+    /// the machine halted.
+    pub fn fast_forward(&mut self, max_arch_insts: u64) -> u64 {
+        let mut done = 0;
+        while done < max_arch_insts && self.step_quiet() {
+            done += 1;
+        }
+        done
+    }
+
+    /// Executes one architectural instruction, handing each annotated
+    /// µop record to `emit`. Returns `false` (without calling `emit`)
+    /// when the machine has halted.
+    fn step_exec(&mut self, mut emit: impl FnMut(TraceUop)) -> bool {
         let Some(&inst) = self.program.fetch(self.pc) else {
             return false;
         };
@@ -322,10 +401,9 @@ impl Machine {
                     }
                 }
             }
-            out.uops.push(rec);
+            emit(rec);
         }
         debug_assert!(n >= 1);
-        out.arch_insts += 1;
         self.pc = next_pc;
         true
     }
@@ -512,6 +590,80 @@ mod tests {
         assert_eq!(after.int[3], 99);
         assert_eq!(after.mem.read(0x5000, 8), 0x1234);
         assert_eq!(after.digest(), m.arch_snapshot().digest(), "snapshot is stable");
+    }
+
+    #[test]
+    fn fast_forward_is_equivalent_to_traced_execution() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 50));
+        a.i(movz(x(1), 0));
+        a.label("loop");
+        a.i(add(x(1), x(1), x(0)));
+        a.i(subs(x(0), x(0), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let prog = a.assemble().unwrap();
+        let mut traced = Machine::new(prog.clone());
+        let mut quiet = Machine::new(prog);
+        let _ = traced.run(40);
+        assert_eq!(quiet.fast_forward(40), 40);
+        assert_eq!(quiet.seq(), traced.seq(), "seq advances identically");
+        assert_eq!(
+            quiet.arch_snapshot().digest(),
+            traced.arch_snapshot().digest(),
+            "architectural state identical"
+        );
+        // Both machines now emit the same continuation trace.
+        let t1 = traced.run(20);
+        let t2 = quiet.run(20);
+        assert_eq!(t1.uops.len(), t2.uops.len());
+        for (u1, u2) in t1.uops.iter().zip(&t2.uops) {
+            assert_eq!(u1.seq, u2.seq);
+            assert_eq!(u1.result, u2.result);
+        }
+    }
+
+    #[test]
+    fn restore_resumes_the_identical_stream() {
+        let mut a = Asm::new();
+        a.i(movz(x(0), 30));
+        a.i(movz(x(2), 0x6000));
+        a.label("loop");
+        a.i(str_sized(x(0), AddrMode::BaseDisp { base: x(2), disp: 0 }, 8));
+        a.i(ldr(x(3), AddrMode::BaseDisp { base: x(2), disp: 0 }));
+        a.i(subs(x(0), x(0), 1i64));
+        a.b_cond(Cond::Ne, "loop");
+        let prog = a.assemble().unwrap();
+        let mut original = Machine::new(prog.clone());
+        assert_eq!(original.fast_forward(25), 25);
+        let snap = original.arch_snapshot();
+        let seq = original.seq();
+        let mut resumed = Machine::restore(prog, &snap, seq);
+        let t1 = original.run(40);
+        let t2 = resumed.run(40);
+        assert_eq!(t1.arch_insts, t2.arch_insts);
+        for (u1, u2) in t1.uops.iter().zip(&t2.uops) {
+            assert_eq!(
+                (u1.seq, u1.pc, u1.result, u1.mem_addr),
+                (u2.seq, u2.pc, u2.result, u2.mem_addr)
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_pages_roundtrip_through_install() {
+        let mut m = SparseMem::default();
+        m.write(0x1008, 8, 0xDEAD_BEEF);
+        m.write(0x9000, 8, 7);
+        m.write(0x9000, 8, 0); // all-zero page: skipped
+        let mut restored = SparseMem::default();
+        let mut pages = 0;
+        for (page, bytes) in m.nonzero_pages() {
+            restored.install_page(page, bytes);
+            pages += 1;
+        }
+        assert_eq!(pages, 1);
+        assert_eq!(restored.digest(), m.digest());
+        assert_eq!(restored.read(0x1008, 8), 0xDEAD_BEEF);
     }
 
     #[test]

@@ -1,0 +1,732 @@
+//! Streaming trace sources — the record layer of the `DynInst` trace
+//! format plus the [`TraceSource`] abstraction the sampling driver
+//! consumes.
+//!
+//! `tvp_isa::stream` owns the byte-level primitives (varints, the
+//! `Inst` codec, chunk framing and checksums); this module maps one
+//! executed [`TraceUop`] — result, flags, memory address, branch
+//! outcome — onto those primitives with delta encoding:
+//!
+//! * `seq` is stored as a varint delta against the previous record
+//!   (the chunk header carries `first_seq`, so every in-chunk delta is
+//!   ≥ 1 and monotonicity is checked *by construction* on decode);
+//! * `pc` and `mem_addr` are zigzag deltas against their previous
+//!   values (loops and streaming accesses encode in 1–2 bytes);
+//! * branch targets are zigzag deltas against the record's own `pc`.
+//!
+//! Delta state resets at every chunk boundary, so each chunk decodes
+//! independently of the ones before it — a corrupt chunk quarantines
+//! one chunk, not the rest of the file.
+//!
+//! Everything is streaming: [`TraceFileWriter`] holds one chunk of
+//! payload in memory, [`TraceFileReader`] one chunk of input, and the
+//! [`TraceSource`] implementations hand out architectural instructions
+//! in bounded batches — memory stays flat no matter how many billions
+//! of instructions a trace holds.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use tvp_isa::flags::Nzcv;
+use tvp_isa::stream::{
+    chunk_header_bytes, decode_inst, encode_inst, end_frame, file_header_bytes, parse_chunk_header,
+    parse_end_payload, parse_file_header, verify_chunk, write_varint, zigzag, ByteReader,
+    ChunkHeader, ChunkKind, StreamError, CHUNK_HEADER_LEN, FILE_HEADER_LEN,
+};
+
+use crate::machine::Machine;
+use crate::trace::{BranchOutcome, Trace, TraceUop};
+
+/// Records per chunk. Chosen so a chunk's payload stays comfortably
+/// under a megabyte while keeping header overhead negligible.
+pub const CHUNK_RECORDS: u32 = 4096;
+
+/// Why reading a trace file failed: the transport broke, or the bytes
+/// themselves are wrong.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// The underlying reader/writer failed.
+    Io(io::Error),
+    /// The bytes are not a valid trace (torn, corrupt, version skew).
+    Corrupt(StreamError),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file i/o error: {e}"),
+            TraceFileError::Corrupt(e) => write!(f, "trace file corrupt: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+impl From<StreamError> for TraceFileError {
+    fn from(e: StreamError) -> Self {
+        TraceFileError::Corrupt(e)
+    }
+}
+
+// --------------------------------------------------------------------
+// record codec
+// --------------------------------------------------------------------
+
+const R_FIRST_UOP: u8 = 1 << 0;
+const R_RESULT: u8 = 1 << 1;
+const R_FLAGS_OUT: u8 = 1 << 2;
+const R_MEM_ADDR: u8 = 1 << 3;
+const R_BRANCH: u8 = 1 << 4;
+const R_BRANCH_TAKEN: u8 = 1 << 5;
+
+/// Per-chunk delta-coding state. Reset at every chunk boundary so
+/// chunks decode independently.
+#[derive(Copy, Clone, Debug)]
+struct DeltaState {
+    prev_seq: u64,
+    prev_pc: u64,
+    prev_mem: u64,
+}
+
+impl DeltaState {
+    /// State for a chunk whose first record has sequence `first_seq`:
+    /// the first in-chunk seq delta is exactly 1.
+    fn at(first_seq: u64) -> Self {
+        DeltaState { prev_seq: first_seq.wrapping_sub(1), prev_pc: 0, prev_mem: 0 }
+    }
+}
+
+fn encode_record(st: &mut DeltaState, u: &TraceUop, out: &mut Vec<u8>) {
+    debug_assert!(u.seq.wrapping_sub(st.prev_seq) >= 1, "writer fed non-monotonic seqs");
+    let mut flags = 0u8;
+    if u.first_uop {
+        flags |= R_FIRST_UOP;
+    }
+    if u.result.is_some() {
+        flags |= R_RESULT;
+    }
+    if u.flags_out.is_some() {
+        flags |= R_FLAGS_OUT;
+    }
+    if u.mem_addr.is_some() {
+        flags |= R_MEM_ADDR;
+    }
+    if let Some(b) = u.branch {
+        flags |= R_BRANCH;
+        if b.taken {
+            flags |= R_BRANCH_TAKEN;
+        }
+    }
+    out.push(flags);
+    write_varint(out, u.seq.wrapping_sub(st.prev_seq));
+    write_varint(out, zigzag(u.pc.wrapping_sub(st.prev_pc) as i64));
+    if let Some(r) = u.result {
+        write_varint(out, r);
+    }
+    if let Some(f) = u.flags_out {
+        out.push(f.pack());
+    }
+    if let Some(a) = u.mem_addr {
+        write_varint(out, zigzag(a.wrapping_sub(st.prev_mem) as i64));
+        st.prev_mem = a;
+    }
+    if let Some(b) = u.branch {
+        write_varint(out, zigzag(b.target.wrapping_sub(u.pc) as i64));
+    }
+    encode_inst(&u.uop, out);
+    st.prev_seq = u.seq;
+    st.prev_pc = u.pc;
+}
+
+fn decode_record(st: &mut DeltaState, r: &mut ByteReader<'_>) -> Result<TraceUop, StreamError> {
+    let flags = r.u8()?;
+    let delta = r.varint()?;
+    if delta == 0 {
+        return Err(StreamError::NonMonotonicSeq { seq: st.prev_seq, prev: st.prev_seq });
+    }
+    let seq = st.prev_seq.wrapping_add(delta);
+    let pc = st.prev_pc.wrapping_add(r.svarint()? as u64);
+    let result = if flags & R_RESULT != 0 { Some(r.varint()?) } else { None };
+    let flags_out = if flags & R_FLAGS_OUT != 0 { Some(Nzcv::unpack(r.u8()?)) } else { None };
+    let mem_addr = if flags & R_MEM_ADDR != 0 {
+        let a = st.prev_mem.wrapping_add(r.svarint()? as u64);
+        st.prev_mem = a;
+        Some(a)
+    } else {
+        None
+    };
+    let branch = if flags & R_BRANCH != 0 {
+        let target = pc.wrapping_add(r.svarint()? as u64);
+        Some(BranchOutcome { taken: flags & R_BRANCH_TAKEN != 0, target })
+    } else {
+        None
+    };
+    let uop = decode_inst(r)?;
+    st.prev_seq = seq;
+    st.prev_pc = pc;
+    Ok(TraceUop {
+        seq,
+        pc,
+        uop,
+        first_uop: flags & R_FIRST_UOP != 0,
+        result,
+        flags_out,
+        mem_addr,
+        branch,
+    })
+}
+
+// --------------------------------------------------------------------
+// file writer
+// --------------------------------------------------------------------
+
+/// Totals reported when a trace file is sealed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StreamTotals {
+    /// µop records written.
+    pub records: u64,
+    /// Architectural instructions written.
+    pub arch_insts: u64,
+    /// Chunks written (excluding the terminator).
+    pub chunks: u64,
+}
+
+/// Streams µop records into the chunked trace container. Holds at
+/// most one chunk of encoded payload in memory.
+#[derive(Debug)]
+pub struct TraceFileWriter<W: Write> {
+    w: W,
+    buf: Vec<u8>,
+    records_in_chunk: u32,
+    first_seq: u64,
+    delta: DeltaState,
+    totals: StreamTotals,
+}
+
+impl<W: Write> TraceFileWriter<W> {
+    /// Starts a new trace file (writes the header immediately).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn create(mut w: W) -> io::Result<Self> {
+        w.write_all(&file_header_bytes())?;
+        Ok(TraceFileWriter {
+            w,
+            buf: Vec::with_capacity(64 * 1024),
+            records_in_chunk: 0,
+            first_seq: 0,
+            delta: DeltaState::at(0),
+            totals: StreamTotals::default(),
+        })
+    }
+
+    /// Appends one µop record. Sequence numbers must be strictly
+    /// increasing across the whole file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures when a full chunk is flushed.
+    pub fn push(&mut self, u: &TraceUop) -> io::Result<()> {
+        if self.records_in_chunk == 0 {
+            self.first_seq = u.seq;
+            self.delta = DeltaState::at(u.seq);
+        }
+        encode_record(&mut self.delta, u, &mut self.buf);
+        self.records_in_chunk += 1;
+        self.totals.records += 1;
+        if u.first_uop {
+            self.totals.arch_insts += 1;
+        }
+        if self.records_in_chunk >= CHUNK_RECORDS {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.records_in_chunk == 0 {
+            return Ok(());
+        }
+        let header = chunk_header_bytes(
+            ChunkKind::Records,
+            self.records_in_chunk,
+            self.first_seq,
+            &self.buf,
+        );
+        self.w.write_all(&header)?;
+        self.w.write_all(&self.buf)?;
+        self.buf.clear();
+        self.records_in_chunk = 0;
+        self.totals.chunks += 1;
+        Ok(())
+    }
+
+    /// Flushes the final partial chunk, writes the terminator frame
+    /// and returns the totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush failures.
+    pub fn finish(mut self) -> io::Result<StreamTotals> {
+        self.flush_chunk()?;
+        self.w.write_all(&end_frame(self.totals.records, self.totals.arch_insts))?;
+        self.w.flush()?;
+        Ok(self.totals)
+    }
+}
+
+/// Functionally executes `arch_insts` instructions on `machine`,
+/// streaming the resulting trace into `w` with flat memory use (one
+/// architectural instruction is materialized at a time). Returns the
+/// sealed totals; stops early if the machine halts.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn stream_machine_trace<W: Write>(
+    machine: &mut Machine,
+    arch_insts: u64,
+    w: W,
+) -> io::Result<StreamTotals> {
+    let mut writer = TraceFileWriter::create(w)?;
+    let mut scratch = Trace::default();
+    for _ in 0..arch_insts {
+        if !machine.step_into(&mut scratch) {
+            break;
+        }
+        for u in &scratch.uops {
+            writer.push(u)?;
+        }
+        scratch.uops.clear();
+    }
+    writer.finish()
+}
+
+// --------------------------------------------------------------------
+// file reader
+// --------------------------------------------------------------------
+
+/// Streaming decoder for the chunked trace container. Holds one
+/// chunk's payload in memory; every frame is checksum-verified before
+/// any record in it is decoded.
+#[derive(Debug)]
+pub struct TraceFileReader<R: Read> {
+    r: R,
+    chunk: Vec<u8>,
+    pos: usize,
+    records_left: u32,
+    delta: DeltaState,
+    last_seq: u64,
+    any_records: bool,
+    finished: bool,
+    totals: StreamTotals,
+}
+
+impl<R: Read> TraceFileReader<R> {
+    /// Opens a trace stream (reads and validates the file header).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or corruption ([`StreamError::BadMagic`],
+    /// [`StreamError::SchemaMismatch`], torn header).
+    pub fn open(mut r: R) -> Result<Self, TraceFileError> {
+        let mut header = [0u8; FILE_HEADER_LEN];
+        read_exact_or_torn(&mut r, &mut header, FILE_HEADER_LEN)?;
+        parse_file_header(&header)?;
+        Ok(TraceFileReader {
+            r,
+            chunk: Vec::new(),
+            pos: 0,
+            records_left: 0,
+            delta: DeltaState::at(0),
+            last_seq: 0,
+            any_records: false,
+            finished: false,
+            totals: StreamTotals::default(),
+        })
+    }
+
+    /// Decodes the next µop record, or `None` after the terminator
+    /// frame has been reached and verified.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or any [`StreamError`] corruption class — torn
+    /// chunks, checksum mismatches, non-monotonic sequence numbers,
+    /// a missing terminator, terminator totals that disagree with the
+    /// records actually present.
+    pub fn next_uop(&mut self) -> Result<Option<TraceUop>, TraceFileError> {
+        loop {
+            if self.finished {
+                return Ok(None);
+            }
+            if self.records_left > 0 {
+                let mut br = ByteReader::new(&self.chunk[self.pos..]);
+                let u = decode_record(&mut self.delta, &mut br)?;
+                self.pos += br.pos();
+                self.records_left -= 1;
+                if self.records_left == 0 && self.pos != self.chunk.len() {
+                    return Err(StreamError::MalformedRecord.into());
+                }
+                if self.any_records && u.seq <= self.last_seq {
+                    return Err(
+                        StreamError::NonMonotonicSeq { seq: u.seq, prev: self.last_seq }.into()
+                    );
+                }
+                self.any_records = true;
+                self.last_seq = u.seq;
+                self.totals.records += 1;
+                if u.first_uop {
+                    self.totals.arch_insts += 1;
+                }
+                return Ok(Some(u));
+            }
+            self.load_chunk()?;
+        }
+    }
+
+    fn load_chunk(&mut self) -> Result<(), TraceFileError> {
+        let mut header = [0u8; CHUNK_HEADER_LEN];
+        match self.r.read(&mut header[..1])? {
+            0 => return Err(StreamError::MissingTerminator.into()),
+            _ => read_exact_or_torn(&mut self.r, &mut header[1..], CHUNK_HEADER_LEN)?,
+        }
+        let hdr: ChunkHeader = parse_chunk_header(&header)?;
+        self.chunk.resize(hdr.payload_len as usize, 0);
+        read_exact_or_torn(&mut self.r, &mut self.chunk, hdr.payload_len as usize)?;
+        verify_chunk(&hdr, &self.chunk)?;
+        match hdr.kind {
+            ChunkKind::Records => {
+                if hdr.records == 0 {
+                    return Err(StreamError::MalformedRecord.into());
+                }
+                if self.any_records && hdr.first_seq <= self.last_seq {
+                    return Err(StreamError::NonMonotonicSeq {
+                        seq: hdr.first_seq,
+                        prev: self.last_seq,
+                    }
+                    .into());
+                }
+                self.records_left = hdr.records;
+                self.pos = 0;
+                self.delta = DeltaState::at(hdr.first_seq);
+                self.totals.chunks += 1;
+            }
+            ChunkKind::End => {
+                let (records, arch_insts) = parse_end_payload(&self.chunk)?;
+                if records != self.totals.records || arch_insts != self.totals.arch_insts {
+                    return Err(StreamError::TrailerMismatch {
+                        declared: records,
+                        actual: self.totals.records,
+                    }
+                    .into());
+                }
+                self.finished = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Totals decoded so far (final once `next_uop` returns `None`).
+    #[must_use]
+    pub fn totals(&self) -> StreamTotals {
+        self.totals
+    }
+
+    /// True once the terminator frame has been consumed and verified.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Consumes the reader, returning the underlying byte source.
+    pub fn into_inner(self) -> R {
+        self.r
+    }
+}
+
+fn read_exact_or_torn<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    needed: usize,
+) -> Result<(), TraceFileError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceFileError::Corrupt(StreamError::TooShort { needed, have: 0 })
+        } else {
+            TraceFileError::Io(e)
+        }
+    })
+}
+
+// --------------------------------------------------------------------
+// trace sources
+// --------------------------------------------------------------------
+
+/// A producer of dynamic µop traces that hands out *whole
+/// architectural instructions* in bounded batches. The sampling
+/// driver drives one of these: `skip` for functional fast-forward,
+/// `fill` to materialize a warmup or measured interval.
+pub trait TraceSource {
+    /// Appends up to `arch_insts` whole architectural instructions to
+    /// `out` (µops and `arch_insts` both updated). Returns how many
+    /// were appended — fewer only when the source is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// File-backed sources surface I/O or corruption errors.
+    fn fill(&mut self, arch_insts: u64, out: &mut Trace) -> Result<u64, TraceFileError>;
+
+    /// Skips up to `arch_insts` architectural instructions without
+    /// materializing them. Returns how many were skipped.
+    ///
+    /// # Errors
+    ///
+    /// File-backed sources surface I/O or corruption errors.
+    fn skip(&mut self, arch_insts: u64) -> Result<u64, TraceFileError>;
+}
+
+/// [`TraceSource`] that executes the functional machine on demand:
+/// `skip` fast-forwards architecturally, `fill` emits annotated µops.
+#[derive(Debug)]
+pub struct MachineSource {
+    m: Machine,
+}
+
+impl MachineSource {
+    /// Wraps a machine as a streaming trace source.
+    #[must_use]
+    pub fn new(m: Machine) -> Self {
+        MachineSource { m }
+    }
+
+    /// The wrapped machine (checkpointing reads its state here).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.m
+    }
+}
+
+impl TraceSource for MachineSource {
+    fn fill(&mut self, arch_insts: u64, out: &mut Trace) -> Result<u64, TraceFileError> {
+        let mut done = 0;
+        while done < arch_insts && self.m.step_into(out) {
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    fn skip(&mut self, arch_insts: u64) -> Result<u64, TraceFileError> {
+        Ok(self.m.fast_forward(arch_insts))
+    }
+}
+
+/// [`TraceSource`] that decodes a streamed trace file on the fly.
+/// Holds one chunk plus at most one look-ahead record in memory.
+#[derive(Debug)]
+pub struct FileSource<R: Read> {
+    reader: TraceFileReader<R>,
+    pending: Option<TraceUop>,
+}
+
+impl<R: Read> FileSource<R> {
+    /// Opens a byte stream as a trace source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceFileReader::open`] failures.
+    pub fn open(r: R) -> Result<Self, TraceFileError> {
+        Ok(FileSource { reader: TraceFileReader::open(r)?, pending: None })
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceUop>, TraceFileError> {
+        if let Some(u) = self.pending.take() {
+            return Ok(Some(u));
+        }
+        self.reader.next_uop()
+    }
+
+    fn advance(
+        &mut self,
+        arch_insts: u64,
+        mut sink: impl FnMut(TraceUop),
+    ) -> Result<u64, TraceFileError> {
+        let mut done = 0;
+        loop {
+            let Some(u) = self.next_record()? else {
+                return Ok(done);
+            };
+            if u.first_uop {
+                if done == arch_insts {
+                    self.pending = Some(u);
+                    return Ok(done);
+                }
+                done += 1;
+            }
+            sink(u);
+        }
+    }
+}
+
+impl<R: Read> TraceSource for FileSource<R> {
+    fn fill(&mut self, arch_insts: u64, out: &mut Trace) -> Result<u64, TraceFileError> {
+        let done = self.advance(arch_insts, |u| out.uops.push(u))?;
+        out.arch_insts += done;
+        Ok(done)
+    }
+
+    fn skip(&mut self, arch_insts: u64) -> Result<u64, TraceFileError> {
+        self.advance(arch_insts, |_| ())
+    }
+}
+
+// --------------------------------------------------------------------
+// offline validation
+// --------------------------------------------------------------------
+
+/// Walks an entire trace file, verifying header, chunk checksums,
+/// record decode, monotonic sequence numbers and the terminator
+/// totals. Rejects trailing bytes after the terminator.
+///
+/// # Errors
+///
+/// The first I/O or corruption error encountered.
+pub fn validate_file(path: &Path) -> Result<StreamTotals, TraceFileError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = TraceFileReader::open(io::BufReader::new(file))?;
+    while reader.next_uop()?.is_some() {}
+    let totals = reader.totals();
+    let mut trailing = [0u8; 1];
+    if reader.into_inner().read(&mut trailing)? != 0 {
+        return Err(StreamError::MalformedRecord.into());
+    }
+    Ok(totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::by_name;
+
+    fn sample_trace(insts: u64) -> Trace {
+        by_name("pointer_chase").expect("workload exists").trace(insts)
+    }
+
+    fn encode(trace: &Trace) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let mut w = TraceFileWriter::create(&mut bytes).expect("header writes");
+        for u in &trace.uops {
+            w.push(u).expect("record writes");
+        }
+        w.finish().expect("seals");
+        bytes
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_every_record() {
+        let trace = sample_trace(9_000); // > 2 chunks of µops
+        let bytes = encode(&trace);
+        let mut r = TraceFileReader::open(&bytes[..]).expect("opens");
+        let mut got = Vec::new();
+        while let Some(u) = r.next_uop().expect("decodes") {
+            got.push(u);
+        }
+        assert_eq!(got.len(), trace.uops.len());
+        for (a, b) in trace.uops.iter().zip(&got) {
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.pc, b.pc);
+            assert_eq!(a.uop, b.uop);
+            assert_eq!(a.first_uop, b.first_uop);
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.flags_out, b.flags_out);
+            assert_eq!(a.mem_addr, b.mem_addr);
+            assert_eq!(
+                a.branch.map(|x| (x.taken, x.target)),
+                b.branch.map(|x| (x.taken, x.target))
+            );
+        }
+        let totals = r.totals();
+        assert_eq!(totals.records, trace.uops.len() as u64);
+        assert_eq!(totals.arch_insts, trace.arch_insts);
+        assert!(totals.chunks >= 2, "exercises chunk boundaries");
+    }
+
+    #[test]
+    fn file_source_fills_whole_architectural_instructions() {
+        let trace = sample_trace(1_000);
+        let bytes = encode(&trace);
+        let mut src = FileSource::open(&bytes[..]).expect("opens");
+        let mut head = Trace::default();
+        assert_eq!(src.fill(300, &mut head).expect("fills"), 300);
+        assert_eq!(head.arch_insts, 300);
+        // Whole-instruction batches: each batch begins on an
+        // architectural instruction boundary.
+        assert!(head.uops.first().is_some_and(|u| u.first_uop));
+        assert_eq!(src.skip(400).expect("skips"), 400);
+        let mut tail = Trace::default();
+        assert_eq!(src.fill(10_000, &mut tail).expect("fills rest"), 300);
+        assert!(tail.uops.first().is_some_and(|u| u.first_uop));
+        // head + skipped + tail account for every µop exactly once.
+        let skipped = trace.uops.len() - head.uops.len() - tail.uops.len();
+        assert!(skipped > 0);
+        assert_eq!(tail.uops.last().map(|u| u.seq), trace.uops.last().map(|u| u.seq));
+    }
+
+    #[test]
+    fn machine_source_matches_materialized_trace() {
+        let w = by_name("pointer_chase").expect("workload exists");
+        let full = w.trace(500);
+        let mut src = MachineSource::new(w.machine());
+        let mut a = Trace::default();
+        assert_eq!(src.fill(200, &mut a).expect("fills"), 200);
+        assert_eq!(src.skip(100).expect("skips"), 100);
+        let mut b = Trace::default();
+        assert_eq!(src.fill(200, &mut b).expect("fills"), 200);
+        assert_eq!(a.uops[..], full.uops[..a.uops.len()]);
+        let tail_start = full.uops.len() - b.uops.len();
+        assert_eq!(b.uops[..], full.uops[tail_start..]);
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_detected() {
+        let bytes = encode(&sample_trace(2_000));
+        // Truncation anywhere (sampled for speed) is never silent.
+        for cut in (FILE_HEADER_LEN..bytes.len()).step_by(97) {
+            let r = drain(&bytes[..cut]);
+            assert!(r.is_err(), "truncation at {cut} must error");
+        }
+        // A flipped bit in any chunk payload trips the checksum.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(drain(&flipped).is_err(), "bit flip at {mid} must error");
+    }
+
+    fn drain(bytes: &[u8]) -> Result<StreamTotals, TraceFileError> {
+        let mut r = TraceFileReader::open(bytes)?;
+        while r.next_uop()?.is_some() {}
+        Ok(r.totals())
+    }
+
+    #[test]
+    fn validate_file_accepts_good_and_rejects_trailing_garbage() {
+        let dir = std::env::temp_dir().join(format!("tvp_stream_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let good = dir.join("good.trace");
+        let trace = sample_trace(1_500);
+        std::fs::write(&good, encode(&trace)).expect("writes");
+        let totals = validate_file(&good).expect("valid file passes");
+        assert_eq!(totals.arch_insts, trace.arch_insts);
+        let bad = dir.join("trailing.trace");
+        let mut bytes = encode(&trace);
+        bytes.push(0xAB);
+        std::fs::write(&bad, bytes).expect("writes");
+        assert!(validate_file(&bad).is_err(), "trailing bytes rejected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -13,6 +13,7 @@ use tvp_isa::reg::Reg;
 
 use crate::machine::Machine;
 use crate::program::Program;
+use crate::stream::MachineSource;
 use crate::trace::Trace;
 
 /// A named workload: a program plus its initial machine state.
@@ -46,6 +47,24 @@ impl Workload {
     #[must_use]
     pub fn trace(&self, arch_insts: u64) -> Trace {
         self.machine().run(arch_insts)
+    }
+
+    /// Wraps a fresh machine as a streaming
+    /// [`TraceSource`](crate::stream::TraceSource): the
+    /// sampled-simulation entry point (no trace is ever materialized
+    /// beyond the interval being fed to the core).
+    #[must_use]
+    pub fn source(&self) -> MachineSource {
+        MachineSource::new(self.machine())
+    }
+
+    /// Rebuilds a machine from a mid-trace architectural checkpoint
+    /// (snapshot + global µop sequence position) — the resume path.
+    /// Initial registers/memory are *not* re-applied; the snapshot
+    /// already contains the complete architectural state.
+    #[must_use]
+    pub fn machine_restored(&self, snap: &crate::machine::ArchSnapshot, seq: u64) -> Machine {
+        Machine::restore(self.program.clone(), snap, seq)
     }
 
     /// Static program size in instructions.

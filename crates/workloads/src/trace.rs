@@ -19,7 +19,7 @@ pub struct BranchOutcome {
 }
 
 /// One executed micro-op.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceUop {
     /// Global µop sequence number.
     pub seq: u64,

@@ -120,9 +120,11 @@ const DETERMINISM_CRATES: &[&str] = &["core", "isa", "mem", "obs", "predictors"]
 /// module opts in file-by-file instead of waiving rule-by-rule.
 const DETERMINISM_FILES: &[&str] = &[
     "crates/bench/src/store/blob.rs",
+    "crates/bench/src/store/checkpoint.rs",
     "crates/bench/src/store/fsck.rs",
     "crates/bench/src/store/manifest.rs",
     "crates/bench/src/store/mod.rs",
+    "crates/bench/src/sampling.rs",
 ];
 
 /// Crates whose `*Stats` structs must be export-reachable (rule 8).

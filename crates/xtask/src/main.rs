@@ -41,6 +41,13 @@
 //! `BENCH_scheduler.json` record it writes — the CI perf-smoke step
 //! gates on both. The checks live in [`bench_schema`].
 //!
+//! `cargo xtask validate-trace-file <file>` validates a streamed
+//! `DynInst` trace file end to end (the `validate_trace_file` bin in
+//! `tvp-bench`): header, chunk checksums, record decode, monotonic
+//! sequence numbers and terminator totals; `--encode <workload>
+//! <insts> <file>` writes one first. The CI sampling-smoke job gates
+//! on it.
+//!
 //! `cargo xtask fsck-store <dir> [--json FILE]` validates a durable
 //! result store (the `fsck_store` bin in `tvp-bench`): every blob's
 //! magic/schema/length/checksum/content-address, the campaign
@@ -169,6 +176,23 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("validate-trace-file") => {
+            // Delegate to the trace-file checker binary (release: the
+            // walk re-checksums every chunk); remaining arguments pass
+            // through (`<FILE>` or `--encode <WORKLOAD> <INSTS> <FILE>`).
+            let status = std::process::Command::new(env!("CARGO"))
+                .args(["run", "--release", "-p", "tvp-bench", "--bin", "validate_trace_file", "--"])
+                .args(args)
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(s) => ExitCode::from(u8::try_from(s.code().unwrap_or(1)).unwrap_or(1)),
+                Err(e) => {
+                    eprintln!("xtask validate-trace-file: cannot run cargo: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         Some("validate-bench") => {
             let Some(path) = args.next() else {
                 eprintln!("usage: cargo xtask validate-bench <BENCH_scheduler.json>");
@@ -195,7 +219,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: cargo xtask <lint [--json FILE|-] [--github] | validate-trace FILE | \
-                 perf [ARGS] | validate-bench FILE | fsck-store DIR [--json FILE]>"
+                 perf [ARGS] | validate-bench FILE | fsck-store DIR [--json FILE] | \
+                 validate-trace-file FILE>"
             );
             ExitCode::from(2)
         }
