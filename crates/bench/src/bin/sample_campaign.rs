@@ -82,7 +82,7 @@ fn parse_vp(v: Option<String>) -> VpMode {
 }
 
 fn open_store(dir: &str) -> ResultStore {
-    let kill_after = std::env::var("TVP_STORE_KILL_AFTER").ok().and_then(|s| s.parse().ok());
+    let kill_after = tvp_bench::env_u64_or_exit("TVP_STORE_KILL_AFTER");
     ResultStore::open(StoreConfig { dir: dir.into(), kill_after }).unwrap_or_else(|e| {
         eprintln!("FATAL: cannot open checkpoint store {dir}: {e}");
         std::process::exit(2);
@@ -177,6 +177,10 @@ fn cmd_run(mut args: impl Iterator<Item = String>) {
         store_warm_hits: runs.iter().filter(|r| r.resumed_intervals > 0).count() as u64,
         store_enabled: store.is_some(),
         cache_conflicts: 0,
+        dist_workers: 0,
+        reclaimed_leases: 0,
+        stale_publishes: 0,
+        campaign_fingerprint: fp,
         prepare: std::time::Duration::ZERO,
         sim_wall: wall,
         total_wall: wall,

@@ -54,7 +54,7 @@ fn run_sampled_mode(
     use tvp_bench::store::{ResultStore, StoreConfig};
 
     let store = checkpoint_dir.map(|dir| {
-        let kill_after = std::env::var("TVP_STORE_KILL_AFTER").ok().and_then(|s| s.parse().ok());
+        let kill_after = tvp_bench::env_u64_or_exit("TVP_STORE_KILL_AFTER");
         let s =
             ResultStore::open(StoreConfig { dir: dir.into(), kill_after }).unwrap_or_else(|e| {
                 eprintln!("FATAL: cannot open checkpoint store {dir}: {e}");

@@ -133,11 +133,16 @@ pub fn parse_run_options(args: impl Iterator<Item = String>) -> RunOptions {
             _ => usage(),
         }
     }
-    let insts = insts_flag
-        .or_else(|| std::env::var("TVP_INSTS").ok().and_then(|s| s.parse().ok()))
-        .unwrap_or(if smoke { SMOKE_INSTS } else { DEFAULT_INSTS });
+    // Environment settings fail loudly: a malformed value exits with a
+    // message rather than silently running the default (which used to
+    // disarm the TVP_STORE_KILL_AFTER chaos knob CI relies on).
+    let insts = insts_flag.or_else(|| crate::env_u64_or_exit("TVP_INSTS")).unwrap_or(if smoke {
+        SMOKE_INSTS
+    } else {
+        DEFAULT_INSTS
+    });
     let store_dir = store_flag.or_else(|| std::env::var_os("TVP_STORE_DIR").map(PathBuf::from));
-    let store_kill_after = std::env::var("TVP_STORE_KILL_AFTER").ok().and_then(|s| s.parse().ok());
+    let store_kill_after = crate::env_u64_or_exit("TVP_STORE_KILL_AFTER");
     RunOptions {
         workers,
         insts,
@@ -199,6 +204,11 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
     let schedule = cache.take_scheduled();
     let requested = cache.hits() + cache.misses();
     let workers = runner::resolve_workers(opts.workers);
+    // Fingerprint of the full deduplicated schedule — computed before
+    // warm filtering, so serial, `--jobs N` and distributed runs of
+    // the same campaign all print the same value.
+    let campaign_fingerprint =
+        crate::distributed::campaign_fingerprint(schedule.iter().map(|j| j.key.digest()));
     eprintln!(
         "[engine] {} unique simulation points ({} requested, {} cache hits) on {} worker(s)",
         schedule.len(),
@@ -206,6 +216,7 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
         cache.hits(),
         workers
     );
+    eprintln!("[engine] campaign fingerprint {campaign_fingerprint:016x}");
 
     // 2b. warm-load from the durable store ———————————————————————————
     // Every reloaded blob is re-verified (checksum, schema, echoed
@@ -231,7 +242,13 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
                 }
             }
         }
-        store.lease_all(cold.iter().map(|j| &j.key)).expect("journal campaign leases");
+        // Lease in bounded batches: each batch is one atomic journal
+        // append, so a crash mid-campaign leaves at most one torn
+        // batch record instead of one giant torn line, and the same
+        // batching bounds worker-loop appends in distributed runs.
+        for chunk in cold.chunks(crate::distributed::LEASE_BATCH) {
+            store.lease_all(chunk.iter().map(|j| &j.key)).expect("journal campaign leases");
+        }
         eprintln!(
             "[engine] store {}: {} of {total} point(s) loaded warm, {} to simulate",
             store.dir().display(),
@@ -269,6 +286,18 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
         }
     }
     let store_counters: StoreCounters = store.as_ref().map(|s| *s.counters()).unwrap_or_default();
+    // Distributed-fabric counters come from the replayed journal, so a
+    // merge run reports the whole campaign's history (every worker id,
+    // every reclaimed lease, every fenced-off stale publish), not just
+    // this process's slice of it.
+    let (dist_workers, reclaimed_leases, stale_publishes) = store
+        .as_ref()
+        .map(|s| {
+            let js = s.journal_state();
+            let reclaimed: u64 = js.reclaims.values().map(|&n| u64::from(n)).sum();
+            (js.workers.len() as u64, reclaimed, js.stale_publishes)
+        })
+        .unwrap_or_default();
     if let Some(store) = store.as_ref() {
         eprintln!("[engine] store: {}", store.summary());
     }
@@ -317,6 +346,10 @@ pub fn run(experiments: &[Box<dyn Experiment>], opts: &RunOptions) -> EngineRepo
         store_warm_hits: store_counters.warm_hits,
         store_enabled: store.is_some(),
         cache_conflicts: cache.conflicts(),
+        dist_workers,
+        reclaimed_leases,
+        stale_publishes,
+        campaign_fingerprint,
         prepare,
         sim_wall,
         total_wall: total_start.elapsed(),

@@ -156,6 +156,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         /// Random multi-field mutations never collide with the base key.
+        #[test]
         fn random_mutation_subsets_never_collide(picks in proptest::collection::vec(any::<u16>(), 1..6)) {
             let base = key(&CoreConfig::table2());
             let muts = mutators();
@@ -172,6 +173,7 @@ mod tests {
         }
 
         /// The digest tracks key identity for every budget/seed shape.
+        #[test]
         fn digest_matches_key_equality(insts in 1u64..1_000_000, seed in any::<u64>()) {
             let cfg = CoreConfig::table2().with_chaos(tvp_chaos::ChaosConfig::campaign(seed));
             let a = ExpKey::new("w", insts, &cfg);

@@ -17,6 +17,7 @@ use tvp_workloads::suite::{suite, Workload};
 use tvp_workloads::trace::Trace;
 
 pub mod cache;
+pub mod distributed;
 pub mod engine;
 pub mod experiments;
 #[cfg(test)]
@@ -31,11 +32,48 @@ pub mod telemetry;
 /// Default per-workload instruction budget.
 pub const DEFAULT_INSTS: u64 = 300_000;
 
+/// Parses an optional unsigned-integer setting. `Ok(None)` when unset;
+/// a *set but malformed* value is an error, never a silent fallback. A
+/// typo in `TVP_STORE_KILL_AFTER` used to silently disable the chaos
+/// knob the crash-safety CI depends on, and a typo in `TVP_INSTS`
+/// silently ran the default budget — both now fail loudly.
+pub fn parse_env_u64(name: &str, raw: Option<&str>) -> Result<Option<u64>, String> {
+    match raw {
+        None => Ok(None),
+        Some(s) => s.trim().parse::<u64>().map(Some).map_err(|_| {
+            format!("{name} must be an unsigned integer, got {s:?} — fix or unset it")
+        }),
+    }
+}
+
+/// Reads `name` from the environment through [`parse_env_u64`],
+/// exiting with code 2 (the CLI usage-error code) on a malformed
+/// value.
+#[must_use]
+pub fn env_u64_or_exit(name: &str) -> Option<u64> {
+    let raw = match std::env::var(name) {
+        Ok(v) => Some(v),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!("error: {name} is set but is not valid UTF-8 — fix or unset it");
+            std::process::exit(2);
+        }
+    };
+    match parse_env_u64(name, raw.as_deref()) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Reads the instruction budget from `TVP_INSTS` (falls back to
-/// [`DEFAULT_INSTS`]).
+/// [`DEFAULT_INSTS`]; exits with code 2 if the variable is set but
+/// malformed).
 #[must_use]
 pub fn inst_budget() -> u64 {
-    std::env::var("TVP_INSTS").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTS)
+    env_u64_or_exit("TVP_INSTS").unwrap_or(DEFAULT_INSTS)
 }
 
 /// A workload with its pre-generated trace (traces are deterministic,
@@ -337,6 +375,22 @@ mod tests {
         let fast = SimStats { cycles: 80, ..Default::default() };
         let g = geomean_speedup(&[(fast, base), (base, base)]);
         assert!((g - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn env_settings_parse_loudly() {
+        assert_eq!(parse_env_u64("TVP_INSTS", None), Ok(None));
+        assert_eq!(parse_env_u64("TVP_INSTS", Some("300000")), Ok(Some(300_000)));
+        assert_eq!(parse_env_u64("TVP_INSTS", Some(" 42\n")), Ok(Some(42)));
+        // Malformed values are errors, not silent defaults — the old
+        // `.ok().and_then(|s| s.parse().ok())` pattern discarded these.
+        for bad in ["", "3x", "-1", "1.5", "0x10", "lots"] {
+            let err = parse_env_u64("TVP_STORE_KILL_AFTER", Some(bad)).unwrap_err();
+            assert!(
+                err.contains("TVP_STORE_KILL_AFTER") && err.contains(&format!("{bad:?}")),
+                "error should name the variable and the value: {err}"
+            );
+        }
     }
 
     #[test]

@@ -229,6 +229,12 @@ impl<'a> Cursor<'a> {
     pub(crate) fn exhausted(&self) -> bool {
         self.pos == self.bytes.len()
     }
+
+    /// Bytes not yet consumed — the bound every wire-declared element
+    /// count must respect *before* it sizes an allocation.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
 }
 
 /// Encodes the key section.
@@ -454,18 +460,22 @@ pub fn encode(key: &ExpKey, point: &SimPoint) -> Vec<u8> {
 /// Decodes and fully verifies a blob: magic, schema, section lengths,
 /// checksum, then both sections. Returns the echoed key and the point.
 pub fn decode(bytes: &[u8]) -> Result<(BlobKey, SimPoint), BlobError> {
-    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
-        return Err(BlobError::TooShort { len: bytes.len() });
-    }
-    if bytes[..8] != BLOB_MAGIC {
+    // Every framed read below goes through the checked [`Cursor`] (or
+    // `get`-based slicing): no length field from the wire is ever used
+    // to index before it has been bounds-checked, so a corrupt header
+    // returns a [`BlobError`] — it can never panic.
+    let mut h = Cursor::new(bytes);
+    let too_short = BlobError::TooShort { len: bytes.len() };
+    let magic = h.take(BLOB_MAGIC.len()).ok_or(too_short.clone())?;
+    if magic != BLOB_MAGIC {
         return Err(BlobError::BadMagic);
     }
-    let schema = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    let schema = h.u32().ok_or(too_short.clone())?;
     if schema != BLOB_SCHEMA {
         return Err(BlobError::SchemaMismatch { found: schema });
     }
-    let key_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4-byte slice")) as usize;
-    let body_len = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice")) as usize;
+    let key_len = h.u32().ok_or(too_short.clone())? as usize;
+    let body_len = h.u32().ok_or(too_short)? as usize;
     let declared = HEADER_LEN
         .checked_add(key_len)
         .and_then(|n| n.checked_add(body_len))
@@ -474,19 +484,30 @@ pub fn decode(bytes: &[u8]) -> Result<(BlobKey, SimPoint), BlobError> {
     if declared != bytes.len() {
         return Err(BlobError::LengthMismatch { declared, actual: bytes.len() });
     }
-    let content = &bytes[..bytes.len() - CHECKSUM_LEN];
-    let stored =
-        u64::from_le_bytes(bytes[bytes.len() - CHECKSUM_LEN..].try_into().expect("8-byte slice"));
+    let content = bytes.get(..bytes.len() - CHECKSUM_LEN).ok_or(BlobError::MalformedPayload)?;
+    let stored = bytes
+        .get(bytes.len() - CHECKSUM_LEN..)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+        .map(u64::from_le_bytes)
+        .ok_or(BlobError::MalformedPayload)?;
     let computed = fnv1a(content);
     if stored != computed {
         return Err(BlobError::ChecksumMismatch { stored, computed });
     }
 
-    let key =
-        decode_key(&bytes[HEADER_LEN..HEADER_LEN + key_len]).ok_or(BlobError::MalformedKey)?;
-    let payload = &bytes[HEADER_LEN + key_len..HEADER_LEN + key_len + body_len];
+    let mut sections = Cursor::new(&bytes[HEADER_LEN..bytes.len() - CHECKSUM_LEN]);
+    let key_bytes = sections.take(key_len).ok_or(BlobError::MalformedKey)?;
+    let key = decode_key(key_bytes).ok_or(BlobError::MalformedKey)?;
+    let payload = sections.take(body_len).ok_or(BlobError::MalformedPayload)?;
     let mut c = Cursor::new(payload);
     let count = c.u32().ok_or(BlobError::MalformedPayload)? as usize;
+    // Bound the allocation by the bytes that actually exist: a corrupt
+    // count field (up to u32::MAX) fed straight into `with_capacity`
+    // would attempt a multi-gigabyte allocation and *abort* before the
+    // first checked read ever ran.
+    if count > payload.len().saturating_sub(4) / 8 {
+        return Err(BlobError::MalformedPayload);
+    }
     let mut counters = Vec::with_capacity(count);
     for _ in 0..count {
         counters.push(c.u64().ok_or(BlobError::MalformedPayload)?);
@@ -500,6 +521,8 @@ pub fn decode(bytes: &[u8]) -> Result<(BlobKey, SimPoint), BlobError> {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
     use tvp_core::config::{CoreConfig, VpMode};
 
@@ -597,6 +620,100 @@ mod tests {
     fn encoding_is_deterministic() {
         let (key, point) = sample();
         assert_eq!(encode(&key, &point), encode(&key, &point));
+    }
+
+    /// Re-seals the trailing checksum so a crafted corruption reaches
+    /// the section parsers instead of dying at the checksum gate.
+    fn reseal(bytes: &mut [u8]) {
+        let len = bytes.len();
+        let fixed = fnv1a(&bytes[..len - CHECKSUM_LEN]);
+        bytes[len - CHECKSUM_LEN..].copy_from_slice(&fixed.to_le_bytes());
+    }
+
+    #[test]
+    fn corrupt_counter_count_is_an_error_not_an_abort() {
+        // Regression: the payload's counter count used to size a
+        // `Vec::with_capacity` before any validation — a crafted (or
+        // unluckily corrupted) count of u32::MAX requested a 32 GiB
+        // allocation, aborting the process instead of returning `Err`.
+        let (key, point) = sample();
+        let mut bytes = encode(&key, &point);
+        let key_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4-byte slice")) as usize;
+        let count_at = HEADER_LEN + key_len;
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        reseal(&mut bytes);
+        assert_eq!(decode(&bytes), Err(BlobError::MalformedPayload));
+    }
+
+    #[test]
+    fn corrupt_key_string_length_is_an_error_not_a_panic() {
+        // The first field inside the key section is the workload-name
+        // length; blow it up past every bound and re-seal.
+        let (key, point) = sample();
+        let mut bytes = encode(&key, &point);
+        bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        reseal(&mut bytes);
+        assert_eq!(decode(&bytes), Err(BlobError::MalformedKey));
+    }
+
+    #[test]
+    fn corrupt_section_lengths_never_panic() {
+        // Sweep hostile values through both header length fields (with
+        // and without a matching re-seal): every combination must come
+        // back as a structured error or a clean decode, never a panic
+        // or abort.
+        let (key, point) = sample();
+        let base = encode(&key, &point);
+        let hostile =
+            [0u32, 1, 7, 8, 0x7FFF_FFFF, 0x8000_0000, u32::MAX, u32::MAX - 7, base.len() as u32];
+        for &key_len in &hostile {
+            for &body_len in &hostile {
+                let mut bytes = base.clone();
+                bytes[12..16].copy_from_slice(&key_len.to_le_bytes());
+                bytes[16..20].copy_from_slice(&body_len.to_le_bytes());
+                let _ = decode(&bytes);
+                reseal(&mut bytes);
+                let _ = decode(&bytes);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Random byte-flips over a valid blob never panic: decode
+        /// returns `Err` (or, for flips the format cannot distinguish,
+        /// a clean decode of identical content) — it never aborts.
+        #[test]
+        fn random_byte_flips_never_panic(
+            flips in proptest::collection::vec((any::<u16>(), 1u8..=255), 1..8)
+        ) {
+            let (key, point) = sample();
+            let mut bytes = encode(&key, &point);
+            for (pos, mask) in &flips {
+                let at = *pos as usize % bytes.len();
+                bytes[at] ^= mask;
+            }
+            match decode(&bytes) {
+                Ok((got_key, got_point)) => {
+                    // Only reachable when the flips cancelled out.
+                    prop_assert!(got_key.matches(&key));
+                    prop_assert_eq!(got_point, point.clone());
+                }
+                Err(_) => {}
+            }
+        }
+
+        /// Random truncation + tail garbage never panics either.
+        #[test]
+        fn random_truncation_never_panics(cut in any::<u16>(), garbage in any::<u8>()) {
+            let (key, point) = sample();
+            let mut bytes = encode(&key, &point);
+            let at = cut as usize % bytes.len();
+            bytes.truncate(at);
+            bytes.push(garbage);
+            prop_assert!(decode(&bytes).is_err());
+        }
     }
 
     #[test]

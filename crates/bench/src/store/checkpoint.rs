@@ -149,6 +149,11 @@ fn decode_interval(c: &mut Cursor<'_>) -> Option<IntervalResult> {
     let measured_uops = c.u64()?;
     let fingerprint = c.u64()?;
     let count = c.u32()? as usize;
+    // Bound by the bytes that remain: a corrupt count must never size
+    // the allocation (see the matching guard in `blob::decode`).
+    if count > c.remaining() / 8 {
+        return None;
+    }
     let mut counters = Vec::with_capacity(count);
     for _ in 0..count {
         counters.push(c.u64()?);
@@ -257,18 +262,21 @@ pub fn encode(key: &SampleKey, ckpt: &Checkpoint) -> Vec<u8> {
 /// lengths, checksum, then both sections. Returns the echoed key and
 /// the state.
 pub fn decode(bytes: &[u8]) -> Result<(CkptKey, Checkpoint), BlobError> {
-    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
-        return Err(BlobError::TooShort { len: bytes.len() });
-    }
-    if bytes[..8] != CKPT_MAGIC {
+    // All framed reads are checked (see `blob::decode`): no length or
+    // count field from the wire indexes or sizes anything before it is
+    // validated against the bytes that actually exist.
+    let mut h = Cursor::new(bytes);
+    let too_short = BlobError::TooShort { len: bytes.len() };
+    let magic = h.take(CKPT_MAGIC.len()).ok_or(too_short.clone())?;
+    if magic != CKPT_MAGIC {
         return Err(BlobError::BadMagic);
     }
-    let schema = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    let schema = h.u32().ok_or(too_short.clone())?;
     if schema != CKPT_SCHEMA {
         return Err(BlobError::SchemaMismatch { found: schema });
     }
-    let key_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4-byte slice")) as usize;
-    let body_len = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice")) as usize;
+    let key_len = h.u32().ok_or(too_short.clone())? as usize;
+    let body_len = h.u32().ok_or(too_short)? as usize;
     let declared = HEADER_LEN
         .checked_add(key_len)
         .and_then(|n| n.checked_add(body_len))
@@ -277,17 +285,21 @@ pub fn decode(bytes: &[u8]) -> Result<(CkptKey, Checkpoint), BlobError> {
     if declared != bytes.len() {
         return Err(BlobError::LengthMismatch { declared, actual: bytes.len() });
     }
-    let content = &bytes[..bytes.len() - CHECKSUM_LEN];
-    let stored =
-        u64::from_le_bytes(bytes[bytes.len() - CHECKSUM_LEN..].try_into().expect("8-byte slice"));
+    let content = bytes.get(..bytes.len() - CHECKSUM_LEN).ok_or(BlobError::MalformedPayload)?;
+    let stored = bytes
+        .get(bytes.len() - CHECKSUM_LEN..)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+        .map(u64::from_le_bytes)
+        .ok_or(BlobError::MalformedPayload)?;
     let computed = blob::fnv1a(content);
     if stored != computed {
         return Err(BlobError::ChecksumMismatch { stored, computed });
     }
 
-    let key =
-        decode_key(&bytes[HEADER_LEN..HEADER_LEN + key_len]).ok_or(BlobError::MalformedKey)?;
-    let body = &bytes[HEADER_LEN + key_len..HEADER_LEN + key_len + body_len];
+    let mut sections = Cursor::new(&bytes[HEADER_LEN..bytes.len() - CHECKSUM_LEN]);
+    let key_bytes = sections.take(key_len).ok_or(BlobError::MalformedKey)?;
+    let key = decode_key(key_bytes).ok_or(BlobError::MalformedKey)?;
+    let body = sections.take(body_len).ok_or(BlobError::MalformedPayload)?;
     let mut c = Cursor::new(body);
     let parse = || -> Option<Checkpoint> {
         let seq = c.u64()?;
@@ -296,6 +308,12 @@ pub fn decode(bytes: &[u8]) -> Result<(CkptKey, Checkpoint), BlobError> {
         let warmup_insts = c.u64()?;
         let measured_insts = c.u64()?;
         let n_intervals = c.u32()? as usize;
+        // An encoded interval is at least 48 bytes (index, five u64
+        // fields, counter count); bound the list allocation before
+        // trusting the wire count.
+        if n_intervals > c.remaining() / 48 {
+            return None;
+        }
         let mut intervals = Vec::with_capacity(n_intervals);
         for _ in 0..n_intervals {
             intervals.push(decode_interval(&mut c)?);
@@ -444,5 +462,41 @@ mod tests {
     fn encoding_is_deterministic() {
         let (key, ckpt) = sample();
         assert_eq!(encode(&key, &ckpt), encode(&key, &ckpt));
+    }
+
+    #[test]
+    fn corrupt_interval_count_is_an_error_not_an_abort() {
+        // Regression: like `blob::decode`, the interval count used to
+        // size a `Vec::with_capacity` straight off the wire — a
+        // corrupt u32::MAX meant an abort-sized allocation request
+        // instead of `Err`.
+        let (key, ckpt) = sample();
+        let mut bytes = encode(&key, &ckpt);
+        let key_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4-byte slice")) as usize;
+        let count_at = HEADER_LEN + key_len + 5 * 8;
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let len = bytes.len();
+        let fixed = blob::fnv1a(&bytes[..len - CHECKSUM_LEN]);
+        bytes[len - CHECKSUM_LEN..].copy_from_slice(&fixed.to_le_bytes());
+        assert_eq!(decode(&bytes).expect_err("must not decode"), BlobError::MalformedPayload);
+    }
+
+    #[test]
+    fn corrupt_section_lengths_never_panic() {
+        let (key, ckpt) = sample();
+        let base = encode(&key, &ckpt);
+        let hostile = [0u32, 1, 19, 20, 0x7FFF_FFFF, u32::MAX, u32::MAX - 19];
+        for &key_len in &hostile {
+            for &body_len in &hostile {
+                let mut bytes = base.clone();
+                bytes[12..16].copy_from_slice(&key_len.to_le_bytes());
+                bytes[16..20].copy_from_slice(&body_len.to_le_bytes());
+                let _ = decode(&bytes);
+                let len = bytes.len();
+                let fixed = blob::fnv1a(&bytes[..len - CHECKSUM_LEN]);
+                bytes[len - CHECKSUM_LEN..].copy_from_slice(&fixed.to_le_bytes());
+                let _ = decode(&bytes);
+            }
+        }
     }
 }

@@ -15,6 +15,7 @@ use std::io;
 use std::path::Path;
 
 use super::blob;
+use super::lease;
 use super::manifest::{self, JournalState, JOURNAL_FILE};
 use super::{BLOBS_DIR, QUARANTINE_DIR, TMP_DIR};
 
@@ -53,6 +54,18 @@ pub struct FsckReport {
     pub journal_skipped: u64,
     /// The journal header was missing or wrong.
     pub journal_bad_header: bool,
+    /// Lease files currently held, as `<digest:016x>=worker@epoch`
+    /// (sorted; `?` for a torn lease file whose owner is unreadable).
+    pub leases_held: Vec<String>,
+    /// Distinct worker ids that ever held a lease (from the journal).
+    pub workers: Vec<String>,
+    /// Total reclaim events in the journal.
+    pub reclaimed: u64,
+    /// Fenced-off stale publishes recorded in the journal.
+    pub stale_publishes: u64,
+    /// Held lease files whose point the journal says completed —
+    /// workers killed between `done` and release (reap cleans these).
+    pub leases_on_done: u64,
 }
 
 impl FsckReport {
@@ -70,7 +83,8 @@ impl FsckReport {
     pub fn summary(&self) -> String {
         format!(
             "{} blob(s) ok, {} corrupt, {} orphan(s), {} missing, {} quarantined, \
-             {} pending lease(s), {} failed, torn_tail={}",
+             {} pending lease(s), {} failed, torn_tail={}, {} held lease(s), \
+             {} worker(s), {} reclaimed, {} stale publish(es)",
             self.blobs_ok,
             self.corrupt.len(),
             self.orphans.len(),
@@ -79,6 +93,10 @@ impl FsckReport {
             self.pending,
             self.failed,
             self.journal_torn_tail,
+            self.leases_held.len(),
+            self.workers.len(),
+            self.reclaimed,
+            self.stale_publishes,
         )
     }
 
@@ -113,6 +131,11 @@ impl FsckReport {
             ("journal_torn_tail", self.journal_torn_tail.to_string()),
             ("journal_skipped", self.journal_skipped.to_string()),
             ("journal_bad_header", self.journal_bad_header.to_string()),
+            ("leases_held", crate::json::array(&strings(&self.leases_held))),
+            ("workers", crate::json::array(&strings(&self.workers))),
+            ("reclaimed", self.reclaimed.to_string()),
+            ("stale_publishes", self.stale_publishes.to_string()),
+            ("leases_on_done", self.leases_on_done.to_string()),
         ])
     }
 }
@@ -146,6 +169,23 @@ pub fn fsck(dir: &Path) -> io::Result<FsckReport> {
     report.journal_bad_header = journal.bad_header;
     report.pending = journal.pending.len() as u64;
     report.failed = journal.failed.len() as u64;
+    report.workers = journal.workers.iter().cloned().collect();
+    report.reclaimed = journal.reclaims.values().map(|&n| u64::from(n)).sum();
+    report.stale_publishes = journal.stale_publishes;
+
+    // Lease files: who holds what right now, cross-checked against
+    // journal completions (a held lease on a completed point is the
+    // done-then-died shape the reaper releases).
+    for (digest, owner) in lease::list(dir)? {
+        let label = match &owner {
+            Some(o) => format!("{digest:016x}={}@{}", o.worker, o.epoch),
+            None => format!("{digest:016x}=?"),
+        };
+        if journal.completed.contains(&digest) {
+            report.leases_on_done += 1;
+        }
+        report.leases_held.push(label);
+    }
 
     // Walk blobs/ in sorted order (deterministic reports).
     let mut on_disk: BTreeSet<u64> = BTreeSet::new();
@@ -309,6 +349,44 @@ mod tests {
         let report = fsck(&dir).expect("fsck");
         assert_eq!(report.corrupt.len(), 1);
         assert!(report.corrupt[0].error.contains("content address mismatch"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distributed_state_is_reported() {
+        let dir = scratch("dist");
+        let keys = populate(&dir, 2);
+        let mut store = ResultStore::open_shared(StoreConfig::at(&dir)).expect("shared open");
+        // w0 leases a fresh (never-published) point, then the reaper
+        // reclaims it; w1 re-leases at the bumped epoch and holds it.
+        let mut cfg = CoreConfig::with_vp(VpMode::Gvp);
+        cfg.watchdog_cycles += 7;
+        let fresh = ExpKey::new("string_match", 5_000, &cfg);
+        store.acquire_lease_batch(&[&fresh], "w0", |_| 1, 8).expect("w0 lease");
+        store.reclaim_lease(fresh.digest(), 1).expect("reclaim");
+        store.acquire_lease_batch(&[&fresh], "w1", |_| 2, 8).expect("w1 lease");
+
+        let report = fsck(&dir).expect("fsck");
+        assert!(report.clean(), "distributed churn is not corruption: {}", report.summary());
+        assert_eq!(report.workers, vec!["w0".to_owned(), "w1".to_owned()]);
+        assert_eq!(report.reclaimed, 1);
+        assert_eq!(
+            report.leases_held,
+            vec![format!("{:016x}=w1@2", fresh.digest())],
+            "w1's live lease is listed with its epoch"
+        );
+        assert_eq!(report.leases_on_done, 0);
+        assert_eq!(report.pending, 1, "the reclaimed point is pending again");
+        let json = report.to_json();
+        assert!(json.contains("\"workers\"") && json.contains("\"w0\""), "{json}");
+        assert!(json.contains("\"reclaimed\": 1"), "{json}");
+
+        // A worker killed between `done` and release leaves its lease
+        // on a completed point — reported, not corruption.
+        lease::acquire(&dir, keys[0].digest(), "w0", 1).expect("lease done point");
+        let report = fsck(&dir).expect("fsck again");
+        assert_eq!(report.leases_on_done, 1);
+        assert!(report.clean());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

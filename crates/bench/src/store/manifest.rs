@@ -14,13 +14,33 @@
 //! ```text
 //! tvp-journal 1
 //! lease 00d8c8e57e06cbad string_match@20000#00d8c8e57e06cbad #5b3c…
+//! wlease 00d8c8e57e06cbad w0 1 string_match@20000#00d8c8e57e06cbad #77aa…
+//! reclaim 00d8c8e57e06cbad 1 #01fe…
+//! stale 00d8c8e57e06cbad w0 1 #b00c…
 //! done 00d8c8e57e06cbad #9a17…
 //! fail 00d8c8e57e06cbad attempts 2 #c2f0…
 //! ```
 //!
+//! The distributed fabric (DESIGN.md §16) adds three record kinds on
+//! top of the original three: `wlease` is a lease owned by a named
+//! worker process at a fencing epoch, `reclaim` records the reaper
+//! retiring a dead worker's lease (the digest returns to pending at
+//! the next epoch), and `stale` records a fenced-off late publish
+//! (a worker that lost its lease tried to complete it anyway — the
+//! publish was detected and deduped, never double-counted).
+//!
 //! A checksum-failing *last* line is a torn tail (normal after a
 //! kill); a checksum-failing line *mid-file* is corruption and is
 //! counted so fsck can report it. Replay never panics on any input.
+//!
+//! **Multi-process appends.** Every record is rendered into a single
+//! buffer and appended with one `write` syscall on an `O_APPEND`
+//! handle, so concurrent workers appending to the same journal never
+//! interleave bytes *within* a record on a local filesystem; the
+//! per-line checksum catches the pathological cases anyway. Shared
+//! handles ([`Journal::open_shared`]) never truncate — torn-tail
+//! repair is reserved for exclusive opens, when no other writer can
+//! be racing the `set_len`.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
@@ -46,6 +66,15 @@ pub struct JournalState {
     /// Digests leased but never completed or failed — the points a
     /// killed campaign died holding.
     pub pending: BTreeSet<u64>,
+    /// Reclaim events per digest: how many times the reaper retired a
+    /// dead worker's lease on this point. A fresh lease's fencing
+    /// epoch is `reclaims + 1`, so epochs are monotonic per point.
+    pub reclaims: BTreeMap<u64, u32>,
+    /// Fenced-off late publishes detected and deduped (`stale`
+    /// records).
+    pub stale_publishes: u64,
+    /// Distinct worker ids that ever held a lease in this store.
+    pub workers: BTreeSet<String>,
     /// The final line failed its checksum and was dropped (the
     /// expected signature of a crash mid-append).
     pub torn_tail: bool,
@@ -63,15 +92,19 @@ pub struct Journal {
     path: PathBuf,
     file: File,
     state: JournalState,
+    /// Shared handles on a file whose last byte is not a newline (a
+    /// crash mid-append by some other process) must start their first
+    /// record on a fresh line; exclusive handles truncate instead.
+    needs_leading_newline: bool,
 }
 
 /// Seals `body` with its FNV-1a checksum: `"<body> #<16 hex>"`.
-fn seal(body: &str) -> String {
+pub(crate) fn seal(body: &str) -> String {
     format!("{body} #{:016x}", fnv1a(body.as_bytes()))
 }
 
 /// Splits a sealed line back into its body, verifying the checksum.
-fn unseal(line: &str) -> Option<&str> {
+pub(crate) fn unseal(line: &str) -> Option<&str> {
     let (body, sum) = line.rsplit_once(" #")?;
     let stored = u64::from_str_radix(sum, 16).ok()?;
     (sum.len() == 16 && stored == fnv1a(body.as_bytes())).then_some(body)
@@ -80,8 +113,20 @@ fn unseal(line: &str) -> Option<&str> {
 /// One parsed journal record.
 enum Record {
     Lease(u64),
+    WLease(u64, String, u32),
+    Reclaim(u64, u32),
+    Stale(u64, String, u32),
     Done(u64),
     Fail(u64, u32),
+}
+
+/// Worker ids appear as journal tokens and in lease file names, so
+/// they are restricted to a filesystem- and parser-safe alphabet.
+#[must_use]
+pub fn valid_worker_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.')
 }
 
 fn parse_record(body: &str) -> Option<Record> {
@@ -90,6 +135,27 @@ fn parse_record(body: &str) -> Option<Record> {
     let digest = u64::from_str_radix(parts.next()?, 16).ok()?;
     match kind {
         "lease" => Some(Record::Lease(digest)),
+        "wlease" => {
+            let worker = parts.next()?;
+            if !valid_worker_id(worker) {
+                return None;
+            }
+            let epoch = parts.next()?.parse().ok()?;
+            // The label trails; it carries no replay state.
+            Some(Record::WLease(digest, worker.to_owned(), epoch))
+        }
+        "reclaim" => {
+            let epoch = parts.next()?.parse().ok()?;
+            parts.next().is_none().then_some(Record::Reclaim(digest, epoch))
+        }
+        "stale" => {
+            let worker = parts.next()?;
+            if !valid_worker_id(worker) {
+                return None;
+            }
+            let epoch = parts.next()?.parse().ok()?;
+            parts.next().is_none().then_some(Record::Stale(digest, worker.to_owned(), epoch))
+        }
         "done" if parts.next().is_none() => Some(Record::Done(digest)),
         "fail" => {
             if parts.next()? != "attempts" {
@@ -125,6 +191,25 @@ pub fn replay(text: &str) -> JournalState {
                 if !state.completed.contains(&d) && !state.failed.contains_key(&d) {
                     state.pending.insert(d);
                 }
+            }
+            Some(Record::WLease(d, worker, _epoch)) => {
+                state.workers.insert(worker);
+                if !state.completed.contains(&d) && !state.failed.contains_key(&d) {
+                    state.pending.insert(d);
+                }
+            }
+            Some(Record::Reclaim(d, _epoch)) => {
+                let count = state.reclaims.entry(d).or_insert(0);
+                *count = count.saturating_add(1);
+                // A reclaimed point still has to run; it stays (or
+                // returns to) pending unless something completed it.
+                if !state.completed.contains(&d) && !state.failed.contains_key(&d) {
+                    state.pending.insert(d);
+                }
+            }
+            Some(Record::Stale(_d, worker, _epoch)) => {
+                state.workers.insert(worker);
+                state.stale_publishes += 1;
             }
             Some(Record::Done(d)) => {
                 state.pending.remove(&d);
@@ -192,13 +277,65 @@ impl Journal {
         }
         let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
         if needs_header {
-            writeln!(file, "{JOURNAL_HEADER}")?;
+            file.write_all(format!("{JOURNAL_HEADER}\n").as_bytes())?;
             file.sync_all()?;
         } else if needs_newline {
-            writeln!(file)?;
+            file.write_all(b"\n")?;
             file.sync_all()?;
         }
-        Ok(Journal { path, file, state })
+        Ok(Journal { path, file, state, needs_leading_newline: false })
+    }
+
+    /// Opens an already-initialized journal for a *shared* writer (a
+    /// distributed worker): replays the existing records but performs
+    /// no repair — never truncates (another writer may be appending
+    /// past the bytes we read) and never writes the header (the
+    /// coordinator did, exactly once, under an exclusive open). A
+    /// missing or headerless journal is an error: the campaign
+    /// coordinator must initialize the store before workers attach.
+    pub fn open_shared(store_dir: &Path) -> std::io::Result<Journal> {
+        let path = store_dir.join(JOURNAL_FILE);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!(
+                        "store journal {} does not exist — initialize the campaign \
+                         (coordinator / manifest step) before attaching workers",
+                        path.display()
+                    ),
+                ));
+            }
+            Err(e) => return Err(e),
+        };
+        let state = replay(&text);
+        if state.bad_header {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("store journal {} has a missing or corrupt header", path.display()),
+            ));
+        }
+        let file = OpenOptions::new().append(true).open(&path)?;
+        // If some other process died mid-append, our first record must
+        // start on a fresh line; the torn bytes become one counted
+        // garbage line and the exclusive reopen (reaper/merge) repairs.
+        let needs_leading_newline = !text.is_empty() && !text.ends_with('\n');
+        Ok(Journal { path, file, state, needs_leading_newline })
+    }
+
+    /// Appends one pre-rendered batch of lines with a single `write`
+    /// syscall (concurrent-writer atomicity) and fsyncs it.
+    fn append_batch(&mut self, mut batch: String) -> std::io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.needs_leading_newline {
+            batch.insert(0, '\n');
+            self.needs_leading_newline = false;
+        }
+        self.file.write_all(batch.as_bytes())?;
+        self.file.sync_all()
     }
 
     /// The state replayed when the journal was opened.
@@ -219,23 +356,72 @@ impl Journal {
         &mut self,
         keys: impl Iterator<Item = (u64, &'k str)>,
     ) -> std::io::Result<()> {
-        let mut wrote = false;
+        let mut batch = String::new();
+        let mut digests = Vec::new();
         for (digest, label) in keys {
-            writeln!(self.file, "{}", seal(&format!("lease {digest:016x} {label}")))?;
+            batch.push_str(&seal(&format!("lease {digest:016x} {label}")));
+            batch.push('\n');
+            digests.push(digest);
+        }
+        self.append_batch(batch)?;
+        self.state.pending.extend(digests);
+        Ok(())
+    }
+
+    /// Records a batch of worker-owned leases at a fencing epoch each,
+    /// fsyncing once at the end of the batch.
+    pub fn wlease_all<'k>(
+        &mut self,
+        worker: &str,
+        keys: impl Iterator<Item = (u64, u32, &'k str)>,
+    ) -> std::io::Result<()> {
+        debug_assert!(valid_worker_id(worker), "worker id {worker:?} fails valid_worker_id");
+        let mut batch = String::new();
+        let mut digests = Vec::new();
+        for (digest, epoch, label) in keys {
+            batch.push_str(&seal(&format!("wlease {digest:016x} {worker} {epoch} {label}")));
+            batch.push('\n');
+            digests.push(digest);
+        }
+        self.append_batch(batch)?;
+        self.state.workers.insert(worker.to_owned());
+        self.state.pending.extend(digests);
+        Ok(())
+    }
+
+    /// Records the reaper retiring a dead worker's lease on `digest`
+    /// at `epoch`; the point returns to pending for the next epoch.
+    pub fn reclaim(&mut self, digest: u64, epoch: u32) -> std::io::Result<()> {
+        let mut batch = seal(&format!("reclaim {digest:016x} {epoch}"));
+        batch.push('\n');
+        self.append_batch(batch)?;
+        let count = self.state.reclaims.entry(digest).or_insert(0);
+        *count = count.saturating_add(1);
+        if !self.state.completed.contains(&digest) && !self.state.failed.contains_key(&digest) {
             self.state.pending.insert(digest);
-            wrote = true;
         }
-        if wrote {
-            self.file.sync_all()?;
-        }
+        Ok(())
+    }
+
+    /// Records a fenced-off late publish: `worker` lost its lease on
+    /// `digest` (epoch `epoch`) and its publish was detected and
+    /// deduped rather than double-counted.
+    pub fn stale(&mut self, digest: u64, worker: &str, epoch: u32) -> std::io::Result<()> {
+        debug_assert!(valid_worker_id(worker), "worker id {worker:?} fails valid_worker_id");
+        let mut batch = seal(&format!("stale {digest:016x} {worker} {epoch}"));
+        batch.push('\n');
+        self.append_batch(batch)?;
+        self.state.workers.insert(worker.to_owned());
+        self.state.stale_publishes += 1;
         Ok(())
     }
 
     /// Records a completed publication. Fsynced per record: a `done`
     /// line must never claim a blob that a crash then loses.
     pub fn done(&mut self, digest: u64) -> std::io::Result<()> {
-        writeln!(self.file, "{}", seal(&format!("done {digest:016x}")))?;
-        self.file.sync_all()?;
+        let mut batch = seal(&format!("done {digest:016x}"));
+        batch.push('\n');
+        self.append_batch(batch)?;
         self.state.pending.remove(&digest);
         self.state.completed.insert(digest);
         Ok(())
@@ -243,8 +429,9 @@ impl Journal {
 
     /// Records a terminal job failure (after retries).
     pub fn fail(&mut self, digest: u64, attempts: u32) -> std::io::Result<()> {
-        writeln!(self.file, "{}", seal(&format!("fail {digest:016x} attempts {attempts}")))?;
-        self.file.sync_all()?;
+        let mut batch = seal(&format!("fail {digest:016x} attempts {attempts}"));
+        batch.push('\n');
+        self.append_batch(batch)?;
         self.state.pending.remove(&digest);
         self.state.failed.insert(digest, attempts);
         Ok(())
@@ -350,6 +537,117 @@ mod tests {
         assert!(replayed.completed.contains(&0xA));
         assert!(replayed.pending.is_empty());
         assert_eq!(replayed.skipped_lines, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_tracks_distributed_lifecycle() {
+        let text = format!(
+            "{JOURNAL_HEADER}\n{}\n{}\n{}\n{}\n{}\n{}\n",
+            seal("wlease 0000000000000011 w0 1 a@1#q"),
+            seal("wlease 0000000000000012 w1 1 b@1#r"),
+            seal("reclaim 0000000000000011 1"),
+            seal("wlease 0000000000000011 w1 2 a@1#q"),
+            seal("stale 0000000000000011 w0 1"),
+            seal("done 0000000000000011"),
+        );
+        let s = replay(&text);
+        assert!(s.completed.contains(&0x11));
+        assert!(s.pending.contains(&0x12), "w1's unfinished lease stays pending");
+        assert_eq!(s.reclaims.get(&0x11), Some(&1));
+        assert_eq!(s.stale_publishes, 1);
+        assert_eq!(
+            s.workers.iter().cloned().collect::<Vec<_>>(),
+            ["w0".to_owned(), "w1".to_owned()]
+        );
+        assert_eq!(s.skipped_lines, 0);
+    }
+
+    #[test]
+    fn reclaim_returns_point_to_pending_unless_completed() {
+        let text = format!(
+            "{JOURNAL_HEADER}\n{}\n{}\n",
+            seal("wlease 0000000000000021 w0 1 a@1#q"),
+            seal("reclaim 0000000000000021 1"),
+        );
+        let s = replay(&text);
+        assert!(s.pending.contains(&0x21), "reclaimed point still has to run");
+        let text = format!(
+            "{JOURNAL_HEADER}\n{}\n{}\n{}\n",
+            seal("wlease 0000000000000022 w0 1 a@1#q"),
+            seal("done 0000000000000022"),
+            seal("reclaim 0000000000000022 1"),
+        );
+        let s = replay(&text);
+        assert!(!s.pending.contains(&0x22), "a completed point never re-pends");
+        assert!(s.completed.contains(&0x22));
+    }
+
+    #[test]
+    fn worker_ids_are_validated_at_parse_time() {
+        assert!(valid_worker_id("w0"));
+        assert!(valid_worker_id("host-3.worker_12"));
+        assert!(!valid_worker_id(""));
+        assert!(!valid_worker_id("has space"));
+        assert!(!valid_worker_id("dot/dot"));
+        assert!(!valid_worker_id(&"x".repeat(65)));
+        // An invalid worker token makes the whole record unparseable.
+        let line = seal("wlease 0000000000000001 bad/id 1 a@1#q");
+        let text = format!("{JOURNAL_HEADER}\n{line}\n{line}\n");
+        let s = replay(&text);
+        assert!(s.workers.is_empty());
+        assert_eq!(s.skipped_lines, 1);
+        assert!(s.torn_tail);
+    }
+
+    #[test]
+    fn shared_open_requires_initialized_journal_and_never_truncates() {
+        let dir = std::env::temp_dir().join(format!("tvp_journal_shared_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        // Missing journal: a worker must not invent one.
+        let err = Journal::open_shared(&dir).expect_err("missing journal is an error");
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        // Torn tail: shared open leaves the bytes alone and starts its
+        // first record on a fresh line.
+        let good = seal("wlease 0000000000000031 w0 1 a@1#q");
+        let torn = format!("{JOURNAL_HEADER}\n{good}\ndone 000000");
+        std::fs::write(dir.join(JOURNAL_FILE), &torn).expect("write torn journal");
+        {
+            let mut j = Journal::open_shared(&dir).expect("shared open");
+            assert!(j.state().pending.contains(&0x31));
+            j.done(0x31).expect("append");
+        }
+        let text = std::fs::read_to_string(dir.join(JOURNAL_FILE)).expect("read");
+        assert!(text.starts_with(&torn), "shared open never truncates");
+        let s = replay(&text);
+        assert!(s.completed.contains(&0x31), "append landed on a fresh line");
+        assert_eq!(s.skipped_lines, 1, "torn bytes became one counted garbage line");
+        // Headerless journal: refuse.
+        std::fs::write(dir.join(JOURNAL_FILE), "garbage\n").expect("write bad journal");
+        let err = Journal::open_shared(&dir).expect_err("bad header is an error");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_shared_handles_interleave_whole_records() {
+        let dir = std::env::temp_dir().join(format!("tvp_journal_two_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        drop(Journal::open(&dir).expect("init"));
+        let mut a = Journal::open_shared(&dir).expect("handle a");
+        let mut b = Journal::open_shared(&dir).expect("handle b");
+        a.wlease_all("wa", [(0x41, 1, "a@1#a"), (0x42, 1, "b@1#b")].into_iter()).expect("wlease a");
+        b.wlease_all("wb", [(0x43, 1, "c@1#c")].into_iter()).expect("wlease b");
+        a.done(0x41).expect("done a");
+        b.done(0x43).expect("done b");
+        let s = replay(&std::fs::read_to_string(dir.join(JOURNAL_FILE)).expect("read"));
+        assert_eq!(s.skipped_lines, 0, "no byte interleaving within records");
+        assert!(!s.torn_tail);
+        assert!(s.completed.contains(&0x41) && s.completed.contains(&0x43));
+        assert!(s.pending.contains(&0x42));
+        assert_eq!(s.workers.len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -48,6 +48,7 @@ use crate::jobs::{ExpKey, SimPoint};
 pub mod blob;
 pub mod checkpoint;
 pub mod fsck;
+pub mod lease;
 pub mod manifest;
 
 use blob::BlobError;
@@ -106,6 +107,18 @@ pub struct StoreCounters {
     pub digest_collisions: u64,
     /// Scratch files left by a crashed run, swept at open.
     pub tmp_swept: u64,
+    /// Quarantine attempts where both the rename *and* the copy+remove
+    /// fallback failed — the corrupt blob may still be in `blobs/`.
+    /// Nonzero is a loud warning, never silent.
+    pub quarantine_failed: u64,
+    /// Publications that found the destination blob already present
+    /// (another handle won the race). The bytes are deterministic, so
+    /// the overwrite is harmless; the loser is counted here.
+    pub duplicate_publishes: u64,
+    /// Publications withheld by the fencing check: this handle lost
+    /// its lease (reclaimed and re-owned) between simulating and
+    /// journaling, and recorded `stale` instead of `done`.
+    pub stale_publishes: u64,
 }
 
 /// What [`ResultStore::load`] found for a key.
@@ -157,15 +170,42 @@ fn fsync_dir(dir: &Path) -> io::Result<()> {
     }
 }
 
+/// Names a scratch file uniquely per *handle and publication*, not
+/// just per process: two store handles in one process racing the same
+/// digest (the concurrent-publish test, or a future in-process
+/// multi-worker) must never write through the same scratch path, or
+/// one handle's `File::create` truncates the other's half-written
+/// bytes and the second rename fails on the vanished entry.
+fn scratch_name(digest: u64, suffix: &str) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("{digest:016x}.{}.{seq}.{suffix}", std::process::id())
+}
+
+/// Moves `src` to `dest`, preferring an atomic same-filesystem rename
+/// and falling back to copy + remove when the rename fails (the
+/// classic case: `quarantine/` on a different device than `blobs/`,
+/// where `rename(2)` returns `EXDEV`). The rename primitive is
+/// injected so the fallback path has a deterministic regression test.
+fn quarantine_transfer(
+    src: &Path,
+    dest: &Path,
+    rename: impl Fn(&Path, &Path) -> io::Result<()>,
+) -> io::Result<()> {
+    if rename(src, dest).is_ok() {
+        return Ok(());
+    }
+    std::fs::copy(src, dest)?;
+    std::fs::remove_file(src)
+}
+
 impl ResultStore {
     /// Opens (creating if needed) the store at `cfg.dir`: lays out the
     /// subdirectories, sweeps stale scratch files from a previous
     /// crash, and replays the campaign journal.
     pub fn open(cfg: StoreConfig) -> io::Result<ResultStore> {
-        std::fs::create_dir_all(cfg.dir.join(BLOBS_DIR))?;
-        std::fs::create_dir_all(cfg.dir.join(CHECKPOINTS_DIR))?;
-        std::fs::create_dir_all(cfg.dir.join(QUARANTINE_DIR))?;
-        std::fs::create_dir_all(cfg.dir.join(TMP_DIR))?;
+        Self::layout(&cfg.dir)?;
         let mut tmp_swept = 0;
         for entry in std::fs::read_dir(cfg.dir.join(TMP_DIR))?.flatten() {
             if entry.path().is_file() && std::fs::remove_file(entry.path()).is_ok() {
@@ -179,6 +219,33 @@ impl ResultStore {
             counters: StoreCounters { tmp_swept, ..Default::default() },
             quarantine_seq: BTreeSet::new(),
         })
+    }
+
+    /// Opens the store as one of several concurrent *worker* processes
+    /// (DESIGN.md §16). Two differences from [`ResultStore::open`]:
+    /// the `tmp/` sweep is skipped (another live worker's scratch
+    /// files must not be deleted underneath it — scratch names are
+    /// pid-unique, so each process only ever touches its own), and the
+    /// journal is attached in shared mode, which never truncates and
+    /// requires the coordinator to have initialized the store first.
+    pub fn open_shared(cfg: StoreConfig) -> io::Result<ResultStore> {
+        Self::layout(&cfg.dir)?;
+        let journal = Journal::open_shared(&cfg.dir)?;
+        Ok(ResultStore {
+            cfg,
+            journal,
+            counters: StoreCounters::default(),
+            quarantine_seq: BTreeSet::new(),
+        })
+    }
+
+    fn layout(dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir.join(BLOBS_DIR))?;
+        std::fs::create_dir_all(dir.join(CHECKPOINTS_DIR))?;
+        std::fs::create_dir_all(dir.join(QUARANTINE_DIR))?;
+        std::fs::create_dir_all(dir.join(TMP_DIR))?;
+        std::fs::create_dir_all(dir.join(lease::LEASES_DIR))?;
+        std::fs::create_dir_all(dir.join(lease::WORKERS_DIR))
     }
 
     /// The store root directory.
@@ -260,11 +327,21 @@ impl ResultStore {
             seq += 1;
         };
         self.quarantine_seq.insert((digest, seq));
-        // Rename is same-filesystem and atomic; if it fails (e.g. the
-        // blob vanished underneath us) deleting is the fallback so the
-        // bad bytes can never be loaded again.
-        if std::fs::rename(path, &dest).is_err() {
-            let _ = std::fs::remove_file(path);
+        if let Err(e) = quarantine_transfer(path, &dest, |s, d| std::fs::rename(s, d)) {
+            // Both the rename and the copy+remove fallback failed.
+            // Last resort: delete the bad bytes so they can never be
+            // loaded again, and say so loudly — a quarantine that
+            // silently fails would leave a corrupt blob re-read (and
+            // re-"quarantined") by every warm load forever.
+            self.counters.quarantine_failed += 1;
+            let removed = std::fs::remove_file(path).is_ok();
+            eprintln!(
+                "[store] warning: quarantine of {} -> {} failed ({e}); \
+                 corrupt blob {}",
+                path.display(),
+                dest.display(),
+                if removed { "deleted instead (evidence lost)" } else { "may still be present" }
+            );
         }
     }
 
@@ -273,6 +350,44 @@ impl ResultStore {
     pub fn lease_all<'j>(&mut self, keys: impl Iterator<Item = &'j ExpKey>) -> io::Result<()> {
         let leases: Vec<(u64, String)> = keys.map(|k| (k.digest(), k.display())).collect();
         self.journal.lease_all(leases.iter().map(|(d, l)| (*d, l.as_str())))
+    }
+
+    /// Worker-side bounded lease acquisition: tries to claim each key
+    /// in `candidates` (in order) via an exclusive lease file until
+    /// `batch` points are won, then journals one `wlease` batch for
+    /// the wins. Contended points are skipped, not errors. Returns the
+    /// indices of the won candidates.
+    pub fn acquire_lease_batch(
+        &mut self,
+        candidates: &[&ExpKey],
+        worker: &str,
+        epoch_of: impl Fn(u64) -> u32,
+        batch: usize,
+    ) -> io::Result<Vec<usize>> {
+        let mut won = Vec::new();
+        let mut records: Vec<(u64, u32, String)> = Vec::new();
+        for (i, key) in candidates.iter().enumerate() {
+            if won.len() >= batch {
+                break;
+            }
+            let digest = key.digest();
+            let epoch = epoch_of(digest);
+            if lease::acquire(&self.cfg.dir, digest, worker, epoch)? == lease::Acquire::Won {
+                won.push(i);
+                records.push((digest, epoch, key.display()));
+            }
+        }
+        self.journal.wlease_all(worker, records.iter().map(|(d, e, l)| (*d, *e, l.as_str())))?;
+        Ok(won)
+    }
+
+    /// Reaper-side reclaim of one held lease: journals `reclaim` (so
+    /// the next epoch for this digest is durably implied) **then**
+    /// deletes the lease file — in that order, so an absent lease file
+    /// always means the journal already explains it.
+    pub fn reclaim_lease(&mut self, digest: u64, epoch: u32) -> io::Result<()> {
+        self.journal.reclaim(digest, epoch)?;
+        lease::release(&self.cfg.dir, digest)
     }
 
     /// Publishes one simulated point durably: encode → write to
@@ -286,16 +401,31 @@ impl ResultStore {
     /// durable but *before* its journal record — the exact
     /// mid-manifest state a real kill produces.
     pub fn publish(&mut self, key: &ExpKey, point: &SimPoint) -> io::Result<()> {
+        let digest = self.publish_blob(key, point)?;
+        self.journal.done(digest)
+    }
+
+    /// The durable half of [`ResultStore::publish`]: encodes, writes
+    /// the blob atomically, counts, and fires the kill knob — but does
+    /// *not* journal. Returns the digest so the caller can journal
+    /// `done` (plain publish) or run the fencing check first (worker
+    /// publish).
+    fn publish_blob(&mut self, key: &ExpKey, point: &SimPoint) -> io::Result<u64> {
         let digest = key.digest();
         let bytes = blob::encode(key, point);
-        let tmp =
-            self.cfg.dir.join(TMP_DIR).join(format!("{digest:016x}.{}.tmp", std::process::id()));
+        let tmp = self.cfg.dir.join(TMP_DIR).join(scratch_name(digest, "tmp"));
         {
             let mut f = File::create(&tmp)?;
             io::Write::write_all(&mut f, &bytes)?;
             f.sync_all()?;
         }
         let dest = self.blob_path(digest);
+        if dest.exists() {
+            // Another handle published this digest first. Blob bytes
+            // are a pure function of the key, so overwriting is
+            // harmless; the loser of the race is counted, not hidden.
+            self.counters.duplicate_publishes += 1;
+        }
         std::fs::rename(&tmp, &dest)?;
         fsync_dir(&self.cfg.dir.join(BLOBS_DIR))?;
         self.counters.published += 1;
@@ -308,7 +438,36 @@ impl ResultStore {
                 std::process::exit(KILL_EXIT_CODE);
             }
         }
-        self.journal.done(digest)
+        Ok(digest)
+    }
+
+    /// Worker publish with the fencing check (DESIGN.md §16): after
+    /// the blob is durable, re-read the lease file; only the current
+    /// owner journals `done` (and releases the lease). A worker whose
+    /// lease was reclaimed while it simulated journals `stale`
+    /// instead — its publish is detected and deduped, never
+    /// double-counted. Returns `true` when the fence passed.
+    ///
+    /// The blob itself is written unconditionally in both cases: the
+    /// bytes are deterministic, so a stale worker at worst rewrites
+    /// the identical blob the new owner publishes.
+    pub fn publish_fenced(
+        &mut self,
+        key: &ExpKey,
+        point: &SimPoint,
+        worker: &str,
+        epoch: u32,
+    ) -> io::Result<bool> {
+        let digest = self.publish_blob(key, point)?;
+        if lease::owned_by(&self.cfg.dir, digest, worker, epoch) {
+            self.journal.done(digest)?;
+            lease::release(&self.cfg.dir, digest)?;
+            Ok(true)
+        } else {
+            self.counters.stale_publishes += 1;
+            self.journal.stale(digest, worker, epoch)?;
+            Ok(false)
+        }
     }
 
     fn checkpoint_path(&self, digest: u64) -> PathBuf {
@@ -368,11 +527,7 @@ impl ResultStore {
     ) -> io::Result<()> {
         let digest = key.digest();
         let bytes = checkpoint::encode(key, ckpt);
-        let tmp = self
-            .cfg
-            .dir
-            .join(TMP_DIR)
-            .join(format!("{digest:016x}.{}.ckpt.tmp", std::process::id()));
+        let tmp = self.cfg.dir.join(TMP_DIR).join(scratch_name(digest, "ckpt.tmp"));
         {
             let mut f = File::create(&tmp)?;
             io::Write::write_all(&mut f, &bytes)?;
@@ -403,10 +558,20 @@ impl ResultStore {
     #[must_use]
     pub fn summary(&self) -> String {
         let c = &self.counters;
-        format!(
+        let mut s = format!(
             "{} warm hit(s), {} miss(es), {} quarantined, {} published",
             c.warm_hits, c.misses, c.quarantined, c.published
-        )
+        );
+        if c.duplicate_publishes > 0 {
+            s.push_str(&format!(", {} duplicate publish(es)", c.duplicate_publishes));
+        }
+        if c.stale_publishes > 0 {
+            s.push_str(&format!(", {} stale publish(es) fenced", c.stale_publishes));
+        }
+        if c.quarantine_failed > 0 {
+            s.push_str(&format!(", {} quarantine failure(s)!", c.quarantine_failed));
+        }
+        s
     }
 }
 
@@ -495,6 +660,127 @@ mod tests {
         let store = ResultStore::open(StoreConfig::at(&dir)).expect("open");
         assert_eq!(store.counters().tmp_swept, 1);
         assert!(std::fs::read_dir(dir.join(TMP_DIR)).expect("tmp").next().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_transfer_falls_back_to_copy_and_remove() {
+        // Regression: a failed quarantine rename used to be swallowed
+        // (the blob was just deleted, or worse, left behind). The
+        // cross-device case (`EXDEV`) is simulated by injecting a
+        // rename that always fails: the fallback must copy the bytes
+        // to the destination and remove the source.
+        let dir = scratch("qt_fallback");
+        std::fs::create_dir_all(&dir).expect("mk scratch");
+        let src = dir.join("bad.blob");
+        let dest = dir.join("quarantined.blob");
+        std::fs::write(&src, b"corrupt evidence").expect("write src");
+        quarantine_transfer(&src, &dest, |_, _| {
+            Err(io::Error::new(io::ErrorKind::CrossesDevices, "EXDEV"))
+        })
+        .expect("fallback succeeds");
+        assert!(!src.exists(), "source removed");
+        assert_eq!(std::fs::read(&dest).expect("dest"), b"corrupt evidence");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_failure_is_counted_not_swallowed() {
+        // Regression: when quarantine itself fails (here: the
+        // quarantine directory was removed underneath the store, so
+        // rename *and* copy both fail), the store must surface a
+        // counter instead of silently doing nothing.
+        let dir = scratch("qt_fail");
+        let mut store = ResultStore::open(StoreConfig::at(&dir)).expect("open");
+        let k = key("string_match");
+        store.publish(&k, &point(5)).expect("publish");
+        let path = dir.join(BLOBS_DIR).join(format!("{:016x}.blob", k.digest()));
+        let mut bytes = std::fs::read(&path).expect("read blob");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        std::fs::remove_dir_all(dir.join(QUARANTINE_DIR)).expect("sabotage quarantine dir");
+
+        let mut resumed = ResultStore::open_shared(StoreConfig::at(&dir)).expect("reopen");
+        std::fs::remove_dir_all(dir.join(QUARANTINE_DIR)).expect("re-sabotage");
+        assert!(matches!(resumed.load(&k), LoadOutcome::Quarantined(_)));
+        assert_eq!(resumed.counters().quarantine_failed, 1, "failure surfaced");
+        assert!(!path.exists(), "last resort: bad bytes deleted, never re-read");
+        assert!(resumed.summary().contains("quarantine failure"), "summary warns");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_publish_counts_the_loser() {
+        let dir = scratch("dup");
+        let mut a = ResultStore::open(StoreConfig::at(&dir)).expect("open a");
+        let mut b = ResultStore::open_shared(StoreConfig::at(&dir)).expect("open b");
+        let k = key("string_match");
+        a.publish(&k, &point(7)).expect("publish a");
+        b.publish(&k, &point(7)).expect("publish b");
+        assert_eq!(a.counters().duplicate_publishes, 0, "winner saw no existing blob");
+        assert_eq!(b.counters().duplicate_publishes, 1, "loser counted");
+        assert!(matches!(a.load(&k), LoadOutcome::Hit(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fenced_publish_requires_live_lease_ownership() {
+        let dir = scratch("fence");
+        let mut w0 = ResultStore::open(StoreConfig::at(&dir)).expect("init");
+        let k = key("mc_playout");
+        let digest = k.digest();
+        let won = w0.acquire_lease_batch(&[&k], "w0", |_| 1, 8).expect("acquire");
+        assert_eq!(won, vec![0]);
+        // The reaper reclaims w0's lease (w0 is presumed dead) and w1
+        // re-leases at the next epoch.
+        let mut reaper = ResultStore::open_shared(StoreConfig::at(&dir)).expect("reaper");
+        reaper.reclaim_lease(digest, 1).expect("reclaim");
+        let mut w1 = ResultStore::open_shared(StoreConfig::at(&dir)).expect("w1");
+        assert_eq!(w1.journal_state().reclaims.get(&digest), Some(&1));
+        let won = w1.acquire_lease_batch(&[&k], "w1", |_| 2, 8).expect("re-lease");
+        assert_eq!(won, vec![0]);
+        // w0 wakes up and tries to complete its stale lease: fenced.
+        assert!(!w0.publish_fenced(&k, &point(3), "w0", 1).expect("stale publish"));
+        assert_eq!(w0.counters().stale_publishes, 1);
+        // w1, the live owner, completes.
+        assert!(w1.publish_fenced(&k, &point(3), "w1", 2).expect("live publish"));
+        assert!(matches!(w1.load(&k), LoadOutcome::Hit(_)));
+        // Replay shows one done, one stale, one reclaim — no double count.
+        let merged = ResultStore::open(StoreConfig::at(&dir)).expect("merge view");
+        let js = merged.journal_state();
+        assert!(js.completed.contains(&digest));
+        assert_eq!(js.stale_publishes, 1);
+        assert_eq!(js.reclaims.get(&digest), Some(&1));
+        assert_eq!(
+            js.workers.iter().cloned().collect::<Vec<_>>(),
+            ["w0".to_owned(), "w1".to_owned()]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_open_keeps_other_workers_scratch() {
+        let dir = scratch("shared_tmp");
+        drop(ResultStore::open(StoreConfig::at(&dir)).expect("init"));
+        std::fs::write(dir.join(TMP_DIR).join("other-worker.tmp"), b"live scratch")
+            .expect("scratch");
+        let shared = ResultStore::open_shared(StoreConfig::at(&dir)).expect("shared");
+        assert_eq!(shared.counters().tmp_swept, 0);
+        assert!(dir.join(TMP_DIR).join("other-worker.tmp").exists(), "scratch preserved");
+        // An exclusive reopen (no concurrent workers by contract)
+        // sweeps as before.
+        let excl = ResultStore::open(StoreConfig::at(&dir)).expect("exclusive");
+        assert_eq!(excl.counters().tmp_swept, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_open_requires_initialized_store() {
+        let dir = scratch("shared_uninit");
+        let err = ResultStore::open_shared(StoreConfig::at(&dir))
+            .expect_err("worker cannot invent a store");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

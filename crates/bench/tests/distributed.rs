@@ -1,0 +1,161 @@
+//! End-to-end distributed campaign (DESIGN.md §16): coordinator +
+//! workers + kill + reap + merge, compared byte-for-byte against a
+//! serial run of the same campaign.
+//!
+//! The choreography mirrors the CI `distributed-smoke` job:
+//!
+//! 1. serial reference: `run_all` with no store;
+//! 2. coordinator: `campaign_worker manifest` pins the campaign;
+//! 3. worker `w0` runs with `TVP_STORE_KILL_AFTER=3` — it dies with
+//!    the kill exit code (42) holding a batch of leases, one of them
+//!    with a durable blob whose `done` record was withheld;
+//! 4. `reap --dead w0` reclaims every orphaned lease;
+//! 5. worker `w1` drains the rest of the manifest;
+//! 6. `merge` assembles `results/*.json`.
+//!
+//! Acceptance: the merged results are byte-identical to the serial
+//! reference, and both telemetry records carry the same campaign
+//! fingerprint. The merge telemetry additionally shows the fabric's
+//! history: two workers, a nonzero reclaim count.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const INSTS: &str = "1000";
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvp-dist-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs a binary with a scrubbed TVP environment plus `envs`,
+/// asserting the expected exit code. Returns (stdout, stderr).
+fn run(exe: &str, args: &[&str], envs: &[(&str, &str)], want_code: i32) -> (String, String) {
+    let mut cmd = Command::new(exe);
+    cmd.args(args);
+    for var in ["TVP_INSTS", "TVP_STORE_KILL_AFTER", "TVP_STORE_DIR", "TVP_RESULTS_DIR"] {
+        cmd.env_remove(var);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn binary");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_eq!(
+        out.status.code(),
+        Some(want_code),
+        "{exe} {args:?}: expected exit {want_code}, got {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status.code()
+    );
+    (stdout, stderr)
+}
+
+/// Pulls `"campaign_fingerprint": "<16 hex>"` out of a telemetry file.
+fn fingerprint_of(telemetry: &Path) -> String {
+    let text = std::fs::read_to_string(telemetry).expect("read telemetry");
+    let tag = "\"campaign_fingerprint\": \"";
+    let at = text.find(tag).unwrap_or_else(|| panic!("no campaign_fingerprint in {text}"));
+    text[at + tag.len()..at + tag.len() + 16].to_owned()
+}
+
+/// Asserts two results directories hold byte-identical file sets.
+fn assert_identical_results(a: &Path, b: &Path) {
+    let list = |d: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(d)
+            .expect("read results dir")
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    };
+    let names = list(a);
+    assert_eq!(names, list(b), "results file sets differ");
+    assert!(!names.is_empty(), "campaign produced no results files");
+    for name in names {
+        let bytes_a = std::fs::read(a.join(&name)).expect("read serial result");
+        let bytes_b = std::fs::read(b.join(&name)).expect("read distributed result");
+        assert!(bytes_a == bytes_b, "{name}: serial and distributed results differ");
+    }
+}
+
+#[test]
+fn killed_worker_reap_and_merge_reproduce_the_serial_results() {
+    let root = scratch("campaign");
+    let store = root.join("store");
+    let serial_results = root.join("serial-results");
+    let dist_results = root.join("dist-results");
+    let serial_telemetry = root.join("serial-telemetry.json");
+    let dist_telemetry = root.join("dist-telemetry.json");
+    let s = |p: &Path| p.to_str().expect("utf8 path").to_owned();
+
+    // 1. Serial reference (no store).
+    run(
+        env!("CARGO_BIN_EXE_run_all"),
+        &["--jobs", "2"],
+        &[
+            ("TVP_INSTS", INSTS),
+            ("TVP_RESULTS_DIR", &s(&serial_results)),
+            ("TVP_BENCH_TELEMETRY", &s(&serial_telemetry)),
+        ],
+        0,
+    );
+
+    // 2. Coordinator pins the campaign.
+    let worker_exe = env!("CARGO_BIN_EXE_campaign_worker");
+    let (stdout, _) =
+        run(worker_exe, &["manifest", "--store", &s(&store), "--insts", INSTS], &[], 0);
+    assert!(stdout.contains("manifest written"), "{stdout}");
+
+    // 3. Worker w0 dies mid-campaign with leases in hand.
+    run(
+        worker_exe,
+        &["worker", "--store", &s(&store), "--id", "w0", "--jobs", "2"],
+        &[("TVP_STORE_KILL_AFTER", "3")],
+        42,
+    );
+
+    // 4. The reaper reclaims w0's orphaned leases.
+    let (stdout, _) = run(worker_exe, &["reap", "--store", &s(&store), "--dead", "w0"], &[], 0);
+    assert!(
+        !stdout.contains("reap: 0 reclaimed"),
+        "w0 died holding leases; reap must reclaim some: {stdout}"
+    );
+
+    // 5. Worker w1 drains the remainder.
+    let (stdout, _) =
+        run(worker_exe, &["worker", "--store", &s(&store), "--id", "w1", "--jobs", "2"], &[], 0);
+    assert!(stdout.contains("published"), "{stdout}");
+
+    // 6. Merge assembles the results.
+    run(
+        worker_exe,
+        &[
+            "merge",
+            "--store",
+            &s(&store),
+            "--results",
+            &s(&dist_results),
+            "--telemetry",
+            &s(&dist_telemetry),
+        ],
+        &[],
+        0,
+    );
+
+    // Byte-identity and fingerprint agreement.
+    assert_identical_results(&serial_results, &dist_results);
+    assert_eq!(
+        fingerprint_of(&serial_telemetry),
+        fingerprint_of(&dist_telemetry),
+        "serial and distributed campaigns must agree on the fingerprint"
+    );
+    // The merge telemetry records the fabric's history.
+    let merged = std::fs::read_to_string(&dist_telemetry).expect("read merge telemetry");
+    assert!(merged.contains("\"dist_workers\": 2"), "{merged}");
+    assert!(!merged.contains("\"reclaimed_leases\": 0"), "reclaims must be visible: {merged}");
+    let _ = std::fs::remove_dir_all(&root);
+}

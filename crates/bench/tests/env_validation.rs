@@ -1,0 +1,110 @@
+//! Malformed environment settings fail loudly (exit 2, message
+//! naming the variable) instead of silently running with defaults.
+//!
+//! The regression these lock: `TVP_STORE_KILL_AFTER` used to be read
+//! with `.ok().and_then(|s| s.parse().ok())`, so a typo (`3s`, `0x3`)
+//! silently *disarmed* the chaos knob the crash-safety CI depends on
+//! — the job would pass without ever exercising the kill path. Same
+//! pattern for `TVP_INSTS`: a typo silently ran the default budget.
+
+use std::process::Command;
+
+/// Runs `exe` with `args` and the given extra environment, with both
+/// TVP knobs scrubbed first so the ambient test environment can't
+/// leak in.
+fn run(exe: &str, args: &[&str], envs: &[(&str, &str)]) -> std::process::Output {
+    let mut cmd = Command::new(exe);
+    cmd.args(args);
+    cmd.env_remove("TVP_INSTS");
+    cmd.env_remove("TVP_STORE_KILL_AFTER");
+    cmd.env_remove("TVP_STORE_DIR");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn binary")
+}
+
+fn assert_loud_rejection(out: &std::process::Output, var: &str, bad: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "malformed {var}={bad} must exit 2, got {:?}; stderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains(var) && stderr.contains(bad),
+        "stderr must name the variable and the offending value: {stderr}"
+    );
+}
+
+#[test]
+fn run_all_rejects_malformed_kill_after() {
+    for bad in ["3s", "-1", "1.5", ""] {
+        let out = run(
+            env!("CARGO_BIN_EXE_run_all"),
+            &["--smoke", "--jobs", "1"],
+            &[("TVP_STORE_KILL_AFTER", bad)],
+        );
+        assert_loud_rejection(&out, "TVP_STORE_KILL_AFTER", bad);
+    }
+}
+
+#[test]
+fn run_all_rejects_malformed_insts() {
+    let out =
+        run(env!("CARGO_BIN_EXE_run_all"), &["--smoke", "--jobs", "1"], &[("TVP_INSTS", "lots")]);
+    assert_loud_rejection(&out, "TVP_INSTS", "lots");
+}
+
+#[test]
+fn campaign_worker_rejects_malformed_kill_after() {
+    // The env check runs before any store I/O, so no store is needed.
+    let out = run(
+        env!("CARGO_BIN_EXE_campaign_worker"),
+        &["worker", "--store", "/nonexistent", "--id", "w0"],
+        &[("TVP_STORE_KILL_AFTER", "0x3")],
+    );
+    assert_loud_rejection(&out, "TVP_STORE_KILL_AFTER", "0x3");
+}
+
+#[test]
+fn sample_campaign_rejects_malformed_kill_after() {
+    let dir = std::env::temp_dir().join(format!("tvp-envval-{}", std::process::id()));
+    let out = run(
+        env!("CARGO_BIN_EXE_sample_campaign"),
+        &["run", "--insts", "1000", "--store", dir.to_str().expect("utf8 tempdir")],
+        &[("TVP_STORE_KILL_AFTER", "soon")],
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_loud_rejection(&out, "TVP_STORE_KILL_AFTER", "soon");
+}
+
+#[test]
+fn well_formed_kill_after_still_arms_the_knob() {
+    // Sanity companion: a *valid* value must not be rejected by the
+    // new validation. kill_after=1 exits with the kill code (42)
+    // after the first publication — proving the knob armed.
+    let dir = std::env::temp_dir().join(format!("tvp-envval-armed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = run(
+        env!("CARGO_BIN_EXE_sample_campaign"),
+        &[
+            "run",
+            "--insts",
+            "30000",
+            "--spec",
+            "10000:1000:1000",
+            "--store",
+            dir.to_str().expect("utf8 tempdir"),
+        ],
+        &[("TVP_STORE_KILL_AFTER", "1")],
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        out.status.code(),
+        Some(42),
+        "valid kill_after must arm the chaos knob; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

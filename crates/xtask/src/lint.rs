@@ -119,9 +119,11 @@ const DETERMINISM_CRATES: &[&str] = &["core", "isa", "mem", "obs", "predictors"]
 /// journal records feed the byte-identity guarantee — so the store
 /// module opts in file-by-file instead of waiving rule-by-rule.
 const DETERMINISM_FILES: &[&str] = &[
+    "crates/bench/src/distributed.rs",
     "crates/bench/src/store/blob.rs",
     "crates/bench/src/store/checkpoint.rs",
     "crates/bench/src/store/fsck.rs",
+    "crates/bench/src/store/lease.rs",
     "crates/bench/src/store/manifest.rs",
     "crates/bench/src/store/mod.rs",
     "crates/bench/src/sampling.rs",
